@@ -1,0 +1,87 @@
+// Ablation: bounds-checked vs unchecked array access (@inbounds).
+//
+// The only ablation measured on the *host* rather than modeled: both
+// access paths run the same functional kernel on this machine, so their
+// ratio is a real measurement of the checking overhead that Julia's
+// @inbounds (Fig. 2c) removes and that Numba's numpy indexing always pays.
+// Uses google-benchmark.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "gemm/kernels_cpu.hpp"
+#include "simrt/mdarray.hpp"
+#include "simrt/parallel.hpp"
+
+namespace {
+
+using namespace portabench;
+using simrt::LayoutLeft;
+using simrt::View2;
+
+struct Matrices {
+  View2<double, LayoutLeft> A;
+  View2<double, LayoutLeft> B;
+  View2<double, LayoutLeft> C;
+};
+
+Matrices make_matrices(std::size_t n) {
+  Matrices m{View2<double, LayoutLeft>(n, n), View2<double, LayoutLeft>(n, n),
+             View2<double, LayoutLeft>(n, n)};
+  Xoshiro256 rng(1234);
+  fill_uniform(std::span<double>(m.A.data(), n * n), rng);
+  fill_uniform(std::span<double>(m.B.data(), n * n), rng);
+  return m;
+}
+
+void BM_JuliaGemmInbounds(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Matrices m = make_matrices(n);
+  simrt::SerialSpace space;
+  for (auto _ : state) {
+    gemm::gemm_julia_style<double>(space, m.A, m.B, m.C, /*inbounds=*/true);
+    benchmark::DoNotOptimize(m.C(0, 0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2 * n * n * n);
+}
+
+void BM_JuliaGemmBoundsChecked(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Matrices m = make_matrices(n);
+  simrt::SerialSpace space;
+  for (auto _ : state) {
+    gemm::gemm_julia_style<double>(space, m.A, m.B, m.C, /*inbounds=*/false);
+    benchmark::DoNotOptimize(m.C(0, 0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2 * n * n * n);
+}
+
+void BM_ViewUncheckedAccess(benchmark::State& state) {
+  View2<double, LayoutLeft> v(256, 256);
+  double sum = 0.0;
+  for (auto _ : state) {
+    for (std::size_t j = 0; j < 256; ++j) {
+      for (std::size_t i = 0; i < 256; ++i) sum += v(i, j);
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+}
+
+void BM_ViewCheckedAccess(benchmark::State& state) {
+  View2<double, LayoutLeft> v(256, 256);
+  double sum = 0.0;
+  for (auto _ : state) {
+    for (std::size_t j = 0; j < 256; ++j) {
+      for (std::size_t i = 0; i < 256; ++i) sum += v.at(i, j);
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+}
+
+BENCHMARK(BM_JuliaGemmInbounds)->Arg(64)->Arg(128)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_JuliaGemmBoundsChecked)->Arg(64)->Arg(128)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ViewUncheckedAccess)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ViewCheckedAccess)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

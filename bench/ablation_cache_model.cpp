@@ -1,0 +1,83 @@
+// Ablation: trace-driven validation of the analytical CPU traffic law.
+//
+// perfmodel::CpuMachineModel assumes B re-streams from DRAM once per round
+// of concurrent rows unless it fits in the LLC.  Here the cache simulator
+// replays the real kernel address streams at reduced sizes through
+// EPYC-7A53-shaped and Altra-shaped hierarchies and compares measured
+// DRAM bytes against the analytical law evaluated at the same (scaled)
+// geometry.
+#include <iostream>
+
+#include "cachesim/gemm_trace.hpp"
+#include "common/table.hpp"
+#include "perfmodel/machine_model.hpp"
+
+int main() {
+  using namespace portabench;
+  using cachesim::Hierarchy;
+
+  std::cout << "=== Ablation: cache-simulator check of the traffic law ===\n\n";
+
+  // Scaled experiment: a single core with a private LLC share, problem
+  // sizes spanning the B-fits / B-doesn't-fit transition of that share.
+  struct Config {
+    const char* label;
+    double llc_share_bytes;
+    Hierarchy (*make)();
+  };
+
+  std::cout << "scaled single-core geometry (8 KiB L1 + 64 KiB LLC), FP64,\n"
+               "rows traced = all of a single-thread GEMM\n";
+  Table t({"n", "B bytes", "LLC share", "measured DRAM (KB)", "analytical DRAM (KB)",
+           "ratio", "regime"});
+
+  for (std::size_t n : {32u, 64u, 96u, 128u, 160u}) {
+    Hierarchy h;
+    h.add_level("L1", 8 * 1024, 64, 8);
+    h.add_level("LLC-share", 64 * 1024, 64, 16);
+    const auto trace = cachesim::trace_openmp_gemm(h, n, 8, 0, n);
+
+    // Analytical law at the same geometry: 1 thread, LLC = the share.
+    perfmodel::CpuSpec spec = perfmodel::CpuSpec::epyc_7a53();
+    spec.cores = 1;
+    spec.numa_domains = 1;
+    spec.l3_bytes = 64.0 * 1024.0;
+    const perfmodel::CpuMachineModel model(spec);
+    const double analytical = model.dram_traffic_bytes(Precision::kDouble, n, 1);
+
+    const double b_bytes = static_cast<double>(n) * n * 8;
+    t.add_row({std::to_string(n), Table::num(b_bytes / 1024, 0) + " KB", "64 KB",
+               Table::num(static_cast<double>(trace.dram_bytes) / 1024.0, 1),
+               Table::num(analytical / 1024.0, 1),
+               Table::num(static_cast<double>(trace.dram_bytes) / analytical, 2),
+               b_bytes <= 64.0 * 1024.0 ? "B cached" : "B re-streams"});
+  }
+  std::cout << t.to_markdown();
+
+  std::cout << "\nLayout mirror check (n=96): the Julia column-major walk's traffic\n";
+  {
+    auto make_scaled = [] {
+      Hierarchy h;
+      h.add_level("L1", 8 * 1024, 64, 8);
+      h.add_level("LLC-share", 64 * 1024, 64, 16);
+      return h;
+    };
+    Hierarchy h1 = make_scaled();
+    Hierarchy h2 = make_scaled();
+    const auto row_major = cachesim::trace_openmp_gemm(h1, 96, 8, 0, 96);
+    const auto col_major = cachesim::trace_julia_gemm(h2, 96, 8, 0, 96);
+    std::cout << "  row-major i-k-j: " << row_major.dram_bytes / 1024 << " KB;  "
+              << "column-major j-l-i: " << col_major.dram_bytes / 1024 << " KB  "
+              << "(Section III: loop nests chosen per layout 'to ensure\n"
+                 "   equivalent computational workloads')\n";
+  }
+
+  std::cout << "\nTakeaway: the coarse analytical law tracks the simulated hierarchy\n"
+               "within ~2x deep inside each regime and reproduces the\n"
+               "cached->streaming transition that shapes the figures' large-n\n"
+               "behaviour.  Right at the transition (B barely exceeding the LLC)\n"
+               "the law's smooth uncached-fraction interpolation undershoots the\n"
+               "simulator's LRU cliff — thrashing evicts B before any reuse — a\n"
+               "known limit of capacity-fraction traffic models.\n";
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Ablation: multi-device scaling (beyond the paper's single-GPU runs).
+//
+// Crusher carries 8 MI250X GCDs per node and Wombat 2 A100s; the paper
+// measures one device.  This bench models the next experiment: strong-
+// and weak-scaling the GEMM across the node's devices with host-link
+// contention, the obvious continuation of the paper's "single node
+// scalability" framing (Section I).
+#include <iostream>
+
+#include "common/table.hpp"
+#include "perfmodel/multigpu.hpp"
+
+namespace {
+
+using namespace portabench;
+
+void print_sweep(const char* title, const std::vector<perfmodel::MultiGpuPoint>& sweep) {
+  std::cout << title << "\n";
+  Table t({"devices", "kernel (ms)", "staging (ms)", "total (ms)", "speedup",
+           "efficiency"});
+  for (const auto& p : sweep) {
+    t.add_row({std::to_string(p.devices), Table::num(p.kernel_s * 1e3, 2),
+               Table::num(p.transfer_s * 1e3, 2), Table::num(p.total_s * 1e3, 2),
+               Table::num(p.speedup, 2), Table::num(p.efficiency, 3)});
+  }
+  std::cout << t.to_markdown() << "\n";
+}
+
+}  // namespace
+
+int main() {
+  using perfmodel::GpuMachineModel;
+  using perfmodel::GpuPerfSpec;
+  using perfmodel::LinkSpec;
+
+  std::cout << "=== Ablation: multi-device scaling (FP64, n = 16384) ===\n\n";
+
+  const GpuMachineModel mi250x(GpuPerfSpec::mi250x_gcd());
+  print_sweep("Crusher node: 8 MI250X GCDs, strong scaling (one GEMM row-split)",
+              perfmodel::strong_scaling_gemm(mi250x, LinkSpec::infinity_fabric(),
+                                             Precision::kDouble, 16384, 8));
+  print_sweep("Crusher node: 8 GCDs, weak scaling (one GEMM per GCD)",
+              perfmodel::weak_scaling_gemm(mi250x, LinkSpec::infinity_fabric(),
+                                           Precision::kDouble, 16384, 8));
+
+  const GpuMachineModel a100(GpuPerfSpec::a100());
+  print_sweep("Wombat node: 2 A100s, strong scaling",
+              perfmodel::strong_scaling_gemm(a100, LinkSpec::pcie4_x16(),
+                                             Precision::kDouble, 16384, 2));
+
+  std::cout << "Takeaway: strong scaling pays twice — the full-B broadcast grows the\n"
+               "per-device staging share while the kernel shrinks — whereas weak\n"
+               "scaling holds ~constant efficiency until the shared host bandwidth\n"
+               "saturates.  The programming-model question (does the frontend expose\n"
+               "multi-device placement at all?) sits on top: CUDA.jl/AMDGPU.jl and\n"
+               "Kokkos do; Numba requires manual context juggling.\n";
+  return 0;
+}

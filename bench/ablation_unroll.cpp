@@ -1,0 +1,57 @@
+// Ablation: inner-loop unroll factor (the paper's PTX finding).
+//
+// "The generated low-level PTX ... indicated a difference in unrolled
+// loop instructions, 2 for CUDA.jl and 4 in the native CUDA" (Section
+// IV-B).  The codegen model turns that observation into numbers: modeled
+// sustained-issue efficiency vs unroll factor, the CUDA.jl/CUDA ratio it
+// implies, and the CPU-side codegen factors for each frontend.
+#include <iostream>
+
+#include "common/table.hpp"
+#include "perfmodel/codegen.hpp"
+#include "perfmodel/predict.hpp"
+
+int main() {
+  using namespace portabench;
+  using perfmodel::CodegenProfile;
+
+  std::cout << "=== Ablation: inner-loop codegen (unroll / vectorization / checks) ===\n\n";
+
+  std::cout << "GPU dependent-FMA pipeline vs unroll factor:\n";
+  Table gpu({"unroll", "modeled issue efficiency", "vs unroll-4"});
+  const double u4 = perfmodel::gpu_inner_loop_efficiency(CodegenProfile::vendor_gpu());
+  for (int u : {1, 2, 4, 8}) {
+    CodegenProfile p = CodegenProfile::vendor_gpu();
+    p.unroll = u;
+    const double eff = perfmodel::gpu_inner_loop_efficiency(p);
+    gpu.add_row({std::to_string(u), Table::num(eff, 3), Table::num(eff / u4, 3)});
+  }
+  std::cout << gpu.to_markdown();
+  std::cout << "\nCUDA.jl (unroll 2) vs native CUDA (unroll 4) modeled ratio: "
+            << Table::num(perfmodel::julia_a100_unroll_ratio(), 3)
+            << "  — paper Table III e_{A100} for Julia FP64: 0.867\n\n";
+
+  std::cout << "CPU inner-loop codegen factors (EPYC 7A53):\n";
+  const auto epyc = perfmodel::CpuSpec::epyc_7a53();
+  Table cpu({"frontend", "unroll", "vector bits", "bounds checks", "efficiency"});
+  struct Row {
+    const char* label;
+    CodegenProfile profile;
+  };
+  const Row rows[] = {
+      {"C/OpenMP (-O3 -march=native)", CodegenProfile::vendor_cpu(epyc)},
+      {"Julia @threads + @inbounds", CodegenProfile::julia_cpu(epyc)},
+      {"Numba @njit(parallel, fastmath)", CodegenProfile::numba_cpu(epyc)},
+  };
+  for (const auto& row : rows) {
+    cpu.add_row({row.label, std::to_string(row.profile.unroll),
+                 std::to_string(row.profile.vector_bits),
+                 row.profile.bounds_checked ? "yes" : "no",
+                 Table::num(perfmodel::cpu_inner_loop_efficiency(row.profile, epyc), 3)});
+  }
+  std::cout << cpu.to_markdown();
+  std::cout << "\nTakeaway: the Numba CPU gap decomposes into halved vector width plus\n"
+               "checked indexing; Julia matches vendor codegen on this loop — the\n"
+               "mechanistic story behind the calibrated Table III efficiencies.\n";
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Export every figure's modeled series and Table III as one JSON document
+// (stdout) for plotting / regression tracking.
+//
+// Schema:
+// {
+//   "figures": [ { "id": "fig4", "platform": "...", "panels": [
+//       { "precision": "FP64", "sizes": [...],
+//         "series": [ { "model": "...", "gflops": [...] } ] } ] } ],
+//   "table3": [ { "family": "...", "precision": "...", "phi": x,
+//                 "efficiencies": { "Epyc 7A53": x | null, ... } } ]
+// }
+#include <iostream>
+
+#include "common/json.hpp"
+#include "perfmodel/predict.hpp"
+#include "portability/metric.hpp"
+
+int main() {
+  using namespace portabench;
+  using perfmodel::Family;
+  using perfmodel::Platform;
+
+  JsonWriter w;
+  w.begin_object();
+
+  w.key("figures");
+  w.begin_array();
+  struct Fig {
+    const char* id;
+    Platform platform;
+  };
+  const Fig figs[] = {{"fig4", Platform::kCrusherCpu},
+                      {"fig5", Platform::kWombatCpu},
+                      {"fig6", Platform::kCrusherGpu},
+                      {"fig7", Platform::kWombatGpu}};
+  for (const auto& fig : figs) {
+    w.begin_object();
+    w.key("id");
+    w.value(fig.id);
+    w.key("platform");
+    w.value(std::string(perfmodel::name(fig.platform)));
+    w.key("panels");
+    w.begin_array();
+    for (Precision prec : kAllPrecisions) {
+      const auto families = perfmodel::figure_families(fig.platform, prec);
+      if (families.empty()) continue;
+      w.begin_object();
+      w.key("precision");
+      w.value(std::string(name(prec)));
+      w.key("sizes");
+      w.begin_array();
+      for (std::size_t n : perfmodel::standard_sizes(fig.platform)) w.value(n);
+      w.end_array();
+      w.key("series");
+      w.begin_array();
+      for (Family f : families) {
+        const auto sweep = perfmodel::predict_sweep(fig.platform, f, prec);
+        if (sweep.empty()) continue;
+        w.begin_object();
+        w.key("model");
+        w.value(std::string(perfmodel::implementation_name(fig.platform, f)));
+        w.key("gflops");
+        w.begin_array();
+        for (const auto& pt : sweep) w.value(pt.gflops);
+        w.end_array();
+        if (f != Family::kVendor && prec != Precision::kHalfIn) {
+          w.key("efficiency");
+          w.begin_array();
+          for (const auto& pt : sweep) w.value(pt.efficiency);
+          w.end_array();
+        }
+        w.end_object();
+      }
+      w.end_array();
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("table3");
+  w.begin_array();
+  for (const auto& fp : portability::build_table3()) {
+    w.begin_object();
+    w.key("family");
+    w.value(std::string(perfmodel::name(fp.family)));
+    w.key("precision");
+    w.value(std::string(name(fp.precision)));
+    w.key("phi");
+    w.value(fp.phi);
+    w.key("efficiencies");
+    w.begin_object();
+    for (const auto& e : fp.entries) {
+      w.key(std::string(perfmodel::arch_label(e.platform)));
+      if (e.supported) {
+        w.value(e.efficiency);
+      } else {
+        w.null();
+      }
+    }
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+
+  w.end_object();
+  std::cout << w.str() << "\n";
+  return 0;
+}

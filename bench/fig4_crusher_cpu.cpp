@@ -1,0 +1,14 @@
+// Figure 4: Crusher multithreaded CPU performance (AMD EPYC 7A53, 64
+// threads across 4 NUMA regions) — double (4a) and single (4b) precision
+// for C/OpenMP, Kokkos/OpenMP, Julia Threads, and Python/Numba.
+#include "harness.hpp"
+
+int main(int argc, char** argv) {
+  using namespace portabench;
+  const auto options = bench::parse_options(argc, argv);
+  return bench::run_figure(
+      perfmodel::Platform::kCrusherCpu, "Figure 4",
+      {{"(a) double precision, 64 threads / 4 NUMA", Precision::kDouble},
+       {"(b) single precision, 64 threads / 4 NUMA", Precision::kSingle}},
+      options);
+}

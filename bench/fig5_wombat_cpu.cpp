@@ -1,0 +1,15 @@
+// Figure 5: Wombat multithreaded CPU performance (Ampere Altra, 80
+// threads) — double (5a), single (5b), and the Julia half-precision panel
+// (5c) that Section IV-A highlights as working seamlessly on Arm.
+#include "harness.hpp"
+
+int main(int argc, char** argv) {
+  using namespace portabench;
+  const auto options = bench::parse_options(argc, argv);
+  return bench::run_figure(
+      perfmodel::Platform::kWombatCpu, "Figure 5",
+      {{"(a) double precision, 80 threads", Precision::kDouble},
+       {"(b) single precision, 80 threads", Precision::kSingle},
+       {"(c) half precision (FP16 inputs, FP32 accumulate)", Precision::kHalfIn}},
+      options);
+}

@@ -1,0 +1,16 @@
+// Figure 6: simple GEMM on Crusher's AMD MI250X GPU with 32x32 thread
+// blocks — HIP, Kokkos/HIP, Julia AMDGPU.jl at double (6a) and single
+// (6b) precision, plus the Julia-only half-precision panel (6c).
+// Python/Numba is absent: its AMD GPU support is deprecated.
+#include "harness.hpp"
+
+int main(int argc, char** argv) {
+  using namespace portabench;
+  const auto options = bench::parse_options(argc, argv);
+  return bench::run_figure(
+      perfmodel::Platform::kCrusherGpu, "Figure 6",
+      {{"(a) double precision, 32x32 blocks", Precision::kDouble},
+       {"(b) single precision, 32x32 blocks", Precision::kSingle},
+       {"(c) half precision (FP16 inputs, FP32 accumulate)", Precision::kHalfIn}},
+      options);
+}

@@ -1,0 +1,15 @@
+// Figure 7: simple GEMM on Wombat's NVIDIA A100 with 32x32 thread blocks
+// — CUDA, Kokkos/CUDA, Julia CUDA.jl, Numba-CUDA at double (7a) and
+// single (7b) precision, plus the Julia + Numba half-precision panel (7c).
+#include "harness.hpp"
+
+int main(int argc, char** argv) {
+  using namespace portabench;
+  const auto options = bench::parse_options(argc, argv);
+  return bench::run_figure(
+      perfmodel::Platform::kWombatGpu, "Figure 7",
+      {{"(a) double precision, 32x32 blocks", Precision::kDouble},
+       {"(b) single precision, 32x32 blocks", Precision::kSingle},
+       {"(c) half precision (FP16 inputs, FP32 accumulate)", Precision::kHalfIn}},
+      options);
+}

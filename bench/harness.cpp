@@ -1,0 +1,158 @@
+#include "harness.hpp"
+
+#include <cstdlib>
+#include <iostream>
+
+#include "common/ascii_plot.hpp"
+#include "common/cli.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "models/runner.hpp"
+#include "perfmodel/predict.hpp"
+#include "perfmodel/variability.hpp"
+
+namespace portabench::bench {
+
+namespace {
+
+using models::make_runner;
+using models::RunConfig;
+using perfmodel::Family;
+using perfmodel::Platform;
+
+/// Step 1: functional verification of every plotted combination.
+int verify_panel(Platform platform, Precision prec, const HarnessOptions& options) {
+  int failures = 0;
+  std::cout << "  functional verification (n=" << options.verify_n << ", "
+            << options.verify_reps << " reps, first excluded as warm-up):\n";
+  for (Family family : perfmodel::figure_families(platform, prec)) {
+    auto runner = make_runner(platform, family);
+    if (!runner) continue;
+    RunConfig config;
+    config.n = options.verify_n;
+    config.precision = prec;
+
+    RunStats stats(/*warmup=*/1);
+    bool all_verified = true;
+    double jit = 0.0;
+    for (std::size_t rep = 0; rep < options.verify_reps; ++rep) {
+      const auto result = runner->run(config);
+      stats.add(result.host_seconds);
+      all_verified = all_verified && result.verified;
+      jit += result.jit_seconds;
+    }
+    // Variability band of the modeled target-machine timing (Section IV
+    // reports most-likely values; the model's CV quantifies the band the
+    // paper chose not to analyse exhaustively).
+    const auto var_spec = perfmodel::VariabilitySpec::for_platform(platform);
+    std::cout << "    " << runner->name() << ": "
+              << (all_verified ? "OK" : "FAILED") << " (host "
+              << Table::num(stats.summary().mean * 1e3, 2) << " ms/rep";
+    if (jit > 0.0) std::cout << ", modeled JIT " << Table::num(jit, 2) << " s excluded";
+    std::cout << ", modeled CV " << Table::num(var_spec.cv * 100.0, 1) << "%)\n";
+    if (!all_verified) ++failures;
+  }
+  return failures;
+}
+
+/// Step 2 + 3: modeled series table and efficiency summary for one panel.
+void print_panel_series(Platform platform, Precision prec, const HarnessOptions& options) {
+  const auto families = perfmodel::figure_families(platform, prec);
+  std::vector<std::string> headers{"n"};
+  for (Family f : families) {
+    headers.push_back(std::string(perfmodel::implementation_name(platform, f)) + " GFLOP/s");
+  }
+  Table table(std::move(headers));
+
+  const auto sizes = perfmodel::standard_sizes(platform);
+  for (std::size_t n : sizes) {
+    std::vector<std::string> row{std::to_string(n)};
+    for (Family f : families) {
+      const auto pt = perfmodel::predict(platform, f, prec, n);
+      row.push_back(pt ? Table::num(pt->gflops, 1) : "-");
+    }
+    table.add_row(std::move(row));
+  }
+  std::cout << (options.emit_csv ? table.to_csv() : table.to_markdown());
+
+  // ASCII rendering of the panel (the figure itself).
+  if (!options.emit_csv) {
+    std::vector<PlotSeries> plot;
+    for (Family f : families) {
+      PlotSeries s;
+      s.label = std::string(perfmodel::implementation_name(platform, f));
+      for (std::size_t n : sizes) {
+        const auto pt = perfmodel::predict(platform, f, prec, n);
+        s.values.push_back(pt ? pt->gflops : 0.0);
+      }
+      plot.push_back(std::move(s));
+    }
+    std::vector<double> x_ticks(sizes.begin(), sizes.end());
+    PlotOptions popt;
+    popt.y_label = "GFLOP/s";
+    popt.x_label = "matrix size n";
+    std::cout << render_plot(plot, x_ticks, popt);
+  }
+
+  // Efficiency summary (only meaningful when a vendor reference exists
+  // at this precision; FP16 panels are absolute-only, as in the paper).
+  if (prec != Precision::kHalfIn) {
+    std::cout << "  mean efficiency vs "
+              << perfmodel::implementation_name(platform, Family::kVendor) << ": ";
+    bool first = true;
+    for (Family f : families) {
+      if (f == Family::kVendor) continue;
+      const auto sweep = perfmodel::predict_sweep(platform, f, prec);
+      if (sweep.empty()) continue;
+      std::vector<double> eff;
+      for (const auto& pt : sweep) eff.push_back(pt.efficiency);
+      if (!first) std::cout << ", ";
+      std::cout << perfmodel::implementation_name(platform, f) << " "
+                << Table::num(mean_of(eff), 3);
+      first = false;
+    }
+    std::cout << "\n";
+  }
+}
+
+}  // namespace
+
+int run_figure(Platform platform, const std::string& figure_name,
+               const std::vector<PanelSpec>& panels, const HarnessOptions& options) {
+  std::cout << "=== " << figure_name << ": simple GEMM on " << perfmodel::name(platform)
+            << " ===\n";
+  std::cout << "(modeled curves; functional kernels verified on this host — see DESIGN.md)\n";
+  int failures = 0;
+  for (const auto& panel : panels) {
+    std::cout << "\n--- " << panel.title << " ---\n";
+    failures += verify_panel(platform, panel.precision, options);
+    print_panel_series(platform, panel.precision, options);
+  }
+  std::cout << "\n" << figure_name << ": " << (failures == 0 ? "PASS" : "FAIL") << "\n";
+  return failures;
+}
+
+HarnessOptions parse_options(int argc, const char* const* argv) {
+  CliParser cli;
+  cli.option("verify-n", "matrix size for functional verification", "48")
+      .option("reps", "verification repetitions (first is warm-up)", "3")
+      .flag("csv", "emit CSV instead of Markdown tables")
+      .flag("help", "print this help and exit");
+  try {
+    cli.parse(argc, argv);
+  } catch (const config_error& e) {
+    std::cerr << e.what() << "\n" << cli.usage(argv[0]);
+    std::exit(2);
+  }
+  if (cli.has("help")) {
+    std::cout << cli.usage(argv[0]);
+    std::exit(0);
+  }
+  HarnessOptions options;
+  options.verify_n = static_cast<std::size_t>(cli.get_int("verify-n"));
+  options.verify_reps = static_cast<std::size_t>(cli.get_int("reps"));
+  options.emit_csv = cli.has("csv");
+  return options;
+}
+
+}  // namespace portabench::bench

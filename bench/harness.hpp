@@ -1,0 +1,43 @@
+// Shared harness for the figure benches.
+//
+// Every figure bench does the same three things, matching the paper's
+// protocol (Section IV):
+//   1. functional verification: run every plotted (family, precision)
+//      combination through its frontend at a reduced size, with warm-up
+//      repetitions excluded, and check it against the reference GEMM;
+//   2. reproduction: print the modeled GFLOPS-vs-size series for the
+//      platform's standard sweep — one column per programming model, one
+//      table per figure panel;
+//   3. efficiency summary: the per-panel mean Eq.-2 efficiencies that feed
+//      Table III.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/precision.hpp"
+#include "perfmodel/platform.hpp"
+
+namespace portabench::bench {
+
+struct PanelSpec {
+  std::string title;       ///< e.g. "(a) double precision"
+  Precision precision;
+};
+
+struct HarnessOptions {
+  std::size_t verify_n = 48;     ///< functional verification size
+  std::size_t verify_reps = 3;   ///< repetitions (first one is warm-up)
+  bool emit_csv = false;
+};
+
+/// Run the full harness for one figure: verification + model series +
+/// efficiency summary.  Returns the number of verification failures
+/// (0 == success), which the bench binary uses as its exit code.
+int run_figure(perfmodel::Platform platform, const std::string& figure_name,
+               const std::vector<PanelSpec>& panels, const HarnessOptions& options = {});
+
+/// Parse --verify-n / --reps / --csv from argv into HarnessOptions.
+HarnessOptions parse_options(int argc, const char* const* argv);
+
+}  // namespace portabench::bench

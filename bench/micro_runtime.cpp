@@ -1,0 +1,88 @@
+// Microbenchmarks of the runtime substrate (google-benchmark).
+//
+// These measure the *simulation host* cost of the mini-Kokkos and gpusim
+// primitives — the overheads the calibrated ModelTraits represent on the
+// modeled machines.  Useful for keeping the substrate itself honest (a
+// fork-join that costs milliseconds would distort functional timings).
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+
+#include "gpusim/launch.hpp"
+#include "simrt/parallel.hpp"
+
+namespace {
+
+using namespace portabench;
+
+void BM_ForkJoin(benchmark::State& state) {
+  simrt::ThreadsSpace space(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    simrt::parallel_for(space, simrt::RangePolicy(0, 1), [](std::size_t) {});
+  }
+}
+BENCHMARK(BM_ForkJoin)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMicrosecond);
+
+void BM_ParallelForChunked(benchmark::State& state) {
+  simrt::ThreadsSpace space(2);
+  const std::size_t n = 1 << 16;
+  std::vector<double> data(n, 1.0);
+  for (auto _ : state) {
+    simrt::parallel_for(space, simrt::RangePolicy(0, n),
+                        [&](std::size_t i) { data[i] = data[i] * 1.0000001 + 0.5; });
+    benchmark::DoNotOptimize(data[0]);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_ParallelForChunked)->Unit(benchmark::kMicrosecond);
+
+void BM_ParallelReduce(benchmark::State& state) {
+  simrt::ThreadsSpace space(2);
+  const std::size_t n = 1 << 16;
+  for (auto _ : state) {
+    double sum = 0.0;
+    simrt::parallel_reduce(space, simrt::RangePolicy(0, n),
+                           [](std::size_t i, double& acc) { acc += static_cast<double>(i); },
+                           sum);
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_ParallelReduce)->Unit(benchmark::kMicrosecond);
+
+void BM_MDRangeTiled(benchmark::State& state) {
+  simrt::ThreadsSpace space(2);
+  std::vector<double> data(256 * 256, 0.0);
+  for (auto _ : state) {
+    simrt::parallel_for(space, simrt::MDRangePolicy2({0, 0}, {256, 256}),
+                        [&](std::size_t i, std::size_t j) { data[i * 256 + j] += 1.0; });
+    benchmark::DoNotOptimize(data[0]);
+  }
+}
+BENCHMARK(BM_MDRangeTiled)->Unit(benchmark::kMicrosecond);
+
+void BM_GpusimLaunchOverhead(benchmark::State& state) {
+  gpusim::DeviceContext ctx(gpusim::GpuSpec::a100());
+  for (auto _ : state) {
+    gpusim::launch(ctx, {1, 1, 1}, {32, 1, 1}, [](const gpusim::ThreadCtx&) {});
+  }
+}
+BENCHMARK(BM_GpusimLaunchOverhead)->Unit(benchmark::kMicrosecond);
+
+void BM_GpusimThreadRate(benchmark::State& state) {
+  gpusim::DeviceContext ctx(gpusim::GpuSpec::a100());
+  const std::size_t n = 256;
+  std::vector<double> out(n * n, 0.0);
+  double* p = out.data();
+  for (auto _ : state) {
+    gpusim::launch(ctx, {n / 16, n / 16, 1}, {16, 16, 1}, [=](const gpusim::ThreadCtx& tc) {
+      p[tc.global_y() * n + tc.global_x()] += 1.0;
+    });
+    benchmark::DoNotOptimize(out[0]);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n * n);
+}
+BENCHMARK(BM_GpusimThreadRate)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

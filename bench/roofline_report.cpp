@@ -1,0 +1,62 @@
+// Roofline report: where the naive GEMM sits on each device's roofline.
+//
+// Supporting analysis for Figs. 4-7: arithmetic intensity of the naive
+// kernel per precision, each device's ridge point, and whether the
+// machine model classifies the kernel as compute- or memory-bound across
+// the sweep — the mechanism behind the flat large-n plateaus.
+#include <iostream>
+
+#include "common/table.hpp"
+#include "perfmodel/predict.hpp"
+
+int main() {
+  using namespace portabench;
+  using perfmodel::Platform;
+
+  std::cout << "=== Roofline placement of the naive GEMM ===\n\n";
+
+  for (Platform p : perfmodel::kAllPlatforms) {
+    std::cout << "--- " << perfmodel::name(p) << " ---\n";
+    Table t({"precision", "n", "AI (flop/byte)", "ridge (flop/byte)", "bound",
+             "vendor GFLOP/s"});
+    for (Precision prec : {Precision::kDouble, Precision::kSingle}) {
+      for (std::size_t n : {4096u, 16384u}) {
+        double peak = 0.0;
+        double bw = 0.0;
+        double traffic = 0.0;
+        double gflops = 0.0;
+        bool memory_bound = false;
+        if (perfmodel::is_gpu(p)) {
+          const auto model = perfmodel::gpu_model_for(p);
+          peak = model.spec().peak_gflops(prec);
+          bw = model.spec().mem_bw_gbs;
+          const auto ref = model.reference_time(prec, n);
+          traffic = ref.dram_bytes;
+          gflops = ref.gflops;
+          memory_bound = ref.memory_bound;
+        } else {
+          const auto model = perfmodel::cpu_model_for(p);
+          peak = model.spec().peak_gflops(prec);
+          bw = model.spec().mem_bw_gbs;
+          const auto ref = model.reference_time(prec, n, model.spec().cores,
+                                                simrt::BindPolicy::kClose);
+          traffic = ref.dram_bytes;
+          gflops = ref.gflops;
+          memory_bound = ref.memory_bound;
+        }
+        const double flops = 2.0 * static_cast<double>(n) * n * n;
+        const double ai = flops / traffic;
+        const double ridge = peak / bw;
+        t.add_row({std::string(name(prec)), std::to_string(n), Table::num(ai, 1),
+                   Table::num(ridge, 1), memory_bound ? "memory" : "compute",
+                   Table::num(gflops, 1)});
+      }
+    }
+    std::cout << t.to_markdown() << "\n";
+  }
+  std::cout << "Reading: with warm caches the naive kernel's effective AI sits above\n"
+               "every device's ridge point at small n (compute-bound plateaus) and\n"
+               "approaches it from above as B outgrows the caches — the shape of the\n"
+               "figures' curves.\n";
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Table I: CPU experiment specifications — the software stack, compiler
+// flags, and environment settings of the paper's CPU runs, plus the
+// modeled hardware parameters this reproduction uses for each CPU.
+#include <iostream>
+
+#include "common/table.hpp"
+#include "perfmodel/device_specs.hpp"
+
+int main() {
+  using namespace portabench;
+  using perfmodel::CpuSpec;
+
+  std::cout << "=== Table I: CPU experiment specs ===\n\n";
+  Table stack({"Programming/System", "Wombat (Arm)", "Crusher (AMD)"});
+  for (const auto& row : perfmodel::table1_rows()) {
+    stack.add_row({row.item, row.wombat, row.crusher});
+  }
+  std::cout << stack.to_markdown();
+
+  std::cout << "\nModeled hardware parameters (this reproduction):\n";
+  Table hw({"Parameter", "Wombat (Ampere Altra)", "Crusher (EPYC 7A53)"});
+  const CpuSpec altra = CpuSpec::ampere_altra();
+  const CpuSpec epyc = CpuSpec::epyc_7a53();
+  auto num = [](double v, int p = 1) { return Table::num(v, p); };
+  hw.add_row({"cores", std::to_string(altra.cores), std::to_string(epyc.cores)});
+  hw.add_row({"NUMA domains", std::to_string(altra.numa_domains),
+              std::to_string(epyc.numa_domains)});
+  hw.add_row({"clock (GHz)", num(altra.freq_ghz), num(epyc.freq_ghz)});
+  hw.add_row({"SIMD width (bits)", std::to_string(altra.simd_bits),
+              std::to_string(epyc.simd_bits)});
+  hw.add_row({"peak FP64 (GFLOP/s)", num(altra.peak_gflops(Precision::kDouble)),
+              num(epyc.peak_gflops(Precision::kDouble))});
+  hw.add_row({"peak FP32 (GFLOP/s)", num(altra.peak_gflops(Precision::kSingle)),
+              num(epyc.peak_gflops(Precision::kSingle))});
+  hw.add_row({"DRAM bandwidth (GB/s)", num(altra.mem_bw_gbs), num(epyc.mem_bw_gbs)});
+  hw.add_row({"LLC (MB)", num(altra.l3_bytes / 1e6, 0), num(epyc.l3_bytes / 1e6, 0)});
+  hw.add_row({"native FP16", altra.native_fp16 ? "yes (Armv8.2)" : "no",
+              epyc.native_fp16 ? "yes" : "no"});
+  std::cout << hw.to_markdown();
+  return 0;
+}

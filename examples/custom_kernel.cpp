@@ -1,0 +1,123 @@
+// Custom kernel: using the library's substrates for a workload that is
+// *not* GEMM — a 5-point Jacobi stencil — to show that the mini-Kokkos
+// runtime and the SIMT simulator are general-purpose, not GEMM-shaped.
+//
+// The same stencil runs three ways and is cross-validated:
+//   1. serial reference,
+//   2. host-parallel via simrt (MDRangePolicy + Threads space),
+//   3. device-style via gpusim (2-D grid of 16x16 blocks).
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "gpusim/launch.hpp"
+#include "gpusim/memory.hpp"
+#include "simrt/mdarray.hpp"
+#include "simrt/parallel.hpp"
+
+namespace {
+
+using namespace portabench;
+using simrt::LayoutRight;
+using simrt::View2;
+
+constexpr std::size_t kN = 256;
+constexpr int kSweeps = 50;
+
+/// One Jacobi sweep: out = average of the 4 neighbours of in.
+template <class In, class Out>
+void sweep_serial(const In& in, Out& out) {
+  for (std::size_t i = 1; i < kN - 1; ++i) {
+    for (std::size_t j = 1; j < kN - 1; ++j) {
+      out(i, j) = 0.25 * (in(i - 1, j) + in(i + 1, j) + in(i, j - 1) + in(i, j + 1));
+    }
+  }
+}
+
+void init_boundary(View2<double, LayoutRight>& grid) {
+  for (std::size_t j = 0; j < kN; ++j) grid(0, j) = 1.0;  // hot top edge
+}
+
+double interior_sum(const View2<double, LayoutRight>& grid) {
+  double sum = 0.0;
+  for (std::size_t i = 1; i < kN - 1; ++i) {
+    for (std::size_t j = 1; j < kN - 1; ++j) sum += grid(i, j);
+  }
+  return sum;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "5-point Jacobi stencil, " << kN << "x" << kN << ", " << kSweeps
+            << " sweeps — same kernel through three substrates\n\n";
+
+  // 1. Serial reference.
+  View2<double, LayoutRight> ref_a(kN, kN);
+  View2<double, LayoutRight> ref_b(kN, kN);
+  init_boundary(ref_a);
+  init_boundary(ref_b);
+  for (int s = 0; s < kSweeps; ++s) {
+    sweep_serial(ref_a, ref_b);
+    std::swap(ref_a, ref_b);
+  }
+  const double reference = interior_sum(ref_a);
+  std::cout << "serial reference      interior sum = " << reference << "\n";
+
+  // 2. Host-parallel via the mini-Kokkos runtime.
+  View2<double, LayoutRight> par_a(kN, kN);
+  View2<double, LayoutRight> par_b(kN, kN);
+  init_boundary(par_a);
+  init_boundary(par_b);
+  simrt::ThreadsSpace space(4);
+  for (int s = 0; s < kSweeps; ++s) {
+    simrt::parallel_for(space, simrt::MDRangePolicy2({1, 1}, {kN - 1, kN - 1}),
+                        [&](std::size_t i, std::size_t j) {
+                          par_b(i, j) = 0.25 * (par_a(i - 1, j) + par_a(i + 1, j) +
+                                                par_a(i, j - 1) + par_a(i, j + 1));
+                        });
+    std::swap(par_a, par_b);
+  }
+  const double parallel_sum = interior_sum(par_a);
+  std::cout << "simrt Threads(4)      interior sum = " << parallel_sum << "\n";
+
+  // 3. Device-style via the SIMT simulator.
+  gpusim::DeviceContext ctx(gpusim::GpuSpec::a100());
+  gpusim::DeviceBuffer<double> dev_a(ctx, kN * kN);
+  gpusim::DeviceBuffer<double> dev_b(ctx, kN * kN);
+  {
+    std::vector<double> host(kN * kN, 0.0);
+    for (std::size_t j = 0; j < kN; ++j) host[j] = 1.0;
+    dev_a.copy_from_host(host);
+    dev_b.copy_from_host(host);
+  }
+  double* a = dev_a.data();
+  double* b = dev_b.data();
+  const gpusim::Dim3 block{16, 16, 1};
+  const gpusim::Dim3 grid{gpusim::blocks_for(kN, 16), gpusim::blocks_for(kN, 16), 1};
+  for (int s = 0; s < kSweeps; ++s) {
+    gpusim::launch(ctx, grid, block, [=](const gpusim::ThreadCtx& tc) {
+      const std::size_t i = tc.global_y();
+      const std::size_t j = tc.global_x();
+      if (i >= 1 && i < kN - 1 && j >= 1 && j < kN - 1) {
+        b[i * kN + j] = 0.25 * (a[(i - 1) * kN + j] + a[(i + 1) * kN + j] +
+                                a[i * kN + j - 1] + a[i * kN + j + 1]);
+      }
+    });
+    std::swap(a, b);
+  }
+  std::vector<double> device_result(kN * kN);
+  (kSweeps % 2 == 0 ? dev_a : dev_b).copy_to_host(std::span<double>(device_result));
+  double device_sum = 0.0;
+  for (std::size_t i = 1; i < kN - 1; ++i) {
+    for (std::size_t j = 1; j < kN - 1; ++j) device_sum += device_result[i * kN + j];
+  }
+  std::cout << "gpusim 16x16 blocks   interior sum = " << device_sum << "\n";
+  std::cout << "device counters: " << ctx.counters().kernel_launches << " launches, "
+            << ctx.counters().threads_executed << " threads\n\n";
+
+  const bool ok = std::abs(parallel_sum - reference) < 1e-9 * std::abs(reference) &&
+                  std::abs(device_sum - reference) < 1e-9 * std::abs(reference);
+  std::cout << (ok ? "all three substrates agree" : "MISMATCH") << "\n";
+  return ok ? 0 : 1;
+}

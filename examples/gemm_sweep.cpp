@@ -1,0 +1,101 @@
+// gemm_sweep: the Appendix-A launch scripts as one CLI tool.
+//
+// The paper drives each experiment with a bash loop over matrix sizes
+// (Figs. 8/9 of the appendix).  This tool is the equivalent driver for
+// the reproduction: pick a platform, precision, and size list; it runs
+// the functional kernels (with warm-up exclusion) and emits one CSV row
+// per (model, size) with checksum, host timing stats, and the modeled
+// target-machine GFLOPS.
+//
+//   ./gemm_sweep --platform=crusher-gpu --precision=fp32
+//                --sizes=64,128,256 --reps=5    (one command line)
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "models/runner.hpp"
+#include "perfmodel/predict.hpp"
+
+int main(int argc, char** argv) {
+  using namespace portabench;
+  using models::make_runner;
+  using perfmodel::Family;
+  using perfmodel::Platform;
+
+  CliParser cli;
+  cli.option("platform", "crusher-cpu | wombat-cpu | crusher-gpu | wombat-gpu", "crusher-cpu")
+      .option("precision", "fp64 | fp32 | fp16", "fp64")
+      .option("sizes", "comma-separated functional sizes", "32,64,128")
+      .option("reps", "repetitions per size (first is warm-up)", "5")
+      .option("seed", "RNG seed", "5309");
+  try {
+    cli.parse(argc, argv);
+  } catch (const config_error& e) {
+    std::cerr << e.what() << "\n" << cli.usage(argv[0]);
+    return 2;
+  }
+
+  Platform platform;
+  const std::string p = cli.get("platform");
+  if (p == "crusher-cpu") {
+    platform = Platform::kCrusherCpu;
+  } else if (p == "wombat-cpu") {
+    platform = Platform::kWombatCpu;
+  } else if (p == "crusher-gpu") {
+    platform = Platform::kCrusherGpu;
+  } else if (p == "wombat-gpu") {
+    platform = Platform::kWombatGpu;
+  } else {
+    std::cerr << "unknown platform: " << p << "\n";
+    return 2;
+  }
+  Precision precision;
+  const std::string prec = cli.get("precision");
+  if (prec == "fp64") {
+    precision = Precision::kDouble;
+  } else if (prec == "fp32") {
+    precision = Precision::kSingle;
+  } else if (prec == "fp16") {
+    precision = Precision::kHalfIn;
+  } else {
+    std::cerr << "unknown precision: " << prec << "\n";
+    return 2;
+  }
+  const auto sizes = cli.get_size_list("sizes");
+  const auto reps = static_cast<std::size_t>(cli.get_int("reps"));
+
+  Table csv({"platform", "model", "precision", "n", "reps_recorded", "host_mean_s",
+             "host_stddev_s", "checksum", "verified", "model_gflops"});
+  int failures = 0;
+  for (Family f : perfmodel::kAllFamilies) {
+    auto runner = make_runner(platform, f);
+    if (!runner || !runner->supports(precision)) continue;
+    for (std::size_t n : sizes) {
+      models::RunConfig config;
+      config.n = n;
+      config.precision = precision;
+      config.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+      RunStats stats(/*warmup=*/1);
+      double checksum = 0.0;
+      double model_gflops = 0.0;
+      bool verified = true;
+      for (std::size_t r = 0; r < reps; ++r) {
+        const auto result = runner->run(config);
+        stats.add(result.host_seconds);
+        checksum = result.checksum;
+        model_gflops = result.model_gflops;
+        verified = verified && result.verified;
+      }
+      if (!verified) ++failures;
+      const auto s = stats.summary();
+      csv.add_row({std::string(perfmodel::arch_label(platform)),
+                   std::string(runner->name()), std::string(name(precision)),
+                   std::to_string(n), std::to_string(s.count), Table::num(s.mean, 6),
+                   Table::num(s.stddev, 6), Table::num(checksum, 3),
+                   verified ? "yes" : "NO", Table::num(model_gflops, 1)});
+    }
+  }
+  std::cout << csv.to_csv();
+  return failures == 0 ? 0 : 1;
+}

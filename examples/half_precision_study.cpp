@@ -1,0 +1,127 @@
+// Half-precision study: the numerics behind Figs. 5c/6c/7c.
+//
+// Explores the FP16 design space the paper touches: binary16 vs bfloat16
+// representation error, the FP16-in/FP32-accumulate scheme of Fig. 1c vs
+// all-FP16 accumulation, and the random-number quirk that forces Numba's
+// matrices of ones.
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "common/half.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "gemm/kernels_cpu.hpp"
+#include "gemm/reference.hpp"
+#include "simrt/mdarray.hpp"
+#include "simrt/parallel.hpp"
+
+namespace {
+
+using namespace portabench;
+using simrt::LayoutRight;
+using simrt::View2;
+
+/// GEMM with FP16 inputs and *FP16* accumulation (what Fig. 1c avoids).
+void gemm_fp16_accumulate(const View2<half, LayoutRight>& A,
+                          const View2<half, LayoutRight>& B,
+                          View2<float, LayoutRight>& C) {
+  const std::size_t n = A.extent(0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      half acc(0.0f);
+      for (std::size_t l = 0; l < n; ++l) acc += A(i, l) * B(l, j);
+      C(i, j) = static_cast<float>(acc);
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Half-precision study (Figs. 5c / 6c / 7c numerics) ===\n\n";
+
+  // 1. Representation error of the two 16-bit formats.
+  std::cout << "1. representation error over uniform [0,1) samples:\n";
+  {
+    Xoshiro256 rng(2024);
+    double worst_half = 0.0;
+    double worst_bf16 = 0.0;
+    for (int i = 0; i < 100000; ++i) {
+      const float x = static_cast<float>(rng.uniform());
+      worst_half = std::max(worst_half,
+                            std::abs(static_cast<double>(static_cast<float>(half(x))) - x));
+      worst_bf16 = std::max(
+          worst_bf16, std::abs(static_cast<double>(static_cast<float>(bfloat16(x))) - x));
+    }
+    Table t({"format", "mantissa bits", "max abs error", "max finite"});
+    t.add_row({"binary16 (half)", "10", Table::num(worst_half, 7), "65504"});
+    t.add_row({"bfloat16", "7", Table::num(worst_bf16, 7), "~3.4e38"});
+    std::cout << t.to_markdown() << "\n";
+  }
+
+  // 2. Accumulation scheme: FP32 accumulate (Fig. 1c) vs all-FP16.
+  std::cout << "2. accumulation scheme at growing k (error vs FP64 reference):\n";
+  {
+    Table t({"n=k", "FP16-in / FP32-acc max err", "FP16-in / FP16-acc max err"});
+    simrt::SerialSpace space;
+    for (std::size_t n : {16u, 64u, 256u, 1024u}) {
+      View2<half, LayoutRight> A(n, n);
+      View2<half, LayoutRight> B(n, n);
+      Xoshiro256 rng(7 + n);
+      fill_uniform(std::span<half>(A.data(), n * n), rng);
+      fill_uniform(std::span<half>(B.data(), n * n), rng);
+
+      // FP64 ground truth on the same (exactly representable) inputs.
+      View2<double, LayoutRight> A64(n, n);
+      View2<double, LayoutRight> B64(n, n);
+      for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+          A64(i, j) = static_cast<double>(A(i, j));
+          B64(i, j) = static_cast<double>(B(i, j));
+        }
+      }
+      View2<double, LayoutRight> C64(n, n);
+      gemm::reference_gemm<double>(A64, B64, C64);
+
+      View2<float, LayoutRight> C_mixed(n, n);
+      gemm::gemm_openmp_style<float>(space, A, B, C_mixed);
+      View2<float, LayoutRight> C_fp16(n, n);
+      gemm_fp16_accumulate(A, B, C_fp16);
+
+      double err_mixed = 0.0;
+      double err_fp16 = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+          err_mixed = std::max(err_mixed, std::abs(C_mixed(i, j) - C64(i, j)));
+          err_fp16 = std::max(err_fp16, std::abs(C_fp16(i, j) - C64(i, j)));
+        }
+      }
+      t.add_row({std::to_string(n), Table::num(err_mixed, 5), Table::num(err_fp16, 5)});
+    }
+    std::cout << t.to_markdown();
+    std::cout << "  (FP16 accumulation error grows ~linearly in k and loses whole\n"
+                 "   digits by k=1024 — why Fig. 1c accumulates in FP32.)\n\n";
+  }
+
+  // 3. The numpy Float16 quirk: matrices of ones make C == k exactly.
+  std::cout << "3. Numba's matrices-of-ones workaround (Section IV-A):\n";
+  {
+    constexpr std::size_t kN = 512;
+    View2<half, LayoutRight> A(kN, kN);
+    View2<half, LayoutRight> B(kN, kN);
+    fill_constant(std::span<half>(A.data(), kN * kN), half(1.0f));
+    fill_constant(std::span<half>(B.data(), kN * kN), half(1.0f));
+    View2<float, LayoutRight> C(kN, kN);
+    simrt::SerialSpace space;
+    gemm::gemm_numba_style<float>(space, A, B, C);
+    bool exact = true;
+    for (std::size_t i = 0; i < kN && exact; ++i) {
+      for (std::size_t j = 0; j < kN; ++j) exact = exact && C(i, j) == float(kN);
+    }
+    std::cout << "  every C entry == k == " << kN << ": " << (exact ? "yes" : "NO")
+              << " — ones-input GEMM exercises no mantissa variety, so FP16\n"
+                 "  benchmarks built this way measure bandwidth, not arithmetic.\n";
+  }
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Portability report: the paper's Section V analysis as a reusable tool —
+// per-platform efficiencies, Phi under three metric definitions, and the
+// Pennycook cascade showing how each added platform erodes a model's
+// score.
+//
+//   ./portability_report [--csv]
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "portability/metric.hpp"
+
+int main(int argc, char** argv) {
+  using namespace portabench;
+  using perfmodel::Family;
+
+  CliParser cli;
+  cli.flag("csv", "emit CSV instead of Markdown");
+  try {
+    cli.parse(argc, argv);
+  } catch (const config_error& e) {
+    std::cerr << e.what() << "\n" << cli.usage(argv[0]);
+    return 2;
+  }
+  const bool csv = cli.has("csv");
+
+  std::cout << "=== Performance portability report (modeled study) ===\n\n";
+  const auto table = portability::build_table3();
+
+  Table report({"family", "precision", "platform", "efficiency", "supported"});
+  for (const auto& fp : table) {
+    for (const auto& e : fp.entries) {
+      report.add_row({std::string(perfmodel::name(fp.family)),
+                      std::string(name(fp.precision)),
+                      std::string(perfmodel::arch_label(e.platform)),
+                      e.supported ? Table::num(e.efficiency, 3) : "-",
+                      e.supported ? "yes" : "no"});
+    }
+  }
+  std::cout << (csv ? report.to_csv() : report.to_markdown());
+
+  std::cout << "\nPhi_M under alternative definitions:\n";
+  Table phi({"family", "precision", "Eq.(1)", "Pennycook", "harmonic/supported"});
+  for (const auto& fp : table) {
+    phi.add_row({std::string(perfmodel::name(fp.family)),
+                 std::string(name(fp.precision)),
+                 Table::num(portability::phi_arithmetic(fp.entries), 3),
+                 Table::num(portability::phi_pennycook(fp.entries), 3),
+                 Table::num(portability::phi_harmonic_supported(fp.entries), 3)});
+  }
+  std::cout << (csv ? phi.to_csv() : phi.to_markdown());
+
+  std::cout << "\nPennycook cascades (best platform first):\n";
+  for (const auto& fp : table) {
+    if (fp.precision != Precision::kDouble) continue;
+    std::cout << "  " << perfmodel::name(fp.family) << ": ";
+    bool first = true;
+    for (double v : portability::cascade(fp.entries)) {
+      if (!first) std::cout << " -> ";
+      std::cout << Table::num(v, 3);
+      first = false;
+    }
+    std::cout << "\n";
+  }
+  return 0;
+}

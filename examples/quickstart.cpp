@@ -1,0 +1,79 @@
+// Quickstart: run one hand-rolled GEMM through every programming-model
+// frontend on one platform and print what the library gives you — a
+// verified functional result plus the modeled performance on the target
+// machine.
+//
+//   ./quickstart [--platform=crusher-gpu] [--n=64] [--precision=fp64]
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "models/runner.hpp"
+#include "perfmodel/platform.hpp"
+
+int main(int argc, char** argv) {
+  using namespace portabench;
+  using models::make_runner;
+  using perfmodel::Family;
+  using perfmodel::Platform;
+
+  CliParser cli;
+  cli.option("platform", "crusher-cpu | wombat-cpu | crusher-gpu | wombat-gpu", "wombat-gpu")
+      .option("n", "matrix size for the functional run", "64")
+      .option("precision", "fp64 | fp32 | fp16", "fp64");
+  try {
+    cli.parse(argc, argv);
+  } catch (const config_error& e) {
+    std::cerr << e.what() << "\n" << cli.usage(argv[0]);
+    return 2;
+  }
+
+  Platform platform;
+  const std::string p = cli.get("platform");
+  if (p == "crusher-cpu") {
+    platform = Platform::kCrusherCpu;
+  } else if (p == "wombat-cpu") {
+    platform = Platform::kWombatCpu;
+  } else if (p == "crusher-gpu") {
+    platform = Platform::kCrusherGpu;
+  } else if (p == "wombat-gpu") {
+    platform = Platform::kWombatGpu;
+  } else {
+    std::cerr << "unknown platform: " << p << "\n";
+    return 2;
+  }
+
+  Precision precision;
+  const std::string prec = cli.get("precision");
+  if (prec == "fp64") {
+    precision = Precision::kDouble;
+  } else if (prec == "fp32") {
+    precision = Precision::kSingle;
+  } else if (prec == "fp16") {
+    precision = Precision::kHalfIn;
+  } else {
+    std::cerr << "unknown precision: " << prec << "\n";
+    return 2;
+  }
+
+  models::RunConfig config;
+  config.n = static_cast<std::size_t>(cli.get_int("n"));
+  config.precision = precision;
+
+  std::cout << "simple GEMM (" << name(precision) << ", n=" << config.n << ") on "
+            << perfmodel::name(platform) << "\n\n";
+  Table t({"model", "verified", "max error", "checksum", "modeled GFLOP/s",
+           "JIT (s, first call)"});
+  for (Family f : perfmodel::kAllFamilies) {
+    auto runner = make_runner(platform, f);
+    if (!runner || !runner->supports(precision)) continue;
+    const auto r = runner->run(config);
+    t.add_row({std::string(runner->name()), r.verified ? "yes" : "NO",
+               Table::num(r.max_error, 10), Table::num(r.checksum, 2),
+               Table::num(r.model_gflops, 1), Table::num(r.jit_seconds, 2)});
+  }
+  std::cout << t.to_markdown();
+  std::cout << "\nNext steps: bench/fig*  reproduce the paper's figures;\n"
+               "examples/portability_report computes Phi for all models.\n";
+  return 0;
+}

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Reproduction analogue of the paper's Fig. 8 launch script (Wombat/
+# Crusher CPU, C/OpenMP): the original exports OMP_NUM_THREADS,
+# OMP_PROC_BIND=true, OMP_PLACES=threads and loops a size sweep; here the
+# binding policy is part of the machine model and the sweep drives the
+# functional frontends.
+set -euo pipefail
+
+BUILD="${1:-build}"
+OUT="${2:-results/crusher-openmp}"
+mkdir -p "$OUT"
+
+for precision in fp64 fp32; do
+  "$BUILD"/examples/gemm_sweep \
+    --platform=crusher-cpu --precision="$precision" \
+    --sizes=64,128,256,384 --reps=10 \
+    > "$OUT/EPYC-OpenMP-${precision}.csv"
+done
+echo "logs in $OUT/"

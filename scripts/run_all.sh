@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Regenerate every table, figure, and ablation of the study (the
+# reproduction's equivalent of the paper's Appendix A launch scripts).
+# Usage: scripts/run_all.sh [build-dir] [output-dir]
+set -euo pipefail
+
+BUILD="${1:-build}"
+OUT="${2:-results}"
+mkdir -p "$OUT"
+
+status=0
+for bench in "$BUILD"/bench/*; do
+  [ -f "$bench" ] && [ -x "$bench" ] || continue
+  name="$(basename "$bench")"
+  echo "== $name"
+  if ! "$bench" > "$OUT/$name.txt" 2>&1; then
+    echo "   FAILED (see $OUT/$name.txt)"
+    status=1
+  fi
+done
+
+echo "results written to $OUT/"
+exit "$status"

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Reproduction analogue of the paper's Fig. 9 launch script (Wombat GPU,
+# Julia CUDA.jl): sweep matrix sizes for the Julia frontend on the
+# simulated A100, one log per size — same loop structure as the original
+# `salloc ... srun julia gemm-dense-cuda.jl $M $M $M 5` driver.
+set -euo pipefail
+
+BUILD="${1:-build}"
+OUT="${2:-results/wombat-julia}"
+mkdir -p "$OUT"
+
+# The original sweeps 4096..20480; functional simulation keeps sizes
+# host-tractable — the modeled series for paper sizes comes from
+# bench/fig7_wombat_gpu.
+Ms=(64 128 256 384 512)
+for M in "${Ms[@]}"; do
+  "$BUILD"/examples/gemm_sweep \
+    --platform=wombat-gpu --precision=fp64 --sizes="$M" --reps=5 \
+    > "$OUT/A100-Julia-${M}M_5s_F64.csv"
+done
+echo "logs in $OUT/"

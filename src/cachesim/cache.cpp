@@ -1,0 +1,136 @@
+#include "cache.hpp"
+
+#include <algorithm>
+
+namespace portabench::cachesim {
+
+namespace {
+
+bool is_power_of_two(std::size_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+}  // namespace
+
+Cache::Cache(std::size_t size_bytes, std::size_t line_bytes, std::size_t ways)
+    : line_(line_bytes), ways_(ways) {
+  PB_EXPECTS(is_power_of_two(line_bytes));
+  PB_EXPECTS(ways >= 1);
+  PB_EXPECTS(size_bytes >= line_bytes * ways);
+  PB_EXPECTS(size_bytes % (line_bytes * ways) == 0);
+  sets_ = size_bytes / (line_bytes * ways);
+  entries_.resize(sets_ * ways_);
+}
+
+Access Cache::access(std::uint64_t address) {
+  const std::uint64_t line_addr = address / line_;
+  const std::size_t set = static_cast<std::size_t>(line_addr % sets_);
+  const std::uint64_t tag = line_addr / sets_;
+  Way* const begin = entries_.data() + set * ways_;
+  ++clock_;
+
+  for (std::size_t w = 0; w < ways_; ++w) {
+    if (begin[w].valid && begin[w].tag == tag) {
+      begin[w].last_use = clock_;
+      ++hits_;
+      return Access::kHit;
+    }
+  }
+
+  // Miss: fill the invalid or least-recently-used way.
+  Way* victim = begin;
+  for (std::size_t w = 0; w < ways_; ++w) {
+    if (!begin[w].valid) {
+      victim = begin + w;
+      break;
+    }
+    if (begin[w].last_use < victim->last_use) victim = begin + w;
+  }
+  victim->valid = true;
+  victim->tag = tag;
+  victim->last_use = clock_;
+  ++misses_;
+  return Access::kMiss;
+}
+
+bool Cache::contains(std::uint64_t address) const {
+  const std::uint64_t line_addr = address / line_;
+  const std::size_t set = static_cast<std::size_t>(line_addr % sets_);
+  const std::uint64_t tag = line_addr / sets_;
+  const Way* const begin = entries_.data() + set * ways_;
+  for (std::size_t w = 0; w < ways_; ++w) {
+    if (begin[w].valid && begin[w].tag == tag) return true;
+  }
+  return false;
+}
+
+void Cache::flush() {
+  for (auto& e : entries_) e = Way{};
+}
+
+void Hierarchy::add_level(std::string level_name, std::size_t size_bytes,
+                          std::size_t line_bytes, std::size_t ways) {
+  PB_EXPECTS(caches_.empty() || caches_.back().size_bytes() <= size_bytes);
+  caches_.emplace_back(size_bytes, line_bytes, ways);
+  names_.push_back(std::move(level_name));
+}
+
+std::size_t Hierarchy::access(std::uint64_t address) {
+  PB_EXPECTS(!caches_.empty());
+  std::size_t hit_level = caches_.size();
+  for (std::size_t level = 0; level < caches_.size(); ++level) {
+    if (caches_[level].access(address) == Access::kHit) {
+      hit_level = level;
+      break;
+    }
+  }
+  if (hit_level == caches_.size()) {
+    ++dram_lines_;
+    return hit_level;
+  }
+  // Fill the levels above the hit (inclusive hierarchy): access() already
+  // loaded them as misses on the way down.
+  return hit_level;
+}
+
+std::uint64_t Hierarchy::dram_bytes() const {
+  PB_EXPECTS(!caches_.empty());
+  return dram_lines_ * caches_.front().line_bytes();
+}
+
+std::vector<Hierarchy::LevelStats> Hierarchy::stats() const {
+  std::vector<LevelStats> out;
+  for (std::size_t i = 0; i < caches_.size(); ++i) {
+    out.push_back({names_[i], caches_[i].hits(), caches_[i].misses()});
+  }
+  return out;
+}
+
+void Hierarchy::flush() {
+  for (auto& c : caches_) c.flush();
+}
+
+Hierarchy Hierarchy::epyc_7a53_core(double l3_share) {
+  Hierarchy h;
+  h.add_level("L1d", 32 * 1024, 64, 8);
+  h.add_level("L2", 512 * 1024, 64, 8);
+  const auto l3 = static_cast<std::size_t>(256.0e6 * l3_share);
+  h.add_level("L3-share", std::max<std::size_t>(l3 / (64 * 16) * (64 * 16), 64 * 16),
+              64, 16);
+  return h;
+}
+
+Hierarchy Hierarchy::ampere_altra_core(double slc_share) {
+  Hierarchy h;
+  h.add_level("L1d", 64 * 1024, 64, 4);
+  h.add_level("L2", 1024 * 1024, 64, 8);
+  // The 32 MB system-level cache is small relative to 80 cores: a 1/80
+  // share (400 KB) is *smaller* than the private L2.  Model the SLC share
+  // as at least the L2 size (the inclusive hierarchy cannot shrink), the
+  // point being that Altra's LLC adds little per-core capacity — which is
+  // why its traffic law enters the streaming regime earlier than EPYC's.
+  const auto slc = static_cast<std::size_t>(32.0e6 * slc_share);
+  const std::size_t rounded = std::max<std::size_t>(slc / (64 * 16) * (64 * 16), 64 * 16);
+  h.add_level("SLC-share", std::max<std::size_t>(rounded, 1024 * 1024), 64, 16);
+  return h;
+}
+
+}  // namespace portabench::cachesim

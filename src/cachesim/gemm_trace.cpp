@@ -1,0 +1,82 @@
+#include "gemm_trace.hpp"
+
+namespace portabench::cachesim {
+
+namespace {
+
+struct Layout {
+  std::uint64_t a_base;
+  std::uint64_t b_base;
+  std::uint64_t c_base;
+  std::size_t elem;
+
+  [[nodiscard]] std::uint64_t a(std::size_t i, std::size_t l, std::size_t k) const {
+    return a_base + (static_cast<std::uint64_t>(i) * k + l) * elem;
+  }
+  [[nodiscard]] std::uint64_t b(std::size_t l, std::size_t j, std::size_t n) const {
+    return b_base + (static_cast<std::uint64_t>(l) * n + j) * elem;
+  }
+  [[nodiscard]] std::uint64_t c(std::size_t i, std::size_t j, std::size_t n) const {
+    return c_base + (static_cast<std::uint64_t>(i) * n + j) * elem;
+  }
+};
+
+Layout make_layout(std::size_t n, std::size_t element_bytes) {
+  const std::uint64_t matrix = static_cast<std::uint64_t>(n) * n * element_bytes;
+  // Pad between matrices so conflict-miss artifacts from power-of-two
+  // bases don't contaminate the measurement.
+  const std::uint64_t pad = 8 * 64;
+  return {0, matrix + pad, 2 * (matrix + pad), element_bytes};
+}
+
+TraceResult finish(Hierarchy& hierarchy, std::uint64_t accesses) {
+  TraceResult r;
+  r.accesses = accesses;
+  r.dram_bytes = hierarchy.dram_bytes();
+  r.levels = hierarchy.stats();
+  return r;
+}
+
+}  // namespace
+
+TraceResult trace_openmp_gemm(Hierarchy& hierarchy, std::size_t n, std::size_t element_bytes,
+                              std::size_t row_begin, std::size_t row_end) {
+  PB_EXPECTS(row_begin <= row_end && row_end <= n);
+  const Layout layout = make_layout(n, element_bytes);
+  std::uint64_t accesses = 0;
+  for (std::size_t i = row_begin; i < row_end; ++i) {
+    for (std::size_t l = 0; l < n; ++l) {
+      hierarchy.access(layout.a(i, l, n));  // temp = A[i*k + l]
+      ++accesses;
+      for (std::size_t j = 0; j < n; ++j) {
+        hierarchy.access(layout.b(l, j, n));  // read B
+        hierarchy.access(layout.c(i, j, n));  // C += (read-modify-write: one line touch)
+        accesses += 2;
+      }
+    }
+  }
+  return finish(hierarchy, accesses);
+}
+
+TraceResult trace_julia_gemm(Hierarchy& hierarchy, std::size_t n, std::size_t element_bytes,
+                             std::size_t col_begin, std::size_t col_end) {
+  PB_EXPECTS(col_begin <= col_end && col_end <= n);
+  // Column-major: A[i + l*m], B[l + j*k], C[i + j*m] — reuse the Layout
+  // address helpers with transposed index roles.
+  const Layout layout = make_layout(n, element_bytes);
+  std::uint64_t accesses = 0;
+  for (std::size_t j = col_begin; j < col_end; ++j) {
+    for (std::size_t l = 0; l < n; ++l) {
+      hierarchy.access(layout.b(j, l, n));  // temp = B[l, j]: column-major l fastest
+      ++accesses;
+      for (std::size_t i = 0; i < n; ++i) {
+        hierarchy.access(layout.a(l, i, n));  // A[i, l]: i fastest within column l
+        hierarchy.access(layout.c(j, i, n));  // C[i, j]: i fastest within column j
+        accesses += 2;
+      }
+    }
+  }
+  return finish(hierarchy, accesses);
+}
+
+}  // namespace portabench::cachesim

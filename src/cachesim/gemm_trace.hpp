@@ -1,0 +1,38 @@
+// Address-trace GEMM walks over the cache hierarchy.
+//
+// Replays the exact address streams of the paper's CPU kernels (Fig. 2a
+// row-major i-k-j and Fig. 2c column-major j-l-i) through a simulated
+// cache hierarchy, producing measured DRAM traffic to validate the
+// analytical traffic law in perfmodel::CpuMachineModel::dram_traffic_bytes.
+#pragma once
+
+#include <cstddef>
+
+#include "cache.hpp"
+
+namespace portabench::cachesim {
+
+struct TraceResult {
+  std::uint64_t accesses = 0;    ///< total element accesses replayed
+  std::uint64_t dram_bytes = 0;  ///< lines fetched from memory x line size
+  std::vector<Hierarchy::LevelStats> levels;
+  /// Measured bytes-per-flop of the walk (flops = 2 per inner element op).
+  [[nodiscard]] double bytes_per_flop() const {
+    return accesses == 0 ? 0.0
+                         : static_cast<double>(dram_bytes) / static_cast<double>(accesses);
+  }
+};
+
+/// Replay the C/OpenMP kernel's stream (row-major, i-k-j with a
+/// thread-private temp: A[i,l] once per (i,l); B[l,j] and C[i,j]
+/// read+write per element) for rows [row_begin, row_end) of an n^3 GEMM
+/// with `element_bytes`-wide scalars.
+TraceResult trace_openmp_gemm(Hierarchy& hierarchy, std::size_t n, std::size_t element_bytes,
+                              std::size_t row_begin, std::size_t row_end);
+
+/// Replay the Julia kernel's stream (column-major, j-l-i with temp =
+/// B[l,j]) for columns [col_begin, col_end).
+TraceResult trace_julia_gemm(Hierarchy& hierarchy, std::size_t n, std::size_t element_bytes,
+                             std::size_t col_begin, std::size_t col_end);
+
+}  // namespace portabench::cachesim

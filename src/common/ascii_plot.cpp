@@ -1,0 +1,113 @@
+#include "ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "error.hpp"
+
+namespace portabench {
+
+namespace {
+
+constexpr char kGlyphs[] = {'*', '+', 'o', 'x', '#', '@'};
+
+std::string engineering(double v) {
+  std::ostringstream os;
+  if (v >= 1.0e9) {
+    os << v / 1.0e9 << "G";
+  } else if (v >= 1.0e6) {
+    os << v / 1.0e6 << "M";
+  } else if (v >= 1.0e3) {
+    os << v / 1.0e3 << "k";
+  } else {
+    os << v;
+  }
+  return os.str();
+}
+
+}  // namespace
+
+std::string render_plot(const std::vector<PlotSeries>& series,
+                        const std::vector<double>& x_ticks, const PlotOptions& options) {
+  PB_EXPECTS(!series.empty());
+  PB_EXPECTS(options.width >= 8 && options.height >= 4);
+  const std::size_t points = series.front().values.size();
+  PB_EXPECTS(points >= 1);
+  PB_EXPECTS(x_ticks.size() == points);
+  for (const auto& s : series) PB_EXPECTS(s.values.size() == points);
+
+  double y_max = options.y_max;
+  if (options.y_auto_max) {
+    y_max = options.y_min;
+    for (const auto& s : series) {
+      for (double v : s.values) y_max = std::max(y_max, v);
+    }
+  }
+  if (y_max <= options.y_min) y_max = options.y_min + 1.0;
+
+  // Canvas of glyphs; later series overwrite earlier ones where they
+  // collide (legend disambiguates).
+  std::vector<std::string> canvas(options.height, std::string(options.width, ' '));
+  auto col_of = [&](std::size_t point) {
+    return points == 1 ? 0
+                       : point * (options.width - 1) / (points - 1);
+  };
+  auto row_of = [&](double v) {
+    const double t = std::clamp((v - options.y_min) / (y_max - options.y_min), 0.0, 1.0);
+    const std::size_t from_bottom =
+        static_cast<std::size_t>(std::lround(t * static_cast<double>(options.height - 1)));
+    return options.height - 1 - from_bottom;
+  };
+
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const char glyph = kGlyphs[si % sizeof(kGlyphs)];
+    const auto& values = series[si].values;
+    for (std::size_t p = 0; p < points; ++p) {
+      canvas[row_of(values[p])][col_of(p)] = glyph;
+      // Connect to the next point with interpolated glyphs.
+      if (p + 1 < points) {
+        const std::size_t c0 = col_of(p);
+        const std::size_t c1 = col_of(p + 1);
+        for (std::size_t c = c0 + 1; c < c1; ++c) {
+          const double t = static_cast<double>(c - c0) / static_cast<double>(c1 - c0);
+          const double v = values[p] + t * (values[p + 1] - values[p]);
+          canvas[row_of(v)][c] = glyph;
+        }
+      }
+    }
+  }
+
+  std::ostringstream os;
+  if (!options.y_label.empty()) os << options.y_label << "\n";
+  const std::size_t axis_width = 10;
+  for (std::size_t r = 0; r < options.height; ++r) {
+    const double row_value =
+        options.y_min + (y_max - options.y_min) *
+                            (static_cast<double>(options.height - 1 - r) /
+                             static_cast<double>(options.height - 1));
+    std::string label = (r == 0 || r == options.height - 1 || r == options.height / 2)
+                            ? engineering(row_value)
+                            : "";
+    os << std::string(axis_width > label.size() ? axis_width - label.size() : 0, ' ')
+       << label << " |" << canvas[r] << "\n";
+  }
+  os << std::string(axis_width, ' ') << " +" << std::string(options.width, '-') << "\n";
+  os << std::string(axis_width + 2, ' ') << engineering(x_ticks.front());
+  const std::string right = engineering(x_ticks.back());
+  const std::size_t pad = options.width > engineering(x_ticks.front()).size() + right.size()
+                              ? options.width - engineering(x_ticks.front()).size() -
+                                    right.size()
+                              : 1;
+  os << std::string(pad, ' ') << right;
+  if (!options.x_label.empty()) os << "  " << options.x_label;
+  os << "\n  legend: ";
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    if (si != 0) os << ", ";
+    os << kGlyphs[si % sizeof(kGlyphs)] << " " << series[si].label;
+  }
+  os << "\n";
+  return os.str();
+}
+
+}  // namespace portabench

@@ -1,0 +1,38 @@
+// ASCII line charts for terminal output.
+//
+// The figure benches print the modeled GFLOPS-vs-size series as tables
+// for machines and as ASCII charts for humans, so a `bench/fig7...` run
+// visually resembles the paper's Fig. 7 panels.  Multiple series share
+// one canvas, each drawn with its own glyph, with a y-axis in engineering
+// units and a legend.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace portabench {
+
+/// One line series: a label and y-values (x positions are shared).
+struct PlotSeries {
+  std::string label;
+  std::vector<double> values;
+};
+
+struct PlotOptions {
+  std::size_t width = 72;    ///< canvas columns (not counting the axis)
+  std::size_t height = 16;   ///< canvas rows
+  double y_min = 0.0;        ///< fixed lower bound (figures start at 0)
+  bool y_auto_max = true;    ///< scale to the data's max
+  double y_max = 1.0;        ///< used when y_auto_max is false
+  std::string y_label;       ///< e.g. "GFLOP/s"
+  std::string x_label;       ///< e.g. "matrix size n"
+};
+
+/// Render the chart.  All series must have the same, nonzero length; x
+/// positions are the `x_ticks` values (used for the axis annotation).
+/// Series are drawn in order with glyphs '*', '+', 'o', 'x', '#', '@'.
+[[nodiscard]] std::string render_plot(const std::vector<PlotSeries>& series,
+                                      const std::vector<double>& x_ticks,
+                                      const PlotOptions& options = {});
+
+}  // namespace portabench

@@ -1,0 +1,62 @@
+// Cache-line aligned owning buffer.
+//
+// Matrices in every frontend are stored in 64-byte aligned storage so the
+// host kernels vectorize the same way regardless of which programming
+// model allocated them (isolating the programming model, per the paper's
+// methodology, rather than the allocator).
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <span>
+
+#include "error.hpp"
+
+namespace portabench {
+
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+/// Owning, 64-byte-aligned, fixed-size array of trivially copyable T.
+template <class T>
+class AlignedBuffer {
+  static_assert(std::is_trivially_copyable_v<T>);
+
+ public:
+  AlignedBuffer() = default;
+
+  explicit AlignedBuffer(std::size_t count) : size_(count) {
+    if (count == 0) return;
+    void* p = ::operator new[](count * sizeof(T), std::align_val_t{kCacheLineBytes});
+    data_.reset(static_cast<T*>(p));
+    std::uninitialized_value_construct_n(data_.get(), count);
+  }
+
+  AlignedBuffer(AlignedBuffer&&) noexcept = default;
+  AlignedBuffer& operator=(AlignedBuffer&&) noexcept = default;
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] T* data() noexcept { return data_.get(); }
+  [[nodiscard]] const T* data() const noexcept { return data_.get(); }
+
+  [[nodiscard]] T& operator[](std::size_t i) noexcept { return data_[i]; }
+  [[nodiscard]] const T& operator[](std::size_t i) const noexcept { return data_[i]; }
+
+  [[nodiscard]] std::span<T> span() noexcept { return {data_.get(), size_}; }
+  [[nodiscard]] std::span<const T> span() const noexcept { return {data_.get(), size_}; }
+
+ private:
+  struct Deleter {
+    void operator()(T* p) const noexcept {
+      ::operator delete[](p, std::align_val_t{kCacheLineBytes});
+    }
+  };
+  std::unique_ptr<T[], Deleter> data_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace portabench

@@ -1,0 +1,123 @@
+#include "cli.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "error.hpp"
+
+namespace portabench {
+
+CliParser& CliParser::option(std::string name, std::string help, std::string default_value) {
+  order_.push_back(name);
+  opts_[std::move(name)] = Opt{std::move(help), std::move(default_value), false, false};
+  return *this;
+}
+
+CliParser& CliParser::flag(std::string name, std::string help) {
+  order_.push_back(name);
+  opts_[std::move(name)] = Opt{std::move(help), "", true, false};
+  return *this;
+}
+
+void CliParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      throw config_error("unexpected positional argument: " + arg);
+    }
+    arg.erase(0, 2);
+    std::string value;
+    bool has_value = false;
+    if (auto eq = arg.find('='); eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg.erase(eq);
+      has_value = true;
+    }
+    auto it = opts_.find(arg);
+    if (it == opts_.end()) throw config_error("unknown option: --" + arg);
+    Opt& opt = it->second;
+    if (opt.is_flag) {
+      if (has_value) throw config_error("flag --" + arg + " does not take a value");
+      opt.set = true;
+      continue;
+    }
+    if (!has_value) {
+      if (i + 1 >= argc) throw config_error("option --" + arg + " requires a value");
+      value = argv[++i];
+    }
+    opt.value = std::move(value);
+    opt.set = true;
+  }
+}
+
+bool CliParser::has(const std::string& name) const {
+  auto it = opts_.find(name);
+  PB_EXPECTS(it != opts_.end());
+  return it->second.set;
+}
+
+std::string CliParser::get(const std::string& name) const {
+  auto it = opts_.find(name);
+  PB_EXPECTS(it != opts_.end());
+  return it->second.value;
+}
+
+long CliParser::get_int(const std::string& name) const {
+  const std::string raw = get(name);
+  try {
+    std::size_t pos = 0;
+    const long v = std::stol(raw, &pos);
+    if (pos != raw.size()) throw std::invalid_argument(raw);
+    return v;
+  } catch (const std::exception&) {
+    throw config_error("option --" + name + " expects an integer, got '" + raw + "'");
+  }
+}
+
+double CliParser::get_double(const std::string& name) const {
+  const std::string raw = get(name);
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(raw, &pos);
+    if (pos != raw.size()) throw std::invalid_argument(raw);
+    return v;
+  } catch (const std::exception&) {
+    throw config_error("option --" + name + " expects a number, got '" + raw + "'");
+  }
+}
+
+std::vector<std::size_t> CliParser::get_size_list(const std::string& name) const {
+  const std::string raw = get(name);
+  std::vector<std::size_t> out;
+  std::istringstream is(raw);
+  std::string token;
+  while (std::getline(is, token, ',')) {
+    try {
+      std::size_t pos = 0;
+      const long v = std::stol(token, &pos);
+      if (pos != token.size() || v <= 0) throw std::invalid_argument(token);
+      out.push_back(static_cast<std::size_t>(v));
+    } catch (const std::exception&) {
+      throw config_error("option --" + name + " expects positive integers, got '" + token + "'");
+    }
+  }
+  if (out.empty()) throw config_error("option --" + name + " expects a non-empty list");
+  return out;
+}
+
+std::string CliParser::usage(const std::string& program) const {
+  std::ostringstream os;
+  os << "usage: " << program << " [options]\n";
+  for (const auto& name : order_) {
+    const Opt& opt = opts_.at(name);
+    os << "  --" << name;
+    if (!opt.is_flag) {
+      os << "=<value>";
+      if (!opt.value.empty()) os << " (default: " << opt.value << ")";
+    }
+    os << "\n      " << opt.help << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace portabench

@@ -1,0 +1,50 @@
+// Minimal command-line option parser shared by benches and examples.
+//
+// Syntax: `--key=value`, `--key value`, and bare `--flag`.  Unknown
+// options raise config_error so a typo in a sweep script fails loudly
+// instead of silently running the default experiment.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "error.hpp"  // config_error, thrown on malformed input
+
+namespace portabench {
+
+class CliParser {
+ public:
+  /// Declare an option with a help string; only declared options parse.
+  CliParser& option(std::string name, std::string help, std::string default_value = "");
+
+  /// Declare a boolean flag (present/absent).
+  CliParser& flag(std::string name, std::string help);
+
+  /// Parse argv; throws config_error on unknown or malformed options.
+  void parse(int argc, const char* const* argv);
+
+  [[nodiscard]] bool has(const std::string& name) const;
+  [[nodiscard]] std::string get(const std::string& name) const;
+  [[nodiscard]] long get_int(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+
+  /// Comma-separated integer list, e.g. "--sizes=1024,2048,4096".
+  [[nodiscard]] std::vector<std::size_t> get_size_list(const std::string& name) const;
+
+  /// Render a usage string of all declared options.
+  [[nodiscard]] std::string usage(const std::string& program) const;
+
+ private:
+  struct Opt {
+    std::string help;
+    std::string value;
+    bool is_flag = false;
+    bool set = false;
+  };
+  std::map<std::string, Opt> opts_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace portabench

@@ -1,0 +1,50 @@
+// Contract checking in the style of the C++ Core Guidelines (I.5/I.7):
+// preconditions and postconditions are stated at the interface and checked
+// at run time where they cannot be checked statically (P.6).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace portabench {
+
+/// Thrown when a stated precondition is violated by the caller.
+class precondition_error : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Thrown when an internal invariant or postcondition fails.
+class invariant_error : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Thrown by the CLI / configuration layer on malformed user input.
+class config_error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+namespace detail {
+[[noreturn]] inline void fail_expects(const char* cond, const char* file, int line) {
+  throw precondition_error(std::string("precondition failed: ") + cond + " at " + file + ":" +
+                           std::to_string(line));
+}
+[[noreturn]] inline void fail_ensures(const char* cond, const char* file, int line) {
+  throw invariant_error(std::string("postcondition failed: ") + cond + " at " + file + ":" +
+                        std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace portabench
+
+#define PB_EXPECTS(cond)                                                     \
+  do {                                                                       \
+    if (!(cond)) ::portabench::detail::fail_expects(#cond, __FILE__, __LINE__); \
+  } while (false)
+
+#define PB_ENSURES(cond)                                                     \
+  do {                                                                       \
+    if (!(cond)) ::portabench::detail::fail_ensures(#cond, __FILE__, __LINE__); \
+  } while (false)

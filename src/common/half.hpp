@@ -1,0 +1,185 @@
+// Software IEEE 754 binary16 ("half") and bfloat16 types.
+//
+// The paper's half-precision experiments (Figs. 5c, 6c, 7c) depend on
+// language-level FP16 support that neither this container's CPU nor its
+// toolchain provides, so we implement binary16 from scratch: storage is a
+// 16-bit pattern, arithmetic is performed by converting through float
+// (which is exactly how Julia lowers Float16 on CPUs without native FP16
+// ALUs, and mirrors the "half inputs, float accumulate" scheme of
+// Fig. 1c).  Conversions implement round-to-nearest-even including
+// subnormals, infinities, and NaN payloads.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <iosfwd>
+#include <limits>
+
+namespace portabench {
+
+namespace detail {
+
+/// Bit-identical reinterpretation between equally sized trivial types.
+template <class To, class From>
+inline To bit_cast(const From& from) noexcept {
+  static_assert(sizeof(To) == sizeof(From));
+  To to;
+  std::memcpy(&to, &from, sizeof(To));
+  return to;
+}
+
+/// Convert a float to the binary16 bit pattern with round-to-nearest-even.
+std::uint16_t float_to_half_bits(float value) noexcept;
+
+/// Convert a binary16 bit pattern to float (exact; every half is a float).
+float half_bits_to_float(std::uint16_t bits) noexcept;
+
+/// Convert a float to the bfloat16 bit pattern with round-to-nearest-even.
+std::uint16_t float_to_bfloat_bits(float value) noexcept;
+
+/// Convert a bfloat16 bit pattern to float (exact).
+float bfloat_bits_to_float(std::uint16_t bits) noexcept;
+
+}  // namespace detail
+
+/// IEEE 754 binary16 value type.  All arithmetic round-trips through
+/// float, matching the software-FP16 code paths the paper exercises.
+class half {
+ public:
+  constexpr half() noexcept = default;
+  explicit half(float value) noexcept : bits_(detail::float_to_half_bits(value)) {}
+  explicit half(double value) noexcept : half(static_cast<float>(value)) {}
+  explicit half(int value) noexcept : half(static_cast<float>(value)) {}
+
+  /// Construct from a raw bit pattern (e.g. test vectors).
+  static constexpr half from_bits(std::uint16_t bits) noexcept {
+    half h;
+    h.bits_ = bits;
+    return h;
+  }
+
+  [[nodiscard]] constexpr std::uint16_t bits() const noexcept { return bits_; }
+
+  explicit operator float() const noexcept { return detail::half_bits_to_float(bits_); }
+  explicit operator double() const noexcept { return static_cast<double>(static_cast<float>(*this)); }
+
+  [[nodiscard]] bool is_nan() const noexcept {
+    return (bits_ & 0x7C00u) == 0x7C00u && (bits_ & 0x03FFu) != 0;
+  }
+  [[nodiscard]] bool is_inf() const noexcept {
+    return (bits_ & 0x7FFFu) == 0x7C00u;
+  }
+  [[nodiscard]] bool is_zero() const noexcept { return (bits_ & 0x7FFFu) == 0; }
+  [[nodiscard]] bool signbit() const noexcept { return (bits_ & 0x8000u) != 0; }
+  /// True for subnormal (denormalized) values; zero is not subnormal.
+  [[nodiscard]] bool is_subnormal() const noexcept {
+    return (bits_ & 0x7C00u) == 0 && (bits_ & 0x03FFu) != 0;
+  }
+
+  friend half operator-(half h) noexcept {
+    return from_bits(static_cast<std::uint16_t>(h.bits_ ^ 0x8000u));
+  }
+  friend half operator+(half a, half b) noexcept {
+    return half(static_cast<float>(a) + static_cast<float>(b));
+  }
+  friend half operator-(half a, half b) noexcept {
+    return half(static_cast<float>(a) - static_cast<float>(b));
+  }
+  friend half operator*(half a, half b) noexcept {
+    return half(static_cast<float>(a) * static_cast<float>(b));
+  }
+  friend half operator/(half a, half b) noexcept {
+    return half(static_cast<float>(a) / static_cast<float>(b));
+  }
+  half& operator+=(half o) noexcept { return *this = *this + o; }
+  half& operator-=(half o) noexcept { return *this = *this - o; }
+  half& operator*=(half o) noexcept { return *this = *this * o; }
+  half& operator/=(half o) noexcept { return *this = *this / o; }
+
+  // IEEE comparisons: NaN compares unordered; +0 == -0.
+  friend bool operator==(half a, half b) noexcept {
+    if (a.is_nan() || b.is_nan()) return false;
+    if (a.is_zero() && b.is_zero()) return true;
+    return a.bits_ == b.bits_;
+  }
+  friend bool operator!=(half a, half b) noexcept { return !(a == b); }
+  friend bool operator<(half a, half b) noexcept {
+    return static_cast<float>(a) < static_cast<float>(b);
+  }
+  friend bool operator>(half a, half b) noexcept { return b < a; }
+  friend bool operator<=(half a, half b) noexcept {
+    return static_cast<float>(a) <= static_cast<float>(b);
+  }
+  friend bool operator>=(half a, half b) noexcept { return b <= a; }
+
+ private:
+  std::uint16_t bits_ = 0;
+};
+
+/// bfloat16: float with the bottom 16 mantissa bits dropped.  Included
+/// because the paper's half-precision discussion contrasts formats with
+/// more exponent range; used by the half-precision example.
+class bfloat16 {
+ public:
+  constexpr bfloat16() noexcept = default;
+  explicit bfloat16(float value) noexcept : bits_(detail::float_to_bfloat_bits(value)) {}
+  explicit bfloat16(double value) noexcept : bfloat16(static_cast<float>(value)) {}
+
+  static constexpr bfloat16 from_bits(std::uint16_t bits) noexcept {
+    bfloat16 b;
+    b.bits_ = bits;
+    return b;
+  }
+
+  [[nodiscard]] constexpr std::uint16_t bits() const noexcept { return bits_; }
+  explicit operator float() const noexcept { return detail::bfloat_bits_to_float(bits_); }
+
+  [[nodiscard]] bool is_nan() const noexcept {
+    return (bits_ & 0x7F80u) == 0x7F80u && (bits_ & 0x007Fu) != 0;
+  }
+  [[nodiscard]] bool is_inf() const noexcept { return (bits_ & 0x7FFFu) == 0x7F80u; }
+
+  friend bfloat16 operator+(bfloat16 a, bfloat16 b) noexcept {
+    return bfloat16(static_cast<float>(a) + static_cast<float>(b));
+  }
+  friend bfloat16 operator*(bfloat16 a, bfloat16 b) noexcept {
+    return bfloat16(static_cast<float>(a) * static_cast<float>(b));
+  }
+  friend bool operator==(bfloat16 a, bfloat16 b) noexcept {
+    if (a.is_nan() || b.is_nan()) return false;
+    if ((a.bits_ & 0x7FFFu) == 0 && (b.bits_ & 0x7FFFu) == 0) return true;
+    return a.bits_ == b.bits_;
+  }
+
+ private:
+  std::uint16_t bits_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, half h);
+std::ostream& operator<<(std::ostream& os, bfloat16 b);
+
+}  // namespace portabench
+
+// numeric_limits so generic numeric code (RNG fill, stats) can treat half
+// as a first-class arithmetic type.
+template <>
+class std::numeric_limits<portabench::half> {
+ public:
+  static constexpr bool is_specialized = true;
+  static constexpr bool is_signed = true;
+  static constexpr bool is_integer = false;
+  static constexpr bool is_exact = false;
+  static constexpr bool has_infinity = true;
+  static constexpr bool has_quiet_NaN = true;
+  static constexpr int digits = 11;       // implicit bit + 10 mantissa bits
+  static constexpr int digits10 = 3;
+  static constexpr int max_exponent = 16;
+  static constexpr int min_exponent = -13;
+  static portabench::half min() noexcept { return portabench::half::from_bits(0x0400); }
+  static portabench::half max() noexcept { return portabench::half::from_bits(0x7BFF); }
+  static portabench::half lowest() noexcept { return portabench::half::from_bits(0xFBFF); }
+  static portabench::half epsilon() noexcept { return portabench::half::from_bits(0x1400); }
+  static portabench::half infinity() noexcept { return portabench::half::from_bits(0x7C00); }
+  static portabench::half quiet_NaN() noexcept { return portabench::half::from_bits(0x7E00); }
+  static portabench::half denorm_min() noexcept { return portabench::half::from_bits(0x0001); }
+};

@@ -1,0 +1,145 @@
+#include "json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "error.hpp"
+
+namespace portabench {
+
+void JsonWriter::before_value() {
+  if (stack_.empty()) {
+    PB_EXPECTS(!root_done_);  // only one root value
+    root_done_ = true;
+    return;
+  }
+  switch (stack_.back()) {
+    case Ctx::kObjectKey:
+      // A value directly inside an object must follow key().
+      throw precondition_error("JSON value emitted without a preceding key");
+    case Ctx::kObjectValue:
+      stack_.back() = Ctx::kObjectKey;  // next emission must be a key
+      return;
+    case Ctx::kArray:
+      if (out_.back() != '[') out_ += ',';
+      return;
+  }
+}
+
+void JsonWriter::raw(const std::string& text) { out_ += text; }
+
+void JsonWriter::begin_object() {
+  before_value();
+  stack_.push_back(Ctx::kObjectKey);
+  out_ += '{';
+}
+
+void JsonWriter::end_object() {
+  PB_EXPECTS(!stack_.empty() && stack_.back() == Ctx::kObjectKey);
+  stack_.pop_back();
+  out_ += '}';
+}
+
+void JsonWriter::begin_array() {
+  before_value();
+  stack_.push_back(Ctx::kArray);
+  out_ += '[';
+}
+
+void JsonWriter::end_array() {
+  PB_EXPECTS(!stack_.empty() && stack_.back() == Ctx::kArray);
+  stack_.pop_back();
+  out_ += ']';
+}
+
+void JsonWriter::key(const std::string& name) {
+  PB_EXPECTS(!stack_.empty() && stack_.back() == Ctx::kObjectKey);
+  if (out_.back() != '{') out_ += ',';
+  out_ += '"';
+  out_ += escape(name);
+  out_ += "\":";
+  stack_.back() = Ctx::kObjectValue;
+}
+
+void JsonWriter::value(const std::string& s) {
+  before_value();
+  out_ += '"';
+  out_ += escape(s);
+  out_ += '"';
+}
+
+void JsonWriter::value(const char* s) { value(std::string(s)); }
+
+void JsonWriter::value(double number) {
+  before_value();
+  if (!std::isfinite(number)) {
+    out_ += "null";  // JSON has no NaN/Inf; unsupported cells become null
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", number);
+  // Trim to the shortest representation that round-trips.
+  for (int precision = 1; precision < 17; ++precision) {
+    char candidate[32];
+    std::snprintf(candidate, sizeof(candidate), "%.*g", precision, number);
+    double parsed = 0.0;
+    std::sscanf(candidate, "%lf", &parsed);
+    if (parsed == number) {
+      out_ += candidate;
+      return;
+    }
+  }
+  out_ += buf;
+}
+
+void JsonWriter::value(long number) {
+  before_value();
+  out_ += std::to_string(number);
+}
+
+void JsonWriter::value(std::size_t number) {
+  before_value();
+  out_ += std::to_string(number);
+}
+
+void JsonWriter::value(bool flag) {
+  before_value();
+  out_ += flag ? "true" : "false";
+}
+
+void JsonWriter::null() {
+  before_value();
+  out_ += "null";
+}
+
+std::string JsonWriter::str() const {
+  PB_EXPECTS(stack_.empty() && root_done_);
+  return out_;
+}
+
+std::string JsonWriter::escape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (unsigned char ch : raw) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (ch < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += static_cast<char>(ch);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace portabench

@@ -1,0 +1,58 @@
+// Minimal JSON emitter for machine-readable bench results.
+//
+// Downstream tooling (plotting the figure series, CI regression tracking)
+// consumes structured results; this writer covers the subset needed —
+// objects, arrays, strings, numbers, booleans — with correct string
+// escaping and shortest-round-trip double formatting.  Emission only; the
+// study never parses JSON.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace portabench {
+
+/// Build a JSON document incrementally.  Usage:
+///   JsonWriter w;
+///   w.begin_object();
+///   w.key("name"); w.value("fig7");
+///   w.key("series"); w.begin_array(); w.value(1.5); w.end_array();
+///   w.end_object();
+///   std::string doc = w.str();
+/// Structural misuse (mismatched begin/end, key outside an object) throws
+/// precondition_error.
+class JsonWriter {
+ public:
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  /// Emit an object key; must be inside an object and followed by a value.
+  void key(const std::string& name);
+
+  void value(const std::string& s);
+  void value(const char* s);
+  void value(double number);
+  void value(long number);
+  void value(std::size_t number);
+  void value(bool flag);
+  void null();
+
+  /// The finished document; throws unless all containers are closed.
+  [[nodiscard]] std::string str() const;
+
+  /// Escape a string per RFC 8259 (quotes, backslash, control chars).
+  [[nodiscard]] static std::string escape(const std::string& raw);
+
+ private:
+  enum class Ctx { kObjectKey, kObjectValue, kArray };
+  void before_value();
+  void raw(const std::string& text);
+
+  std::string out_;
+  std::vector<Ctx> stack_;
+  bool root_done_ = false;
+};
+
+}  // namespace portabench

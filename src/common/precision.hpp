@@ -1,0 +1,52 @@
+// Floating-point precision taxonomy used across the whole study.
+//
+// The paper evaluates double (FP64), single (FP32), and — where the model
+// supports it — half precision with single-precision accumulation
+// (Fig. 1c).  kHalfIn keeps that asymmetry explicit: inputs are binary16,
+// the output matrix is FP32.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+namespace portabench {
+
+enum class Precision {
+  kDouble,  ///< FP64 in, FP64 accumulate/out
+  kSingle,  ///< FP32 in, FP32 accumulate/out
+  kHalfIn,  ///< FP16 in, FP32 accumulate/out (paper Fig. 1c)
+};
+
+[[nodiscard]] constexpr std::string_view name(Precision p) noexcept {
+  switch (p) {
+    case Precision::kDouble: return "FP64";
+    case Precision::kSingle: return "FP32";
+    case Precision::kHalfIn: return "FP16";
+  }
+  return "?";
+}
+
+/// Bytes per *input* element.
+[[nodiscard]] constexpr std::size_t input_bytes(Precision p) noexcept {
+  switch (p) {
+    case Precision::kDouble: return 8;
+    case Precision::kSingle: return 4;
+    case Precision::kHalfIn: return 2;
+  }
+  return 0;
+}
+
+/// Bytes per *output* element (half inputs accumulate into FP32).
+[[nodiscard]] constexpr std::size_t output_bytes(Precision p) noexcept {
+  switch (p) {
+    case Precision::kDouble: return 8;
+    case Precision::kSingle: return 4;
+    case Precision::kHalfIn: return 4;
+  }
+  return 0;
+}
+
+inline constexpr Precision kAllPrecisions[] = {Precision::kDouble, Precision::kSingle,
+                                               Precision::kHalfIn};
+
+}  // namespace portabench

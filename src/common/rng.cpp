@@ -1,0 +1,49 @@
+#include "rng.hpp"
+
+#include <algorithm>
+
+namespace portabench {
+
+void Xoshiro256::jump() noexcept {
+  static constexpr std::uint64_t kJump[] = {0x180EC6D33CFD0ABAull, 0xD5A61266F0C9392Cull,
+                                            0xA9582618E03FC9AAull, 0x39ABDC4529B1661Cull};
+  std::array<std::uint64_t, 4> s{};
+  for (std::uint64_t jump_word : kJump) {
+    for (int b = 0; b < 64; ++b) {
+      if (jump_word & (1ull << b)) {
+        s[0] ^= state_[0];
+        s[1] ^= state_[1];
+        s[2] ^= state_[2];
+        s[3] ^= state_[3];
+      }
+      (*this)();
+    }
+  }
+  state_ = s;
+}
+
+void fill_uniform(std::span<double> out, Xoshiro256& rng) {
+  std::generate(out.begin(), out.end(), [&] { return rng.uniform(); });
+}
+
+void fill_uniform(std::span<float> out, Xoshiro256& rng) {
+  std::generate(out.begin(), out.end(), [&] { return static_cast<float>(rng.uniform()); });
+}
+
+void fill_uniform(std::span<half> out, Xoshiro256& rng) {
+  std::generate(out.begin(), out.end(), [&] { return half(static_cast<float>(rng.uniform())); });
+}
+
+void fill_constant(std::span<double> out, double value) {
+  std::fill(out.begin(), out.end(), value);
+}
+
+void fill_constant(std::span<float> out, float value) {
+  std::fill(out.begin(), out.end(), value);
+}
+
+void fill_constant(std::span<half> out, half value) {
+  std::fill(out.begin(), out.end(), value);
+}
+
+}  // namespace portabench

@@ -1,0 +1,91 @@
+// Deterministic, splittable random number generation.
+//
+// The paper populates input matrices with random values (and notes that
+// numpy cannot generate random Float16, forcing a matrix of ones — we
+// reproduce that quirk in the Numba frontend).  xoshiro256** is used
+// because it is the generator family Julia 1.7+ ships as its default,
+// keeping the "Julia" frontend faithful; seeding uses splitmix64 as the
+// xoshiro authors recommend.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "half.hpp"
+
+namespace portabench {
+
+/// splitmix64: used to expand a single seed into a full xoshiro state.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 (Blackman & Vigna).
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed = 0x185AD213ull) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ull; }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Equivalent to 2^128 calls to operator(); yields a statistically
+  /// independent stream, used to give each thread its own generator.
+  void jump() noexcept;
+
+  /// Uniform in [0, 1) with 53 random mantissa bits.
+  double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi) noexcept { return lo + (hi - lo) * uniform(); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Fill a span with uniform random values in [0, 1); specialized per
+/// element type so all precisions share one call site.
+void fill_uniform(std::span<double> out, Xoshiro256& rng);
+void fill_uniform(std::span<float> out, Xoshiro256& rng);
+void fill_uniform(std::span<half> out, Xoshiro256& rng);
+
+/// Fill with a constant; mirrors the paper's "input matrices were
+/// populated with 1s" fallback for numpy Float16.
+void fill_constant(std::span<double> out, double value);
+void fill_constant(std::span<float> out, float value);
+void fill_constant(std::span<half> out, half value);
+
+}  // namespace portabench

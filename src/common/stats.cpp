@@ -1,0 +1,96 @@
+#include "stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "error.hpp"
+#include "rng.hpp"
+
+namespace portabench {
+
+Summary summarize(std::span<const double> sample) {
+  Summary s;
+  s.count = sample.size();
+  if (sample.empty()) return s;
+
+  s.mean = mean_of(sample);
+  const auto [min_it, max_it] = std::minmax_element(sample.begin(), sample.end());
+  s.min = *min_it;
+  s.max = *max_it;
+
+  std::vector<double> sorted(sample.begin(), sample.end());
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t mid = sorted.size() / 2;
+  s.median = (sorted.size() % 2 == 1) ? sorted[mid] : 0.5 * (sorted[mid - 1] + sorted[mid]);
+
+  if (sample.size() > 1) {
+    double ss = 0.0;
+    for (double v : sample) ss += (v - s.mean) * (v - s.mean);
+    s.stddev = std::sqrt(ss / static_cast<double>(sample.size() - 1));
+  }
+  return s;
+}
+
+double gflops(double flops, double seconds) {
+  PB_EXPECTS(seconds > 0.0);
+  return flops / seconds / 1.0e9;
+}
+
+double mean_of(std::span<const double> sample) {
+  if (sample.empty()) return 0.0;
+  return std::accumulate(sample.begin(), sample.end(), 0.0) / static_cast<double>(sample.size());
+}
+
+double harmonic_mean_of(std::span<const double> sample) {
+  if (sample.empty()) return 0.0;
+  double inv_sum = 0.0;
+  for (double v : sample) {
+    if (v <= 0.0) return 0.0;
+    inv_sum += 1.0 / v;
+  }
+  return static_cast<double>(sample.size()) / inv_sum;
+}
+
+ConfidenceInterval bootstrap_mean_ci(std::span<const double> sample, double level,
+                                     std::size_t resamples, std::uint64_t seed) {
+  PB_EXPECTS(!sample.empty());
+  PB_EXPECTS(level > 0.0 && level < 1.0);
+  PB_EXPECTS(resamples >= 10);
+
+  Xoshiro256 rng(seed);
+  std::vector<double> means;
+  means.reserve(resamples);
+  const std::size_t n = sample.size();
+  for (std::size_t r = 0; r < resamples; ++r) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      sum += sample[rng() % n];
+    }
+    means.push_back(sum / static_cast<double>(n));
+  }
+  std::sort(means.begin(), means.end());
+
+  const double alpha = (1.0 - level) / 2.0;
+  const auto index_at = [&](double q) {
+    const double pos = q * static_cast<double>(resamples - 1);
+    return means[static_cast<std::size_t>(pos)];
+  };
+  ConfidenceInterval ci;
+  ci.level = level;
+  ci.lower = index_at(alpha);
+  ci.upper = index_at(1.0 - alpha);
+  return ci;
+}
+
+double geometric_mean_of(std::span<const double> sample) {
+  if (sample.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (double v : sample) {
+    if (v <= 0.0) return 0.0;
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(sample.size()));
+}
+
+}  // namespace portabench

@@ -1,0 +1,94 @@
+// Run statistics with warm-up exclusion.
+//
+// Section IV of the paper: "All numbers were obtained by running the GEMM
+// kernels several (at least 5 or 10) times and excluding an initial
+// warm-up step" — the warm-up discards JIT compilation and first-touch
+// costs.  RunStats encodes exactly that protocol so every harness reports
+// numbers the same way.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace portabench {
+
+/// Summary statistics over a sample of timings (seconds) or rates.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double median = 0.0;
+  double stddev = 0.0;  ///< sample standard deviation (n-1 denominator)
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Compute summary statistics of a sample.  Empty input yields a
+/// zero-initialized Summary.
+Summary summarize(std::span<const double> sample);
+
+/// Accumulates repetition timings, discarding the first `warmup` entries
+/// exactly as the paper's measurement protocol prescribes.
+class RunStats {
+ public:
+  /// @param warmup number of leading repetitions to exclude (>= 0).
+  explicit RunStats(std::size_t warmup = 1) : warmup_(warmup) {}
+
+  void add(double value) {
+    if (seen_ < warmup_) {
+      ++seen_;
+      ++discarded_;
+      return;
+    }
+    ++seen_;
+    sample_.push_back(value);
+  }
+
+  [[nodiscard]] std::size_t recorded() const noexcept { return sample_.size(); }
+  [[nodiscard]] std::size_t discarded() const noexcept { return discarded_; }
+  [[nodiscard]] std::span<const double> sample() const noexcept { return sample_; }
+  [[nodiscard]] Summary summary() const { return summarize(sample_); }
+
+ private:
+  std::size_t warmup_;
+  std::size_t seen_ = 0;
+  std::size_t discarded_ = 0;
+  std::vector<double> sample_;
+};
+
+/// GEMM floating-point operation count: 2*m*n*k (multiply + add), the
+/// convention used throughout the paper's GFLOPS axes.
+[[nodiscard]] constexpr double gemm_flops(std::size_t m, std::size_t n, std::size_t k) noexcept {
+  return 2.0 * static_cast<double>(m) * static_cast<double>(n) * static_cast<double>(k);
+}
+
+/// Convert an operation count and elapsed seconds to GFLOP/s.
+[[nodiscard]] double gflops(double flops, double seconds);
+
+/// Arithmetic mean of a sample (0 for empty).
+[[nodiscard]] double mean_of(std::span<const double> sample);
+
+/// Harmonic mean of a sample; 0 if empty or any element is <= 0.
+/// (Pennycook's performance-portability metric uses the harmonic mean.)
+[[nodiscard]] double harmonic_mean_of(std::span<const double> sample);
+
+/// Geometric mean of a sample; 0 if empty or any element is <= 0.
+[[nodiscard]] double geometric_mean_of(std::span<const double> sample);
+
+/// Bootstrap confidence interval of the sample mean.
+struct ConfidenceInterval {
+  double lower = 0.0;
+  double upper = 0.0;
+  double level = 0.95;
+};
+
+/// Percentile-bootstrap CI of the mean: `resamples` resamples with
+/// replacement, deterministic for a fixed seed.  Requires a non-empty
+/// sample and level in (0, 1).
+[[nodiscard]] ConfidenceInterval bootstrap_mean_ci(std::span<const double> sample,
+                                                   double level = 0.95,
+                                                   std::size_t resamples = 2000,
+                                                   std::uint64_t seed = 0xB007);
+
+}  // namespace portabench

@@ -1,0 +1,43 @@
+// Table formatting: every bench binary prints the same Markdown/CSV table
+// layout the paper's tables and figure series use, so EXPERIMENTS.md rows
+// can be pasted straight from harness output.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace portabench {
+
+/// Column-oriented text table with Markdown and CSV renderers.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format a double with fixed precision ("-" for NaN,
+  /// which is how the paper marks unsupported model/hardware pairs).
+  static std::string num(double value, int precision = 3);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t columns() const noexcept { return headers_.size(); }
+  [[nodiscard]] const std::vector<std::string>& header() const noexcept { return headers_; }
+  [[nodiscard]] const std::vector<std::string>& row(std::size_t i) const { return rows_.at(i); }
+
+  /// Render as a GitHub-flavored Markdown table.
+  [[nodiscard]] std::string to_markdown() const;
+
+  /// Render as RFC-4180-ish CSV (cells containing commas/quotes are quoted).
+  [[nodiscard]] std::string to_csv() const;
+
+  /// Write to a stream in Markdown form.
+  friend std::ostream& operator<<(std::ostream& os, const Table& t);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace portabench

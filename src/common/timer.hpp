@@ -1,0 +1,26 @@
+// Monotonic wall-clock timer used by all harnesses.
+#pragma once
+
+#include <chrono>
+
+namespace portabench {
+
+/// Thin RAII-free stopwatch over std::chrono::steady_clock.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  /// Restart the stopwatch.
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace portabench

@@ -1,0 +1,155 @@
+// Hand-rolled CPU GEMM kernels, one per programming model (paper Fig. 2).
+//
+// Each kernel keeps the exact loop structure, loop order, parallelized
+// axis, data layout, and bounds-check discipline of its Fig. 2 original:
+//
+//   - C/OpenMP (2a):       row-major, `#pragma omp parallel for` over i,
+//                          i-k-j order with a thread-private temp = A[i][k],
+//                          manual index linearization, no bounds checks.
+//   - Kokkos (2b):         layout-generic lambda computing one C(i,j) entry
+//                          per iteration, dispatched via MDRangePolicy.
+//   - Julia @threads (2c): column-major, @threads over j, j-l-i order with
+//                          temp = B[l, j]; bounds checks unless @inbounds.
+//   - Python/Numba (2d):   row-major numpy arrays, prange over i, i-k-j
+//                          order with temp = A[i, k].
+//
+// All kernels compute C += A * B, templated on input scalar T and
+// accumulation type Acc (Acc = float for the FP16 experiments, Fig. 1c).
+#pragma once
+
+#include <cstddef>
+
+#include "common/error.hpp"
+#include "simrt/mdarray.hpp"
+#include "simrt/parallel.hpp"
+
+namespace portabench::gemm {
+
+namespace detail {
+
+template <class VA, class VB, class VC>
+void check_shapes(const VA& A, const VB& B, const VC& C) {
+  PB_EXPECTS(A.extent(1) == B.extent(0));
+  PB_EXPECTS(C.extent(0) == A.extent(0));
+  PB_EXPECTS(C.extent(1) == B.extent(1));
+}
+
+}  // namespace detail
+
+/// C/OpenMP-style kernel (Fig. 2a): row-major, outer-i parallel, i-k-j.
+template <class Acc, class Space, class T, class TC>
+void gemm_openmp_style(const Space& space, const simrt::View2<T, simrt::LayoutRight>& A,
+                       const simrt::View2<T, simrt::LayoutRight>& B,
+                       simrt::View2<TC, simrt::LayoutRight>& C) {
+  detail::check_shapes(A, B, C);
+  const std::size_t k = A.extent(1);
+  const std::size_t n = B.extent(1);
+  // The C original walks raw linearized pointers; operator() on a
+  // contiguous LayoutRight view lowers to the identical address math.
+  simrt::parallel_for(space, simrt::RangePolicy(0, A.extent(0)), [&](std::size_t i) {
+    for (std::size_t l = 0; l < k; ++l) {
+      const Acc temp = static_cast<Acc>(A(i, l));  // thread-private scalar
+      for (std::size_t j = 0; j < n; ++j) {
+        C(i, j) = static_cast<TC>(static_cast<Acc>(C(i, j)) + temp * static_cast<Acc>(B(l, j)));
+      }
+    }
+  });
+}
+
+/// Kokkos-style kernel (Fig. 2b): one lambda instance per C(i,j) entry.
+template <class Acc, class Space, class T, class TC, class Layout>
+void gemm_kokkos_style(const Space& space, const simrt::View2<T, Layout>& A,
+                       const simrt::View2<T, Layout>& B, simrt::View2<TC, Layout>& C) {
+  detail::check_shapes(A, B, C);
+  const std::size_t k = A.extent(1);
+  simrt::parallel_for(
+      space, simrt::MDRangePolicy2({0, 0}, {C.extent(0), C.extent(1)}),
+      [&](std::size_t i, std::size_t j) {
+        Acc sum{};
+        for (std::size_t l = 0; l < k; ++l) {
+          sum += static_cast<Acc>(A(i, l)) * static_cast<Acc>(B(l, j));
+        }
+        C(i, j) = static_cast<TC>(static_cast<Acc>(C(i, j)) + sum);
+      });
+}
+
+/// Julia @threads-style kernel (Fig. 2c): column-major, @threads over the
+/// output column j, j-l-i order with temp = B[l, j].  `inbounds` selects
+/// the @inbounds (unchecked) or default (bounds-checked) access path.
+template <class Acc, class Space, class T, class TC>
+void gemm_julia_style(const Space& space, const simrt::View2<T, simrt::LayoutLeft>& A,
+                      const simrt::View2<T, simrt::LayoutLeft>& B,
+                      simrt::View2<TC, simrt::LayoutLeft>& C, bool inbounds = true) {
+  detail::check_shapes(A, B, C);
+  const std::size_t m = A.extent(0);
+  const std::size_t k = A.extent(1);
+  simrt::parallel_for(space, simrt::RangePolicy(0, B.extent(1)), [&](std::size_t j) {
+    if (inbounds) {
+      for (std::size_t l = 0; l < k; ++l) {
+        const Acc temp = static_cast<Acc>(B(l, j));
+        for (std::size_t i = 0; i < m; ++i) {
+          C(i, j) = static_cast<TC>(static_cast<Acc>(C(i, j)) + temp * static_cast<Acc>(A(i, l)));
+        }
+      }
+    } else {
+      for (std::size_t l = 0; l < k; ++l) {
+        const Acc temp = static_cast<Acc>(B.at(l, j));
+        for (std::size_t i = 0; i < m; ++i) {
+          C.at(i, j) = static_cast<TC>(static_cast<Acc>(C.at(i, j)) +
+                                       temp * static_cast<Acc>(A.at(i, l)));
+        }
+      }
+    }
+  });
+}
+
+/// Kokkos hierarchical (TeamPolicy) kernel: league of row-block teams,
+/// lanes covering columns.  Not one of the paper's Fig. 2 kernels — it is
+/// the "next step" Kokkos formulation the paper's Section II-b discussion
+/// of back-end-specific lowering points at, used by the batched-GEMM
+/// mini-app and the team-lowering tests.
+template <class Acc, class Space, class T, class TC, class Layout>
+void gemm_team_style(const Space& space, const simrt::View2<T, Layout>& A,
+                     const simrt::View2<T, Layout>& B, simrt::View2<TC, Layout>& C,
+                     std::size_t team_size = 8) {
+  detail::check_shapes(A, B, C);
+  const std::size_t m = C.extent(0);
+  const std::size_t n = C.extent(1);
+  const std::size_t k = A.extent(1);
+  PB_EXPECTS(team_size >= 1);
+  // One team per output row; lanes stride the columns (TeamThreadRange).
+  simrt::parallel_for(space, simrt::TeamPolicy(m, team_size),
+                      [&](const simrt::TeamMember& member) {
+                        const std::size_t i = member.league_rank();
+                        simrt::team_thread_range(member, n, [&](std::size_t j) {
+                          Acc sum{};
+                          for (std::size_t l = 0; l < k; ++l) {
+                            sum += static_cast<Acc>(A(i, l)) * static_cast<Acc>(B(l, j));
+                          }
+                          C(i, j) = static_cast<TC>(static_cast<Acc>(C(i, j)) + sum);
+                        });
+                      });
+}
+
+/// Python/Numba-style kernel (Fig. 2d): row-major, prange over i, i-k-j.
+/// Numba always emits bounds-safe numpy indexing; @njit(fastmath) relaxes
+/// FP contraction but not the access checks, so this uses at().
+template <class Acc, class Space, class T, class TC>
+void gemm_numba_style(const Space& space, const simrt::View2<T, simrt::LayoutRight>& A,
+                      const simrt::View2<T, simrt::LayoutRight>& B,
+                      simrt::View2<TC, simrt::LayoutRight>& C) {
+  detail::check_shapes(A, B, C);
+  const std::size_t k = A.extent(1);
+  const std::size_t n = B.extent(1);
+  simrt::parallel_for(space, simrt::RangePolicy(0, A.extent(0)), [&](std::size_t i) {
+    for (std::size_t l = 0; l < k; ++l) {
+      const Acc temp = static_cast<Acc>(A.at(i, l));
+      for (std::size_t j = 0; j < n; ++j) {
+        C.at(i, j) = static_cast<TC>(static_cast<Acc>(C.at(i, j)) +
+                                     temp * static_cast<Acc>(B.at(l, j)));
+      }
+    }
+  });
+}
+
+}  // namespace portabench::gemm

@@ -1,0 +1,198 @@
+// Hand-rolled GPU GEMM kernels, one per programming model (paper Fig. 3).
+//
+// All follow the fine-granularity mapping of Section III-B: one device
+// thread computes one element of C.  Raw device pointers with manual
+// linearization for CUDA/HIP (Fig. 3a); multidimensional device-array
+// indexing for Julia CUDA.jl / AMDGPU.jl (Figs. 3b/3c, column-major) and
+// Numba-CUDA (Fig. 3d, row-major).  C is overwritten (C = A*B), exactly
+// as the Fig. 3a kernel writes `C[row * k + col] = sum`.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/error.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/launch.hpp"
+#include "gpusim/memory.hpp"
+
+namespace portabench::gemm {
+
+/// Launch geometry shared by all Fig. 3 kernels: 2-D blocks covering an
+/// m x n output, using the paper's 32 x 32 thread-block default.
+struct GpuLaunchConfig {
+  gpusim::Dim3 block{32, 32, 1};
+
+  [[nodiscard]] gpusim::Dim3 grid_for(std::size_t m, std::size_t n) const {
+    // x covers columns, y covers rows — the CUDA convention of Fig. 3a.
+    return gpusim::Dim3{gpusim::blocks_for(n, block.x), gpusim::blocks_for(m, block.y), 1};
+  }
+};
+
+/// CUDA/HIP-style kernel (Fig. 3a): raw pointers, row-major linearized,
+/// row = blockIdx.y*blockDim.y + threadIdx.y, col from x.
+/// A: m x k, B: k x n, C: m x n, all row-major in device memory.
+template <class Acc, class T, class TC>
+void gemm_cuda_style(gpusim::DeviceContext& ctx, const GpuLaunchConfig& cfg,
+                     const gpusim::DeviceBuffer<T>& A, const gpusim::DeviceBuffer<T>& B,
+                     gpusim::DeviceBuffer<TC>& C, std::size_t m, std::size_t n, std::size_t k) {
+  PB_EXPECTS(A.size() == m * k && B.size() == k * n && C.size() == m * n);
+  const T* a = A.data();
+  const T* b = B.data();
+  TC* c = C.data();
+  gpusim::launch(ctx, cfg.grid_for(m, n), cfg.block, [=](const gpusim::ThreadCtx& tc) {
+    const std::size_t row = tc.global_y();
+    const std::size_t col = tc.global_x();
+    if (row < m && col < n) {
+      Acc sum{};
+      for (std::size_t i = 0; i < k; ++i) {
+        sum += static_cast<Acc>(a[row * k + i]) * static_cast<Acc>(b[i * n + col]);
+      }
+      c[row * n + col] = static_cast<TC>(sum);
+    }
+  });
+}
+
+/// Kokkos MDRange-on-CUDA/HIP-style kernel: Kokkos lowers
+/// MDRangePolicy<Rank<2>> with the *first* index on the fast thread
+/// dimension, so the output row rides threadIdx.x while storage stays
+/// row-major — consecutive lanes write C addresses n elements apart.
+/// Functionally identical to Fig. 3a; the transposed mapping is the
+/// modeled mechanism behind the paper's "Kokkos ... consistently
+/// underperform[s], which raises questions about the configuration"
+/// (Section IV-B), quantified by gpusim::analyze_gemm_coalescing.
+template <class Acc, class T, class TC>
+void gemm_kokkos_gpu_style(gpusim::DeviceContext& ctx, const GpuLaunchConfig& cfg,
+                           const gpusim::DeviceBuffer<T>& A, const gpusim::DeviceBuffer<T>& B,
+                           gpusim::DeviceBuffer<TC>& C, std::size_t m, std::size_t n,
+                           std::size_t k) {
+  PB_EXPECTS(A.size() == m * k && B.size() == k * n && C.size() == m * n);
+  const T* a = A.data();
+  const T* b = B.data();
+  TC* c = C.data();
+  // x covers rows, y covers columns (the transposed MDRange lowering).
+  const gpusim::Dim3 grid{gpusim::blocks_for(m, cfg.block.x),
+                          gpusim::blocks_for(n, cfg.block.y), 1};
+  gpusim::launch(ctx, grid, cfg.block, [=](const gpusim::ThreadCtx& tc) {
+    const std::size_t row = tc.global_x();
+    const std::size_t col = tc.global_y();
+    if (row < m && col < n) {
+      Acc sum{};
+      for (std::size_t i = 0; i < k; ++i) {
+        sum += static_cast<Acc>(a[row * k + i]) * static_cast<Acc>(b[i * n + col]);
+      }
+      c[row * n + col] = static_cast<TC>(sum);
+    }
+  });
+}
+
+/// Julia CUDA.jl / AMDGPU.jl-style kernel (Figs. 3b/3c): CUArray/ROCArray
+/// multidimensional indexing over column-major storage; thread x covers
+/// rows (the fast, stride-1 axis in column-major), y covers columns.
+template <class Acc, class T, class TC>
+void gemm_julia_gpu_style(gpusim::DeviceContext& ctx, const GpuLaunchConfig& cfg,
+                          const gpusim::DeviceBuffer<T>& A, const gpusim::DeviceBuffer<T>& B,
+                          gpusim::DeviceBuffer<TC>& C, std::size_t m, std::size_t n,
+                          std::size_t k) {
+  PB_EXPECTS(A.size() == m * k && B.size() == k * n && C.size() == m * n);
+  const T* a = A.data();  // column-major m x k: a[i + l*m]
+  const T* b = B.data();  // column-major k x n: b[l + j*k]
+  TC* c = C.data();       // column-major m x n: c[i + j*m]
+  // Julia's grid is defined from total thread counts (Fig. 3c note); the
+  // resulting coverage is identical to the block-count convention.
+  gpusim::launch(ctx, cfg.grid_for(n, m), cfg.block, [=](const gpusim::ThreadCtx& tc) {
+    const std::size_t i = tc.global_x();  // row: stride-1 axis
+    const std::size_t j = tc.global_y();  // column
+    if (i < m && j < n) {
+      Acc sum{};
+      for (std::size_t l = 0; l < k; ++l) {
+        sum += static_cast<Acc>(a[i + l * m]) * static_cast<Acc>(b[l + j * k]);
+      }
+      c[i + j * m] = static_cast<TC>(sum);
+    }
+  });
+}
+
+/// Numba-CUDA-style kernel (Fig. 3d): `i, j = cuda.grid(2)` over row-major
+/// DeviceNDArrays, guarded by C.shape.
+template <class Acc, class T, class TC>
+void gemm_numba_cuda_style(gpusim::DeviceContext& ctx, const GpuLaunchConfig& cfg,
+                           const gpusim::DeviceBuffer<T>& A, const gpusim::DeviceBuffer<T>& B,
+                           gpusim::DeviceBuffer<TC>& C, std::size_t m, std::size_t n,
+                           std::size_t k) {
+  PB_EXPECTS(A.size() == m * k && B.size() == k * n && C.size() == m * n);
+  const T* a = A.data();
+  const T* b = B.data();
+  TC* c = C.data();
+  gpusim::launch(ctx, cfg.grid_for(n, m), cfg.block, [=](const gpusim::ThreadCtx& tc) {
+    const auto [i, j] = tc.numba_grid2();
+    if (i < m && j < n) {
+      Acc tmp{};
+      for (std::size_t l = 0; l < k; ++l) {
+        tmp += static_cast<Acc>(a[i * k + l]) * static_cast<Acc>(b[l * n + j]);
+      }
+      c[i * n + j] = static_cast<TC>(tmp);
+    }
+  });
+}
+
+/// Tiled shared-memory GEMM (cooperative kernel).  Not in the paper —
+/// the paper deliberately studies naive kernels — but included as the
+/// optimization-headroom ablation: how much the "hand-rolled lower bound"
+/// leaves on the table.  Square tiles of cfg.block.x (== block.y required).
+template <class Acc, class T, class TC>
+void gemm_tiled_shared(gpusim::DeviceContext& ctx, const GpuLaunchConfig& cfg,
+                       const gpusim::DeviceBuffer<T>& A, const gpusim::DeviceBuffer<T>& B,
+                       gpusim::DeviceBuffer<TC>& C, std::size_t m, std::size_t n,
+                       std::size_t k) {
+  PB_EXPECTS(A.size() == m * k && B.size() == k * n && C.size() == m * n);
+  PB_EXPECTS(cfg.block.x == cfg.block.y && cfg.block.z == 1);
+  const std::size_t tile = cfg.block.x;
+  const T* a = A.data();
+  const T* b = B.data();
+  TC* c = C.data();
+
+  const gpusim::Dim3 grid = cfg.grid_for(m, n);
+  const std::size_t shared_bytes = 2 * tile * tile * sizeof(Acc);
+  const std::size_t k_tiles = (k + tile - 1) / tile;
+
+  gpusim::launch_blocks(ctx, grid, cfg.block, shared_bytes, [&](gpusim::BlockCtx& bc) {
+    auto a_tile = bc.template shared<Acc>(tile * tile, 0);
+    auto b_tile = bc.template shared<Acc>(tile * tile, tile * tile * sizeof(Acc));
+    // Per-lane accumulators persist across the k-tile loop's barriers.
+    std::vector<Acc> acc(tile * tile, Acc{});
+
+    for (std::size_t kt = 0; kt < k_tiles; ++kt) {
+      // Phase 1: cooperative load of the A and B tiles (barrier after).
+      bc.for_lanes([&](const gpusim::ThreadCtx& tc) {
+        const std::size_t row = tc.global_y();
+        const std::size_t col = tc.global_x();
+        const std::size_t kl = kt * tile;
+        a_tile[tc.thread_idx.y * tile + tc.thread_idx.x] =
+            (row < m && kl + tc.thread_idx.x < k)
+                ? static_cast<Acc>(a[row * k + kl + tc.thread_idx.x])
+                : Acc{};
+        b_tile[tc.thread_idx.y * tile + tc.thread_idx.x] =
+            (kl + tc.thread_idx.y < k && col < n)
+                ? static_cast<Acc>(b[(kl + tc.thread_idx.y) * n + col])
+                : Acc{};
+      });
+      // Phase 2: multiply the tiles (barrier before next load).
+      bc.for_lanes([&](const gpusim::ThreadCtx& tc) {
+        Acc sum = acc[tc.lane_in_block()];
+        for (std::size_t l = 0; l < tile; ++l) {
+          sum += a_tile[tc.thread_idx.y * tile + l] * b_tile[l * tile + tc.thread_idx.x];
+        }
+        acc[tc.lane_in_block()] = sum;
+      });
+    }
+    // Write-back phase.
+    bc.for_lanes([&](const gpusim::ThreadCtx& tc) {
+      const std::size_t row = tc.global_y();
+      const std::size_t col = tc.global_x();
+      if (row < m && col < n) c[row * n + col] = static_cast<TC>(acc[tc.lane_in_block()]);
+    });
+  });
+}
+
+}  // namespace portabench::gemm

@@ -1,0 +1,48 @@
+// Reference GEMM used as the correctness oracle.
+//
+// A serial, cache-blocked C = C + A*B at full input precision with
+// `Acc`-typed accumulation.  Every hand-rolled kernel in the study is
+// validated against this implementation (max elementwise error under a
+// precision-dependent tolerance).
+#pragma once
+
+#include <cstddef>
+
+#include "common/error.hpp"
+#include "simrt/mdarray.hpp"
+
+namespace portabench::gemm {
+
+/// C += A * B with A: m x k, B: k x n, C: m x n, any layout mix.
+/// Acc is the accumulation type (float accumulate for half inputs).
+template <class Acc, class TA, class TB, class TC, class LA, class LB, class LC>
+void reference_gemm(const simrt::View2<TA, LA>& A, const simrt::View2<TB, LB>& B,
+                    simrt::View2<TC, LC>& C, std::size_t block = 64) {
+  const std::size_t m = A.extent(0);
+  const std::size_t k = A.extent(1);
+  const std::size_t n = B.extent(1);
+  PB_EXPECTS(B.extent(0) == k);
+  PB_EXPECTS(C.extent(0) == m && C.extent(1) == n);
+  PB_EXPECTS(block > 0);
+
+  for (std::size_t ii = 0; ii < m; ii += block) {
+    const std::size_t i_end = std::min(ii + block, m);
+    for (std::size_t kk = 0; kk < k; kk += block) {
+      const std::size_t k_end = std::min(kk + block, k);
+      for (std::size_t jj = 0; jj < n; jj += block) {
+        const std::size_t j_end = std::min(jj + block, n);
+        for (std::size_t i = ii; i < i_end; ++i) {
+          for (std::size_t l = kk; l < k_end; ++l) {
+            const Acc a = static_cast<Acc>(A(i, l));
+            for (std::size_t j = jj; j < j_end; ++j) {
+              C(i, j) = static_cast<TC>(static_cast<Acc>(C(i, j)) +
+                                        a * static_cast<Acc>(B(l, j)));
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace portabench::gemm

@@ -1,0 +1,71 @@
+// Validation helpers: error norms against the reference GEMM and
+// precision-dependent tolerances.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <span>
+
+#include "common/precision.hpp"
+#include "simrt/mdarray.hpp"
+
+namespace portabench::gemm {
+
+/// Maximum absolute elementwise difference between two same-shape views.
+template <class T, class LA, class LB>
+[[nodiscard]] double max_abs_diff(const simrt::View2<T, LA>& a, const simrt::View2<T, LB>& b) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.extent(0); ++i) {
+    for (std::size_t j = 0; j < a.extent(1); ++j) {
+      worst = std::max(worst, std::abs(static_cast<double>(a(i, j)) -
+                                       static_cast<double>(b(i, j))));
+    }
+  }
+  return worst;
+}
+
+/// Same, over flat buffers.
+template <class T>
+[[nodiscard]] double max_abs_diff(std::span<const T> a, std::span<const T> b) {
+  double worst = 0.0;
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    worst = std::max(worst,
+                     std::abs(static_cast<double>(a[i]) - static_cast<double>(b[i])));
+  }
+  return worst;
+}
+
+/// Forward-error tolerance for a k-term accumulated dot product with
+/// inputs in [0, 1): ~ k * eps scaled with a safety factor.  For the
+/// FP16-in/FP32-accumulate scheme the accumulation error is FP32 but the
+/// *input rounding* error is FP16, giving the eps of the input format.
+[[nodiscard]] inline double gemm_tolerance(Precision p, std::size_t k) {
+  double eps = 0.0;
+  switch (p) {
+    case Precision::kDouble: eps = 2.220446049250313e-16; break;
+    case Precision::kSingle: eps = 1.1920928955078125e-7; break;
+    case Precision::kHalfIn: eps = 9.765625e-4; break;  // 2^-10
+  }
+  return 8.0 * static_cast<double>(k) * eps;
+}
+
+/// Deterministic checksum (sum of all elements in double) used by the
+/// benches to prove the functional kernels really ran.
+template <class T, class L>
+[[nodiscard]] double checksum(const simrt::View2<T, L>& v) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < v.extent(0); ++i) {
+    for (std::size_t j = 0; j < v.extent(1); ++j) sum += static_cast<double>(v(i, j));
+  }
+  return sum;
+}
+
+template <class T>
+[[nodiscard]] double checksum(std::span<const T> v) {
+  double sum = 0.0;
+  for (const T& x : v) sum += static_cast<double>(x);
+  return sum;
+}
+
+}  // namespace portabench::gemm

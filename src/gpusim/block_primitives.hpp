@@ -1,0 +1,80 @@
+// Cooperative block-level primitives: reduce and scan across the lanes of
+// one thread block.
+//
+// CUDA/HIP kernels build these from __shared__ staging plus
+// __syncthreads(); under the simulator's thread-loop-fission lowering the
+// same algorithms are expressed as successive for_lanes() regions over a
+// shared-memory scratch array.  Used by reduction-style kernels (dot
+// products, norms) that the library supports beyond the paper's GEMM.
+#pragma once
+
+#include <span>
+#include <type_traits>
+
+#include "launch.hpp"
+
+namespace portabench::gpusim {
+
+/// Sum-reduce one value per lane across the block.  `scratch` must hold
+/// at least block_dim.volume() elements of block-shared memory.  After
+/// the call scratch[0] holds the block total, which is also returned.
+///
+/// `value_of(ThreadCtx)` supplies each lane's contribution.  The
+/// ceil-halving tree (lane i adds lane i + ceil(active/2)) matches the
+/// canonical CUDA shared-memory reduction and handles non-power-of-two
+/// blocks.
+template <class T, class F>
+T block_reduce_sum(BlockCtx& bc, std::span<T> scratch, F&& value_of) {
+  const std::size_t lanes = bc.block_dim().volume();
+  PB_EXPECTS(scratch.size() >= lanes);
+
+  bc.for_lanes([&](const ThreadCtx& tc) { scratch[tc.lane_in_block()] = value_of(tc); });
+
+  for (std::size_t active = lanes; active > 1;) {
+    const std::size_t half = (active + 1) / 2;
+    bc.for_lanes([&](const ThreadCtx& tc) {
+      const std::size_t lane = tc.lane_in_block();
+      if (lane + half < active) scratch[lane] = scratch[lane] + scratch[lane + half];
+    });
+    active = half;
+  }
+  return scratch[0];
+}
+
+/// Exclusive scan of one value per lane (Hillis-Steele over shared
+/// memory; O(n log n) work, the standard block-scan shape).  `scratch`
+/// must hold at least 2 * lanes elements.  On return scratch[i] holds the
+/// exclusive prefix of lane i.  Correct for blocks of any dimensionality
+/// (lanes are linearized in the CUDA order).
+template <class T, class F>
+void block_exclusive_scan(BlockCtx& bc, std::span<T> scratch, F&& value_of) {
+  const std::size_t lanes = bc.block_dim().volume();
+  PB_EXPECTS(scratch.size() >= 2 * lanes);
+  std::span<T> ping = scratch.subspan(0, lanes);
+  std::span<T> pong = scratch.subspan(lanes, lanes);
+
+  bc.for_lanes([&](const ThreadCtx& tc) { ping[tc.lane_in_block()] = value_of(tc); });
+
+  // Inclusive Hillis-Steele.
+  for (std::size_t stride = 1; stride < lanes; stride *= 2) {
+    bc.for_lanes([&](const ThreadCtx& tc) {
+      const std::size_t lane = tc.lane_in_block();
+      pong[lane] = lane >= stride ? ping[lane] + ping[lane - stride] : ping[lane];
+    });
+    std::swap(ping, pong);
+  }
+
+  // Shift right into the scratch's first half (exclusive form).  `ping`
+  // holds the inclusive scan; stage through `pong` when ping aliases the
+  // output region so no lane reads a slot another lane already wrote.
+  bc.for_lanes([&](const ThreadCtx& tc) {
+    const std::size_t lane = tc.lane_in_block();
+    pong[lane] = lane == 0 ? T{} : ping[lane - 1];
+  });
+  bc.for_lanes([&](const ThreadCtx& tc) {
+    const std::size_t lane = tc.lane_in_block();
+    scratch[lane] = pong[lane];
+  });
+}
+
+}  // namespace portabench::gpusim

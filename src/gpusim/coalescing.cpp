@@ -1,0 +1,75 @@
+#include "coalescing.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace portabench::gpusim {
+
+CoalescingReport analyze_warp_access(
+    std::size_t active_lanes, std::size_t element_bytes,
+    const std::function<std::uint64_t(std::size_t)>& address_of) {
+  PB_EXPECTS(active_lanes > 0 && element_bytes > 0);
+  CoalescingReport report;
+  report.lanes = active_lanes;
+
+  std::set<std::uint64_t> sectors;
+  for (std::size_t lane = 0; lane < active_lanes; ++lane) {
+    const std::uint64_t first = address_of(lane);
+    const std::uint64_t last = first + element_bytes - 1;
+    for (std::uint64_t s = first / kSectorBytes; s <= last / kSectorBytes; ++s) {
+      sectors.insert(s);
+    }
+  }
+  report.sectors = sectors.size();
+
+  // Minimum sectors: the lanes' bytes packed contiguously.
+  const std::size_t total_bytes = active_lanes * element_bytes;
+  report.ideal_sectors = (total_bytes + kSectorBytes - 1) / kSectorBytes;
+  return report;
+}
+
+double GemmWarpAccesses::weighted_expansion(std::size_t k) const {
+  // Per output element: k A-reads + k B-reads + 1 C-write.
+  const double kk = static_cast<double>(k);
+  return (kk * a_read.expansion() + kk * b_read.expansion() + c_write.expansion()) /
+         (2.0 * kk + 1.0);
+}
+
+GemmWarpAccesses analyze_gemm_coalescing(const GpuSpec& spec, const Dim3& block,
+                                         std::size_t n, std::size_t element_bytes,
+                                         bool row_on_x) {
+  PB_EXPECTS(block.volume() > 0);
+  GemmWarpAccesses out;
+  const std::size_t warp = std::min(spec.warp_size, block.volume());
+
+  // Lane -> (threadIdx.x, threadIdx.y) for the first warp of block (0,0),
+  // CUDA linearization (x fastest).
+  auto tx = [&](std::size_t lane) { return lane % block.x; };
+  auto ty = [&](std::size_t lane) { return (lane / block.x) % block.y; };
+  // Fig. 3a: row = threadIdx.y, col = threadIdx.x.  Kokkos MDRange
+  // lowering (row_on_x): row = threadIdx.x, col = threadIdx.y.
+  auto row = [&](std::size_t lane) { return row_on_x ? tx(lane) : ty(lane); };
+  auto col = [&](std::size_t lane) { return row_on_x ? ty(lane) : tx(lane); };
+
+  // Row-major storage; inner iteration i = 0.
+  const std::uint64_t a_base = 0;
+  const std::uint64_t b_base = static_cast<std::uint64_t>(n) * n * element_bytes;
+  const std::uint64_t c_base = 2 * b_base;
+
+  out.a_read = analyze_warp_access(warp, element_bytes, [&](std::size_t lane) {
+    // A[row * k + 0]: stride n per row; lanes sharing a row broadcast.
+    return a_base + static_cast<std::uint64_t>(row(lane)) * n * element_bytes;
+  });
+  out.b_read = analyze_warp_access(warp, element_bytes, [&](std::size_t lane) {
+    // B[0 * n + col].
+    return b_base + static_cast<std::uint64_t>(col(lane)) * element_bytes;
+  });
+  out.c_write = analyze_warp_access(warp, element_bytes, [&](std::size_t lane) {
+    // C[row * n + col].
+    return c_base +
+           (static_cast<std::uint64_t>(row(lane)) * n + col(lane)) * element_bytes;
+  });
+  return out;
+}
+
+}  // namespace portabench::gpusim

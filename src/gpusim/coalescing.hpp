@@ -1,0 +1,66 @@
+// Memory-coalescing analyzer.
+//
+// A warp's global-memory request coalesces into as few 32-byte sectors as
+// the lanes' addresses cover; scattered addresses cost one transaction
+// per lane.  This is the mechanism behind the block-geometry findings:
+// the paper's 32x32 blocks put consecutive threadIdx.x lanes on
+// consecutive columns (unit-stride for row-major B and C), while a flat
+// Kokkos-style block walking rows through threadIdx.x strides by the row
+// length and explodes the transaction count.  The analyzer computes
+// sectors-per-request for arbitrary lane->address mappings and provides
+// the three GEMM access patterns ready-made.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "device.hpp"
+
+namespace portabench::gpusim {
+
+/// Result of analyzing one warp-wide access.
+struct CoalescingReport {
+  std::size_t lanes = 0;          ///< active lanes in the request
+  std::size_t sectors = 0;        ///< 32-byte sectors touched
+  std::size_t ideal_sectors = 0;  ///< minimum possible for this many lanes/width
+  /// sectors / ideal_sectors: 1.0 = perfectly coalesced; warp_size =
+  /// fully scattered.
+  [[nodiscard]] double expansion() const {
+    return ideal_sectors == 0 ? 0.0
+                              : static_cast<double>(sectors) /
+                                    static_cast<double>(ideal_sectors);
+  }
+};
+
+inline constexpr std::size_t kSectorBytes = 32;
+
+/// Analyze one warp request: `address_of(lane)` gives each active lane's
+/// byte address; `element_bytes` the access width.
+[[nodiscard]] CoalescingReport analyze_warp_access(
+    std::size_t active_lanes, std::size_t element_bytes,
+    const std::function<std::uint64_t(std::size_t)>& address_of);
+
+/// The three access streams of the Fig. 3a GEMM (row-major A, B, C) for a
+/// given block shape on a given device: reports for the first warp's A
+/// read (broadcast within a row), B read, and C write at inner index 0.
+struct GemmWarpAccesses {
+  CoalescingReport a_read;
+  CoalescingReport b_read;
+  CoalescingReport c_write;
+  /// Average expansion over the three streams, weighted by the per-thread
+  /// access counts (A and B are read k times, C written once).
+  [[nodiscard]] double weighted_expansion(std::size_t k) const;
+};
+
+/// Analyze the naive row-major GEMM's first warp under `block` on `spec`
+/// for an n x n problem with `element_bytes` scalars.  `row_on_x` selects
+/// the index mapping: false = Fig. 3a (row on threadIdx.y, column on the
+/// fast x dimension — coalesced); true = the Kokkos MDRange lowering
+/// (row on threadIdx.x — scattered B/C accesses).
+[[nodiscard]] GemmWarpAccesses analyze_gemm_coalescing(const GpuSpec& spec, const Dim3& block,
+                                                       std::size_t n,
+                                                       std::size_t element_bytes,
+                                                       bool row_on_x = false);
+
+}  // namespace portabench::gpusim

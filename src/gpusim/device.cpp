@@ -1,0 +1,59 @@
+#include "device.hpp"
+
+namespace portabench::gpusim {
+
+GpuSpec GpuSpec::a100() {
+  GpuSpec s;
+  s.name = "NVIDIA A100";
+  s.vendor = Vendor::kNvidia;
+  s.warp_size = 32;
+  s.sm_count = 108;
+  s.max_threads_per_block = 1024;
+  s.max_threads_per_sm = 2048;
+  s.max_blocks_per_sm = 32;
+  s.registers_per_sm = 65536;
+  s.shared_mem_per_block = 48 * 1024;
+  s.shared_mem_per_sm = 164 * 1024;
+  s.global_mem_bytes = std::size_t{40} * 1024 * 1024 * 1024;
+  return s;
+}
+
+GpuSpec GpuSpec::mi250x_gcd() {
+  GpuSpec s;
+  s.name = "AMD MI250X (1 GCD)";
+  s.vendor = Vendor::kAmd;
+  s.warp_size = 64;  // AMD wavefront
+  s.sm_count = 110;  // compute units per GCD
+  s.max_threads_per_block = 1024;
+  s.max_threads_per_sm = 2048;
+  s.max_blocks_per_sm = 32;
+  s.registers_per_sm = 65536;
+  s.shared_mem_per_block = 64 * 1024;
+  s.shared_mem_per_sm = 64 * 1024;
+  s.global_mem_bytes = std::size_t{64} * 1024 * 1024 * 1024;
+  return s;
+}
+
+void DeviceContext::validate_launch(const Dim3& grid, const Dim3& block) const {
+  PB_EXPECTS(grid.volume() > 0);
+  PB_EXPECTS(block.volume() > 0);
+  PB_EXPECTS(block.volume() <= spec_.max_threads_per_block);
+}
+
+void DeviceContext::note_alloc(std::size_t bytes) {
+  PB_EXPECTS(bytes_in_use_ + bytes <= spec_.global_mem_bytes);  // device OOM
+  bytes_in_use_ += bytes;
+  counters_.bytes_allocated += bytes;
+  ++counters_.live_allocations;
+  counters_.peak_bytes_allocated = std::max<std::uint64_t>(counters_.peak_bytes_allocated,
+                                                           bytes_in_use_);
+}
+
+void DeviceContext::note_free(std::size_t bytes) {
+  PB_EXPECTS(bytes_in_use_ >= bytes);
+  PB_EXPECTS(counters_.live_allocations > 0);
+  bytes_in_use_ -= bytes;
+  --counters_.live_allocations;
+}
+
+}  // namespace portabench::gpusim

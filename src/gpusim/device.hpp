@@ -1,0 +1,90 @@
+// Simulated GPU device.
+//
+// Substitute for the A100 (CUDA) and MI250X (HIP) devices of Table II.
+// The simulator executes kernels *functionally* on the host — every
+// numerical result in tests and benches is produced by really running the
+// Fig. 3 kernels under SIMT index semantics — while accounting the
+// quantities the analytical performance model consumes (launches, threads,
+// transfer bytes, allocation footprint).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/error.hpp"
+#include "dim3.hpp"
+
+namespace portabench::gpusim {
+
+enum class Vendor { kNvidia, kAmd };
+
+/// Functional device limits and SIMT parameters.
+struct GpuSpec {
+  std::string name;
+  Vendor vendor = Vendor::kNvidia;
+  std::size_t warp_size = 32;           ///< 32 (NVIDIA warp) or 64 (AMD wavefront)
+  std::size_t sm_count = 108;           ///< A100: 108 SMs; MI250X GCD: 110 CUs
+  std::size_t max_threads_per_block = 1024;
+  std::size_t max_threads_per_sm = 2048;
+  std::size_t max_blocks_per_sm = 32;
+  std::size_t registers_per_sm = 65536;
+  std::size_t shared_mem_per_block = 48 * 1024;
+  std::size_t shared_mem_per_sm = 164 * 1024;
+  std::size_t global_mem_bytes = std::size_t{64} * 1024 * 1024 * 1024;
+
+  /// NVIDIA A100 (SXM4, 40 GB) functional parameters.
+  static GpuSpec a100();
+  /// One GCD of an AMD MI250X (the paper's single-GPU runs use one GCD).
+  static GpuSpec mi250x_gcd();
+};
+
+/// Cumulative activity counters, inspectable the way the paper used
+/// nvprof "to corroborate GPU activity".
+struct DeviceCounters {
+  std::uint64_t kernel_launches = 0;
+  std::uint64_t blocks_executed = 0;
+  std::uint64_t threads_executed = 0;
+  std::uint64_t bytes_h2d = 0;
+  std::uint64_t bytes_d2h = 0;
+  std::uint64_t bytes_allocated = 0;
+  std::uint64_t live_allocations = 0;
+  std::uint64_t peak_bytes_allocated = 0;
+};
+
+/// A simulated device: owns allocation bookkeeping and counters.
+/// DeviceBuffer / launch() operate through a DeviceContext.
+class DeviceContext {
+ public:
+  explicit DeviceContext(GpuSpec spec) : spec_(std::move(spec)) {
+    PB_EXPECTS(spec_.warp_size > 0 && spec_.max_threads_per_block > 0);
+  }
+
+  [[nodiscard]] const GpuSpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] const DeviceCounters& counters() const noexcept { return counters_; }
+  void reset_counters() noexcept { counters_ = DeviceCounters{}; }
+
+  /// Validate a launch configuration against device limits; throws
+  /// precondition_error on violation (the simulator's cudaErrorInvalidValue).
+  void validate_launch(const Dim3& grid, const Dim3& block) const;
+
+  // --- bookkeeping entry points used by DeviceBuffer / launch() ---
+  void note_alloc(std::size_t bytes);
+  void note_free(std::size_t bytes);
+  void note_h2d(std::size_t bytes) noexcept { counters_.bytes_h2d += bytes; }
+  void note_d2h(std::size_t bytes) noexcept { counters_.bytes_d2h += bytes; }
+  void note_launch(const Dim3& grid, const Dim3& block) noexcept {
+    ++counters_.kernel_launches;
+    counters_.blocks_executed += grid.volume();
+    counters_.threads_executed += grid.volume() * block.volume();
+  }
+
+  [[nodiscard]] std::size_t bytes_in_use() const noexcept { return bytes_in_use_; }
+
+ private:
+  GpuSpec spec_;
+  DeviceCounters counters_;
+  std::size_t bytes_in_use_ = 0;
+};
+
+}  // namespace portabench::gpusim

@@ -1,0 +1,58 @@
+// CUDA/HIP-style index vocabulary for the SIMT simulator.
+#pragma once
+
+#include <cstddef>
+
+#include "common/error.hpp"
+
+namespace portabench::gpusim {
+
+/// 3-component extent, defaulting unset components to 1 (CUDA dim3).
+struct Dim3 {
+  std::size_t x = 1;
+  std::size_t y = 1;
+  std::size_t z = 1;
+
+  [[nodiscard]] constexpr std::size_t volume() const noexcept { return x * y * z; }
+  [[nodiscard]] constexpr bool operator==(const Dim3&) const noexcept = default;
+};
+
+/// Per-thread coordinates handed to device kernels: the simulator's
+/// equivalent of blockIdx/blockDim/threadIdx/gridDim.
+struct ThreadCtx {
+  Dim3 grid_dim;
+  Dim3 block_dim;
+  Dim3 block_idx;
+  Dim3 thread_idx;
+
+  /// CUDA: blockIdx.x * blockDim.x + threadIdx.x
+  [[nodiscard]] constexpr std::size_t global_x() const noexcept {
+    return block_idx.x * block_dim.x + thread_idx.x;
+  }
+  [[nodiscard]] constexpr std::size_t global_y() const noexcept {
+    return block_idx.y * block_dim.y + thread_idx.y;
+  }
+  [[nodiscard]] constexpr std::size_t global_z() const noexcept {
+    return block_idx.z * block_dim.z + thread_idx.z;
+  }
+
+  /// Linear thread id within the block (CUDA linearization: x fastest).
+  [[nodiscard]] constexpr std::size_t lane_in_block() const noexcept {
+    return (thread_idx.z * block_dim.y + thread_idx.y) * block_dim.x + thread_idx.x;
+  }
+
+  /// Numba's cuda.grid(2) helper: returns (i, j) = (global_y, global_x)
+  /// order per Numba convention where axis 0 maps to y for 2D grids.
+  [[nodiscard]] constexpr std::pair<std::size_t, std::size_t> numba_grid2() const noexcept {
+    return {global_x(), global_y()};
+  }
+};
+
+/// Grid sizing helper: ceil-div the problem extent by the block extent,
+/// the idiom every Fig. 3 kernel uses to compute its launch grid.
+[[nodiscard]] constexpr std::size_t blocks_for(std::size_t extent, std::size_t block) {
+  PB_EXPECTS(block > 0);
+  return (extent + block - 1) / block;
+}
+
+}  // namespace portabench::gpusim

@@ -1,0 +1,145 @@
+// Kernel launch: functional SIMT execution of device kernels.
+//
+// launch() runs a per-thread functor for every (block, thread) coordinate
+// of the grid — sufficient for every kernel in the paper (Fig. 3 kernels
+// are barrier-free).  launch_blocks() additionally supports cooperative
+// kernels: the functor receives a BlockCtx whose for_lanes() regions have
+// barrier semantics between successive calls (the standard "thread-loop
+// fission" lowering of __syncthreads used by SIMT-on-CPU runtimes), with
+// block-shared scratch memory — used by the tiled shared-memory GEMM that
+// the ablation benches contrast against the paper's naive kernels.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/buffer.hpp"
+#include "device.hpp"
+#include "dim3.hpp"
+#include "simrt/parallel.hpp"
+
+namespace portabench::gpusim {
+
+/// Execute `kernel(ThreadCtx)` for every thread of the grid, serially over
+/// blocks (deterministic).  Throws precondition_error on an invalid
+/// configuration, mirroring a CUDA launch failure.
+template <class F>
+void launch(DeviceContext& ctx, const Dim3& grid, const Dim3& block, F&& kernel) {
+  ctx.validate_launch(grid, block);
+  ctx.note_launch(grid, block);
+
+  ThreadCtx tc;
+  tc.grid_dim = grid;
+  tc.block_dim = block;
+  for (std::size_t bz = 0; bz < grid.z; ++bz) {
+    for (std::size_t by = 0; by < grid.y; ++by) {
+      for (std::size_t bx = 0; bx < grid.x; ++bx) {
+        tc.block_idx = {bx, by, bz};
+        for (std::size_t tz = 0; tz < block.z; ++tz) {
+          for (std::size_t ty = 0; ty < block.y; ++ty) {
+            for (std::size_t tx = 0; tx < block.x; ++tx) {
+              tc.thread_idx = {tx, ty, tz};
+              kernel(tc);
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+/// Execute a grid with host-side parallelism across blocks (blocks are
+/// independent in the CUDA model, so this is semantics-preserving for any
+/// correct kernel).
+template <class F>
+void launch(DeviceContext& ctx, const simrt::ThreadsSpace& host, const Dim3& grid,
+            const Dim3& block, F&& kernel) {
+  ctx.validate_launch(grid, block);
+  ctx.note_launch(grid, block);
+
+  const std::size_t num_blocks = grid.volume();
+  simrt::parallel_for(host, simrt::RangePolicy(0, num_blocks), [&](std::size_t linear) {
+    ThreadCtx tc;
+    tc.grid_dim = grid;
+    tc.block_dim = block;
+    tc.block_idx = {linear % grid.x, (linear / grid.x) % grid.y, linear / (grid.x * grid.y)};
+    for (std::size_t tz = 0; tz < block.z; ++tz) {
+      for (std::size_t ty = 0; ty < block.y; ++ty) {
+        for (std::size_t tx = 0; tx < block.x; ++tx) {
+          tc.thread_idx = {tx, ty, tz};
+          kernel(tc);
+        }
+      }
+    }
+  });
+}
+
+/// Per-block execution context for cooperative kernels.
+class BlockCtx {
+ public:
+  BlockCtx(Dim3 grid, Dim3 block, Dim3 block_idx, std::size_t shared_bytes)
+      : grid_(grid), block_(block), block_idx_(block_idx), shared_(shared_bytes) {}
+
+  [[nodiscard]] const Dim3& grid_dim() const noexcept { return grid_; }
+  [[nodiscard]] const Dim3& block_dim() const noexcept { return block_; }
+  [[nodiscard]] const Dim3& block_idx() const noexcept { return block_idx_; }
+
+  /// Run `region(ThreadCtx)` for every lane of the block.  Two successive
+  /// for_lanes() calls are separated by an implicit __syncthreads().
+  template <class G>
+  void for_lanes(G&& region) {
+    ThreadCtx tc;
+    tc.grid_dim = grid_;
+    tc.block_dim = block_;
+    tc.block_idx = block_idx_;
+    for (std::size_t tz = 0; tz < block_.z; ++tz) {
+      for (std::size_t ty = 0; ty < block_.y; ++ty) {
+        for (std::size_t tx = 0; tx < block_.x; ++tx) {
+          tc.thread_idx = {tx, ty, tz};
+          region(tc);
+        }
+      }
+    }
+  }
+
+  /// Block-shared scratch: a typed span carved from the block's shared
+  /// memory arena (__shared__ analogue).  Offsets are byte-based and the
+  /// caller composes multiple arrays by advancing `byte_offset`.
+  template <class T>
+  [[nodiscard]] std::span<T> shared(std::size_t count, std::size_t byte_offset = 0) {
+    PB_EXPECTS(byte_offset % alignof(T) == 0);
+    PB_EXPECTS(byte_offset + count * sizeof(T) <= shared_.size());
+    return {reinterpret_cast<T*>(shared_.data() + byte_offset), count};
+  }
+
+  [[nodiscard]] std::size_t shared_bytes() const noexcept { return shared_.size(); }
+
+ private:
+  Dim3 grid_;
+  Dim3 block_;
+  Dim3 block_idx_;
+  std::vector<std::byte> shared_;
+};
+
+/// Launch a cooperative kernel: `kernel(BlockCtx&)` runs once per block
+/// with `shared_bytes` of block-shared memory.  Shared memory size is
+/// validated against the device limit, mirroring a CUDA launch error for
+/// oversized dynamic shared memory.
+template <class F>
+void launch_blocks(DeviceContext& ctx, const Dim3& grid, const Dim3& block,
+                   std::size_t shared_bytes, F&& kernel) {
+  ctx.validate_launch(grid, block);
+  PB_EXPECTS(shared_bytes <= ctx.spec().shared_mem_per_block);
+  ctx.note_launch(grid, block);
+
+  for (std::size_t bz = 0; bz < grid.z; ++bz) {
+    for (std::size_t by = 0; by < grid.y; ++by) {
+      for (std::size_t bx = 0; bx < grid.x; ++bx) {
+        BlockCtx bc(grid, block, Dim3{bx, by, bz}, shared_bytes);
+        kernel(bc);
+      }
+    }
+  }
+}
+
+}  // namespace portabench::gpusim

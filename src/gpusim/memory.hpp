@@ -1,0 +1,83 @@
+// Device memory: RAII buffers plus explicit H2D/D2H transfers.
+//
+// Mirrors the cudaMalloc/cudaMemcpy discipline of the paper's C kernels
+// and the CUArray/ROCArray containers of the Julia frontends.  "Device"
+// storage lives in host RAM but is tracked against the simulated device's
+// capacity, and transfers are byte-accounted so harnesses can report PCIe
+// traffic alongside kernel time.
+#pragma once
+
+#include <cstring>
+#include <span>
+
+#include "common/buffer.hpp"
+#include "device.hpp"
+
+namespace portabench::gpusim {
+
+/// Owning device-resident array of T, bound to a DeviceContext for
+/// capacity accounting.  Move-only, like a cudaMalloc'd pointer wrapped
+/// in a unique owner.
+template <class T>
+class DeviceBuffer {
+ public:
+  DeviceBuffer() = default;
+
+  DeviceBuffer(DeviceContext& ctx, std::size_t count)
+      : ctx_(&ctx), storage_(count) {
+    ctx_->note_alloc(count * sizeof(T));
+  }
+
+  DeviceBuffer(DeviceBuffer&& other) noexcept
+      : ctx_(other.ctx_), storage_(std::move(other.storage_)) {
+    other.ctx_ = nullptr;
+  }
+  DeviceBuffer& operator=(DeviceBuffer&& other) noexcept {
+    if (this != &other) {
+      release();
+      ctx_ = other.ctx_;
+      storage_ = std::move(other.storage_);
+      other.ctx_ = nullptr;
+    }
+    return *this;
+  }
+  DeviceBuffer(const DeviceBuffer&) = delete;
+  DeviceBuffer& operator=(const DeviceBuffer&) = delete;
+  ~DeviceBuffer() { release(); }
+
+  [[nodiscard]] std::size_t size() const noexcept { return storage_.size(); }
+  [[nodiscard]] T* data() noexcept { return storage_.data(); }
+  [[nodiscard]] const T* data() const noexcept { return storage_.data(); }
+  [[nodiscard]] std::span<T> span() noexcept { return storage_.span(); }
+  [[nodiscard]] std::span<const T> span() const noexcept { return storage_.span(); }
+
+  /// cudaMemcpyHostToDevice analogue.
+  void copy_from_host(std::span<const T> host) {
+    PB_EXPECTS(ctx_ != nullptr && host.size() == storage_.size());
+    std::memcpy(storage_.data(), host.data(), host.size_bytes());
+    ctx_->note_h2d(host.size_bytes());
+  }
+
+  /// cudaMemcpyDeviceToHost analogue.
+  void copy_to_host(std::span<T> host) const {
+    PB_EXPECTS(ctx_ != nullptr && host.size() == storage_.size());
+    std::memcpy(host.data(), storage_.data(), host.size_bytes());
+    ctx_->note_d2h(host.size_bytes());
+  }
+
+  /// cudaMemset(0) analogue.
+  void zero() { std::memset(storage_.data(), 0, storage_.size() * sizeof(T)); }
+
+ private:
+  void release() noexcept {
+    if (ctx_ != nullptr && storage_.size() > 0) {
+      ctx_->note_free(storage_.size() * sizeof(T));
+    }
+    ctx_ = nullptr;
+  }
+
+  DeviceContext* ctx_ = nullptr;
+  AlignedBuffer<T> storage_;
+};
+
+}  // namespace portabench::gpusim

@@ -1,0 +1,60 @@
+#include "occupancy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace portabench::gpusim {
+
+Occupancy compute_occupancy(const GpuSpec& spec, const KernelResources& kernel) {
+  Occupancy occ;
+  if (kernel.threads_per_block == 0 || kernel.threads_per_block > spec.max_threads_per_block) {
+    return occ;  // invalid block: zero occupancy
+  }
+
+  // Warp-granular thread allocation: a block of 33 threads on a 32-wide
+  // warp machine occupies 2 warps' worth of scheduler slots.
+  const std::size_t warps_per_block =
+      (kernel.threads_per_block + spec.warp_size - 1) / spec.warp_size;
+  const std::size_t alloc_threads_per_block = warps_per_block * spec.warp_size;
+
+  const std::size_t by_threads = spec.max_threads_per_sm / alloc_threads_per_block;
+  const std::size_t by_blocks = spec.max_blocks_per_sm;
+  const std::size_t regs_per_block = kernel.registers_per_thread * alloc_threads_per_block;
+  const std::size_t by_regs =
+      regs_per_block == 0 ? by_blocks : spec.registers_per_sm / regs_per_block;
+  const std::size_t by_shared =
+      kernel.shared_bytes_per_block == 0
+          ? by_blocks
+          : spec.shared_mem_per_sm / kernel.shared_bytes_per_block;
+
+  occ.active_blocks_per_sm = std::min({by_threads, by_blocks, by_regs, by_shared});
+  occ.active_threads_per_sm = occ.active_blocks_per_sm * alloc_threads_per_block;
+  occ.fraction = static_cast<double>(occ.active_threads_per_sm) /
+                 static_cast<double>(spec.max_threads_per_sm);
+
+  if (occ.active_blocks_per_sm == by_threads) {
+    occ.limiter = "threads";
+  }
+  if (occ.active_blocks_per_sm == by_blocks && by_blocks <= by_threads) {
+    occ.limiter = "blocks";
+  }
+  if (occ.active_blocks_per_sm == by_regs && by_regs < std::min(by_threads, by_blocks)) {
+    occ.limiter = "registers";
+  }
+  if (occ.active_blocks_per_sm == by_shared &&
+      by_shared < std::min({by_threads, by_blocks, by_regs})) {
+    occ.limiter = "shared";
+  }
+  return occ;
+}
+
+double waves_for(const GpuSpec& spec, const Occupancy& occ, std::size_t total_blocks) {
+  PB_EXPECTS(occ.active_blocks_per_sm > 0);
+  const double concurrent =
+      static_cast<double>(occ.active_blocks_per_sm) * static_cast<double>(spec.sm_count);
+  return std::ceil(static_cast<double>(total_blocks) / concurrent);
+}
+
+}  // namespace portabench::gpusim

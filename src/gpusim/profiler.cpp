@@ -1,0 +1,71 @@
+#include "profiler.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace portabench::gpusim {
+
+void Profiler::record_launch(std::string name, const Dim3& grid, const Dim3& block,
+                             double modeled_seconds) {
+  launches_.push_back({std::move(name), grid, block, modeled_seconds});
+}
+
+void Profiler::record_transfer(TransferRecord::Direction direction, std::size_t bytes) {
+  transfers_.push_back({direction, bytes});
+}
+
+std::vector<KernelSummary> Profiler::kernel_summaries() const {
+  std::map<std::string, KernelSummary> by_name;
+  for (const auto& l : launches_) {
+    KernelSummary& s = by_name[l.name];
+    s.name = l.name;
+    ++s.calls;
+    s.total_threads += l.grid.volume() * l.block.volume();
+    s.total_seconds += l.modeled_seconds;
+  }
+  std::vector<KernelSummary> out;
+  out.reserve(by_name.size());
+  for (auto& [name, summary] : by_name) out.push_back(summary);
+  std::sort(out.begin(), out.end(),
+            [](const KernelSummary& a, const KernelSummary& b) { return a.calls > b.calls; });
+  return out;
+}
+
+std::uint64_t Profiler::bytes(TransferRecord::Direction direction) const {
+  std::uint64_t total = 0;
+  for (const auto& t : transfers_) {
+    if (t.direction == direction) total += t.bytes;
+  }
+  return total;
+}
+
+std::string Profiler::report() const {
+  std::ostringstream os;
+  os << "==PROF== GPU activities:\n";
+  for (const auto& s : kernel_summaries()) {
+    os << "==PROF==   " << s.calls << " call(s)  " << s.total_threads << " threads";
+    if (s.total_seconds > 0.0) os << "  " << s.total_seconds * 1e3 << " ms (modeled)";
+    os << "  " << s.name << "\n";
+  }
+  os << "==PROF== Memory:\n";
+  os << "==PROF==   H2D " << bytes(TransferRecord::Direction::kH2D) << " bytes in "
+     << std::count_if(transfers_.begin(), transfers_.end(),
+                      [](const TransferRecord& t) {
+                        return t.direction == TransferRecord::Direction::kH2D;
+                      })
+     << " transfer(s)\n";
+  os << "==PROF==   D2H " << bytes(TransferRecord::Direction::kD2H) << " bytes in "
+     << std::count_if(transfers_.begin(), transfers_.end(),
+                      [](const TransferRecord& t) {
+                        return t.direction == TransferRecord::Direction::kD2H;
+                      })
+     << " transfer(s)\n";
+  return os.str();
+}
+
+void Profiler::clear() {
+  launches_.clear();
+  transfers_.clear();
+}
+
+}  // namespace portabench::gpusim

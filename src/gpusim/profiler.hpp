@@ -1,0 +1,86 @@
+// nvprof-style profiler for the simulated device.
+//
+// Section IV: "Both Kokkos and Python/Numba were verified by using
+// NVIDIA's nvprof profiler to corroborate GPU activity."  The simulator
+// offers the same capability: a Profiler subscribes to a DeviceContext
+// and records every kernel launch (name, geometry, thread count) and
+// every transfer, then prints an activity table shaped like nvprof's
+// summary.  Modeled durations can be attached by the caller (the
+// perfmodel supplies them); without durations the table reports activity
+// counts only — which is all the paper needed from nvprof.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "device.hpp"
+#include "launch.hpp"
+
+namespace portabench::gpusim {
+
+/// One recorded kernel launch.
+struct LaunchRecord {
+  std::string name;
+  Dim3 grid;
+  Dim3 block;
+  double modeled_seconds = 0.0;  ///< 0 when no model was attached
+};
+
+/// One recorded transfer.
+struct TransferRecord {
+  enum class Direction { kH2D, kD2H } direction;
+  std::size_t bytes = 0;
+};
+
+/// Aggregated per-kernel statistics (nvprof's "GPU activities" rows).
+struct KernelSummary {
+  std::string name;
+  std::size_t calls = 0;
+  std::uint64_t total_threads = 0;
+  double total_seconds = 0.0;
+};
+
+/// Records device activity.  Attach to a context, run kernels through
+/// the profiled launch helpers, then print or query.
+class Profiler {
+ public:
+  /// Record a launch (called by profiled_launch, or manually).
+  void record_launch(std::string name, const Dim3& grid, const Dim3& block,
+                     double modeled_seconds = 0.0);
+  void record_transfer(TransferRecord::Direction direction, std::size_t bytes);
+
+  [[nodiscard]] const std::vector<LaunchRecord>& launches() const noexcept {
+    return launches_;
+  }
+  [[nodiscard]] const std::vector<TransferRecord>& transfers() const noexcept {
+    return transfers_;
+  }
+
+  /// Per-kernel aggregation, most-called first.
+  [[nodiscard]] std::vector<KernelSummary> kernel_summaries() const;
+
+  [[nodiscard]] std::uint64_t bytes(TransferRecord::Direction direction) const;
+
+  /// nvprof-like text dump ("==PROF== ..." lines).
+  [[nodiscard]] std::string report() const;
+
+  void clear();
+
+ private:
+  std::vector<LaunchRecord> launches_;
+  std::vector<TransferRecord> transfers_;
+};
+
+/// Launch `kernel` through `ctx` while recording it in `profiler` under
+/// `name`, optionally attaching a modeled duration.
+template <class F>
+void profiled_launch(Profiler& profiler, DeviceContext& ctx, std::string name,
+                     const Dim3& grid, const Dim3& block, F&& kernel,
+                     double modeled_seconds = 0.0) {
+  launch(ctx, grid, block, std::forward<F>(kernel));
+  profiler.record_launch(std::move(name), grid, block, modeled_seconds);
+}
+
+}  // namespace portabench::gpusim

@@ -1,0 +1,94 @@
+// Streams and events: ordered-queue semantics over the simulator.
+//
+// The paper's kernels are synchronous single-stream, but a credible
+// runtime needs stream ordering for the data-transfer-overlap discussion
+// in Section II ("select the overlap of data transfers with
+// computations").  Work enqueued on a Stream executes eagerly (the host
+// *is* the device here) while the object tracks modeled timestamps so the
+// transfer-overlap ablation can compare overlapped vs. serialized
+// schedules.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "common/error.hpp"
+#include "device.hpp"
+
+namespace portabench::gpusim {
+
+class Stream;
+
+/// Marks a position in a stream's modeled timeline (cudaEvent analogue).
+class Event {
+ public:
+  Event() = default;
+
+  [[nodiscard]] bool recorded() const noexcept { return recorded_; }
+  /// Modeled device time (seconds) at which the event completes.
+  [[nodiscard]] double timestamp() const {
+    PB_EXPECTS(recorded_);
+    return timestamp_;
+  }
+
+  /// Modeled seconds between two recorded events (cudaEventElapsedTime).
+  [[nodiscard]] static double elapsed(const Event& start, const Event& stop) {
+    PB_EXPECTS(start.recorded() && stop.recorded());
+    PB_EXPECTS(stop.timestamp_ >= start.timestamp_);
+    return stop.timestamp_ - start.timestamp_;
+  }
+
+ private:
+  friend class Stream;
+  bool recorded_ = false;
+  double timestamp_ = 0.0;
+};
+
+/// In-order work queue with a modeled clock.  Operations run eagerly on
+/// enqueue (functional execution) and advance the stream's modeled time by
+/// the duration the caller supplies (typically from the performance
+/// model).
+class Stream {
+ public:
+  explicit Stream(DeviceContext& ctx) : ctx_(&ctx) {}
+
+  [[nodiscard]] DeviceContext& context() const noexcept { return *ctx_; }
+  /// Modeled time (seconds) at which all enqueued work completes.
+  [[nodiscard]] double now() const noexcept { return clock_; }
+
+  /// Enqueue an operation: runs `op` immediately, advances modeled time by
+  /// `modeled_seconds`.  Returns the completion timestamp.
+  double enqueue(double modeled_seconds, const std::function<void()>& op) {
+    PB_EXPECTS(modeled_seconds >= 0.0);
+    if (op) op();
+    clock_ += modeled_seconds;
+    ++ops_;
+    return clock_;
+  }
+
+  /// Make this stream wait for an event recorded on another stream
+  /// (cudaStreamWaitEvent): modeled time jumps to the max.
+  void wait(const Event& event) {
+    PB_EXPECTS(event.recorded());
+    clock_ = std::max(clock_, event.timestamp());
+  }
+
+  /// Record an event at the current end of the queue.
+  void record(Event& event) const noexcept {
+    event.recorded_ = true;
+    event.timestamp_ = clock_;
+  }
+
+  /// Host-synchronize: execution is eager, so this only returns the
+  /// modeled completion time.
+  double synchronize() const noexcept { return clock_; }
+
+  [[nodiscard]] std::size_t operations() const noexcept { return ops_; }
+
+ private:
+  DeviceContext* ctx_;
+  double clock_ = 0.0;
+  std::size_t ops_ = 0;
+};
+
+}  // namespace portabench::gpusim

@@ -1,0 +1,151 @@
+#include "cpu_runners.hpp"
+
+#include "common/error.hpp"
+#include "common/half.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "gemm/kernels_cpu.hpp"
+#include "gemm/reference.hpp"
+#include "gemm/validate.hpp"
+#include "perfmodel/predict.hpp"
+#include "perfmodel/traits.hpp"
+#include "simrt/mdarray.hpp"
+#include "simrt/parallel.hpp"
+
+namespace portabench::models {
+
+namespace detail {
+
+RunResult CpuRunnerBase::run(const RunConfig& config) {
+  PB_EXPECTS(config.n > 0 && config.host_threads > 0);
+  PB_EXPECTS(supports(config.precision));
+
+  RunResult result;
+  if (!jit_warmed_) {
+    result.jit_seconds = jit_cost_s();
+    jit_warmed_ = true;
+  }
+
+  execute(config, config.precision, result);
+
+  if (auto pred = perfmodel::predict(platform(), family(), config.precision, config.n)) {
+    result.model_gflops = pred->gflops;
+  }
+  return result;
+}
+
+namespace {
+
+/// Allocate, fill, run, and verify one CPU GEMM with the given layout and
+/// kernel.  Kernel signature: kernel(space, A, B, C).
+template <class T, class Acc, class Layout, class Kernel>
+void run_cpu_gemm(const RunConfig& config, bool fill_ones, Kernel&& kernel,
+                  RunResult& result) {
+  using simrt::View2;
+  const std::size_t n = config.n;
+
+  View2<T, Layout> A(n, n);
+  View2<T, Layout> B(n, n);
+  View2<Acc, Layout> C(n, n);
+
+  Xoshiro256 rng(config.seed);
+  if (fill_ones) {
+    // numpy cannot generate random Float16 (Section IV-A): ones instead.
+    fill_constant(std::span<T>(A.data(), n * n), T(1.0f));
+    fill_constant(std::span<T>(B.data(), n * n), T(1.0f));
+  } else {
+    fill_uniform(std::span<T>(A.data(), n * n), rng);
+    fill_uniform(std::span<T>(B.data(), n * n), rng);
+  }
+
+  // The paper pins OpenMP/Julia threads and leaves Numba unpinned; on the
+  // simulation host the placement is recorded for the performance model
+  // (see perfmodel::ModelTraits::bind) rather than enforced.
+  simrt::ThreadsSpace space(config.host_threads);
+
+  Timer timer;
+  kernel(space, A, B, C);
+  result.host_seconds = timer.seconds();
+  result.checksum = gemm::checksum(C);
+
+  if (config.verify) {
+    View2<Acc, Layout> C_ref(n, n);
+    gemm::reference_gemm<Acc>(A, B, C_ref);
+    result.max_error = gemm::max_abs_diff(C, C_ref);
+    result.tolerance = gemm::gemm_tolerance(config.precision, n);
+    result.verified = result.max_error <= result.tolerance;
+  }
+}
+
+/// Dispatch a row-major kernel functor over the run precision.
+template <class KernelFor>
+void dispatch_precision(const RunConfig& config, bool fill_ones, RunResult& result,
+                        KernelFor&& kernel_for) {
+  switch (config.precision) {
+    case Precision::kDouble:
+      kernel_for.template operator()<double, double>(config, fill_ones, result);
+      break;
+    case Precision::kSingle:
+      kernel_for.template operator()<float, float>(config, fill_ones, result);
+      break;
+    case Precision::kHalfIn:
+      kernel_for.template operator()<half, float>(config, fill_ones, result);
+      break;
+  }
+}
+
+}  // namespace
+
+}  // namespace detail
+
+void COpenMPRunner::execute(const RunConfig& config, Precision, RunResult& result) {
+  detail::dispatch_precision(config, false, result, [&]<class T, class Acc>(
+      const RunConfig& cfg, bool ones, RunResult& res) {
+    detail::run_cpu_gemm<T, Acc, simrt::LayoutRight>(
+        cfg, ones,
+        [](const simrt::ThreadsSpace& space, auto& A, auto& B, auto& C) {
+          gemm::gemm_openmp_style<Acc>(space, A, B, C);
+        },
+        res);
+  });
+}
+
+void KokkosCpuRunner::execute(const RunConfig& config, Precision, RunResult& result) {
+  detail::dispatch_precision(config, false, result, [&]<class T, class Acc>(
+      const RunConfig& cfg, bool ones, RunResult& res) {
+    detail::run_cpu_gemm<T, Acc, simrt::LayoutRight>(
+        cfg, ones,
+        [](const simrt::ThreadsSpace& space, auto& A, auto& B, auto& C) {
+          gemm::gemm_kokkos_style<Acc>(space, A, B, C);
+        },
+        res);
+  });
+}
+
+void JuliaCpuRunner::execute(const RunConfig& config, Precision, RunResult& result) {
+  const bool inbounds = inbounds_;
+  detail::dispatch_precision(config, false, result, [&]<class T, class Acc>(
+      const RunConfig& cfg, bool ones, RunResult& res) {
+    detail::run_cpu_gemm<T, Acc, simrt::LayoutLeft>(
+        cfg, ones,
+        [inbounds](const simrt::ThreadsSpace& space, auto& A, auto& B, auto& C) {
+          gemm::gemm_julia_style<Acc>(space, A, B, C, inbounds);
+        },
+        res);
+  });
+}
+
+void NumbaCpuRunner::execute(const RunConfig& config, Precision prec, RunResult& result) {
+  const bool ones = prec == Precision::kHalfIn && fp16_fill_ones();
+  detail::dispatch_precision(config, ones, result, [&]<class T, class Acc>(
+      const RunConfig& cfg, bool fill_ones, RunResult& res) {
+    detail::run_cpu_gemm<T, Acc, simrt::LayoutRight>(
+        cfg, fill_ones,
+        [](const simrt::ThreadsSpace& space, auto& A, auto& B, auto& C) {
+          gemm::gemm_numba_style<Acc>(space, A, B, C);
+        },
+        res);
+  });
+}
+
+}  // namespace portabench::models

@@ -1,0 +1,88 @@
+// CPU frontends: C/OpenMP, Kokkos/OpenMP, Julia @threads, Python/Numba.
+//
+// Each runner executes its Fig. 2 kernel functionally through simrt with
+// the model's own semantics:
+//   - layout: row-major (C, Kokkos host default, numpy) vs column-major
+//     (Julia),
+//   - bounds checks: unchecked (C, Kokkos, Julia @inbounds) vs checked
+//     (Numba's numpy indexing),
+//   - thread binding: close-pinned (OpenMP/Kokkos/Julia) vs unpinned
+//     (Numba has no binding API),
+//   - JIT: Julia/Numba pay a modeled one-time compilation cost on first
+//     invocation (excluded by warm-up, as in Section IV),
+//   - the numpy Float16 quirk: Numba FP16 inputs are matrices of ones.
+#pragma once
+
+#include "runner.hpp"
+
+namespace portabench::models {
+
+namespace detail {
+
+/// Shared implementation machinery for the four CPU frontends.
+class CpuRunnerBase : public ModelRunner {
+ public:
+  explicit CpuRunnerBase(Platform platform) : platform_(platform) {}
+  [[nodiscard]] Platform platform() const noexcept override { return platform_; }
+  [[nodiscard]] RunResult run(const RunConfig& config) override;
+
+ protected:
+  /// Modeled one-time JIT compilation cost (0 for ahead-of-time models).
+  [[nodiscard]] virtual double jit_cost_s() const { return 0.0; }
+  /// Whether FP16 inputs must be filled with ones (the numpy quirk).
+  [[nodiscard]] virtual bool fp16_fill_ones() const { return false; }
+  /// Execute the family's kernel for one precision.  Implemented per
+  /// family in cpu_runners.cpp.
+  virtual void execute(const RunConfig& config, Precision prec, RunResult& result) = 0;
+
+  bool jit_warmed_ = false;
+
+ private:
+  Platform platform_;
+};
+
+}  // namespace detail
+
+class COpenMPRunner final : public detail::CpuRunnerBase {
+ public:
+  using CpuRunnerBase::CpuRunnerBase;
+  [[nodiscard]] Family family() const noexcept override { return Family::kVendor; }
+
+ private:
+  void execute(const RunConfig& config, Precision prec, RunResult& result) override;
+};
+
+class KokkosCpuRunner final : public detail::CpuRunnerBase {
+ public:
+  using CpuRunnerBase::CpuRunnerBase;
+  [[nodiscard]] Family family() const noexcept override { return Family::kKokkos; }
+
+ private:
+  void execute(const RunConfig& config, Precision prec, RunResult& result) override;
+};
+
+class JuliaCpuRunner final : public detail::CpuRunnerBase {
+ public:
+  explicit JuliaCpuRunner(Platform platform, bool inbounds = true)
+      : CpuRunnerBase(platform), inbounds_(inbounds) {}
+  [[nodiscard]] Family family() const noexcept override { return Family::kJulia; }
+  [[nodiscard]] bool inbounds() const noexcept { return inbounds_; }
+
+ private:
+  double jit_cost_s() const override { return 0.35; }  // first @threads gemm call
+  void execute(const RunConfig& config, Precision prec, RunResult& result) override;
+  bool inbounds_;
+};
+
+class NumbaCpuRunner final : public detail::CpuRunnerBase {
+ public:
+  using CpuRunnerBase::CpuRunnerBase;
+  [[nodiscard]] Family family() const noexcept override { return Family::kNumba; }
+
+ private:
+  double jit_cost_s() const override { return 0.80; }  // @njit(parallel=True) compile
+  bool fp16_fill_ones() const override { return true; }
+  void execute(const RunConfig& config, Precision prec, RunResult& result) override;
+};
+
+}  // namespace portabench::models

@@ -1,0 +1,28 @@
+#include "cpu_runners.hpp"
+#include "gpu_runners.hpp"
+#include "runner.hpp"
+
+namespace portabench::models {
+
+std::unique_ptr<ModelRunner> make_runner(Platform p, Family f) {
+  if (perfmodel::is_gpu(p)) {
+    // Numba's AMD GPU target is deprecated (Section II-a).
+    if (f == Family::kNumba && p == Platform::kCrusherGpu) return nullptr;
+    switch (f) {
+      case Family::kVendor: return std::make_unique<VendorGpuRunner>(p);
+      case Family::kKokkos: return std::make_unique<KokkosGpuRunner>(p);
+      case Family::kJulia: return std::make_unique<JuliaGpuRunner>(p);
+      case Family::kNumba: return std::make_unique<NumbaGpuRunner>(p);
+    }
+    return nullptr;
+  }
+  switch (f) {
+    case Family::kVendor: return std::make_unique<COpenMPRunner>(p);
+    case Family::kKokkos: return std::make_unique<KokkosCpuRunner>(p);
+    case Family::kJulia: return std::make_unique<JuliaCpuRunner>(p);
+    case Family::kNumba: return std::make_unique<NumbaCpuRunner>(p);
+  }
+  return nullptr;
+}
+
+}  // namespace portabench::models

@@ -1,0 +1,69 @@
+// ModelRunner: the uniform frontend API over all programming models.
+//
+// A runner executes the *functional* hand-rolled GEMM of its programming
+// model (real numbers computed on this host, under the model's exact
+// layout/loop/bounds-check/launch-config semantics), validates it against
+// the reference GEMM, and reports the *modeled* performance of the same
+// kernel on the target platform from perfmodel.  This split is the
+// substitution documented in DESIGN.md: functional fidelity by execution,
+// performance fidelity by calibrated model.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+
+#include "common/precision.hpp"
+#include "gpusim/device.hpp"
+#include "perfmodel/platform.hpp"
+
+namespace portabench::models {
+
+using perfmodel::Family;
+using perfmodel::Platform;
+
+struct RunConfig {
+  std::size_t n = 256;        ///< square matrix size for the functional run
+  Precision precision = Precision::kDouble;
+  std::uint64_t seed = 0x5EED;
+  bool verify = true;         ///< compare against the reference GEMM
+  std::size_t host_threads = 2;  ///< host threads for functional execution
+};
+
+struct RunResult {
+  double checksum = 0.0;    ///< sum of all C elements (proof of execution)
+  double max_error = 0.0;   ///< max |C - C_ref| when verify was requested
+  double tolerance = 0.0;   ///< accepted bound for max_error
+  bool verified = false;    ///< verify ran and max_error <= tolerance
+  double host_seconds = 0.0;   ///< wall time of the functional run (this host)
+  double model_gflops = 0.0;   ///< perfmodel prediction for the target platform
+  double jit_seconds = 0.0;    ///< modeled JIT cost (first invocation only)
+  gpusim::DeviceCounters gpu;  ///< device activity (zeroed for CPU runners)
+};
+
+/// Abstract programming-model frontend.
+class ModelRunner {
+ public:
+  virtual ~ModelRunner() = default;
+
+  [[nodiscard]] virtual Family family() const noexcept = 0;
+  [[nodiscard]] virtual Platform platform() const noexcept = 0;
+  [[nodiscard]] virtual std::string_view name() const {
+    return perfmodel::implementation_name(platform(), family());
+  }
+
+  [[nodiscard]] virtual bool supports(Precision prec) const {
+    return perfmodel::supported(platform(), family(), prec);
+  }
+
+  /// Execute one functional GEMM run.  Throws precondition_error when the
+  /// precision is unsupported on this (platform, family).
+  [[nodiscard]] virtual RunResult run(const RunConfig& config) = 0;
+};
+
+/// Build the frontend for a (platform, family).  Returns nullptr for
+/// combinations the paper's support matrix rules out entirely (Numba on
+/// AMD GPUs).
+[[nodiscard]] std::unique_ptr<ModelRunner> make_runner(Platform p, Family f);
+
+}  // namespace portabench::models

@@ -1,0 +1,59 @@
+// SpMV frontends: the second workload through the same ModelRunner-style
+// interface.
+//
+// Each programming model keeps its native sparse convention (Section VI
+// future-work extension; see src/spmv): CSR row-parallel loops for
+// C/OpenMP, Kokkos, and Numba on the host; Julia ingests CSC
+// (SparseMatrixCSC) and parallelizes columns with privatized output; on
+// the GPU the vendor/Numba path is the scalar row-per-thread kernel and
+// Julia/Kokkos use the warp-per-row vector kernel their ecosystems ship.
+// Because SpMV is bandwidth-bound, the modeled per-family efficiencies
+// are much flatter than GEMM's — exactly the contrast the bench shows.
+#pragma once
+
+#include <memory>
+
+#include "runner.hpp"
+#include "spmv/sparse.hpp"
+
+namespace portabench::models {
+
+struct SpmvRunConfig {
+  std::size_t rows = 512;
+  std::size_t nnz_per_row = 12;
+  std::uint64_t seed = 0x5EED;
+  bool verify = true;
+  std::size_t host_threads = 2;
+};
+
+struct SpmvRunResult {
+  double checksum = 0.0;
+  double max_error = 0.0;
+  bool verified = false;
+  double host_seconds = 0.0;
+  double model_gflops = 0.0;  ///< bandwidth-roofline prediction x family factor
+  gpusim::DeviceCounters gpu;
+};
+
+/// Abstract SpMV frontend (one per family x platform, like ModelRunner).
+class SpmvRunner {
+ public:
+  virtual ~SpmvRunner() = default;
+  [[nodiscard]] virtual Family family() const noexcept = 0;
+  [[nodiscard]] virtual Platform platform() const noexcept = 0;
+  [[nodiscard]] std::string_view name() const {
+    return perfmodel::implementation_name(platform(), family());
+  }
+  [[nodiscard]] virtual SpmvRunResult run(const SpmvRunConfig& config) = 0;
+
+  /// Bandwidth-bound efficiency vs the platform's vendor SpMV: flat
+  /// compared with GEMM (codegen matters little when DRAM is the wall);
+  /// only Numba's checked gathers and Python-side loop overheads bite.
+  [[nodiscard]] static double family_bandwidth_factor(Family f);
+};
+
+/// Build the SpMV frontend; nullptr for unsupported combinations (Numba
+/// on AMD GPUs).
+[[nodiscard]] std::unique_ptr<SpmvRunner> make_spmv_runner(Platform p, Family f);
+
+}  // namespace portabench::models

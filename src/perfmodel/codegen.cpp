@@ -1,0 +1,68 @@
+#include "codegen.hpp"
+
+#include <algorithm>
+
+namespace portabench::perfmodel {
+
+CodegenProfile CodegenProfile::vendor_cpu(const CpuSpec& cpu) {
+  return {4, cpu.simd_bits, false, true, true};
+}
+
+CodegenProfile CodegenProfile::julia_cpu(const CpuSpec& cpu) {
+  // @inbounds + @threads: LLVM vectorizes the stride-1 axpy loop fully;
+  // Julia does not apply -ffast-math globally but the accumulation here
+  // is independent per element, so contraction suffices.
+  return {4, cpu.simd_bits, false, true, false};
+}
+
+CodegenProfile CodegenProfile::numba_cpu(const CpuSpec& cpu) {
+  // fastmath=True is set in the decorator (Fig. 2d), but Numba 0.55 keeps
+  // numpy's checked indexing on the fallback paths and vectorizes at
+  // reduced width on this loop shape.
+  return {2, cpu.simd_bits / 2, true, true, true};
+}
+
+CodegenProfile CodegenProfile::vendor_gpu() { return {4, 0, false, true, true}; }
+
+CodegenProfile CodegenProfile::julia_gpu() {
+  // The Section IV-B PTX observation: 2 unrolled iterations vs 4.
+  return {2, 0, false, true, true};
+}
+
+CodegenProfile CodegenProfile::numba_gpu() { return {1, 0, true, true, true}; }
+
+double cpu_inner_loop_efficiency(const CodegenProfile& profile, const CpuSpec& cpu) {
+  // Vector width: fraction of the machine's SIMD lanes actually used.
+  const double vec = profile.vector_bits == 0
+                         ? 1.0 / (static_cast<double>(cpu.simd_bits) / 64.0)
+                         : std::min(1.0, static_cast<double>(profile.vector_bits) /
+                                             static_cast<double>(cpu.simd_bits));
+  // Bounds checks insert a compare+branch per access: ~35% on this
+  // 3-load/1-store loop (empirically what `--check-bounds=yes` costs
+  // Julia on axpy-like loops).
+  const double checks = profile.bounds_checked ? 0.65 : 1.0;
+  // Without FMA contraction the mul and add issue separately.
+  const double fma = profile.fma_contraction ? 1.0 : 0.55;
+  // Unroll hides load latency; below 2 chains the FMA pipe starves.
+  const double unroll = profile.unroll >= 4 ? 1.0 : (profile.unroll >= 2 ? 0.92 : 0.75);
+  return vec * checks * fma * unroll;
+}
+
+double gpu_inner_loop_efficiency(const CodegenProfile& profile) {
+  // Dependent-FMA pipeline model: a fraction alpha of issue slots is
+  // covered by other warps (memory-latency hiding); the exposed fraction
+  // needs `kLatencyChains` independent chains to saturate.
+  constexpr double kAlpha = 0.734;
+  constexpr double kLatencyChains = 4.0;
+  const double chains = std::max(1, profile.unroll);
+  const double pipeline = kAlpha + (1.0 - kAlpha) * std::min(1.0, chains / kLatencyChains);
+  const double checks = profile.bounds_checked ? 0.80 : 1.0;  // predicated, cheaper than CPU
+  return pipeline * checks;
+}
+
+double julia_a100_unroll_ratio() {
+  return gpu_inner_loop_efficiency(CodegenProfile::julia_gpu()) /
+         gpu_inner_loop_efficiency(CodegenProfile::vendor_gpu());
+}
+
+}  // namespace portabench::perfmodel

@@ -1,0 +1,125 @@
+#include "machine_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace portabench::perfmodel {
+
+namespace {
+
+/// NUMA bandwidth derate: remote accesses deliver roughly half the local
+/// bandwidth on Zen-3-class fabrics, so effective bandwidth scales by
+/// (1 - remote_fraction / 2).
+double numa_bw_factor(const CpuSpec& spec, simrt::BindPolicy bind, std::size_t threads) {
+  const simrt::CpuTopology topo = spec.topology();
+  const simrt::Placement placement = simrt::compute_placement(topo, threads, bind);
+  const double remote = simrt::remote_access_fraction(topo, placement);
+  return 1.0 - 0.5 * remote;
+}
+
+}  // namespace
+
+double CpuMachineModel::dram_traffic_bytes(Precision prec, std::size_t n,
+                                           std::size_t threads) const {
+  PB_EXPECTS(n > 0 && threads > 0);
+  const double nn = static_cast<double>(n);
+  const double in_b = static_cast<double>(input_bytes(prec));
+  const double out_b = static_cast<double>(output_bytes(prec));
+
+  // Compulsory traffic: read A and B once, write C once (C is also read
+  // because the kernels accumulate, hence the factor 2 on out_b).
+  const double compulsory = nn * nn * (2.0 * in_b + 2.0 * out_b);
+
+  // B panel re-streaming: the i-parallel kernels walk all of B once per
+  // round of `threads` concurrent output rows; only the share of B that
+  // does not fit in the shared LLC hits DRAM again.
+  const double b_bytes = nn * nn * in_b;
+  const double uncached = std::clamp(1.0 - spec_.l3_bytes / b_bytes, 0.0, 1.0);
+  const double rounds = std::max(1.0, nn / static_cast<double>(threads) - 1.0);
+  const double restream = b_bytes * uncached * rounds;
+
+  return compulsory + restream;
+}
+
+double CpuMachineModel::utilization(std::size_t n, std::size_t threads) const {
+  PB_EXPECTS(threads > 0);
+  const double rows_per_thread =
+      static_cast<double>(n) / static_cast<double>(threads);
+  if (rows_per_thread >= 4.0) return 1.0;
+  if (rows_per_thread <= 0.0) return 1.0 / static_cast<double>(threads);
+  // Between 0 and 4 rows/thread, imbalance costs up to the ceil/floor gap.
+  const double busy = std::min(1.0, rows_per_thread);
+  return busy * (0.75 + 0.25 * rows_per_thread / 4.0);
+}
+
+TimeBreakdown CpuMachineModel::reference_time(Precision prec, std::size_t n,
+                                              std::size_t threads,
+                                              simrt::BindPolicy bind) const {
+  PB_EXPECTS(n > 0 && threads > 0);
+  TimeBreakdown out;
+  const double flops = gemm_flops(n, n, n);
+
+  const double rate =
+      spec_.peak_gflops(prec) * 1.0e9 * compute_eff_ * utilization(n, threads) *
+      (static_cast<double>(threads) / static_cast<double>(spec_.cores));
+  out.compute_s = flops / rate;
+
+  out.dram_bytes = dram_traffic_bytes(prec, n, threads);
+  const double bw =
+      spec_.mem_bw_gbs * 1.0e9 * bw_eff_ * numa_bw_factor(spec_, bind, threads);
+  out.memory_s = out.dram_bytes / bw;
+
+  out.overhead_s = spec_.fork_join_us * 1.0e-6;
+  out.memory_bound = out.memory_s > out.compute_s;
+  out.total_s = std::max(out.compute_s, out.memory_s) + out.overhead_s;
+  out.gflops = gflops(flops, out.total_s);
+  return out;
+}
+
+double GpuMachineModel::dram_traffic_bytes(Precision prec, std::size_t n,
+                                           std::size_t tile) const {
+  PB_EXPECTS(n > 0 && tile > 0);
+  const double nn = static_cast<double>(n);
+  const double in_b = static_cast<double>(input_bytes(prec));
+  const double out_b = static_cast<double>(output_bytes(prec));
+  const double tiles_per_side = std::ceil(nn / static_cast<double>(tile));
+
+  // Per output tile: tile rows of A (length n) + tile columns of B
+  // (length n).  Tile-to-tile reuse through L2 is limited; we model the
+  // A panel as L2-resident across a row of tiles (it is read by every
+  // tile in that row back-to-back) when it fits.
+  const double a_panel_bytes = static_cast<double>(tile) * nn * in_b;
+  const double a_reuse = (a_panel_bytes <= spec_.l2_bytes) ? tiles_per_side : 1.0;
+  const double a_traffic = tiles_per_side * tiles_per_side * a_panel_bytes / a_reuse;
+  const double b_traffic = tiles_per_side * tiles_per_side * static_cast<double>(tile) * nn * in_b;
+  const double c_traffic = nn * nn * out_b;
+  return a_traffic + b_traffic + c_traffic;
+}
+
+TimeBreakdown GpuMachineModel::reference_time(Precision prec, std::size_t n,
+                                              std::size_t tile) const {
+  PB_EXPECTS(n > 0 && tile > 0);
+  TimeBreakdown out;
+  const double flops = gemm_flops(n, n, n);
+
+  out.compute_s = flops / (spec_.peak_gflops(prec) * 1.0e9 * compute_eff_);
+  out.dram_bytes = dram_traffic_bytes(prec, n, tile);
+  out.memory_s = out.dram_bytes / (spec_.mem_bw_gbs * 1.0e9 * bw_eff_);
+
+  // Wave quantization: few-block grids underfill the device.
+  const double tiles = std::ceil(static_cast<double>(n) / static_cast<double>(tile));
+  const double blocks = tiles * tiles;
+  const double fill = std::min(1.0, blocks / static_cast<double>(spec_.sm_count));
+  out.compute_s /= fill;
+
+  out.overhead_s = spec_.launch_latency_us * 1.0e-6;
+  out.memory_bound = out.memory_s > out.compute_s;
+  out.total_s = std::max(out.compute_s, out.memory_s) + out.overhead_s;
+  out.gflops = gflops(flops, out.total_s);
+  return out;
+}
+
+}  // namespace portabench::perfmodel

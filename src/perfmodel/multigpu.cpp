@@ -1,0 +1,91 @@
+#include "multigpu.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace portabench::perfmodel {
+
+namespace {
+
+/// Effective per-device link bandwidth when `devices` stage concurrently:
+/// each device has its own link, but all links drain the same host
+/// memory, capping the aggregate at host_bw_gbs.
+double contended_bw(const LinkSpec& link, std::size_t devices, double host_bw_gbs) {
+  const double aggregate = std::min(link.bw_gbs * static_cast<double>(devices), host_bw_gbs);
+  return aggregate / static_cast<double>(devices);
+}
+
+MultiGpuPoint make_point(std::size_t devices, double kernel_s, double transfer_s,
+                         double base_total) {
+  MultiGpuPoint p;
+  p.devices = devices;
+  p.kernel_s = kernel_s;
+  p.transfer_s = transfer_s;
+  p.total_s = kernel_s + transfer_s;
+  p.speedup = base_total / p.total_s;
+  p.efficiency = p.speedup / static_cast<double>(devices);
+  return p;
+}
+
+}  // namespace
+
+std::vector<MultiGpuPoint> strong_scaling_gemm(const GpuMachineModel& model,
+                                               const LinkSpec& link, Precision prec,
+                                               std::size_t n, std::size_t max_devices,
+                                               double host_bw_gbs) {
+  PB_EXPECTS(n > 0 && max_devices >= 1);
+  std::vector<MultiGpuPoint> out;
+  const double nn = static_cast<double>(n);
+  const double in_b = static_cast<double>(input_bytes(prec));
+  const double out_b = static_cast<double>(output_bytes(prec));
+
+  double base_total = 0.0;
+  for (std::size_t g = 1; g <= max_devices; ++g) {
+    // Per-device block: m/G rows of A + all of B in, m/G rows of C out.
+    const double rows = nn / static_cast<double>(g);
+    const double bytes_in = rows * nn * in_b + nn * nn * in_b;  // A block + full B
+    const double bytes_out = rows * nn * out_b;
+    const double bw = contended_bw(link, g, host_bw_gbs);
+    const double transfer =
+        link.latency_us * 1.0e-6 + (bytes_in + bytes_out) / (bw * 1.0e9);
+
+    // Per-device kernel: an (n/G) x n x n GEMM.  Approximate its time by
+    // scaling the full kernel's FLOP share while keeping the full kernel's
+    // rate at this n (the row partition keeps the inner dimensions).
+    const double full_kernel = model.reference_time(prec, n).total_s;
+    const double kernel = full_kernel / static_cast<double>(g);
+
+    if (g == 1) base_total = kernel + transfer;
+    out.push_back(make_point(g, kernel, transfer, base_total));
+  }
+  return out;
+}
+
+std::vector<MultiGpuPoint> weak_scaling_gemm(const GpuMachineModel& model,
+                                             const LinkSpec& link, Precision prec,
+                                             std::size_t n, std::size_t max_devices,
+                                             double host_bw_gbs) {
+  PB_EXPECTS(n > 0 && max_devices >= 1);
+  std::vector<MultiGpuPoint> out;
+  const double nn = static_cast<double>(n);
+  const double bytes_in = 2.0 * nn * nn * static_cast<double>(input_bytes(prec));
+  const double bytes_out = nn * nn * static_cast<double>(output_bytes(prec));
+  const double kernel = model.reference_time(prec, n).total_s;
+
+  double base_total = 0.0;
+  for (std::size_t g = 1; g <= max_devices; ++g) {
+    const double bw = contended_bw(link, g, host_bw_gbs);
+    const double transfer =
+        link.latency_us * 1.0e-6 + (bytes_in + bytes_out) / (bw * 1.0e9);
+    if (g == 1) base_total = kernel + transfer;
+    // Weak scaling: throughput metric — speedup counts problems solved.
+    MultiGpuPoint p = make_point(g, kernel, transfer, base_total);
+    p.speedup = static_cast<double>(g) * base_total / p.total_s;
+    p.efficiency = p.speedup / static_cast<double>(g);
+    out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace portabench::perfmodel

@@ -1,0 +1,43 @@
+// Multi-device scaling model.
+//
+// The paper measures single-GPU performance, but the nodes it describes
+// carry more: Crusher has 8 MI250X GCDs and Wombat 2 A100s (Section I).
+// This extension models the obvious next experiment — splitting the GEMM
+// across G devices — with the two effects that dominate in practice:
+// host-link contention (all devices share host memory bandwidth when
+// staging operands) and the per-device efficiency loss when the partition
+// shrinks the per-device problem.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "interconnect.hpp"
+#include "machine_model.hpp"
+
+namespace portabench::perfmodel {
+
+struct MultiGpuPoint {
+  std::size_t devices = 1;
+  double kernel_s = 0.0;       ///< slowest device's kernel time
+  double transfer_s = 0.0;     ///< staging time under link contention
+  double total_s = 0.0;
+  double speedup = 1.0;        ///< vs the 1-device total
+  double efficiency = 1.0;     ///< speedup / devices
+};
+
+/// Strong-scaling sweep: one n x n GEMM row-partitioned across
+/// 1..max_devices devices.  Each device computes an m/G x n block
+/// (reading its A rows and all of B), links share `host_bw_share` of the
+/// aggregate host bandwidth when more than one device stages at once.
+[[nodiscard]] std::vector<MultiGpuPoint> strong_scaling_gemm(
+    const GpuMachineModel& model, const LinkSpec& link, Precision prec, std::size_t n,
+    std::size_t max_devices, double host_bw_gbs = 170.0);
+
+/// Weak-scaling sweep: every device gets its own full n x n GEMM
+/// (batched independent problems), contending only for the host link.
+[[nodiscard]] std::vector<MultiGpuPoint> weak_scaling_gemm(
+    const GpuMachineModel& model, const LinkSpec& link, Precision prec, std::size_t n,
+    std::size_t max_devices, double host_bw_gbs = 170.0);
+
+}  // namespace portabench::perfmodel

@@ -1,0 +1,92 @@
+#include "paper_data.hpp"
+
+#include <algorithm>
+
+#include "common/stats.hpp"
+#include "predict.hpp"
+
+namespace portabench::perfmodel {
+
+namespace {
+
+struct Cell {
+  Family family;
+  Precision precision;
+  Platform platform;
+  double value;
+};
+
+// Table III of the paper, verbatim.
+constexpr Cell kTable3[] = {
+    // Double precision.
+    {Family::kKokkos, Precision::kDouble, Platform::kCrusherCpu, 0.994},
+    {Family::kKokkos, Precision::kDouble, Platform::kWombatCpu, 0.854},
+    {Family::kKokkos, Precision::kDouble, Platform::kCrusherGpu, 0.842},
+    {Family::kKokkos, Precision::kDouble, Platform::kWombatGpu, 0.260},
+    {Family::kJulia, Precision::kDouble, Platform::kCrusherCpu, 0.912},
+    {Family::kJulia, Precision::kDouble, Platform::kWombatCpu, 0.907},
+    {Family::kJulia, Precision::kDouble, Platform::kCrusherGpu, 0.903},
+    {Family::kJulia, Precision::kDouble, Platform::kWombatGpu, 0.867},
+    {Family::kNumba, Precision::kDouble, Platform::kCrusherCpu, 0.550},
+    {Family::kNumba, Precision::kDouble, Platform::kWombatCpu, 0.713},
+    {Family::kNumba, Precision::kDouble, Platform::kWombatGpu, 0.130},
+    // Single precision.
+    {Family::kKokkos, Precision::kSingle, Platform::kCrusherCpu, 1.014},
+    {Family::kKokkos, Precision::kSingle, Platform::kWombatCpu, 0.836},
+    {Family::kKokkos, Precision::kSingle, Platform::kCrusherGpu, 0.677},
+    {Family::kKokkos, Precision::kSingle, Platform::kWombatGpu, 0.208},
+    {Family::kJulia, Precision::kSingle, Platform::kCrusherCpu, 0.976},
+    {Family::kJulia, Precision::kSingle, Platform::kWombatCpu, 0.900},
+    {Family::kJulia, Precision::kSingle, Platform::kCrusherGpu, 1.050},
+    {Family::kJulia, Precision::kSingle, Platform::kWombatGpu, 0.600},
+    {Family::kNumba, Precision::kSingle, Platform::kCrusherCpu, 0.655},
+    {Family::kNumba, Precision::kSingle, Platform::kWombatCpu, 0.400},
+    {Family::kNumba, Precision::kSingle, Platform::kWombatGpu, 0.095},
+};
+
+struct PhiRow {
+  Family family;
+  Precision precision;
+  double value;
+};
+
+constexpr PhiRow kPhi[] = {
+    {Family::kKokkos, Precision::kDouble, 0.738}, {Family::kJulia, Precision::kDouble, 0.897},
+    {Family::kNumba, Precision::kDouble, 0.348},  {Family::kKokkos, Precision::kSingle, 0.684},
+    {Family::kJulia, Precision::kSingle, 0.882},  {Family::kNumba, Precision::kSingle, 0.288},
+};
+
+}  // namespace
+
+std::optional<double> paper_table3_efficiency(Family f, Precision prec, Platform p) {
+  for (const auto& cell : kTable3) {
+    if (cell.family == f && cell.precision == prec && cell.platform == p) return cell.value;
+  }
+  return std::nullopt;
+}
+
+double paper_table3_phi(Family f, Precision prec) {
+  for (const auto& row : kPhi) {
+    if (row.family == f && row.precision == prec) return row.value;
+  }
+  return 0.0;
+}
+
+std::vector<Deviation> table3_deviation_report() {
+  std::vector<Deviation> out;
+  for (const auto& cell : kTable3) {
+    const auto model = predict_sweep(cell.platform, cell.family, cell.precision);
+    const auto vendor = predict_sweep(cell.platform, Family::kVendor, cell.precision);
+    if (model.empty() || vendor.empty()) continue;
+    std::vector<double> eff;
+    for (std::size_t i = 0; i < model.size(); ++i) {
+      eff.push_back(model[i].gflops / vendor[i].gflops);
+    }
+    out.push_back({cell.family, cell.precision, cell.platform, cell.value, mean_of(eff)});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Deviation& a, const Deviation& b) { return a.abs_error() > b.abs_error(); });
+  return out;
+}
+
+}  // namespace portabench::perfmodel

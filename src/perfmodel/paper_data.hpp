@@ -1,0 +1,39 @@
+// The paper's published numbers, as data.
+//
+// Table III of Godoy et al. (IPDPSW 2023) verbatim: the per-architecture
+// performance efficiencies of each portable model and the Phi_M values.
+// Used by the Table III bench for side-by-side reporting and by the
+// deviation report that EXPERIMENTS.md quotes.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "platform.hpp"
+
+namespace portabench::perfmodel {
+
+/// e_i from the paper's Table III; nullopt where the paper prints "-"
+/// (Numba on the MI250X).
+[[nodiscard]] std::optional<double> paper_table3_efficiency(Family f, Precision prec,
+                                                            Platform p);
+
+/// Phi_M from the paper's Table III.
+[[nodiscard]] double paper_table3_phi(Family f, Precision prec);
+
+/// One row of the model-vs-paper comparison.
+struct Deviation {
+  Family family;
+  Precision precision;
+  Platform platform;
+  double paper = 0.0;
+  double modeled = 0.0;
+  [[nodiscard]] double abs_error() const { return modeled > paper ? modeled - paper : paper - modeled; }
+};
+
+/// Compare the calibrated model's sweep-mean efficiencies against every
+/// paper cell; sorted worst-first.
+[[nodiscard]] std::vector<Deviation> table3_deviation_report();
+
+}  // namespace portabench::perfmodel

@@ -1,0 +1,71 @@
+#include "platform.hpp"
+
+namespace portabench::perfmodel {
+
+std::string_view implementation_name(Platform p, Family f) {
+  switch (f) {
+    case Family::kVendor:
+      switch (p) {
+        case Platform::kCrusherCpu:
+        case Platform::kWombatCpu: return "C/OpenMP";
+        case Platform::kCrusherGpu: return "HIP";
+        case Platform::kWombatGpu: return "CUDA";
+      }
+      break;
+    case Family::kKokkos:
+      switch (p) {
+        case Platform::kCrusherCpu:
+        case Platform::kWombatCpu: return "Kokkos/OpenMP";
+        case Platform::kCrusherGpu: return "Kokkos/HIP";
+        case Platform::kWombatGpu: return "Kokkos/CUDA";
+      }
+      break;
+    case Family::kJulia:
+      switch (p) {
+        case Platform::kCrusherCpu:
+        case Platform::kWombatCpu: return "Julia Threads";
+        case Platform::kCrusherGpu: return "Julia AMDGPU.jl";
+        case Platform::kWombatGpu: return "Julia CUDA.jl";
+      }
+      break;
+    case Family::kNumba:
+      switch (p) {
+        case Platform::kCrusherCpu:
+        case Platform::kWombatCpu: return "Python/Numba";
+        case Platform::kCrusherGpu: return "Python/Numba (unsupported)";
+        case Platform::kWombatGpu: return "Numba CUDA";
+      }
+      break;
+  }
+  return "?";
+}
+
+bool supported(Platform p, Family f, Precision prec) {
+  // Numba's AMD GPU target is deprecated (Section II-a, footnote 3).
+  if (f == Family::kNumba && p == Platform::kCrusherGpu) return false;
+
+  if (prec == Precision::kHalfIn) {
+    // Half precision (Section IV): seamless in Julia on every platform
+    // (low performance on AMD CPUs, but it runs); available in
+    // Python/Numba with the matrices-of-ones workaround on CPU and on
+    // NVIDIA GPUs; not provided by the vendor C kernels or Kokkos in the
+    // paper's setup.
+    switch (f) {
+      case Family::kJulia: return true;
+      case Family::kNumba: return p != Platform::kCrusherGpu;
+      case Family::kVendor:
+      case Family::kKokkos: return false;
+    }
+  }
+  return true;
+}
+
+std::vector<Family> figure_families(Platform p, Precision prec) {
+  std::vector<Family> out;
+  for (Family f : kAllFamilies) {
+    if (supported(p, f, prec)) out.push_back(f);
+  }
+  return out;
+}
+
+}  // namespace portabench::perfmodel

@@ -1,0 +1,90 @@
+// Platform / programming-model taxonomy of the study.
+//
+// Four hardware targets (Table I/II) x four portable-model families, with
+// the vendor-specific model (C/OpenMP on CPUs, CUDA/HIP on GPUs) as the
+// efficiency reference of Eq. (2).  The support() predicate encodes the
+// paper's compatibility matrix, including Numba's deprecated AMD GPU
+// support and the half-precision caveats of Sections IV-A/IV-B.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "common/precision.hpp"
+
+namespace portabench::perfmodel {
+
+/// The four single-node targets of Tables I and II.
+enum class Platform {
+  kCrusherCpu,  ///< AMD EPYC 7A53, 64 cores, 4 NUMA domains
+  kWombatCpu,   ///< Ampere Altra (Arm Neoverse), 80 cores, 1 NUMA domain
+  kCrusherGpu,  ///< AMD MI250X (one GCD)
+  kWombatGpu,   ///< NVIDIA A100
+};
+
+/// Programming-model family.  kVendor is the architecture-specific
+/// reference: C/OpenMP on CPU platforms, CUDA on NVIDIA, HIP on AMD.
+enum class Family {
+  kVendor,
+  kKokkos,
+  kJulia,
+  kNumba,
+};
+
+inline constexpr Platform kAllPlatforms[] = {Platform::kCrusherCpu, Platform::kWombatCpu,
+                                             Platform::kCrusherGpu, Platform::kWombatGpu};
+inline constexpr Family kAllFamilies[] = {Family::kVendor, Family::kKokkos, Family::kJulia,
+                                          Family::kNumba};
+inline constexpr Family kPortableFamilies[] = {Family::kKokkos, Family::kJulia, Family::kNumba};
+
+[[nodiscard]] constexpr bool is_gpu(Platform p) noexcept {
+  return p == Platform::kCrusherGpu || p == Platform::kWombatGpu;
+}
+
+[[nodiscard]] constexpr std::string_view name(Platform p) noexcept {
+  switch (p) {
+    case Platform::kCrusherCpu: return "Crusher EPYC 7A53";
+    case Platform::kWombatCpu: return "Wombat Ampere Altra";
+    case Platform::kCrusherGpu: return "Crusher MI250X";
+    case Platform::kWombatGpu: return "Wombat A100";
+  }
+  return "?";
+}
+
+/// Short architecture label as used in Table III rows (e_{...}).
+[[nodiscard]] constexpr std::string_view arch_label(Platform p) noexcept {
+  switch (p) {
+    case Platform::kCrusherCpu: return "Epyc 7A53";
+    case Platform::kWombatCpu: return "Ampere Altra";
+    case Platform::kCrusherGpu: return "MI250x";
+    case Platform::kWombatGpu: return "A100";
+  }
+  return "?";
+}
+
+/// Family name in the abstract sense ("Kokkos", "Julia", ...).
+[[nodiscard]] constexpr std::string_view name(Family f) noexcept {
+  switch (f) {
+    case Family::kVendor: return "Vendor";
+    case Family::kKokkos: return "Kokkos";
+    case Family::kJulia: return "Julia";
+    case Family::kNumba: return "Python/Numba";
+  }
+  return "?";
+}
+
+/// Concrete implementation name of a family on a platform, e.g.
+/// (kJulia, kCrusherGpu) -> "Julia AMDGPU.jl", (kVendor, kWombatGpu) ->
+/// "CUDA".  Returns the paper's Figs. 4-7 legend strings.
+[[nodiscard]] std::string_view implementation_name(Platform p, Family f);
+
+/// True when the paper ran (or could run) this combination.  Numba has no
+/// AMD GPU path; FP16 is Julia-only on GPUs plus Numba-CUDA on A100, and
+/// Julia/Numba on CPUs (vendor C and Kokkos have no seamless FP16 story,
+/// Section IV).
+[[nodiscard]] bool supported(Platform p, Family f, Precision prec);
+
+/// Platforms, in figure order, with the families each figure plots.
+[[nodiscard]] std::vector<Family> figure_families(Platform p, Precision prec);
+
+}  // namespace portabench::perfmodel

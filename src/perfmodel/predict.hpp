@@ -1,0 +1,42 @@
+// Prediction API: the single entry point benches and examples use to
+// obtain modeled GFLOPS for any (platform, family, precision, size).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "machine_model.hpp"
+#include "platform.hpp"
+#include "traits.hpp"
+
+namespace portabench::perfmodel {
+
+/// The matrix-size sweeps of the paper's figures: CPU figures sweep
+/// 1024..16384; GPU figures sweep 4096..20480 in steps of 1024
+/// (Appendix A launch scripts).
+[[nodiscard]] std::vector<std::size_t> standard_sizes(Platform p);
+
+/// One predicted point.
+struct Prediction {
+  double gflops = 0.0;        ///< modeled rate of the requested model
+  double ref_gflops = 0.0;    ///< vendor reference rate at the same point
+  double efficiency = 0.0;    ///< gflops / ref_gflops (Eq. 2)
+  TimeBreakdown reference;    ///< decomposed vendor-reference prediction
+};
+
+/// Predict the modeled performance of (family, precision) on a platform
+/// at matrix size n.  Returns std::nullopt for unsupported combinations.
+[[nodiscard]] std::optional<Prediction> predict(Platform p, Family f, Precision prec,
+                                                std::size_t n);
+
+/// Predict a whole size sweep (standard sizes); unsupported combinations
+/// yield an empty vector.
+[[nodiscard]] std::vector<Prediction> predict_sweep(Platform p, Family f, Precision prec);
+
+/// Access to the underlying machine models (ablation benches vary their
+/// parameters directly).
+[[nodiscard]] CpuMachineModel cpu_model_for(Platform p);
+[[nodiscard]] GpuMachineModel gpu_model_for(Platform p);
+
+}  // namespace portabench::perfmodel

@@ -1,0 +1,64 @@
+// Calibrated programming-model traits.
+//
+// Each (platform, family, precision) combination carries the parameters
+// that transform the vendor-reference curve of machine_model.hpp into the
+// portable model's curve.  The plateau efficiency values are calibrated
+// against Table III of the paper; the shape parameters encode the
+// qualitative observations of Section IV (constant overheads, the Kokkos
+// MI250X largest-size dip, the declining Kokkos FP32 trend, ...).  Every
+// value is documented against the paper sentence that motivates it in
+// calibration.cpp.
+#pragma once
+
+#include <optional>
+
+#include "common/precision.hpp"
+#include "platform.hpp"
+#include "simrt/affinity.hpp"
+
+namespace portabench::perfmodel {
+
+struct ModelTraits {
+  /// Plateau efficiency vs. the vendor reference (Eq. 2 ratio).  1.0 for
+  /// the vendor model itself.
+  double rel_eff = 1.0;
+
+  /// Fixed per-invocation dispatch overhead (JIT-warmed; the warm-up
+  /// repetitions of Section IV have already absorbed compilation).
+  double overhead_us = 0.0;
+
+  /// Linear efficiency drift across the standard size sweep, expressed as
+  /// the total relative change from the first to the last sweep point,
+  /// centred so the sweep mean stays at rel_eff (e.g. -0.4 means the
+  /// efficiency falls from rel_eff*1.2 to rel_eff*0.8 across the sweep).
+  double sweep_slope = 0.0;
+
+  /// Extra multiplier applied only at the largest sweep size (models the
+  /// "repeatable slowdown at the largest size" of Kokkos/HIP FP64).
+  double largest_size_factor = 1.0;
+
+  /// Thread binding the model can express (CPU platforms): OpenMP and
+  /// Julia pin; Numba cannot (Section III-A).  Informs the NUMA ablation.
+  simrt::BindPolicy bind = simrt::BindPolicy::kClose;
+
+  /// Unrolled inner-loop factor observed in generated code (Section IV-B:
+  /// PTX shows 2 for CUDA.jl vs 4 for native CUDA on the A100).
+  int unroll = 4;
+
+  /// Paper sentence or table cell motivating these values.
+  const char* provenance = "";
+};
+
+/// Look up the calibrated traits.  Returns std::nullopt when the paper's
+/// support matrix says the combination cannot run (Numba on AMD GPUs,
+/// FP16 outside Julia/Numba).
+[[nodiscard]] std::optional<ModelTraits> traits_for(Platform p, Family f, Precision prec);
+
+/// For FP16 the paper has no vendor reference; model curves are anchored
+/// to the same family's FP32 curve instead.  This returns the calibrated
+/// FP16-vs-own-FP32 factor (Section IV: "no performance gains over the
+/// single-precision counterparts" on GPUs; native-FP16 speedup on Arm;
+/// "very low performance" on AMD CPUs).
+[[nodiscard]] double fp16_vs_fp32_factor(Platform p, Family f);
+
+}  // namespace portabench::perfmodel

@@ -1,0 +1,60 @@
+#include "variability.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace portabench::perfmodel {
+
+VariabilitySpec VariabilitySpec::for_platform(Platform p) {
+  VariabilitySpec v;
+  switch (p) {
+    case Platform::kCrusherCpu:
+      v.cv = 0.030;  // 4 NUMA domains, OS noise across 64 cores
+      v.cold_start_factor = 0.60;
+      break;
+    case Platform::kWombatCpu:
+      v.cv = 0.020;
+      v.cold_start_factor = 0.50;
+      break;
+    case Platform::kCrusherGpu:
+      // Fig. 6b: Julia's small FP32 advantage "could simply be the
+      // variability on this particular system" — a visible but small CV.
+      v.cv = 0.015;
+      v.cold_start_factor = 2.0;  // first kernel pays module load / warm clocks
+      break;
+    case Platform::kWombatGpu:
+      v.cv = 0.008;
+      v.cold_start_factor = 2.0;
+      break;
+  }
+  return v;
+}
+
+std::vector<double> sample_timings(const VariabilitySpec& spec, double modeled_seconds,
+                                   std::size_t reps, std::uint64_t seed) {
+  PB_EXPECTS(modeled_seconds > 0.0);
+  PB_EXPECTS(spec.cv >= 0.0);
+  std::vector<double> out;
+  out.reserve(reps);
+  Xoshiro256 rng(seed);
+
+  // Log-normal with median modeled_seconds: exp(sigma * z), sigma ~ cv
+  // for small cv.  z from the Box-Muller transform.
+  const double sigma = spec.cv;
+  auto draw = [&] {
+    const double u1 = std::max(rng.uniform(), 1e-12);
+    const double u2 = rng.uniform();
+    const double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+    return modeled_seconds * std::exp(sigma * z);
+  };
+
+  for (std::size_t r = 0; r < reps; ++r) {
+    double t = draw();
+    if (r == 0) t += modeled_seconds * spec.cold_start_factor;
+    out.push_back(t);
+  }
+  return out;
+}
+
+}  // namespace portabench::perfmodel

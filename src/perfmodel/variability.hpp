@@ -1,0 +1,42 @@
+// Run-to-run variability model.
+//
+// Section IV: "the results are the most likely performance value without
+// doing an exhaustive variability analysis ... We consider that
+// variability is at face value a characteristic of the system, rather
+// than an effect of the programming model per-se."  This module supplies
+// that system characteristic: a deterministic (seeded) log-normal jitter
+// around the modeled time, with coefficients of variation taken per
+// platform class, so harnesses can report mean +/- stddev bands and tests
+// can exercise the measurement protocol end to end.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "platform.hpp"
+
+namespace portabench::perfmodel {
+
+/// Variability characteristics of one platform.
+struct VariabilitySpec {
+  /// Coefficient of variation of repeated kernel timings.
+  double cv = 0.01;
+  /// Relative magnitude of the cold-start (first repetition) excess —
+  /// the warm-up the paper's protocol discards.
+  double cold_start_factor = 1.0;
+
+  /// The per-platform characteristics: dedicated GPU runs are tight
+  /// (~1%), multi-NUMA CPU runs wander more (~3%), single-NUMA Arm sits
+  /// between.
+  static VariabilitySpec for_platform(Platform p);
+};
+
+/// Draw `reps` simulated timings around `modeled_seconds`: the first
+/// repetition carries the cold-start excess, the rest are log-normal
+/// jitter with the spec's CV.  Deterministic for a fixed seed.
+[[nodiscard]] std::vector<double> sample_timings(const VariabilitySpec& spec,
+                                                 double modeled_seconds, std::size_t reps,
+                                                 std::uint64_t seed);
+
+}  // namespace portabench::perfmodel

@@ -1,0 +1,98 @@
+#include "metric.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "perfmodel/predict.hpp"
+
+namespace portabench::portability {
+
+double series_efficiency(std::span<const double> model_gflops,
+                         std::span<const double> vendor_gflops) {
+  PB_EXPECTS(model_gflops.size() == vendor_gflops.size());
+  PB_EXPECTS(!model_gflops.empty());
+  std::vector<double> ratios;
+  ratios.reserve(model_gflops.size());
+  for (std::size_t i = 0; i < model_gflops.size(); ++i) {
+    PB_EXPECTS(vendor_gflops[i] > 0.0);
+    ratios.push_back(model_gflops[i] / vendor_gflops[i]);
+  }
+  return mean_of(ratios);
+}
+
+double phi_arithmetic(std::span<const EfficiencyEntry> entries) {
+  if (entries.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& e : entries) {
+    if (e.supported) sum += e.efficiency;  // unsupported contributes 0 to the numerator
+  }
+  return sum / static_cast<double>(entries.size());
+}
+
+double phi_pennycook(std::span<const EfficiencyEntry> entries) {
+  std::vector<double> values;
+  for (const auto& e : entries) {
+    if (!e.supported) return 0.0;  // fails anywhere => not portable
+    values.push_back(e.efficiency);
+  }
+  return harmonic_mean_of(values);
+}
+
+double phi_harmonic_supported(std::span<const EfficiencyEntry> entries) {
+  std::vector<double> supported;
+  for (const auto& e : entries) {
+    if (e.supported) supported.push_back(e.efficiency);
+  }
+  return harmonic_mean_of(supported);
+}
+
+std::vector<FamilyPortability> build_table3() {
+  using perfmodel::kAllPlatforms;
+  using perfmodel::kPortableFamilies;
+  std::vector<FamilyPortability> out;
+
+  for (Precision prec : {Precision::kDouble, Precision::kSingle}) {
+    for (Family family : kPortableFamilies) {
+      FamilyPortability fp;
+      fp.family = family;
+      fp.precision = prec;
+      for (Platform platform : kAllPlatforms) {
+        EfficiencyEntry entry;
+        entry.platform = platform;
+        const auto model = perfmodel::predict_sweep(platform, family, prec);
+        const auto vendor = perfmodel::predict_sweep(platform, Family::kVendor, prec);
+        if (model.empty() || vendor.empty()) {
+          entry.supported = false;
+        } else {
+          std::vector<double> m;
+          std::vector<double> v;
+          for (const auto& pt : model) m.push_back(pt.gflops);
+          for (const auto& pt : vendor) v.push_back(pt.gflops);
+          entry.efficiency = series_efficiency(m, v);
+        }
+        fp.entries.push_back(entry);
+      }
+      fp.phi = phi_arithmetic(fp.entries);
+      out.push_back(std::move(fp));
+    }
+  }
+  return out;
+}
+
+std::vector<double> cascade(std::span<const EfficiencyEntry> entries) {
+  std::vector<double> effs;
+  for (const auto& e : entries) {
+    if (e.supported) effs.push_back(e.efficiency);
+  }
+  std::sort(effs.rbegin(), effs.rend());
+  std::vector<double> out;
+  std::vector<double> prefix;
+  for (double e : effs) {
+    prefix.push_back(e);
+    out.push_back(mean_of(prefix));
+  }
+  return out;
+}
+
+}  // namespace portabench::portability

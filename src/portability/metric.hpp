@@ -1,0 +1,67 @@
+// Performance-portability metrics (Section V).
+//
+// Implements the paper's Eq. (1): Phi_M = sum_i e_i(a) / |T| over the set
+// of platforms T that support model M, with e_i the ratio of the portable
+// model's performance to the vendor implementation on platform i
+// (Eq. (2)).  Also provides Pennycook's original harmonic-mean variant
+// [57] and the zero-for-unsupported convention, so the metric-definition
+// ablation can contrast the choices the literature debates [58].
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/precision.hpp"
+#include "perfmodel/platform.hpp"
+
+namespace portabench::portability {
+
+using perfmodel::Family;
+using perfmodel::Platform;
+
+/// Efficiency of one (model, platform) pair: Eq. (2).
+struct EfficiencyEntry {
+  Platform platform;
+  double efficiency = 0.0;  ///< model perf / vendor perf, averaged over the sweep
+  bool supported = true;
+};
+
+/// e_i from two aligned performance series (model and vendor reference
+/// at the same sizes): the mean of the pointwise ratios.
+[[nodiscard]] double series_efficiency(std::span<const double> model_gflops,
+                                       std::span<const double> vendor_gflops);
+
+/// Phi_M per the paper's Eq. (1): arithmetic mean of e_i over all |T|
+/// platforms, with unsupported platforms contributing zero.  This is the
+/// convention Table III uses: Numba's Phi of 0.348 is
+/// (0.550 + 0.713 + 0 + 0.130) / 4, charging the missing AMD GPU backend
+/// against the model.
+[[nodiscard]] double phi_arithmetic(std::span<const EfficiencyEntry> entries);
+
+/// Pennycook's original metric [57]: harmonic mean over supported
+/// platforms, but 0 if *any* platform in the set is unsupported.
+[[nodiscard]] double phi_pennycook(std::span<const EfficiencyEntry> entries);
+
+/// Harmonic mean over supported platforms only (the relaxed variant
+/// discussed by Marowka [58]).
+[[nodiscard]] double phi_harmonic_supported(std::span<const EfficiencyEntry> entries);
+
+/// One row block of Table III for a family at a precision.
+struct FamilyPortability {
+  Family family;
+  Precision precision;
+  std::vector<EfficiencyEntry> entries;  ///< one per platform, Table III order
+  double phi = 0.0;                      ///< Eq. (1)
+};
+
+/// Build the modeled Table III: per portable family and precision
+/// (double, single), efficiencies on the four platforms and Phi_M.
+[[nodiscard]] std::vector<FamilyPortability> build_table3();
+
+/// Performance-portability "cascade" (Pennycook): Phi as a function of
+/// the number of platforms included, sorted best-first.  Shows how each
+/// added platform erodes a model's score.
+[[nodiscard]] std::vector<double> cascade(std::span<const EfficiencyEntry> entries);
+
+}  // namespace portabench::portability

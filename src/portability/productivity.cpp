@@ -1,0 +1,66 @@
+#include "productivity.hpp"
+
+#include "common/error.hpp"
+#include "snippets.hpp"
+
+namespace portabench::portability {
+
+std::string_view name(Mechanism m) {
+  switch (m) {
+    case Mechanism::kPragma: return "pragma";
+    case Mechanism::kLambda: return "lambda";
+    case Mechanism::kMacro: return "macro";
+    case Mechanism::kDecorator: return "decorator";
+    case Mechanism::kKernel: return "device kernel";
+  }
+  return "?";
+}
+
+std::vector<EffortProfile> study_profiles() {
+  // Kernel SLOC is *counted from the paper's own Fig. 2 / Fig. 3
+  // listings* (snippets.cpp); only the allocation/launch harness
+  // estimates are asserted here.
+  auto sloc = [](Family f, bool gpu) { return snippet_sloc(f, gpu); };
+  return {
+      // --- CPU (Fig. 2) ---
+      {Family::kVendor, false, "C/OpenMP", sloc(Family::kVendor, false), 8,
+       Mechanism::kPragma, /*pin*/ true, /*rebuild*/ false, /*fp16*/ false, /*compile*/ 3},
+      {Family::kKokkos, false, "Kokkos/OpenMP", sloc(Family::kKokkos, false), 14,
+       Mechanism::kLambda, true, true, false, 45},
+      {Family::kJulia, false, "Julia Threads", sloc(Family::kJulia, false), 4,
+       Mechanism::kMacro, true, false, true, 1},
+      {Family::kNumba, false, "Python/Numba", sloc(Family::kNumba, false), 5,
+       Mechanism::kDecorator, false, false, false, 1},
+      // --- GPU (Fig. 3) ---
+      {Family::kVendor, true, "CUDA/HIP", sloc(Family::kVendor, true), 16,
+       Mechanism::kKernel, false, true, false, 8},
+      {Family::kKokkos, true, "Kokkos/CUDA-HIP", sloc(Family::kKokkos, true), 14,
+       Mechanism::kLambda, false, true, false, 90},
+      {Family::kJulia, true, "Julia CUDA.jl/AMDGPU.jl", sloc(Family::kJulia, true), 6,
+       Mechanism::kKernel, false, false, true, 3},
+      {Family::kNumba, true, "Numba CUDA", sloc(Family::kNumba, true), 6,
+       Mechanism::kKernel, false, false, false, 2},
+  };
+}
+
+std::size_t total_sloc(const EffortProfile& p) { return p.kernel_sloc + p.harness_sloc; }
+
+double relative_effort(const EffortProfile& p, const std::vector<EffortProfile>& all) {
+  const EffortProfile* reference = nullptr;
+  for (const auto& candidate : all) {
+    if (candidate.family == Family::kVendor && candidate.gpu == p.gpu) reference = &candidate;
+  }
+  PB_EXPECTS(reference != nullptr);
+  double effort = static_cast<double>(total_sloc(p)) /
+                  static_cast<double>(total_sloc(*reference));
+  if (p.needs_rebuild_per_target) effort *= 1.20;
+  if (p.seamless_fp16) effort *= 0.90;
+  return effort;
+}
+
+double pp_score(double phi, double rel_effort) {
+  PB_EXPECTS(rel_effort > 0.0);
+  return phi / rel_effort;
+}
+
+}  // namespace portabench::portability

@@ -1,0 +1,63 @@
+// Productivity analysis (the paper "comments on ... productivity",
+// Sections I/V/VI), made quantitative.
+//
+// For each programming model we record the observable effort properties
+// of the paper's own Fig. 2/3 kernels: source lines, parallelization
+// mechanism and its invasiveness, whether thread placement is
+// controllable, build-time vs run-time specialization, and half-precision
+// ergonomics.  From these we derive a relative-effort score and the
+// combined performance-productivity plot coordinates used by the
+// productivity bench.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "metric.hpp"
+
+namespace portabench::portability {
+
+/// How a model expresses parallelism (Section III's classification).
+enum class Mechanism {
+  kPragma,     ///< #pragma omp parallel for (C/OpenMP)
+  kLambda,     ///< parallel dispatch of a C++ lambda (Kokkos)
+  kMacro,      ///< @threads macro on a loop (Julia)
+  kDecorator,  ///< @njit(parallel=True) + prange (Numba)
+  kKernel,     ///< explicit device kernel + launch (CUDA/HIP, GPU frontends)
+};
+
+[[nodiscard]] std::string_view name(Mechanism m);
+
+/// Effort profile of one implementation (one Fig. 2/3 snippet).
+struct EffortProfile {
+  Family family;
+  bool gpu = false;
+  std::string implementation;    ///< legend name
+  std::size_t kernel_sloc = 0;   ///< lines of the kernel itself
+  std::size_t harness_sloc = 0;  ///< allocation + launch + transfer boilerplate
+  Mechanism mechanism = Mechanism::kPragma;
+  bool thread_pinning_api = false;  ///< can the user bind threads?
+  bool needs_rebuild_per_target = false;  ///< Kokkos: KOKKOS_DEVICES at compile time
+  bool seamless_fp16 = false;    ///< FP16 with random init "just works"
+  std::size_t compile_seconds = 0;  ///< AOT build or first-call JIT latency
+};
+
+/// The study's effort profiles, derived from the Fig. 2/3 code and the
+/// Tables I/II stacks.  CPU and GPU variants are separate entries.
+[[nodiscard]] std::vector<EffortProfile> study_profiles();
+
+/// Total source burden of a profile.
+[[nodiscard]] std::size_t total_sloc(const EffortProfile& p);
+
+/// Relative effort vs the vendor model on the same target class
+/// (C/OpenMP for CPU entries, CUDA/HIP for GPU entries): ratio of total
+/// SLOC, plus a +20% penalty when per-target rebuilds are required and a
+/// -10% credit for seamless FP16.
+[[nodiscard]] double relative_effort(const EffortProfile& p,
+                                     const std::vector<EffortProfile>& all);
+
+/// Performance-productivity score: Phi / relative_effort.  > Phi means
+/// the model is *cheaper* than the vendor baseline per unit performance.
+[[nodiscard]] double pp_score(double phi, double rel_effort);
+
+}  // namespace portabench::portability

@@ -1,0 +1,197 @@
+#include "snippets.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace portabench::portability {
+
+namespace {
+
+// --- Fig. 2: CPU kernels ---------------------------------------------------
+
+constexpr std::string_view kFig2aCOpenMP = R"(// C/OpenMP (Fig. 2a)
+#pragma omp parallel for private(temp)
+for (size_t i = 0; i < A_rows; ++i) {
+  for (size_t k = 0; k < A_cols; ++k) {
+    temp = A[i * A_cols + k];
+    for (size_t j = 0; j < B_cols; ++j) {
+      C[i * B_cols + j] += temp * B[k * B_cols + j];
+    }
+  }
+}
+)";
+
+constexpr std::string_view kFig2bKokkos = R"(// Kokkos (Fig. 2b)
+Kokkos::parallel_for(
+    "gemm", Kokkos::MDRangePolicy<Kokkos::Rank<2>>({0, 0}, {A_rows, B_cols}),
+    KOKKOS_LAMBDA(const size_t i, const size_t j) {
+      double sum = 0.0;
+      for (size_t k = 0; k < A_cols; ++k) {
+        sum += A(i, k) * B(k, j);
+      }
+      C(i, j) += sum;
+    });
+)";
+
+constexpr std::string_view kFig2cJulia = R"(# Julia threads (Fig. 2c)
+import Base.Threads: @threads
+function gemm(A, B, C)
+    @threads for j in 1:B_cols
+        for l in 1:A_cols
+            @inbounds temp = B[l, j]
+            for i in 1:A_rows
+                @inbounds C[i, j] += temp * A[i, l]
+            end
+        end
+    end
+end
+)";
+
+constexpr std::string_view kFig2dNumba = R"(# Python/Numba (Fig. 2d)
+from numba import njit, prange
+import numpy as np
+
+@njit(parallel=True, nogil=True, fastmath=True)
+def gemm(A, B, C):
+    for i in prange(0, A_rows):
+        for k in range(0, A_cols):
+            temp = A[i, k]
+            for j in range(0, B_cols):
+                C[i, j] += temp * B[k, j]
+)";
+
+// --- Fig. 3: GPU kernels ---------------------------------------------------
+
+constexpr std::string_view kFig3aCudaHip = R"(// CUDA/HIP (Fig. 3a)
+__global__ void gemm(const double* A, const double* B, double* C,
+                     int n, int k) {
+  int row = blockIdx.y * blockDim.y + threadIdx.y;
+  int col = blockIdx.x * blockDim.x + threadIdx.x;
+  double sum = 0.0;
+  if (row < A_rows && col < B_cols) {
+    for (int i = 0; i < n; i++) {
+      sum += A[row * n + i] * B[i * k + col];
+    }
+    C[row * k + col] = sum;
+  }
+}
+)";
+
+constexpr std::string_view kFig3bKokkosGpu = R"(// Kokkos CUDA/HIP back end (same source as Fig. 2b)
+Kokkos::parallel_for(
+    "gemm", Kokkos::MDRangePolicy<Kokkos::Rank<2>>({0, 0}, {A_rows, B_cols}),
+    KOKKOS_LAMBDA(const size_t i, const size_t j) {
+      double sum = 0.0;
+      for (size_t k = 0; k < A_cols; ++k) {
+        sum += A(i, k) * B(k, j);
+      }
+      C(i, j) += sum;
+    });
+)";
+
+constexpr std::string_view kFig3bcJuliaGpu = R"(# Julia CUDA.jl / AMDGPU.jl (Figs. 3b/3c)
+function gemm!(A, B, C)
+    i = (blockIdx().x - 1) * blockDim().x + threadIdx().x
+    j = (blockIdx().y - 1) * blockDim().y + threadIdx().y
+    if i <= size(C, 1) && j <= size(C, 2)
+        tmp = zero(eltype(C))
+        for l in 1:size(A, 2)
+            @inbounds tmp += A[i, l] * B[l, j]
+        end
+        @inbounds C[i, j] = tmp
+    end
+    return
+end
+)";
+
+constexpr std::string_view kFig3dNumbaCuda = R"(# Numba CUDA (Fig. 3d)
+from numba import cuda
+from numba.cuda.cudadrv.devicearray import DeviceNDArray
+import numpy as np
+
+@cuda.jit
+def gemm(A, B, C):
+    i, j = cuda.grid(2)
+    if i < C.shape[0] and j < C.shape[1]:
+        tmp = 0.
+        for k in range(A.shape[1]):
+            tmp += A[i, k] * B[k, j]
+        C[i, j] = tmp
+)";
+
+}  // namespace
+
+std::size_t count_sloc(std::string_view source, Language language) {
+  std::size_t sloc = 0;
+  bool in_block_comment = false;
+
+  std::size_t pos = 0;
+  while (pos <= source.size()) {
+    const std::size_t eol = std::min(source.find('\n', pos), source.size());
+    std::string_view line = source.substr(pos, eol - pos);
+    pos = eol + 1;
+
+    bool has_code = false;
+    for (std::size_t i = 0; i < line.size(); ++i) {
+      if (in_block_comment) {
+        if (language == Language::kC && i + 1 < line.size() && line[i] == '*' &&
+            line[i + 1] == '/') {
+          in_block_comment = false;
+          ++i;
+        } else if (language == Language::kJulia && i + 1 < line.size() && line[i] == '=' &&
+                   line[i + 1] == '#') {
+          in_block_comment = false;
+          ++i;
+        }
+        continue;
+      }
+      const char ch = line[i];
+      if (ch == ' ' || ch == '\t' || ch == '\r') continue;
+      if (language == Language::kC && ch == '/' && i + 1 < line.size()) {
+        if (line[i + 1] == '/') break;  // rest of line is comment
+        if (line[i + 1] == '*') {
+          in_block_comment = true;
+          ++i;
+          continue;
+        }
+      }
+      if ((language == Language::kJulia || language == Language::kPython) && ch == '#') {
+        if (language == Language::kJulia && i + 1 < line.size() && line[i + 1] == '=') {
+          in_block_comment = true;
+          ++i;
+          continue;
+        }
+        break;  // line comment
+      }
+      has_code = true;
+    }
+    if (has_code) ++sloc;
+    if (eol == source.size()) break;
+  }
+  return sloc;
+}
+
+const std::vector<Snippet>& paper_snippets() {
+  using perfmodel::Family;
+  static const std::vector<Snippet> snippets = {
+      {Family::kVendor, false, "Fig. 2a", Language::kC, kFig2aCOpenMP},
+      {Family::kKokkos, false, "Fig. 2b", Language::kC, kFig2bKokkos},
+      {Family::kJulia, false, "Fig. 2c", Language::kJulia, kFig2cJulia},
+      {Family::kNumba, false, "Fig. 2d", Language::kPython, kFig2dNumba},
+      {Family::kVendor, true, "Fig. 3a", Language::kC, kFig3aCudaHip},
+      {Family::kKokkos, true, "Fig. 3b (source of 2b)", Language::kC, kFig3bKokkosGpu},
+      {Family::kJulia, true, "Figs. 3b/3c", Language::kJulia, kFig3bcJuliaGpu},
+      {Family::kNumba, true, "Fig. 3d", Language::kPython, kFig3dNumbaCuda},
+  };
+  return snippets;
+}
+
+std::size_t snippet_sloc(perfmodel::Family family, bool gpu) {
+  for (const auto& s : paper_snippets()) {
+    if (s.family == family && s.gpu == gpu) return count_sloc(s.source, s.language);
+  }
+  throw precondition_error("no paper listing for this family/target");
+}
+
+}  // namespace portabench::portability

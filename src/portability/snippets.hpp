@@ -1,0 +1,47 @@
+// The paper's kernel listings (Figs. 2 and 3), verbatim, plus a
+// language-aware SLOC counter.
+//
+// The productivity analysis should measure the *actual code* the paper
+// shows, not hand-asserted counts.  This module stores each listing as a
+// string constant and counts source lines the way productivity studies
+// do: blank lines and comment-only lines excluded, continuation glued by
+// the language's syntax left as-is.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+#include "perfmodel/platform.hpp"
+
+namespace portabench::portability {
+
+/// Comment syntax families for the SLOC counter.
+enum class Language {
+  kC,       ///< // and /* */ comments (C, C++, CUDA, HIP)
+  kJulia,   ///< # comments, #= =# blocks
+  kPython,  ///< # comments (docstrings counted as code, as SLOCCount does)
+};
+
+/// Count source lines of code: non-blank lines that contain anything
+/// other than comments.
+[[nodiscard]] std::size_t count_sloc(std::string_view source, Language language);
+
+/// One of the paper's listings.
+struct Snippet {
+  perfmodel::Family family;
+  bool gpu;
+  std::string_view figure;  ///< "Fig. 2a" ... "Fig. 3d"
+  Language language;
+  std::string_view source;
+};
+
+/// All eight listings of Figs. 2-3.
+[[nodiscard]] const std::vector<Snippet>& paper_snippets();
+
+/// SLOC of the listing for (family, gpu); throws if the paper has no such
+/// listing (e.g. Numba on GPU exists, Vendor GPU maps to the CUDA/HIP
+/// kernel of Fig. 3a).
+[[nodiscard]] std::size_t snippet_sloc(perfmodel::Family family, bool gpu);
+
+}  // namespace portabench::portability

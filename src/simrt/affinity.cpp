@@ -1,0 +1,54 @@
+#include "affinity.hpp"
+
+namespace portabench::simrt {
+
+Placement compute_placement(const CpuTopology& topo, std::size_t num_threads, BindPolicy policy) {
+  PB_EXPECTS(num_threads > 0);
+  Placement p;
+  p.core_of_thread.resize(num_threads, Placement::kUnpinned);
+
+  switch (policy) {
+    case BindPolicy::kNone:
+      break;  // leave everything unpinned
+    case BindPolicy::kClose:
+      for (std::size_t t = 0; t < num_threads; ++t) {
+        p.core_of_thread[t] = t % topo.cores;
+      }
+      break;
+    case BindPolicy::kSpread: {
+      // Round-robin over domains; within a domain, pack consecutively.
+      const std::size_t cpd = topo.cores_per_domain();
+      std::vector<std::size_t> next_in_domain(topo.numa_domains, 0);
+      for (std::size_t t = 0; t < num_threads; ++t) {
+        const std::size_t dom = t % topo.numa_domains;
+        const std::size_t slot = next_in_domain[dom]++ % cpd;
+        p.core_of_thread[t] = dom * cpd + slot;
+      }
+      break;
+    }
+  }
+  return p;
+}
+
+double remote_access_fraction(const CpuTopology& topo, const Placement& placement) {
+  if (topo.numa_domains <= 1) return 0.0;
+  const double domains = static_cast<double>(topo.numa_domains);
+
+  if (!placement.pinned()) {
+    // Migrating threads touch pages spread over all domains: a random
+    // access lands on a remote domain with probability (d-1)/d.
+    return (domains - 1.0) / domains;
+  }
+
+  // Pinned threads: with parallel first-touch initialization each thread's
+  // working set is local, so the remote fraction comes only from threads
+  // whose compute placement differs from the initializing placement.  For
+  // the identical placement used here that is zero; we still account the
+  // shared B-matrix panel, which is touched by one domain but read by all:
+  // a 1/d share is local, (d-1)/d remote, weighted by B's share (~1/3) of
+  // traffic.
+  constexpr double kSharedPanelTrafficShare = 1.0 / 3.0;
+  return kSharedPanelTrafficShare * (domains - 1.0) / domains;
+}
+
+}  // namespace portabench::simrt

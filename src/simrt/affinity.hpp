@@ -1,0 +1,81 @@
+// Thread-affinity policy model.
+//
+// The paper controls thread placement with OMP_PROC_BIND=true /
+// OMP_PLACES=threads for C/OpenMP and JULIA_EXCLUSIVE=1 for Julia, and
+// notes that Numba exposes *no* pinning mechanism — a difference it uses
+// to explain part of Numba's CPU gap.  This header reproduces the
+// placement computation: given a machine topology (cores, NUMA domains)
+// and a bind policy, produce the core each thread lands on.  On the real
+// systems this is what the OpenMP runtime computes; here it both drives
+// the (simulated) pinning and feeds the NUMA-traffic term of the CPU
+// performance model.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace portabench::simrt {
+
+/// How software threads are bound to hardware cores.
+enum class BindPolicy {
+  kNone,    ///< OS free to migrate (Numba's only option)
+  kClose,   ///< pack threads onto consecutive cores (OMP_PROC_BIND=close / JULIA_EXCLUSIVE)
+  kSpread,  ///< spread threads evenly across NUMA domains (OMP_PROC_BIND=spread)
+};
+
+[[nodiscard]] constexpr std::string_view name(BindPolicy p) noexcept {
+  switch (p) {
+    case BindPolicy::kNone: return "none";
+    case BindPolicy::kClose: return "close";
+    case BindPolicy::kSpread: return "spread";
+  }
+  return "?";
+}
+
+/// Host CPU topology: `cores` physical cores split evenly over
+/// `numa_domains` domains (matching EPYC 7A53: 64 cores / 4 NUMA, and
+/// Ampere Altra: 80 cores / 1 NUMA).
+struct CpuTopology {
+  std::size_t cores = 1;
+  std::size_t numa_domains = 1;
+
+  [[nodiscard]] std::size_t cores_per_domain() const {
+    PB_EXPECTS(numa_domains > 0 && cores % numa_domains == 0);
+    return cores / numa_domains;
+  }
+
+  /// NUMA domain that owns a given core id.
+  [[nodiscard]] std::size_t domain_of(std::size_t core) const {
+    PB_EXPECTS(core < cores);
+    return core / cores_per_domain();
+  }
+};
+
+/// Placement of `num_threads` threads: thread i runs on placement[i]
+/// (a core id), or kUnpinned when the policy leaves it to the OS.
+struct Placement {
+  static constexpr std::size_t kUnpinned = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> core_of_thread;
+
+  [[nodiscard]] bool pinned() const noexcept {
+    return !core_of_thread.empty() && core_of_thread.front() != kUnpinned;
+  }
+};
+
+/// Compute thread placement under a bind policy.
+/// - kNone: all threads unpinned.
+/// - kClose: thread i -> core i % cores (consecutive packing).
+/// - kSpread: threads round-robin across NUMA domains, packing within.
+[[nodiscard]] Placement compute_placement(const CpuTopology& topo, std::size_t num_threads,
+                                          BindPolicy policy);
+
+/// Fraction of memory accesses that cross a NUMA boundary for a
+/// first-touch-initialized array traversed by the given placement.
+/// Unpinned threads are assumed to migrate, touching all domains evenly.
+/// Returns 0 for single-domain machines.
+[[nodiscard]] double remote_access_fraction(const CpuTopology& topo, const Placement& placement);
+
+}  // namespace portabench::simrt

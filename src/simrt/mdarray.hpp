@@ -1,0 +1,190 @@
+// Multi-dimensional array views with layout polymorphism.
+//
+// The study hinges on layout: Julia is column-major, numpy/C row-major,
+// and the paper's CPU kernels pick their loop nests per layout "to ensure
+// equivalent computational workloads" (Section III).  View2 reproduces
+// Kokkos::View semantics: a reference-counted handle over shared storage
+// (copies alias), compile-time layout, unchecked operator() plus a checked
+// at() so frontends can model Julia's @inbounds on/off distinction.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <span>
+#include <type_traits>
+
+#include "common/buffer.hpp"
+#include "common/error.hpp"
+
+namespace portabench::simrt {
+
+/// Row-major storage: element (i, j) at offset i*n1 + j (C, numpy).
+struct LayoutRight {
+  static constexpr const char* label = "LayoutRight";
+};
+
+/// Column-major storage: element (i, j) at offset i + j*n0 (Julia, BLAS).
+struct LayoutLeft {
+  static constexpr const char* label = "LayoutLeft";
+};
+
+namespace detail {
+
+template <class T>
+std::shared_ptr<T[]> allocate_shared_array(std::size_t count) {
+  // 64-byte aligned allocation with value-initialized (zeroed) contents,
+  // shared so view copies alias the same storage (Kokkos::View semantics).
+  void* raw = ::operator new[](count * sizeof(T), std::align_val_t{kCacheLineBytes});
+  T* typed = static_cast<T*>(raw);
+  std::uninitialized_value_construct_n(typed, count);
+  return std::shared_ptr<T[]>(typed, [](T* p) {
+    ::operator delete[](p, std::align_val_t{kCacheLineBytes});
+  });
+}
+
+}  // namespace detail
+
+/// Rank-1 view.
+template <class T>
+class View1 {
+ public:
+  View1() = default;
+
+  /// Allocate owning storage for `n` zero-initialized elements.
+  explicit View1(std::size_t n) : data_(detail::allocate_shared_array<T>(n)), size_(n) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::size_t extent(std::size_t dim) const {
+    PB_EXPECTS(dim == 0);
+    return size_;
+  }
+
+  [[nodiscard]] T& operator()(std::size_t i) const noexcept { return data_[offset_ + i]; }
+
+  [[nodiscard]] T& at(std::size_t i) const {
+    PB_EXPECTS(i < size_);
+    return data_[offset_ + i];
+  }
+
+  [[nodiscard]] T* data() const noexcept { return data_.get() + offset_; }
+  [[nodiscard]] std::span<T> span() const noexcept { return {data(), size_}; }
+
+  /// Subview of [begin, end).
+  [[nodiscard]] View1 subview(std::size_t begin, std::size_t end) const {
+    PB_EXPECTS(begin <= end && end <= size_);
+    View1 v = *this;
+    v.offset_ += begin;
+    v.size_ = end - begin;
+    return v;
+  }
+
+ private:
+  std::shared_ptr<T[]> data_;
+  std::size_t offset_ = 0;
+  std::size_t size_ = 0;
+};
+
+/// Rank-2 view with compile-time layout.
+template <class T, class Layout = LayoutRight>
+class View2 {
+ public:
+  using value_type = T;
+  using layout_type = Layout;
+  static constexpr bool is_row_major = std::is_same_v<Layout, LayoutRight>;
+
+  View2() = default;
+
+  /// Allocate owning storage for an n0 x n1 zero-initialized matrix.
+  View2(std::size_t n0, std::size_t n1)
+      : data_(detail::allocate_shared_array<T>(n0 * n1)), n0_(n0), n1_(n1) {
+    if constexpr (is_row_major) {
+      stride0_ = n1;
+      stride1_ = 1;
+    } else {
+      stride0_ = 1;
+      stride1_ = n0;
+    }
+  }
+
+  [[nodiscard]] std::size_t extent(std::size_t dim) const {
+    PB_EXPECTS(dim < 2);
+    return dim == 0 ? n0_ : n1_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return n0_ * n1_; }
+  [[nodiscard]] std::size_t stride(std::size_t dim) const {
+    PB_EXPECTS(dim < 2);
+    return dim == 0 ? stride0_ : stride1_;
+  }
+
+  /// True when the view covers its storage contiguously (no subview gaps).
+  [[nodiscard]] bool contiguous() const noexcept {
+    if constexpr (is_row_major) {
+      return stride1_ == 1 && stride0_ == n1_;
+    } else {
+      return stride0_ == 1 && stride1_ == n0_;
+    }
+  }
+
+  /// Unchecked access (the @inbounds / raw-pointer path).
+  [[nodiscard]] T& operator()(std::size_t i, std::size_t j) const noexcept {
+    return data_[offset_ + i * stride0_ + j * stride1_];
+  }
+
+  /// Bounds-checked access (the default Julia / debug path).
+  [[nodiscard]] T& at(std::size_t i, std::size_t j) const {
+    PB_EXPECTS(i < n0_ && j < n1_);
+    return (*this)(i, j);
+  }
+
+  /// Pointer to element (0,0) of this view.
+  [[nodiscard]] T* data() const noexcept { return data_.get() + offset_; }
+
+  /// Rectangular subview [r0, r1) x [c0, c1) aliasing the same storage.
+  [[nodiscard]] View2 subview(std::size_t r0, std::size_t r1, std::size_t c0,
+                              std::size_t c1) const {
+    PB_EXPECTS(r0 <= r1 && r1 <= n0_ && c0 <= c1 && c1 <= n1_);
+    View2 v = *this;
+    v.offset_ += r0 * stride0_ + c0 * stride1_;
+    v.n0_ = r1 - r0;
+    v.n1_ = c1 - c0;
+    return v;
+  }
+
+  /// Row i as a rank-1 view (only contiguous for LayoutRight).
+  [[nodiscard]] bool same_storage(const View2& other) const noexcept {
+    return data_ == other.data_;
+  }
+
+ private:
+  template <class U, class L>
+  friend class View3;
+
+  /// Aliasing constructor with explicit geometry (used by View3::slice).
+  View2(std::shared_ptr<T[]> data, std::size_t offset, std::size_t n0, std::size_t n1,
+        std::size_t stride0, std::size_t stride1)
+      : data_(std::move(data)), offset_(offset), n0_(n0), n1_(n1), stride0_(stride0),
+        stride1_(stride1) {}
+
+  std::shared_ptr<T[]> data_;
+  std::size_t offset_ = 0;
+  std::size_t n0_ = 0;
+  std::size_t n1_ = 0;
+  std::size_t stride0_ = 0;
+  std::size_t stride1_ = 0;
+};
+
+template <class T, class Layout>
+class View3;
+
+/// Element-wise copy between views of any layout combination
+/// (Kokkos::deep_copy analogue).  Extents must match.
+template <class T, class LDst, class LSrc>
+void deep_copy(View2<T, LDst>& dst, const View2<T, LSrc>& src) {
+  PB_EXPECTS(dst.extent(0) == src.extent(0) && dst.extent(1) == src.extent(1));
+  for (std::size_t i = 0; i < dst.extent(0); ++i) {
+    for (std::size_t j = 0; j < dst.extent(1); ++j) dst(i, j) = src(i, j);
+  }
+}
+
+}  // namespace portabench::simrt

@@ -1,0 +1,256 @@
+// parallel_for / parallel_reduce over execution spaces.
+//
+// This is the mini-Kokkos dispatch layer used by the Kokkos frontend
+// (Fig. 2b) and, under the hood, by the OpenMP/Julia/Numba CPU frontends
+// (which differ in loop order, layout, scheduling, and pinning — not in
+// the fork-join mechanism).  Serial and Threads host spaces are provided;
+// the GPU spaces live in gpusim and share the same functor style.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+#include "policy.hpp"
+#include "thread_pool.hpp"
+
+namespace portabench::simrt {
+
+/// Trivial execution space: runs the functor inline on the caller.
+class SerialSpace {
+ public:
+  static constexpr const char* label = "Serial";
+  [[nodiscard]] std::size_t concurrency() const noexcept { return 1; }
+};
+
+/// Host-parallel execution space backed by a persistent ThreadPool.
+/// Copies share the pool (cheap handles, like Kokkos execution space
+/// instances).
+class ThreadsSpace {
+ public:
+  static constexpr const char* label = "Threads";
+
+  explicit ThreadsSpace(std::size_t num_threads, Placement placement = {})
+      : pool_(std::make_shared<ThreadPool>(num_threads, std::move(placement))) {}
+
+  [[nodiscard]] std::size_t concurrency() const noexcept { return pool_->size(); }
+  [[nodiscard]] ThreadPool& pool() const noexcept { return *pool_; }
+
+ private:
+  std::shared_ptr<ThreadPool> pool_;
+};
+
+namespace detail {
+
+/// Contiguous block [begin, end) owned by thread t of n under static
+/// scheduling; remainder spread one-each over the leading threads
+/// (OpenMP static schedule semantics).
+struct Block {
+  std::size_t begin;
+  std::size_t end;
+};
+
+inline Block static_block(std::size_t extent, std::size_t num_threads, std::size_t t) {
+  const std::size_t base = extent / num_threads;
+  const std::size_t rem = extent % num_threads;
+  const std::size_t begin = t * base + std::min(t, rem);
+  const std::size_t len = base + (t < rem ? 1 : 0);
+  return {begin, begin + len};
+}
+
+inline std::size_t default_chunk(std::size_t extent, std::size_t num_threads) {
+  // Aim for ~8 chunks per thread, minimum 1 iteration per chunk.
+  const std::size_t target = num_threads * 8;
+  return std::max<std::size_t>(1, extent / std::max<std::size_t>(1, target));
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// parallel_for — RangePolicy
+// ---------------------------------------------------------------------------
+
+/// Serial: f(i) for i in [begin, end).
+template <class F>
+void parallel_for(const SerialSpace&, const RangePolicy& policy, F&& f) {
+  for (std::size_t i = policy.begin; i < policy.end; ++i) f(i);
+}
+
+/// Threads: iterations distributed per the policy's schedule.
+template <class F>
+void parallel_for(const ThreadsSpace& space, const RangePolicy& policy, F&& f) {
+  const std::size_t extent = policy.extent();
+  if (extent == 0) return;
+  ThreadPool& pool = space.pool();
+  const std::size_t nt = pool.size();
+
+  if (policy.schedule == Schedule::kStatic) {
+    pool.run([&](std::size_t t) {
+      const auto block = detail::static_block(extent, nt, t);
+      for (std::size_t i = block.begin; i < block.end; ++i) f(policy.begin + i);
+    });
+    return;
+  }
+
+  const std::size_t chunk =
+      policy.chunk != 0 ? policy.chunk : detail::default_chunk(extent, nt);
+  std::atomic<std::size_t> next{0};
+  pool.run([&](std::size_t) {
+    for (;;) {
+      const std::size_t start = next.fetch_add(chunk, std::memory_order_relaxed);
+      if (start >= extent) return;
+      const std::size_t stop = std::min(start + chunk, extent);
+      for (std::size_t i = start; i < stop; ++i) f(policy.begin + i);
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// parallel_for — MDRangePolicy2 (tile-by-tile)
+// ---------------------------------------------------------------------------
+
+namespace detail {
+
+inline std::array<std::size_t, 2> effective_tile(const MDRangePolicy2& policy) {
+  // Kokkos' host MDRange default: tile the fast dimension wide enough to
+  // vectorize, keep the slow dimension small.
+  std::array<std::size_t, 2> t = policy.tile;
+  if (t[0] == 0) t[0] = 4;
+  if (t[1] == 0) t[1] = 64;
+  t[0] = std::min(t[0], std::max<std::size_t>(1, policy.extent(0)));
+  t[1] = std::min(t[1], std::max<std::size_t>(1, policy.extent(1)));
+  return t;
+}
+
+template <class F>
+void run_tile(const MDRangePolicy2& policy, const std::array<std::size_t, 2>& tile,
+              std::size_t tile_index, std::size_t tiles1, F& f) {
+  const std::size_t t0 = tile_index / tiles1;
+  const std::size_t t1 = tile_index % tiles1;
+  const std::size_t i0 = policy.lower[0] + t0 * tile[0];
+  const std::size_t j0 = policy.lower[1] + t1 * tile[1];
+  const std::size_t i1 = std::min(i0 + tile[0], policy.upper[0]);
+  const std::size_t j1 = std::min(j0 + tile[1], policy.upper[1]);
+  for (std::size_t i = i0; i < i1; ++i) {
+    for (std::size_t j = j0; j < j1; ++j) f(i, j);
+  }
+}
+
+}  // namespace detail
+
+template <class F>
+void parallel_for(const SerialSpace&, const MDRangePolicy2& policy, F&& f) {
+  for (std::size_t i = policy.lower[0]; i < policy.upper[0]; ++i) {
+    for (std::size_t j = policy.lower[1]; j < policy.upper[1]; ++j) f(i, j);
+  }
+}
+
+template <class F>
+void parallel_for(const ThreadsSpace& space, const MDRangePolicy2& policy, F&& f) {
+  if (policy.extent(0) == 0 || policy.extent(1) == 0) return;
+  const auto tile = detail::effective_tile(policy);
+  const std::size_t tiles0 = (policy.extent(0) + tile[0] - 1) / tile[0];
+  const std::size_t tiles1 = (policy.extent(1) + tile[1] - 1) / tile[1];
+  const std::size_t num_tiles = tiles0 * tiles1;
+
+  ThreadPool& pool = space.pool();
+  const std::size_t nt = pool.size();
+  if (policy.schedule == Schedule::kStatic) {
+    pool.run([&](std::size_t t) {
+      const auto block = detail::static_block(num_tiles, nt, t);
+      for (std::size_t ti = block.begin; ti < block.end; ++ti) {
+        detail::run_tile(policy, tile, ti, tiles1, f);
+      }
+    });
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  pool.run([&](std::size_t) {
+    for (;;) {
+      const std::size_t ti = next.fetch_add(1, std::memory_order_relaxed);
+      if (ti >= num_tiles) return;
+      detail::run_tile(policy, tile, ti, tiles1, f);
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// parallel_for — TeamPolicy
+// ---------------------------------------------------------------------------
+
+template <class F>
+void parallel_for(const SerialSpace&, const TeamPolicy& policy, F&& f) {
+  std::vector<std::byte> scratch(policy.scratch_bytes);
+  for (std::size_t league = 0; league < policy.league; ++league) {
+    std::fill(scratch.begin(), scratch.end(), std::byte{0});  // fresh per team
+    for (std::size_t lane = 0; lane < policy.team_size; ++lane) {
+      f(TeamMember(league, lane, policy.team_size, scratch.data(), scratch.size()));
+    }
+  }
+}
+
+template <class F>
+void parallel_for(const ThreadsSpace& space, const TeamPolicy& policy, F&& f) {
+  if (policy.league == 0) return;
+  ThreadPool& pool = space.pool();
+  const std::size_t nt = pool.size();
+  pool.run([&](std::size_t t) {
+    // One scratch arena per pool thread: teams on the same thread run
+    // back-to-back and each gets a zeroed arena.
+    std::vector<std::byte> scratch(policy.scratch_bytes);
+    const auto block = detail::static_block(policy.league, nt, t);
+    for (std::size_t league = block.begin; league < block.end; ++league) {
+      std::fill(scratch.begin(), scratch.end(), std::byte{0});
+      // Host lowering: one pool thread executes all lanes of its team
+      // sequentially (Kokkos OpenMP back end behaviour for TeamThreadRange).
+      for (std::size_t lane = 0; lane < policy.team_size; ++lane) {
+        f(TeamMember(league, lane, policy.team_size, scratch.data(), scratch.size()));
+      }
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// parallel_reduce — sum reductions over RangePolicy
+// ---------------------------------------------------------------------------
+
+namespace detail {
+/// True for reducer types (Sum/Min/Max/... in reducers.hpp); used to keep
+/// the plain sum-reduce overloads from capturing reducer arguments.
+template <class F>
+concept NotReducer = !requires { typename std::remove_cvref_t<F>::value_type; };
+}  // namespace detail
+
+/// Serial sum-reduce: f(i, acc) accumulates into acc.
+template <detail::NotReducer F, class T>
+void parallel_reduce(const SerialSpace&, const RangePolicy& policy, F&& f, T& result) {
+  T acc{};
+  for (std::size_t i = policy.begin; i < policy.end; ++i) f(i, acc);
+  result = acc;
+}
+
+/// Threaded sum-reduce: per-thread partials joined in thread order, so the
+/// result is deterministic for a fixed thread count (as with OpenMP
+/// reductions under static scheduling).
+template <detail::NotReducer F, class T>
+void parallel_reduce(const ThreadsSpace& space, const RangePolicy& policy, F&& f, T& result) {
+  const std::size_t extent = policy.extent();
+  ThreadPool& pool = space.pool();
+  const std::size_t nt = pool.size();
+  std::vector<T> partial(nt, T{});
+  if (extent != 0) {
+    pool.run([&](std::size_t t) {
+      T acc{};
+      const auto block = detail::static_block(extent, nt, t);
+      for (std::size_t i = block.begin; i < block.end; ++i) f(policy.begin + i, acc);
+      partial[t] = acc;
+    });
+  }
+  T total{};
+  for (const T& p : partial) total += p;
+  result = total;
+}
+
+}  // namespace portabench::simrt

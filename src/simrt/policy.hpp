@@ -1,0 +1,122 @@
+// Execution policies: the mini-Kokkos dispatch vocabulary.
+//
+// RangePolicy / MDRangePolicy / TeamPolicy mirror the Kokkos constructs
+// the paper's Fig. 2b kernel uses (`Kokkos::RangePolicy`), including
+// static vs. dynamic scheduling (OpenMP `schedule(...)`) and chunk size.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <span>
+
+#include "common/error.hpp"
+
+namespace portabench::simrt {
+
+/// Loop scheduling discipline for the Threads space.
+enum class Schedule {
+  kStatic,   ///< contiguous block per thread (OpenMP default; what the paper's kernels get)
+  kDynamic,  ///< threads grab fixed-size chunks from a shared counter
+};
+
+/// 1-D half-open iteration range [begin, end).
+struct RangePolicy {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  Schedule schedule = Schedule::kStatic;
+  /// Chunk size for dynamic scheduling; 0 picks a heuristic.
+  std::size_t chunk = 0;
+
+  [[nodiscard]] std::size_t extent() const noexcept { return end - begin; }
+
+  RangePolicy() = default;
+  RangePolicy(std::size_t b, std::size_t e, Schedule s = Schedule::kStatic, std::size_t c = 0)
+      : begin(b), end(e), schedule(s), chunk(c) {
+    PB_EXPECTS(b <= e);
+  }
+};
+
+/// 2-D rectangular iteration space with tiling, iterated tile-by-tile.
+/// Mirrors Kokkos::MDRangePolicy<Rank<2>>.
+struct MDRangePolicy2 {
+  std::array<std::size_t, 2> lower{0, 0};
+  std::array<std::size_t, 2> upper{0, 0};
+  /// Tile extents; 0 picks a heuristic.
+  std::array<std::size_t, 2> tile{0, 0};
+  Schedule schedule = Schedule::kStatic;
+
+  MDRangePolicy2() = default;
+  MDRangePolicy2(std::array<std::size_t, 2> lo, std::array<std::size_t, 2> up,
+                 std::array<std::size_t, 2> t = {0, 0})
+      : lower(lo), upper(up), tile(t) {
+    PB_EXPECTS(lo[0] <= up[0] && lo[1] <= up[1]);
+  }
+
+  [[nodiscard]] std::size_t extent(std::size_t dim) const {
+    PB_EXPECTS(dim < 2);
+    return upper[dim] - lower[dim];
+  }
+};
+
+/// Hierarchical league-of-teams policy (Kokkos::TeamPolicy): `league`
+/// teams of `team_size` threads each.  On the host each team maps to one
+/// pool thread and team lanes execute sequentially, which is exactly how
+/// Kokkos' OpenMP back end lowers TeamThreadRange on CPUs.
+/// `scratch_bytes` requests per-team scratch memory (Kokkos team_scratch
+/// level 0): a buffer shared by all lanes of one team.
+struct TeamPolicy {
+  std::size_t league = 0;
+  std::size_t team_size = 1;
+  std::size_t scratch_bytes = 0;
+
+  TeamPolicy() = default;
+  TeamPolicy(std::size_t l, std::size_t t, std::size_t scratch = 0)
+      : league(l), team_size(t), scratch_bytes(scratch) {
+    PB_EXPECTS(t >= 1);
+  }
+};
+
+/// Handle passed to team-policy functors, identifying the team and lane
+/// and carrying the team's scratch allocation.
+class TeamMember {
+ public:
+  TeamMember(std::size_t league_rank, std::size_t team_rank, std::size_t team_size,
+             std::byte* scratch = nullptr, std::size_t scratch_bytes = 0) noexcept
+      : league_rank_(league_rank),
+        team_rank_(team_rank),
+        team_size_(team_size),
+        scratch_(scratch),
+        scratch_bytes_(scratch_bytes) {}
+
+  [[nodiscard]] std::size_t league_rank() const noexcept { return league_rank_; }
+  [[nodiscard]] std::size_t team_rank() const noexcept { return team_rank_; }
+  [[nodiscard]] std::size_t team_size() const noexcept { return team_size_; }
+
+  /// Typed span into the team's scratch (shared across the team's lanes;
+  /// lanes execute sequentially on the host, so no synchronization is
+  /// needed within a team).
+  template <class T>
+  [[nodiscard]] std::span<T> scratch(std::size_t count, std::size_t byte_offset = 0) const {
+    PB_EXPECTS(byte_offset % alignof(T) == 0);
+    PB_EXPECTS(byte_offset + count * sizeof(T) <= scratch_bytes_);
+    return {reinterpret_cast<T*>(scratch_ + byte_offset), count};
+  }
+
+  [[nodiscard]] std::size_t scratch_bytes() const noexcept { return scratch_bytes_; }
+
+ private:
+  std::size_t league_rank_;
+  std::size_t team_rank_;
+  std::size_t team_size_;
+  std::byte* scratch_ = nullptr;
+  std::size_t scratch_bytes_ = 0;
+};
+
+/// TeamThreadRange analogue: lane `member.team_rank()` handles indices
+/// team_rank, team_rank + team_size, ... of [0, extent).
+template <class F>
+void team_thread_range(const TeamMember& member, std::size_t extent, F&& f) {
+  for (std::size_t i = member.team_rank(); i < extent; i += member.team_size()) f(i);
+}
+
+}  // namespace portabench::simrt

@@ -1,0 +1,98 @@
+// Typed reducers for parallel_reduce (Kokkos::Sum/Min/Max/Prod analogue).
+//
+// parallel_reduce's plain overload hard-codes summation; real Kokkos code
+// reduces under arbitrary monoids.  A Reducer bundles the identity
+// element and the join operation; the threaded implementation combines
+// per-thread partials in thread order, keeping results deterministic for
+// a fixed thread count.
+#pragma once
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "parallel.hpp"  // spaces, policies, detail::static_block
+
+namespace portabench::simrt {
+
+/// Sum monoid.
+template <class T>
+struct Sum {
+  using value_type = T;
+  static constexpr T identity() noexcept { return T{}; }
+  static constexpr T join(T a, T b) noexcept { return a + b; }
+};
+
+/// Product monoid.
+template <class T>
+struct Prod {
+  using value_type = T;
+  static constexpr T identity() noexcept { return T{1}; }
+  static constexpr T join(T a, T b) noexcept { return a * b; }
+};
+
+/// Minimum monoid.
+template <class T>
+struct Min {
+  using value_type = T;
+  static constexpr T identity() noexcept { return std::numeric_limits<T>::max(); }
+  static constexpr T join(T a, T b) noexcept { return a < b ? a : b; }
+};
+
+/// Maximum monoid.
+template <class T>
+struct Max {
+  using value_type = T;
+  static constexpr T identity() noexcept { return std::numeric_limits<T>::lowest(); }
+  static constexpr T join(T a, T b) noexcept { return a > b ? a : b; }
+};
+
+/// Min + location (Kokkos::MinLoc).
+template <class T>
+struct MinLoc {
+  struct value_type {
+    T value;
+    std::size_t index;
+  };
+  static constexpr value_type identity() noexcept {
+    return {std::numeric_limits<T>::max(), static_cast<std::size_t>(-1)};
+  }
+  static constexpr value_type join(value_type a, value_type b) noexcept {
+    return b.value < a.value ? b : a;
+  }
+};
+
+/// Reduce f(i, acc) over [policy.begin, policy.end) under Reducer R,
+/// serially.
+template <class R, class F>
+typename R::value_type parallel_reduce(const SerialSpace&, const RangePolicy& policy, R,
+                                       F&& f) {
+  typename R::value_type acc = R::identity();
+  for (std::size_t i = policy.begin; i < policy.end; ++i) f(i, acc);
+  return acc;
+}
+
+/// Threaded reduction under Reducer R: per-thread partials start at the
+/// identity and join in thread order.
+template <class R, class F>
+typename R::value_type parallel_reduce(const ThreadsSpace& space, const RangePolicy& policy,
+                                       R, F&& f) {
+  using V = typename R::value_type;
+  const std::size_t extent = policy.extent();
+  ThreadPool& pool = space.pool();
+  const std::size_t nt = pool.size();
+  std::vector<V> partial(nt, R::identity());
+  if (extent != 0) {
+    pool.run([&](std::size_t t) {
+      V acc = R::identity();
+      const auto block = detail::static_block(extent, nt, t);
+      for (std::size_t i = block.begin; i < block.end; ++i) f(policy.begin + i, acc);
+      partial[t] = acc;
+    });
+  }
+  V total = R::identity();
+  for (const V& p : partial) total = R::join(total, p);
+  return total;
+}
+
+}  // namespace portabench::simrt

@@ -1,0 +1,136 @@
+// parallel_scan: inclusive/exclusive prefix sums (Kokkos::parallel_scan
+// analogue).
+//
+// The threaded implementation uses the classic three-phase scheme: each
+// thread scans its static block, block totals are scanned serially, and a
+// second pass adds each block's offset.  Deterministic for a fixed thread
+// count, and exact for integer types.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "parallel.hpp"
+
+namespace portabench::simrt {
+
+/// Exclusive scan: out[i] = sum of in[0..i).  The functor style follows
+/// Kokkos: f(i, partial, is_final) must add element i's contribution to
+/// `partial` and, when is_final, record `partial` (the prefix *before*
+/// adding i) via its own output — here simplified to value-in/value-out
+/// spans since the study's kernels operate on flat arrays.
+template <class T>
+void exclusive_scan(const SerialSpace&, std::span<const T> in, std::span<T> out) {
+  PB_EXPECTS(in.size() == out.size());
+  PB_EXPECTS(in.empty() || in.data() != static_cast<const T*>(out.data()));  // no in-place scan
+  T running{};
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    out[i] = running;
+    running = running + in[i];
+  }
+}
+
+template <class T>
+void inclusive_scan(const SerialSpace& space, std::span<const T> in, std::span<T> out) {
+  exclusive_scan(space, in, out);
+  for (std::size_t i = 0; i < in.size(); ++i) out[i] = out[i] + in[i];
+}
+
+template <class T>
+void exclusive_scan(const ThreadsSpace& space, std::span<const T> in, std::span<T> out) {
+  PB_EXPECTS(in.size() == out.size());
+  PB_EXPECTS(in.empty() || in.data() != static_cast<const T*>(out.data()));  // no in-place scan
+  const std::size_t extent = in.size();
+  if (extent == 0) return;
+  ThreadPool& pool = space.pool();
+  const std::size_t nt = pool.size();
+
+  // Phase 1: per-block local exclusive scan + block totals.
+  std::vector<T> block_total(nt, T{});
+  pool.run([&](std::size_t t) {
+    const auto block = detail::static_block(extent, nt, t);
+    T running{};
+    for (std::size_t i = block.begin; i < block.end; ++i) {
+      out[i] = running;
+      running = running + in[i];
+    }
+    block_total[t] = running;
+  });
+
+  // Phase 2: serial scan of block totals (nt elements — negligible).
+  std::vector<T> block_offset(nt, T{});
+  T running{};
+  for (std::size_t t = 0; t < nt; ++t) {
+    block_offset[t] = running;
+    running = running + block_total[t];
+  }
+
+  // Phase 3: add offsets.
+  pool.run([&](std::size_t t) {
+    const auto block = detail::static_block(extent, nt, t);
+    const T offset = block_offset[t];
+    for (std::size_t i = block.begin; i < block.end; ++i) out[i] = out[i] + offset;
+  });
+}
+
+template <class T>
+void inclusive_scan(const ThreadsSpace& space, std::span<const T> in, std::span<T> out) {
+  exclusive_scan(space, in, out);
+  parallel_for(space, RangePolicy(0, in.size()),
+               [&](std::size_t i) { out[i] = out[i] + in[i]; });
+}
+
+// ---------------------------------------------------------------------------
+// Kokkos-style functor scan: parallel_scan(space, policy, f) where
+// f(i, partial, is_final) contributes element i to `partial` and, on the
+// final pass, may consume the exclusive prefix (the value of `partial`
+// *before* its own contribution).  Runs two passes like Kokkos' host
+// back ends: a reduce pass collecting block totals, then the final pass
+// with per-block offsets.
+// ---------------------------------------------------------------------------
+
+template <class T, class F>
+T parallel_scan(const SerialSpace&, const RangePolicy& policy, F&& f) {
+  T partial{};
+  for (std::size_t i = policy.begin; i < policy.end; ++i) f(i, partial, true);
+  return partial;
+}
+
+template <class T, class F>
+T parallel_scan(const ThreadsSpace& space, const RangePolicy& policy, F&& f) {
+  const std::size_t extent = policy.extent();
+  ThreadPool& pool = space.pool();
+  const std::size_t nt = pool.size();
+  if (extent == 0) return T{};
+
+  // Pass 1: per-block totals (is_final = false: contributions only).
+  std::vector<T> block_total(nt, T{});
+  pool.run([&](std::size_t t) {
+    const auto block = detail::static_block(extent, nt, t);
+    T partial{};
+    for (std::size_t i = block.begin; i < block.end; ++i) {
+      f(policy.begin + i, partial, false);
+    }
+    block_total[t] = partial;
+  });
+
+  // Serial scan of block totals.
+  std::vector<T> block_offset(nt, T{});
+  T running{};
+  for (std::size_t t = 0; t < nt; ++t) {
+    block_offset[t] = running;
+    running = running + block_total[t];
+  }
+
+  // Pass 2: final pass with offsets.
+  pool.run([&](std::size_t t) {
+    const auto block = detail::static_block(extent, nt, t);
+    T partial = block_offset[t];
+    for (std::size_t i = block.begin; i < block.end; ++i) {
+      f(policy.begin + i, partial, true);
+    }
+  });
+  return running;
+}
+
+}  // namespace portabench::simrt

@@ -1,0 +1,80 @@
+#include "thread_pool.hpp"
+
+#include "common/error.hpp"
+
+namespace portabench::simrt {
+
+ThreadPool::ThreadPool(std::size_t num_threads, Placement placement)
+    : num_threads_(num_threads), placement_(std::move(placement)) {
+  PB_EXPECTS(num_threads >= 1);
+  PB_EXPECTS(placement_.core_of_thread.empty() ||
+             placement_.core_of_thread.size() >= num_threads);
+  workers_.reserve(num_threads - 1);
+  for (std::size_t t = 1; t < num_threads; ++t) {
+    workers_.emplace_back([this, t] { worker_loop(t); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    shutdown_ = true;
+  }
+  start_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::run(const std::function<void(std::size_t)>& task) {
+  {
+    std::lock_guard lock(mutex_);
+    PB_EXPECTS(task_ == nullptr);  // non-reentrant
+    task_ = &task;
+    remaining_ = num_threads_ - 1;
+    first_error_ = nullptr;
+    ++epoch_;
+  }
+  start_cv_.notify_all();
+
+  // The caller participates as logical thread 0 (like an OpenMP master).
+  try {
+    task(0);
+  } catch (...) {
+    std::lock_guard lock(mutex_);
+    if (!first_error_) first_error_ = std::current_exception();
+  }
+
+  std::unique_lock lock(mutex_);
+  done_cv_.wait(lock, [this] { return remaining_ == 0; });
+  task_ = nullptr;
+  if (first_error_) {
+    auto err = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(err);
+  }
+}
+
+void ThreadPool::worker_loop(std::size_t thread_id) {
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* task = nullptr;
+    {
+      std::unique_lock lock(mutex_);
+      start_cv_.wait(lock, [&] { return shutdown_ || epoch_ != seen_epoch; });
+      if (shutdown_) return;
+      seen_epoch = epoch_;
+      task = task_;
+    }
+    try {
+      (*task)(thread_id);
+    } catch (...) {
+      std::lock_guard lock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    {
+      std::lock_guard lock(mutex_);
+      if (--remaining_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+}  // namespace portabench::simrt

@@ -1,0 +1,62 @@
+// Persistent fork-join worker pool.
+//
+// This is the engine under the Threads execution space: the analogue of
+// the OpenMP runtime's thread team (C/OpenMP and Kokkos frontends) and of
+// Julia's task scheduler threads.  Workers are created once and reused
+// across parallel regions — matching the paper's protocol where thread
+// counts are fixed per run (OMP_NUM_THREADS / JULIA_NUM_THREADS /
+// NUMBA_NUM_THREADS) and warm-up iterations absorb team start-up cost.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "affinity.hpp"
+
+namespace portabench::simrt {
+
+class ThreadPool {
+ public:
+  /// Spawn a pool of `num_threads` logical threads (>= 1).  The calling
+  /// thread acts as thread 0, so num_threads-1 workers are created.  The
+  /// placement is recorded (and applied where the host OS allows) so the
+  /// performance model can reason about locality even when the simulation
+  /// host has fewer cores than the modeled machine.
+  explicit ThreadPool(std::size_t num_threads, Placement placement = {});
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+  ~ThreadPool();
+
+  [[nodiscard]] std::size_t size() const noexcept { return num_threads_; }
+  [[nodiscard]] const Placement& placement() const noexcept { return placement_; }
+
+  /// Execute task(thread_id) once on every logical thread (ids
+  /// 0..size()-1) and block until all complete.  The first exception
+  /// thrown by any thread is rethrown on the caller.  Not reentrant: a
+  /// task must not call run() on the same pool.
+  void run(const std::function<void(std::size_t)>& task);
+
+ private:
+  void worker_loop(std::size_t thread_id);
+
+  std::size_t num_threads_;
+  Placement placement_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(std::size_t)>* task_ = nullptr;
+  std::uint64_t epoch_ = 0;
+  std::size_t remaining_ = 0;
+  bool shutdown_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace portabench::simrt

@@ -1,0 +1,83 @@
+// Rank-3 views: the batched-GEMM container (one matrix per batch slot).
+//
+// Layout follows the rank-2 convention extended one axis: LayoutRight is
+// C-order (batch slowest), LayoutLeft is Fortran-order (batch fastest is
+// NOT used — Julia stacks matrices along the *last* axis, so LayoutLeft
+// rank-3 keeps dim0 fastest, matching Array{T,3}).
+#pragma once
+
+#include "mdarray.hpp"
+
+namespace portabench::simrt {
+
+template <class T, class Layout = LayoutRight>
+class View3 {
+ public:
+  using value_type = T;
+  using layout_type = Layout;
+  static constexpr bool is_row_major = std::is_same_v<Layout, LayoutRight>;
+
+  View3() = default;
+
+  View3(std::size_t n0, std::size_t n1, std::size_t n2)
+      : data_(detail::allocate_shared_array<T>(n0 * n1 * n2)), n0_(n0), n1_(n1), n2_(n2) {
+    if constexpr (is_row_major) {
+      stride0_ = n1 * n2;
+      stride1_ = n2;
+      stride2_ = 1;
+    } else {
+      stride0_ = 1;
+      stride1_ = n0;
+      stride2_ = n0 * n1;
+    }
+  }
+
+  [[nodiscard]] std::size_t extent(std::size_t dim) const {
+    PB_EXPECTS(dim < 3);
+    return dim == 0 ? n0_ : (dim == 1 ? n1_ : n2_);
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return n0_ * n1_ * n2_; }
+
+  [[nodiscard]] T& operator()(std::size_t i, std::size_t j, std::size_t k) const noexcept {
+    return data_[offset_ + i * stride0_ + j * stride1_ + k * stride2_];
+  }
+
+  [[nodiscard]] T& at(std::size_t i, std::size_t j, std::size_t k) const {
+    PB_EXPECTS(i < n0_ && j < n1_ && k < n2_);
+    return (*this)(i, j, k);
+  }
+
+  [[nodiscard]] T* data() const noexcept { return data_.get() + offset_; }
+
+  /// Rank-2 slice along the batch axis.  LayoutRight batches along dim 0
+  /// (C convention: batch[b] = view(b, :, :)); LayoutLeft batches along
+  /// dim 2 (Julia convention: A[:, :, b]).  The returned View2 aliases
+  /// this view's storage.
+  [[nodiscard]] View2<T, Layout> slice(std::size_t batch) const {
+    if constexpr (is_row_major) {
+      PB_EXPECTS(batch < n0_);
+      return remake_slice(n1_, n2_, offset_ + batch * stride0_, stride1_, stride2_);
+    } else {
+      PB_EXPECTS(batch < n2_);
+      return remake_slice(n0_, n1_, offset_ + batch * stride2_, stride0_, stride1_);
+    }
+  }
+
+ private:
+  /// Build an aliasing View2 with explicit geometry.
+  View2<T, Layout> remake_slice(std::size_t rows, std::size_t cols, std::size_t offset,
+                                std::size_t s0, std::size_t s1) const {
+    return View2<T, Layout>(data_, offset, rows, cols, s0, s1);
+  }
+
+  std::shared_ptr<T[]> data_;
+  std::size_t offset_ = 0;
+  std::size_t n0_ = 0;
+  std::size_t n1_ = 0;
+  std::size_t n2_ = 0;
+  std::size_t stride0_ = 0;
+  std::size_t stride1_ = 0;
+  std::size_t stride2_ = 0;
+};
+
+}  // namespace portabench::simrt

@@ -1,0 +1,137 @@
+// Sparse matrix containers: CSR and CSC.
+//
+// The "more complex HPC workloads" extension (Section VI future work):
+// sparse matrix-vector multiplication is the memory-bound counterpart of
+// the paper's compute-bound GEMM, and the storage convention splits the
+// same way the dense layouts did — C/OpenMP, Numba (scipy), and Kokkos
+// use CSR; Julia's SparseMatrixCSC is compressed *columns*.  Both are
+// implemented so the frontends keep their native formats.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace portabench::spmv {
+
+/// Compressed sparse row.
+template <class T>
+struct CsrMatrix {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::vector<std::size_t> row_ptr;  ///< rows + 1 entries
+  std::vector<std::size_t> col_idx;  ///< nnz entries, ascending within a row
+  std::vector<T> values;             ///< nnz entries
+
+  [[nodiscard]] std::size_t nnz() const noexcept { return values.size(); }
+
+  /// Validate structural invariants; throws on violation.
+  void validate() const {
+    PB_EXPECTS(row_ptr.size() == rows + 1);
+    PB_EXPECTS(row_ptr.front() == 0 && row_ptr.back() == values.size());
+    PB_EXPECTS(col_idx.size() == values.size());
+    for (std::size_t r = 0; r < rows; ++r) {
+      PB_EXPECTS(row_ptr[r] <= row_ptr[r + 1]);
+      for (std::size_t e = row_ptr[r]; e < row_ptr[r + 1]; ++e) {
+        PB_EXPECTS(col_idx[e] < cols);
+        if (e > row_ptr[r]) PB_EXPECTS(col_idx[e] > col_idx[e - 1]);
+      }
+    }
+  }
+};
+
+/// Compressed sparse column (Julia's SparseMatrixCSC).
+template <class T>
+struct CscMatrix {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::vector<std::size_t> col_ptr;  ///< cols + 1 entries
+  std::vector<std::size_t> row_idx;  ///< nnz entries, ascending within a column
+  std::vector<T> values;
+
+  [[nodiscard]] std::size_t nnz() const noexcept { return values.size(); }
+};
+
+/// Random matrix with ~nnz_per_row uniformly placed entries per row,
+/// values in [0, 1).  Deterministic for a seed.
+template <class T>
+CsrMatrix<T> random_csr(std::size_t rows, std::size_t cols, std::size_t nnz_per_row,
+                        std::uint64_t seed) {
+  PB_EXPECTS(rows > 0 && cols > 0 && nnz_per_row > 0 && nnz_per_row <= cols);
+  CsrMatrix<T> m;
+  m.rows = rows;
+  m.cols = cols;
+  m.row_ptr.resize(rows + 1, 0);
+  Xoshiro256 rng(seed);
+
+  std::vector<std::size_t> row_cols;
+  for (std::size_t r = 0; r < rows; ++r) {
+    row_cols.clear();
+    // Sample distinct columns: stride-jitter placement keeps it O(nnz).
+    const std::size_t stride = cols / nnz_per_row;
+    for (std::size_t e = 0; e < nnz_per_row; ++e) {
+      const std::size_t base = e * stride;
+      const std::size_t jitter = stride > 1 ? rng() % stride : 0;
+      row_cols.push_back(std::min(base + jitter, cols - 1));
+    }
+    std::sort(row_cols.begin(), row_cols.end());
+    row_cols.erase(std::unique(row_cols.begin(), row_cols.end()), row_cols.end());
+    for (std::size_t c : row_cols) {
+      m.col_idx.push_back(c);
+      m.values.push_back(static_cast<T>(rng.uniform()));
+    }
+    m.row_ptr[r + 1] = m.values.size();
+  }
+  return m;
+}
+
+/// Banded matrix: entries at |i - j| <= half_bandwidth (a PDE-stencil
+/// shape, the paper's Trixi.jl/solver context).
+template <class T>
+CsrMatrix<T> banded_csr(std::size_t n, std::size_t half_bandwidth, std::uint64_t seed) {
+  PB_EXPECTS(n > 0);
+  CsrMatrix<T> m;
+  m.rows = n;
+  m.cols = n;
+  m.row_ptr.resize(n + 1, 0);
+  Xoshiro256 rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t lo = i >= half_bandwidth ? i - half_bandwidth : 0;
+    const std::size_t hi = std::min(i + half_bandwidth, n - 1);
+    for (std::size_t j = lo; j <= hi; ++j) {
+      m.col_idx.push_back(j);
+      m.values.push_back(static_cast<T>(rng.uniform()));
+    }
+    m.row_ptr[i + 1] = m.values.size();
+  }
+  return m;
+}
+
+/// Convert CSR to CSC (the Julia frontend's ingestion step).
+template <class T>
+CscMatrix<T> csr_to_csc(const CsrMatrix<T>& csr) {
+  CscMatrix<T> csc;
+  csc.rows = csr.rows;
+  csc.cols = csr.cols;
+  csc.col_ptr.assign(csr.cols + 1, 0);
+  // Count entries per column.
+  for (std::size_t c : csr.col_idx) ++csc.col_ptr[c + 1];
+  for (std::size_t c = 0; c < csr.cols; ++c) csc.col_ptr[c + 1] += csc.col_ptr[c];
+  csc.row_idx.resize(csr.nnz());
+  csc.values.resize(csr.nnz());
+  std::vector<std::size_t> cursor(csc.col_ptr.begin(), csc.col_ptr.end() - 1);
+  for (std::size_t r = 0; r < csr.rows; ++r) {
+    for (std::size_t e = csr.row_ptr[r]; e < csr.row_ptr[r + 1]; ++e) {
+      const std::size_t c = csr.col_idx[e];
+      csc.row_idx[cursor[c]] = r;
+      csc.values[cursor[c]] = csr.values[e];
+      ++cursor[c];
+    }
+  }
+  return csc;
+}
+
+}  // namespace portabench::spmv

@@ -1,0 +1,115 @@
+// Jacobi sweep kernels across the substrates.
+//
+// One mathematical sweep — out(i,j) = average of in's four neighbours —
+// expressed the way each programming model writes it: a serial loop nest,
+// an MDRange dispatch (the Kokkos/host shape), a fine-granularity device
+// kernel (the Fig. 3 shape), and a shared-memory tiled cooperative device
+// kernel (the optimization the naive version leaves out; its halo loads
+// exercise the simulator's barrier semantics).
+#pragma once
+
+#include "gpusim/launch.hpp"
+#include "gpusim/memory.hpp"
+#include "grid.hpp"
+
+namespace portabench::stencil {
+
+/// Serial reference sweep.
+inline void sweep_serial(const simrt::View2<double, simrt::LayoutRight>& in,
+                         simrt::View2<double, simrt::LayoutRight>& out) {
+  for (std::size_t i = 1; i + 1 < in.extent(0); ++i) {
+    for (std::size_t j = 1; j + 1 < in.extent(1); ++j) {
+      out(i, j) = 0.25 * (in(i - 1, j) + in(i + 1, j) + in(i, j - 1) + in(i, j + 1));
+    }
+  }
+}
+
+/// Host-parallel sweep via MDRangePolicy (the Kokkos shape).
+template <class Space>
+void sweep_mdrange(const Space& space, const simrt::View2<double, simrt::LayoutRight>& in,
+                   simrt::View2<double, simrt::LayoutRight>& out) {
+  simrt::parallel_for(space,
+                      simrt::MDRangePolicy2({1, 1}, {in.extent(0) - 1, in.extent(1) - 1}),
+                      [&](std::size_t i, std::size_t j) {
+                        out(i, j) = 0.25 * (in(i - 1, j) + in(i + 1, j) + in(i, j - 1) +
+                                            in(i, j + 1));
+                      });
+}
+
+/// Naive device sweep: one thread per interior point, global loads only.
+inline void sweep_gpu_naive(gpusim::DeviceContext& ctx, const double* in, double* out,
+                            std::size_t rows, std::size_t cols,
+                            const gpusim::Dim3& block = {32, 8, 1}) {
+  const gpusim::Dim3 grid{gpusim::blocks_for(cols, block.x),
+                          gpusim::blocks_for(rows, block.y), 1};
+  gpusim::launch(ctx, grid, block, [=](const gpusim::ThreadCtx& tc) {
+    const std::size_t i = tc.global_y();
+    const std::size_t j = tc.global_x();
+    if (i >= 1 && i + 1 < rows && j >= 1 && j + 1 < cols) {
+      out[i * cols + j] = 0.25 * (in[(i - 1) * cols + j] + in[(i + 1) * cols + j] +
+                                  in[i * cols + j - 1] + in[i * cols + j + 1]);
+    }
+  });
+}
+
+/// Shared-memory tiled device sweep: each block cooperatively stages its
+/// tile plus halo, then computes from shared memory — the classic stencil
+/// optimization, expressed with the simulator's barrier semantics.
+inline void sweep_gpu_tiled(gpusim::DeviceContext& ctx, const double* in, double* out,
+                            std::size_t rows, std::size_t cols, std::size_t tile = 16) {
+  PB_EXPECTS(tile >= 2);
+  const std::size_t halo = tile + 2;
+  const gpusim::Dim3 block{tile, tile, 1};
+  const gpusim::Dim3 grid{gpusim::blocks_for(cols, tile), gpusim::blocks_for(rows, tile), 1};
+  const std::size_t shared_bytes = halo * halo * sizeof(double);
+
+  gpusim::launch_blocks(ctx, grid, block, shared_bytes, [&](gpusim::BlockCtx& bc) {
+    auto shared = bc.shared<double>(halo * halo);
+    const std::size_t base_i = bc.block_idx().y * tile;  // tile origin (interior coords)
+    const std::size_t base_j = bc.block_idx().x * tile;
+
+    // Phase 1: cooperative halo load — each lane loads its cell plus a
+    // strided share of the halo ring.
+    bc.for_lanes([&](const gpusim::ThreadCtx& tc) {
+      for (std::size_t idx = tc.lane_in_block(); idx < halo * halo;
+           idx += tc.block_dim.volume()) {
+        const std::size_t li = idx / halo;
+        const std::size_t lj = idx % halo;
+        const std::size_t gi = base_i + li;  // global row of shared(li, lj)
+        const std::size_t gj = base_j + lj;
+        shared[idx] = (gi < rows && gj < cols) ? in[gi * cols + gj] : 0.0;
+      }
+    });
+
+    // Phase 2 (after the implicit barrier): compute from shared memory.
+    bc.for_lanes([&](const gpusim::ThreadCtx& tc) {
+      const std::size_t li = tc.thread_idx.y + 1;  // interior of the halo tile
+      const std::size_t lj = tc.thread_idx.x + 1;
+      const std::size_t gi = base_i + li;
+      const std::size_t gj = base_j + lj;
+      if (gi >= 1 && gi + 1 < rows && gj >= 1 && gj + 1 < cols) {
+        out[gi * cols + gj] = 0.25 * (shared[(li - 1) * halo + lj] +
+                                      shared[(li + 1) * halo + lj] +
+                                      shared[li * halo + lj - 1] +
+                                      shared[li * halo + lj + 1]);
+      }
+    });
+  });
+}
+
+/// Run Jacobi to convergence: sweeps until the max-norm update falls
+/// below `tolerance` or `max_sweeps` is hit.  Returns the sweep count.
+template <class Space>
+std::size_t solve_jacobi(const Space& space, Grid2D& grid, double tolerance,
+                         std::size_t max_sweeps) {
+  PB_EXPECTS(tolerance > 0.0 && max_sweeps > 0);
+  for (std::size_t sweep = 1; sweep <= max_sweeps; ++sweep) {
+    sweep_mdrange(space, grid.front(), grid.back());
+    const double r = residual_max(space, grid.front(), grid.back());
+    grid.swap();
+    if (r < tolerance) return sweep;
+  }
+  return max_sweeps;
+}
+
+}  // namespace portabench::stencil

@@ -1,0 +1,124 @@
+// Tests for the set-associative cache simulator.
+#include "cachesim/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace portabench::cachesim {
+namespace {
+
+TEST(Cache, GeometryDerived) {
+  Cache c(32 * 1024, 64, 8);
+  EXPECT_EQ(c.sets(), 64u);
+  EXPECT_EQ(c.size_bytes(), 32u * 1024u);
+  EXPECT_EQ(c.line_bytes(), 64u);
+}
+
+TEST(Cache, InvalidGeometryRejected) {
+  EXPECT_THROW(Cache(1000, 64, 8), precondition_error);   // not divisible
+  EXPECT_THROW(Cache(1024, 48, 2), precondition_error);   // line not pow2
+  EXPECT_THROW(Cache(1024, 64, 0), precondition_error);   // zero ways
+}
+
+TEST(Cache, ColdMissThenHit) {
+  Cache c(1024, 64, 2);
+  EXPECT_EQ(c.access(0), Access::kMiss);
+  EXPECT_EQ(c.access(0), Access::kHit);
+  EXPECT_EQ(c.access(63), Access::kHit);   // same line
+  EXPECT_EQ(c.access(64), Access::kMiss);  // next line
+  EXPECT_EQ(c.hits(), 2u);
+  EXPECT_EQ(c.misses(), 2u);
+}
+
+TEST(Cache, LruEviction) {
+  // 2-way, 8 sets, 64B lines: three lines mapping to the same set evict
+  // the least recently used.
+  Cache c(1024, 64, 2);
+  const std::uint64_t set_stride = 8 * 64;  // lines that collide in set 0
+  c.access(0 * set_stride);
+  c.access(1 * set_stride);
+  c.access(0 * set_stride);             // touch line 0: line 1 becomes LRU
+  c.access(2 * set_stride);             // evicts line 1
+  EXPECT_TRUE(c.contains(0 * set_stride));
+  EXPECT_FALSE(c.contains(1 * set_stride));
+  EXPECT_TRUE(c.contains(2 * set_stride));
+}
+
+TEST(Cache, FullyAssociativeHoldsWorkingSet) {
+  Cache c(8 * 64, 64, 8);  // one set, 8 ways
+  for (std::uint64_t i = 0; i < 8; ++i) c.access(i * 64);
+  c.reset_stats();
+  for (int round = 0; round < 3; ++round) {
+    for (std::uint64_t i = 0; i < 8; ++i) c.access(i * 64);
+  }
+  EXPECT_EQ(c.misses(), 0u);  // working set exactly fits
+  EXPECT_EQ(c.hits(), 24u);
+}
+
+TEST(Cache, StreamingLargerThanCapacityAlwaysMisses) {
+  Cache c(1024, 64, 2);  // 16 lines
+  // Cyclic stream of 32 lines with LRU: every access misses.
+  c.reset_stats();
+  for (int round = 0; round < 4; ++round) {
+    for (std::uint64_t i = 0; i < 32; ++i) c.access(i * 64);
+  }
+  EXPECT_EQ(c.hits(), 0u);
+}
+
+TEST(Cache, FlushDropsContents) {
+  Cache c(1024, 64, 2);
+  c.access(0);
+  EXPECT_TRUE(c.contains(0));
+  c.flush();
+  EXPECT_FALSE(c.contains(0));
+  EXPECT_EQ(c.access(0), Access::kMiss);
+}
+
+TEST(Hierarchy, MissesCascade) {
+  Hierarchy h;
+  h.add_level("L1", 1024, 64, 2);
+  h.add_level("L2", 8192, 64, 4);
+  EXPECT_EQ(h.access(0), 2u);  // cold: DRAM
+  EXPECT_EQ(h.access(0), 0u);  // L1 hit
+  EXPECT_EQ(h.dram_lines(), 1u);
+  EXPECT_EQ(h.dram_bytes(), 64u);
+}
+
+TEST(Hierarchy, L2CatchesL1Evictions) {
+  Hierarchy h;
+  h.add_level("L1", 2 * 64, 64, 2);  // 2 lines
+  h.add_level("L2", 64 * 64, 64, 4);
+  // Touch 3 lines: line 0 falls out of L1 but stays in L2.
+  h.access(0);
+  h.access(64);
+  h.access(128);
+  EXPECT_EQ(h.access(0), 1u);  // L1 miss, L2 hit
+  EXPECT_EQ(h.dram_lines(), 3u);
+}
+
+TEST(Hierarchy, LevelsMustGrow) {
+  Hierarchy h;
+  h.add_level("L1", 8192, 64, 4);
+  EXPECT_THROW(h.add_level("L2", 1024, 64, 2), precondition_error);
+}
+
+TEST(Hierarchy, FactoryShapes) {
+  auto epyc = Hierarchy::epyc_7a53_core();
+  EXPECT_EQ(epyc.levels(), 3u);
+  auto altra = Hierarchy::ampere_altra_core();
+  EXPECT_EQ(altra.levels(), 3u);
+}
+
+TEST(Hierarchy, StatsNamed) {
+  Hierarchy h;
+  h.add_level("L1", 1024, 64, 2);
+  h.access(0);
+  const auto stats = h.stats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].name, "L1");
+  EXPECT_EQ(stats[0].misses, 1u);
+}
+
+}  // namespace
+}  // namespace portabench::cachesim

@@ -1,0 +1,99 @@
+// Tests for the ASCII chart renderer.
+#include "common/ascii_plot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace portabench {
+namespace {
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) lines.push_back(line);
+  return lines;
+}
+
+TEST(AsciiPlot, ContainsLegendAndAxes) {
+  PlotSeries s{"CUDA", {1.0, 2.0, 3.0, 4.0}};
+  const std::string out = render_plot({s}, {1, 2, 3, 4});
+  EXPECT_NE(out.find("legend: * CUDA"), std::string::npos);
+  EXPECT_NE(out.find('|'), std::string::npos);
+  EXPECT_NE(out.find('+'), std::string::npos);
+}
+
+TEST(AsciiPlot, RisingSeriesOccupiesRisingRows) {
+  PlotOptions opt;
+  opt.width = 40;
+  opt.height = 10;
+  opt.y_label = "y";  // ensures the canvas starts at line index 1
+  PlotSeries s{"x", {0.0, 50.0, 100.0}};
+  const auto lines = lines_of(render_plot({s}, {0, 1, 2}, opt));
+  // First canvas line is index 1 (after the y-label line).  Max value
+  // lands in the top canvas row, min in the bottom.
+  const std::string& top = lines[1];
+  const std::string& bottom = lines[10];
+  EXPECT_NE(top.find('*'), std::string::npos);
+  EXPECT_NE(bottom.find('*'), std::string::npos);
+  // Top row glyph is to the right of bottom row glyph (rising line).
+  EXPECT_GT(top.rfind('*'), bottom.find('*'));
+}
+
+TEST(AsciiPlot, MultipleSeriesDistinctGlyphs) {
+  PlotSeries a{"first", {1.0, 1.0}};
+  PlotSeries b{"second", {10.0, 10.0}};
+  const std::string out = render_plot({a, b}, {0, 1});
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find('+'), std::string::npos);
+  EXPECT_NE(out.find("+ second"), std::string::npos);
+}
+
+TEST(AsciiPlot, EngineeringUnitsOnAxis) {
+  PlotSeries s{"perf", {4365.0, 4365.0}};
+  const std::string out = render_plot({s}, {4096, 20480});
+  EXPECT_NE(out.find("k"), std::string::npos);  // 4.365k axis label
+}
+
+TEST(AsciiPlot, LabelsRendered) {
+  PlotOptions opt;
+  opt.y_label = "GFLOP/s";
+  opt.x_label = "matrix size n";
+  PlotSeries s{"v", {1.0, 2.0}};
+  const std::string out = render_plot({s}, {1, 2}, opt);
+  EXPECT_NE(out.find("GFLOP/s"), std::string::npos);
+  EXPECT_NE(out.find("matrix size n"), std::string::npos);
+}
+
+TEST(AsciiPlot, SinglePointSeries) {
+  PlotSeries s{"dot", {5.0}};
+  EXPECT_NO_THROW((void)render_plot({s}, {10}));
+}
+
+TEST(AsciiPlot, ConstantZeroSeriesHandled) {
+  PlotSeries s{"zero", {0.0, 0.0, 0.0}};
+  EXPECT_NO_THROW((void)render_plot({s}, {1, 2, 3}));
+}
+
+TEST(AsciiPlot, PreconditionsEnforced) {
+  EXPECT_THROW((void)render_plot({}, {1}), precondition_error);
+  PlotSeries s{"x", {1.0, 2.0}};
+  EXPECT_THROW((void)render_plot({s}, {1}), precondition_error);  // tick mismatch
+  PlotSeries empty{"e", {}};
+  EXPECT_THROW((void)render_plot({empty}, {}), precondition_error);
+  PlotOptions tiny;
+  tiny.width = 2;
+  EXPECT_THROW((void)render_plot({s}, {1, 2}, tiny), precondition_error);
+}
+
+TEST(AsciiPlot, MismatchedSeriesLengthsRejected) {
+  PlotSeries a{"a", {1.0, 2.0}};
+  PlotSeries b{"b", {1.0}};
+  EXPECT_THROW((void)render_plot({a, b}, {1, 2}), precondition_error);
+}
+
+}  // namespace
+}  // namespace portabench

@@ -1,0 +1,64 @@
+// Tests for the aligned buffer.
+#include "common/buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <utility>
+
+namespace portabench {
+namespace {
+
+TEST(AlignedBuffer, EmptyByDefault) {
+  AlignedBuffer<double> b;
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.size(), 0u);
+}
+
+TEST(AlignedBuffer, CacheLineAligned) {
+  for (std::size_t count : {1u, 7u, 64u, 1000u}) {
+    AlignedBuffer<double> b(count);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b.data()) % kCacheLineBytes, 0u)
+        << "count=" << count;
+  }
+}
+
+TEST(AlignedBuffer, ZeroInitialized) {
+  AlignedBuffer<int> b(128);
+  for (std::size_t i = 0; i < b.size(); ++i) EXPECT_EQ(b[i], 0);
+}
+
+TEST(AlignedBuffer, ReadWrite) {
+  AlignedBuffer<float> b(16);
+  for (std::size_t i = 0; i < 16; ++i) b[i] = static_cast<float>(i);
+  for (std::size_t i = 0; i < 16; ++i) EXPECT_EQ(b[i], static_cast<float>(i));
+}
+
+TEST(AlignedBuffer, MoveTransfersOwnership) {
+  AlignedBuffer<int> a(8);
+  a[0] = 42;
+  int* ptr = a.data();
+  AlignedBuffer<int> b(std::move(a));
+  EXPECT_EQ(b.data(), ptr);
+  EXPECT_EQ(b[0], 42);
+  EXPECT_EQ(b.size(), 8u);
+}
+
+TEST(AlignedBuffer, MoveAssign) {
+  AlignedBuffer<int> a(4);
+  a[3] = 7;
+  AlignedBuffer<int> b(2);
+  b = std::move(a);
+  EXPECT_EQ(b.size(), 4u);
+  EXPECT_EQ(b[3], 7);
+}
+
+TEST(AlignedBuffer, SpanCoversAll) {
+  AlignedBuffer<double> b(10);
+  auto s = b.span();
+  EXPECT_EQ(s.size(), 10u);
+  EXPECT_EQ(s.data(), b.data());
+}
+
+}  // namespace
+}  // namespace portabench

@@ -1,0 +1,156 @@
+// Tests for the command-line option parser.
+#include "common/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace portabench {
+namespace {
+
+CliParser make_parser() {
+  CliParser p;
+  p.option("size", "matrix size", "256")
+      .option("precision", "fp64|fp32|fp16", "fp64")
+      .option("sizes", "comma-separated sizes")
+      .flag("csv", "emit CSV");
+  return p;
+}
+
+std::vector<const char*> argv_of(std::initializer_list<const char*> args) {
+  std::vector<const char*> v{"prog"};
+  v.insert(v.end(), args.begin(), args.end());
+  return v;
+}
+
+TEST(Cli, DefaultsApply) {
+  CliParser p = make_parser();
+  auto argv = argv_of({});
+  p.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(p.get("size"), "256");
+  EXPECT_FALSE(p.has("size"));
+  EXPECT_FALSE(p.has("csv"));
+}
+
+TEST(Cli, EqualsSyntax) {
+  CliParser p = make_parser();
+  auto argv = argv_of({"--size=1024"});
+  p.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_TRUE(p.has("size"));
+  EXPECT_EQ(p.get_int("size"), 1024);
+}
+
+TEST(Cli, SpaceSyntax) {
+  CliParser p = make_parser();
+  auto argv = argv_of({"--size", "2048"});
+  p.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(p.get_int("size"), 2048);
+}
+
+TEST(Cli, FlagPresence) {
+  CliParser p = make_parser();
+  auto argv = argv_of({"--csv"});
+  p.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_TRUE(p.has("csv"));
+}
+
+TEST(Cli, FlagRejectsValue) {
+  CliParser p = make_parser();
+  auto argv = argv_of({"--csv=yes"});
+  EXPECT_THROW(p.parse(static_cast<int>(argv.size()), argv.data()), config_error);
+}
+
+TEST(Cli, UnknownOptionFailsLoudly) {
+  CliParser p = make_parser();
+  auto argv = argv_of({"--sizee=10"});
+  EXPECT_THROW(p.parse(static_cast<int>(argv.size()), argv.data()), config_error);
+}
+
+TEST(Cli, PositionalRejected) {
+  CliParser p = make_parser();
+  auto argv = argv_of({"1024"});
+  EXPECT_THROW(p.parse(static_cast<int>(argv.size()), argv.data()), config_error);
+}
+
+TEST(Cli, MissingValueRejected) {
+  CliParser p = make_parser();
+  auto argv = argv_of({"--size"});
+  EXPECT_THROW(p.parse(static_cast<int>(argv.size()), argv.data()), config_error);
+}
+
+TEST(Cli, IntParsingErrors) {
+  CliParser p = make_parser();
+  auto argv = argv_of({"--size=abc"});
+  p.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_THROW(p.get_int("size"), config_error);
+}
+
+TEST(Cli, TrailingGarbageInNumberRejected) {
+  CliParser p = make_parser();
+  auto argv = argv_of({"--size=12x"});
+  p.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_THROW(p.get_int("size"), config_error);
+}
+
+TEST(Cli, DoubleParsing) {
+  CliParser p;
+  p.option("ratio", "a ratio", "0.5");
+  auto argv = argv_of({"--ratio=0.867"});
+  p.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_DOUBLE_EQ(p.get_double("ratio"), 0.867);
+}
+
+TEST(Cli, SizeList) {
+  CliParser p = make_parser();
+  auto argv = argv_of({"--sizes=1024,2048,4096"});
+  p.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(p.get_size_list("sizes"), (std::vector<std::size_t>{1024, 2048, 4096}));
+}
+
+TEST(Cli, SizeListRejectsNonPositive) {
+  CliParser p = make_parser();
+  auto argv = argv_of({"--sizes=1024,0"});
+  p.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_THROW(p.get_size_list("sizes"), config_error);
+}
+
+TEST(Cli, RepeatedOptionLastWins) {
+  CliParser p = make_parser();
+  auto argv = argv_of({"--size=10", "--size=20"});
+  p.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(p.get_int("size"), 20);
+}
+
+TEST(Cli, NegativeNumbersParse) {
+  CliParser p;
+  p.option("offset", "signed value", "0");
+  auto argv = argv_of({"--offset=-42"});
+  p.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(p.get_int("offset"), -42);
+}
+
+TEST(Cli, EmptyValueViaEquals) {
+  CliParser p;
+  p.option("tag", "freeform", "default");
+  auto argv = argv_of({"--tag="});
+  p.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_TRUE(p.has("tag"));
+  EXPECT_EQ(p.get("tag"), "");
+}
+
+TEST(Cli, UsageMentionsAllOptions) {
+  CliParser p = make_parser();
+  const std::string u = p.usage("prog");
+  EXPECT_NE(u.find("--size"), std::string::npos);
+  EXPECT_NE(u.find("--csv"), std::string::npos);
+  EXPECT_NE(u.find("default: 256"), std::string::npos);
+}
+
+TEST(Cli, UndeclaredLookupIsPreconditionError) {
+  CliParser p = make_parser();
+  EXPECT_THROW(p.get("nope"), precondition_error);
+  EXPECT_THROW(p.has("nope"), precondition_error);
+}
+
+}  // namespace
+}  // namespace portabench

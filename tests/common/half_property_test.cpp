@@ -1,0 +1,108 @@
+// Additional numeric property tests for the soft-float types: the
+// algebraic identities generic numeric code relies on, and the
+// accumulation-drift behaviour behind the Fig. 1c mixed-precision scheme.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/half.hpp"
+#include "common/rng.hpp"
+
+namespace portabench {
+namespace {
+
+TEST(HalfAlgebra, AdditionCommutes) {
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 2000; ++i) {
+    const half a(static_cast<float>(rng.uniform(-100.0, 100.0)));
+    const half b(static_cast<float>(rng.uniform(-100.0, 100.0)));
+    EXPECT_EQ((a + b).bits(), (b + a).bits());
+  }
+}
+
+TEST(HalfAlgebra, MultiplicationCommutes) {
+  Xoshiro256 rng(2);
+  for (int i = 0; i < 2000; ++i) {
+    const half a(static_cast<float>(rng.uniform(-10.0, 10.0)));
+    const half b(static_cast<float>(rng.uniform(-10.0, 10.0)));
+    EXPECT_EQ((a * b).bits(), (b * a).bits());
+  }
+}
+
+TEST(HalfAlgebra, IdentityElements) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 500; ++i) {
+    const half a(static_cast<float>(rng.uniform(-1000.0, 1000.0)));
+    EXPECT_EQ((a + half(0.0f)).bits(), a.bits());
+    EXPECT_EQ((a * half(1.0f)).bits(), a.bits());
+  }
+}
+
+TEST(HalfAlgebra, NegationIsInvolution) {
+  Xoshiro256 rng(4);
+  for (int i = 0; i < 500; ++i) {
+    const half a(static_cast<float>(rng.uniform(-1.0, 1.0)));
+    EXPECT_EQ((-(-a)).bits(), a.bits());
+    EXPECT_EQ((a + (-a)).bits() & 0x7FFFu, 0u);  // a - a == +/-0
+  }
+}
+
+TEST(HalfAlgebra, SubnormalArithmeticSurvives) {
+  const half tiny = half::from_bits(0x0001);  // smallest subnormal
+  EXPECT_TRUE(tiny.is_subnormal());
+  const half doubled = tiny + tiny;
+  EXPECT_EQ(doubled.bits(), 0x0002u);
+  EXPECT_TRUE((tiny / half(2.0f)).is_zero());  // underflows to zero (RTNE ties-to-even)
+}
+
+TEST(HalfAccumulation, Fp16SumDriftVsFp32Accumulator) {
+  // The Fig. 1c rationale quantified: summing k values of ~0.5 in FP16
+  // stalls once the running sum is large enough that +0.5 rounds away
+  // (at 1024, the spacing is 0.5: ties-to-even keeps the sum put), while
+  // an FP32 accumulator tracks the true sum.
+  constexpr int kTerms = 4096;
+  half fp16_acc(0.0f);
+  float fp32_acc = 0.0f;
+  for (int i = 0; i < kTerms; ++i) {
+    fp16_acc += half(0.5f);
+    fp32_acc += 0.5f;
+  }
+  EXPECT_EQ(fp32_acc, 2048.0f);
+  EXPECT_LT(static_cast<float>(fp16_acc), 1100.0f);  // stalled near 1024
+  EXPECT_GE(static_cast<float>(fp16_acc), 1024.0f);
+}
+
+TEST(HalfAccumulation, MixedPrecisionDotMatchesDoubleClosely) {
+  // FP16 inputs with FP32 accumulation: error bounded by input rounding,
+  // not accumulation length.
+  Xoshiro256 rng(5);
+  constexpr int kTerms = 10000;
+  float mixed = 0.0f;
+  double exact = 0.0;
+  for (int i = 0; i < kTerms; ++i) {
+    const half a(static_cast<float>(rng.uniform()));
+    const half b(static_cast<float>(rng.uniform()));
+    mixed += static_cast<float>(a) * static_cast<float>(b);
+    exact += static_cast<double>(static_cast<float>(a)) *
+             static_cast<double>(static_cast<float>(b));
+  }
+  // Relative error at the FP32-accumulation level (~1e-4 for 1e4 terms),
+  // far below the ~5e-2 an FP16 accumulator would show.
+  EXPECT_NEAR(mixed / static_cast<float>(exact), 1.0f, 1e-3f);
+}
+
+TEST(BFloat16Property, RoundTripThroughFloatExact) {
+  for (std::uint32_t bits = 0; bits <= 0xFFFF; bits += 3) {
+    const bfloat16 original = bfloat16::from_bits(static_cast<std::uint16_t>(bits));
+    const float f = static_cast<float>(original);
+    const bfloat16 back(f);
+    if (original.is_nan()) {
+      EXPECT_TRUE(back.is_nan());
+    } else {
+      EXPECT_EQ(back.bits(), original.bits()) << bits;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace portabench

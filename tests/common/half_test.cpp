@@ -1,0 +1,204 @@
+// Unit and property tests for the software binary16/bfloat16 types.
+#include "common/half.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace portabench {
+namespace {
+
+TEST(Half, DefaultIsPositiveZero) {
+  half h;
+  EXPECT_EQ(h.bits(), 0u);
+  EXPECT_TRUE(h.is_zero());
+  EXPECT_FALSE(h.signbit());
+  EXPECT_EQ(static_cast<float>(h), 0.0f);
+}
+
+TEST(Half, ExactSmallIntegers) {
+  // All integers up to 2048 are exactly representable in binary16.
+  for (int i = -2048; i <= 2048; ++i) {
+    half h(static_cast<float>(i));
+    EXPECT_EQ(static_cast<float>(h), static_cast<float>(i)) << "i=" << i;
+  }
+}
+
+TEST(Half, KnownBitPatterns) {
+  EXPECT_EQ(half(1.0f).bits(), 0x3C00u);
+  EXPECT_EQ(half(-1.0f).bits(), 0xBC00u);
+  EXPECT_EQ(half(2.0f).bits(), 0x4000u);
+  EXPECT_EQ(half(0.5f).bits(), 0x3800u);
+  EXPECT_EQ(half(65504.0f).bits(), 0x7BFFu);  // max finite
+  EXPECT_EQ(half(-0.0f).bits(), 0x8000u);
+  EXPECT_EQ(half(5.96046448e-8f).bits(), 0x0001u);  // min subnormal
+  EXPECT_EQ(half(6.103515625e-5f).bits(), 0x0400u);  // min normal
+}
+
+TEST(Half, OverflowToInfinity) {
+  EXPECT_TRUE(half(65520.0f).is_inf());   // rounds up to 2^16 -> inf
+  EXPECT_TRUE(half(1.0e10f).is_inf());
+  EXPECT_TRUE(half(-1.0e10f).is_inf());
+  EXPECT_TRUE(half(-1.0e10f).signbit());
+  // 65519.996 rounds down to max finite.
+  EXPECT_EQ(half(65519.0f).bits(), 0x7BFFu);
+}
+
+TEST(Half, RoundToNearestEven) {
+  // 1 + 2^-11 is exactly halfway between 1.0 and 1+2^-10: ties to even (1.0).
+  EXPECT_EQ(half(1.0f + 0x1.0p-11f).bits(), 0x3C00u);
+  // 1 + 3*2^-11 is halfway between 1+2^-10 and 1+2^-9: ties to even (1+2^-9).
+  EXPECT_EQ(half(1.0f + 3.0f * 0x1.0p-11f).bits(), 0x3C02u);
+  // Just above the halfway point rounds up.
+  EXPECT_EQ(half(1.0f + 0x1.1p-11f).bits(), 0x3C01u);
+}
+
+TEST(Half, SubnormalRounding) {
+  // Halfway between 0 and the smallest subnormal: ties to even (zero).
+  EXPECT_EQ(half(2.98023224e-8f).bits(), 0x0000u);
+  // Just above rounds to the smallest subnormal.
+  EXPECT_EQ(half(3.1e-8f).bits(), 0x0001u);
+}
+
+TEST(Half, UnderflowToSignedZero) {
+  EXPECT_EQ(half(1.0e-12f).bits(), 0x0000u);
+  EXPECT_EQ(half(-1.0e-12f).bits(), 0x8000u);
+}
+
+TEST(Half, NanPropagation) {
+  half nan(std::numeric_limits<float>::quiet_NaN());
+  EXPECT_TRUE(nan.is_nan());
+  EXPECT_FALSE(nan.is_inf());
+  EXPECT_TRUE(std::isnan(static_cast<float>(nan)));
+  EXPECT_FALSE(nan == nan);  // IEEE: NaN != NaN
+  EXPECT_TRUE(nan != nan);
+  EXPECT_TRUE((nan + half(1.0f)).is_nan());
+}
+
+TEST(Half, InfinityArithmetic) {
+  half inf = std::numeric_limits<half>::infinity();
+  EXPECT_TRUE(inf.is_inf());
+  EXPECT_TRUE((inf + half(1.0f)).is_inf());
+  EXPECT_TRUE((inf - inf).is_nan());
+  EXPECT_TRUE((half(1.0f) / half(0.0f)).is_inf());
+}
+
+TEST(Half, SignedZeroComparesEqual) {
+  EXPECT_TRUE(half(0.0f) == half(-0.0f));
+  EXPECT_NE(half(0.0f).bits(), half(-0.0f).bits());
+}
+
+TEST(Half, Arithmetic) {
+  EXPECT_EQ(static_cast<float>(half(2.0f) + half(3.0f)), 5.0f);
+  EXPECT_EQ(static_cast<float>(half(2.0f) * half(3.0f)), 6.0f);
+  EXPECT_EQ(static_cast<float>(half(7.0f) - half(3.0f)), 4.0f);
+  EXPECT_EQ(static_cast<float>(half(8.0f) / half(2.0f)), 4.0f);
+  EXPECT_EQ(static_cast<float>(-half(2.5f)), -2.5f);
+  half h(1.0f);
+  h += half(1.0f);
+  h *= half(3.0f);
+  h -= half(2.0f);
+  h /= half(4.0f);
+  EXPECT_EQ(static_cast<float>(h), 1.0f);
+}
+
+TEST(Half, Comparisons) {
+  EXPECT_LT(half(1.0f), half(2.0f));
+  EXPECT_GT(half(2.0f), half(1.0f));
+  EXPECT_LE(half(1.0f), half(1.0f));
+  EXPECT_GE(half(-1.0f), half(-2.0f));
+  EXPECT_LT(half(-2.0f), half(-1.0f));
+}
+
+TEST(Half, NumericLimits) {
+  using lim = std::numeric_limits<half>;
+  EXPECT_TRUE(lim::is_specialized);
+  EXPECT_EQ(static_cast<float>(lim::max()), 65504.0f);
+  EXPECT_EQ(static_cast<float>(lim::lowest()), -65504.0f);
+  EXPECT_EQ(static_cast<float>(lim::min()), 6.103515625e-5f);
+  EXPECT_EQ(static_cast<float>(lim::epsilon()), 0x1.0p-10f);
+  EXPECT_TRUE(lim::infinity().is_inf());
+  EXPECT_TRUE(lim::quiet_NaN().is_nan());
+  EXPECT_EQ(static_cast<float>(lim::denorm_min()), 5.96046448e-8f);
+}
+
+// Property: every one of the 65536 bit patterns survives a
+// half -> float -> half round trip bit-exactly (modulo NaN payload
+// quieting, which preserves NaN-ness).
+TEST(HalfProperty, AllBitPatternsRoundTrip) {
+  for (std::uint32_t bits = 0; bits <= 0xFFFF; ++bits) {
+    const half original = half::from_bits(static_cast<std::uint16_t>(bits));
+    const float f = static_cast<float>(original);
+    const half round_tripped(f);
+    if (original.is_nan()) {
+      EXPECT_TRUE(round_tripped.is_nan()) << "bits=" << bits;
+    } else {
+      EXPECT_EQ(round_tripped.bits(), original.bits()) << "bits=" << bits;
+    }
+  }
+}
+
+// Property: conversion from float is monotone over finite halfs.
+TEST(HalfProperty, ConversionIsMonotone) {
+  float prev = -std::numeric_limits<float>::infinity();
+  for (std::uint32_t bits = 0xFBFF; bits >= 0x8001; --bits) {  // negative finite ascending
+    const float f = static_cast<float>(half::from_bits(static_cast<std::uint16_t>(bits)));
+    EXPECT_GT(f, prev) << "bits=" << bits;
+    prev = f;
+  }
+  for (std::uint32_t bits = 0x0000; bits <= 0x7BFF; ++bits) {  // non-negative ascending
+    const float f = static_cast<float>(half::from_bits(static_cast<std::uint16_t>(bits)));
+    if (bits == 0) {
+      EXPECT_GE(f, prev);
+    } else {
+      EXPECT_GT(f, prev) << "bits=" << bits;
+    }
+    prev = f;
+  }
+}
+
+// Property: float -> half conversion picks one of the two neighbouring
+// representable halfs (never skips past the true value).
+TEST(HalfProperty, ConversionErrorIsBounded) {
+  for (int i = 0; i < 4000; ++i) {
+    const float f = -200.0f + 0.1f * static_cast<float>(i);
+    const float back = static_cast<float>(half(f));
+    const float scale = std::max(1.0f, std::abs(f));
+    EXPECT_NEAR(back, f, scale * 0x1.0p-10f) << "f=" << f;
+  }
+}
+
+TEST(BFloat16, KnownPatterns) {
+  EXPECT_EQ(bfloat16(1.0f).bits(), 0x3F80u);
+  EXPECT_EQ(bfloat16(-2.0f).bits(), 0xC000u);
+  EXPECT_EQ(static_cast<float>(bfloat16(1.0f)), 1.0f);
+}
+
+TEST(BFloat16, WideExponentRangeSurvives) {
+  // 1e30 overflows half but fits bfloat16 (same exponent range as float).
+  EXPECT_TRUE(half(1.0e30f).is_inf());
+  EXPECT_FALSE(bfloat16(1.0e30f).is_inf());
+  EXPECT_NEAR(static_cast<float>(bfloat16(1.0e30f)), 1.0e30f, 1.0e28f);
+}
+
+TEST(BFloat16, NanPreserved) {
+  bfloat16 nan(std::numeric_limits<float>::quiet_NaN());
+  EXPECT_TRUE(nan.is_nan());
+  EXPECT_FALSE(nan == nan);
+}
+
+TEST(BFloat16, RoundToNearestEven) {
+  // 1 + 2^-8 is halfway between 1.0 and the next bfloat16: ties to even.
+  EXPECT_EQ(bfloat16(1.0f + 0x1.0p-8f).bits(), 0x3F80u);
+  EXPECT_EQ(bfloat16(1.0f + 3.0f * 0x1.0p-8f).bits(), 0x3F82u);
+}
+
+TEST(BFloat16, Arithmetic) {
+  EXPECT_EQ(static_cast<float>(bfloat16(2.0f) + bfloat16(3.0f)), 5.0f);
+  EXPECT_EQ(static_cast<float>(bfloat16(2.0f) * bfloat16(3.0f)), 6.0f);
+}
+
+}  // namespace
+}  // namespace portabench

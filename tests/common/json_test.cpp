@@ -1,0 +1,154 @@
+// Tests for the JSON emitter.
+#include "common/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace portabench {
+namespace {
+
+TEST(Json, EmptyObject) {
+  JsonWriter w;
+  w.begin_object();
+  w.end_object();
+  EXPECT_EQ(w.str(), "{}");
+}
+
+TEST(Json, EmptyArray) {
+  JsonWriter w;
+  w.begin_array();
+  w.end_array();
+  EXPECT_EQ(w.str(), "[]");
+}
+
+TEST(Json, FlatObject) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("name");
+  w.value("fig7");
+  w.key("n");
+  w.value(std::size_t{4096});
+  w.key("ok");
+  w.value(true);
+  w.end_object();
+  EXPECT_EQ(w.str(), R"({"name":"fig7","n":4096,"ok":true})");
+}
+
+TEST(Json, NestedStructure) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("series");
+  w.begin_array();
+  w.value(1.5);
+  w.begin_object();
+  w.key("x");
+  w.value(2L);
+  w.end_object();
+  w.null();
+  w.end_array();
+  w.end_object();
+  EXPECT_EQ(w.str(), R"({"series":[1.5,{"x":2},null]})");
+}
+
+TEST(Json, DoubleShortestRoundTrip) {
+  JsonWriter w;
+  w.begin_array();
+  w.value(0.5);
+  w.value(0.867);
+  w.value(1.0 / 3.0);
+  w.end_array();
+  const std::string s = w.str();
+  EXPECT_EQ(s.substr(0, 11), "[0.5,0.867,");
+  // The 1/3 value must round-trip exactly.
+  double parsed = 0.0;
+  sscanf(s.c_str() + 11, "%lf", &parsed);
+  EXPECT_EQ(parsed, 1.0 / 3.0);
+}
+
+TEST(Json, NonFiniteBecomesNull) {
+  JsonWriter w;
+  w.begin_array();
+  w.value(std::numeric_limits<double>::quiet_NaN());
+  w.value(std::numeric_limits<double>::infinity());
+  w.end_array();
+  EXPECT_EQ(w.str(), "[null,null]");
+}
+
+TEST(Json, StringEscaping) {
+  EXPECT_EQ(JsonWriter::escape("plain"), "plain");
+  EXPECT_EQ(JsonWriter::escape("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(JsonWriter::escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonWriter::escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+  EXPECT_EQ(JsonWriter::escape(std::string("\x01", 1)), "\\u0001");
+}
+
+TEST(Json, ArrayOfArrays) {
+  JsonWriter w;
+  w.begin_array();
+  for (int row = 0; row < 2; ++row) {
+    w.begin_array();
+    w.value(static_cast<long>(row));
+    w.value(static_cast<long>(row + 1));
+    w.end_array();
+  }
+  w.end_array();
+  EXPECT_EQ(w.str(), "[[0,1],[1,2]]");
+}
+
+TEST(Json, DeepNesting) {
+  JsonWriter w;
+  constexpr int kDepth = 40;
+  for (int i = 0; i < kDepth; ++i) {
+    w.begin_object();
+    w.key("child");
+  }
+  w.null();
+  for (int i = 0; i < kDepth; ++i) w.end_object();
+  const std::string doc = w.str();
+  EXPECT_EQ(doc.size(), kDepth * std::string("{\"child\":}").size() + 4);
+  EXPECT_EQ(doc.substr(0, 10), "{\"child\":{");
+}
+
+TEST(Json, ValueWithoutKeyRejected) {
+  JsonWriter w;
+  w.begin_object();
+  EXPECT_THROW(w.value(1.0), precondition_error);
+}
+
+TEST(Json, MismatchedCloseRejected) {
+  JsonWriter w;
+  w.begin_object();
+  EXPECT_THROW(w.end_array(), precondition_error);
+}
+
+TEST(Json, DanglingKeyRejected) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("orphan");
+  EXPECT_THROW(w.end_object(), precondition_error);
+}
+
+TEST(Json, UnclosedDocumentRejected) {
+  JsonWriter w;
+  w.begin_object();
+  EXPECT_THROW((void)w.str(), precondition_error);
+}
+
+TEST(Json, SecondRootRejected) {
+  JsonWriter w;
+  w.begin_object();
+  w.end_object();
+  EXPECT_THROW(w.begin_object(), precondition_error);
+}
+
+TEST(Json, KeyOutsideObjectRejected) {
+  JsonWriter w;
+  w.begin_array();
+  EXPECT_THROW(w.key("nope"), precondition_error);
+}
+
+}  // namespace
+}  // namespace portabench

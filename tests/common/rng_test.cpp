@@ -1,0 +1,125 @@
+// Tests for the xoshiro256** generator and the fill helpers.
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace portabench {
+namespace {
+
+TEST(SplitMix64, KnownSequence) {
+  // Reference values for seed 0 from the splitmix64 reference
+  // implementation (Vigna).
+  SplitMix64 sm(0);
+  EXPECT_EQ(sm.next(), 0xE220A8397B1DCDAFull);
+  EXPECT_EQ(sm.next(), 0x6E789E6AA1B965F4ull);
+  EXPECT_EQ(sm.next(), 0x06C45D188009454Full);
+}
+
+TEST(Xoshiro, DeterministicForSameSeed) {
+  Xoshiro256 a(42);
+  Xoshiro256 b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro, DifferentSeedsDiverge) {
+  Xoshiro256 a(1);
+  Xoshiro256 b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Xoshiro, UniformInUnitInterval) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Xoshiro, UniformMeanIsHalf) {
+  Xoshiro256 rng(11);
+  double sum = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Xoshiro, UniformRange) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform(-2.0, 5.0);
+    EXPECT_GE(u, -2.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Xoshiro, JumpProducesIndependentStream) {
+  Xoshiro256 base(99);
+  Xoshiro256 jumped(99);
+  jumped.jump();
+  // The jumped stream must not collide with the base stream's prefix.
+  std::set<std::uint64_t> base_values;
+  Xoshiro256 base_copy = base;
+  for (int i = 0; i < 1000; ++i) base_values.insert(base_copy());
+  int collisions = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (base_values.count(jumped())) ++collisions;
+  }
+  EXPECT_EQ(collisions, 0);
+}
+
+TEST(Fill, UniformDoubleCoversRange) {
+  std::vector<double> v(4096);
+  Xoshiro256 rng(5);
+  fill_uniform(std::span<double>(v), rng);
+  EXPECT_TRUE(std::all_of(v.begin(), v.end(), [](double x) { return x >= 0.0 && x < 1.0; }));
+  // Not all equal.
+  EXPECT_NE(*std::min_element(v.begin(), v.end()), *std::max_element(v.begin(), v.end()));
+}
+
+TEST(Fill, UniformFloatAndHalf) {
+  std::vector<float> f(1024);
+  std::vector<half> h(1024);
+  Xoshiro256 rng(6);
+  fill_uniform(std::span<float>(f), rng);
+  fill_uniform(std::span<half>(h), rng);
+  for (float x : f) {
+    EXPECT_GE(x, 0.0f);
+    EXPECT_LT(x, 1.0f);
+  }
+  for (half x : h) {
+    EXPECT_GE(static_cast<float>(x), 0.0f);
+    // Half rounding can reach exactly 1.0 from values just below it.
+    EXPECT_LE(static_cast<float>(x), 1.0f);
+  }
+}
+
+TEST(Fill, ConstantFill) {
+  std::vector<double> d(100);
+  std::vector<half> h(100);
+  fill_constant(std::span<double>(d), 3.5);
+  fill_constant(std::span<half>(h), half(1.0f));
+  EXPECT_TRUE(std::all_of(d.begin(), d.end(), [](double x) { return x == 3.5; }));
+  EXPECT_TRUE(std::all_of(h.begin(), h.end(), [](half x) { return x == half(1.0f); }));
+}
+
+TEST(Fill, SeedReproducibility) {
+  std::vector<double> a(256);
+  std::vector<double> b(256);
+  Xoshiro256 r1(123);
+  Xoshiro256 r2(123);
+  fill_uniform(std::span<double>(a), r1);
+  fill_uniform(std::span<double>(b), r2);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace portabench

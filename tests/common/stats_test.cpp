@@ -1,0 +1,171 @@
+// Tests for run statistics and the warm-up exclusion protocol.
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace portabench {
+namespace {
+
+TEST(Summary, EmptySample) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(s.median, 0.0);
+}
+
+TEST(Summary, SingleElement) {
+  const std::vector<double> v{4.0};
+  const Summary s = summarize(v);
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_EQ(s.mean, 4.0);
+  EXPECT_EQ(s.median, 4.0);
+  EXPECT_EQ(s.stddev, 0.0);
+  EXPECT_EQ(s.min, 4.0);
+  EXPECT_EQ(s.max, 4.0);
+}
+
+TEST(Summary, KnownValues) {
+  const std::vector<double> v{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  const Summary s = summarize(v);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.median, 4.5);
+  EXPECT_NEAR(s.stddev, std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_EQ(s.min, 2.0);
+  EXPECT_EQ(s.max, 9.0);
+}
+
+TEST(Summary, OddCountMedian) {
+  const std::vector<double> v{9.0, 1.0, 5.0};
+  EXPECT_DOUBLE_EQ(summarize(v).median, 5.0);
+}
+
+TEST(RunStats, WarmupExcluded) {
+  // The paper's protocol: repetitions exclude an initial warm-up step.
+  RunStats stats(/*warmup=*/2);
+  stats.add(100.0);  // JIT-compile run
+  stats.add(50.0);   // cache warm-up run
+  stats.add(1.0);
+  stats.add(2.0);
+  stats.add(3.0);
+  EXPECT_EQ(stats.discarded(), 2u);
+  EXPECT_EQ(stats.recorded(), 3u);
+  EXPECT_DOUBLE_EQ(stats.summary().mean, 2.0);
+}
+
+TEST(RunStats, ZeroWarmupKeepsEverything) {
+  RunStats stats(0);
+  stats.add(1.0);
+  stats.add(3.0);
+  EXPECT_EQ(stats.discarded(), 0u);
+  EXPECT_DOUBLE_EQ(stats.summary().mean, 2.0);
+}
+
+TEST(RunStats, AllDiscardedWhenFewerThanWarmup) {
+  RunStats stats(5);
+  stats.add(1.0);
+  stats.add(2.0);
+  EXPECT_EQ(stats.recorded(), 0u);
+  EXPECT_EQ(stats.summary().count, 0u);
+}
+
+TEST(GemmFlops, Formula) {
+  EXPECT_DOUBLE_EQ(gemm_flops(2, 3, 4), 48.0);
+  EXPECT_DOUBLE_EQ(gemm_flops(1024, 1024, 1024), 2.0 * 1024.0 * 1024.0 * 1024.0);
+}
+
+TEST(Gflops, Conversion) {
+  EXPECT_DOUBLE_EQ(gflops(2.0e9, 1.0), 2.0);
+  EXPECT_DOUBLE_EQ(gflops(1.0e9, 0.5), 2.0);
+}
+
+TEST(Gflops, RejectsNonPositiveTime) {
+  EXPECT_THROW(gflops(1.0, 0.0), precondition_error);
+  EXPECT_THROW(gflops(1.0, -1.0), precondition_error);
+}
+
+TEST(Means, Arithmetic) {
+  const std::vector<double> v{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(mean_of(v), 2.0);
+  EXPECT_EQ(mean_of({}), 0.0);
+}
+
+TEST(Means, Harmonic) {
+  const std::vector<double> v{1.0, 4.0};  // HM = 2/(1 + 0.25) = 1.6
+  EXPECT_DOUBLE_EQ(harmonic_mean_of(v), 1.6);
+  EXPECT_EQ(harmonic_mean_of({}), 0.0);
+  const std::vector<double> with_zero{1.0, 0.0};
+  EXPECT_EQ(harmonic_mean_of(with_zero), 0.0);
+}
+
+TEST(Means, HarmonicLeqArithmetic) {
+  // AM-HM inequality on arbitrary positive samples.
+  const std::vector<std::vector<double>> samples{
+      {0.5, 0.5}, {0.1, 0.9, 0.4}, {1.0, 2.0, 3.0, 4.0}, {0.994, 0.854, 0.842, 0.26}};
+  for (const auto& s : samples) {
+    EXPECT_LE(harmonic_mean_of(s), mean_of(s) + 1e-12);
+  }
+}
+
+TEST(Means, Geometric) {
+  const std::vector<double> v{2.0, 8.0};
+  EXPECT_NEAR(geometric_mean_of(v), 4.0, 1e-12);
+  EXPECT_EQ(geometric_mean_of({}), 0.0);
+}
+
+TEST(Bootstrap, CiCoversTrueMeanOfTightSample) {
+  const std::vector<double> sample{1.0, 1.1, 0.9, 1.05, 0.95, 1.02, 0.98};
+  const auto ci = bootstrap_mean_ci(sample);
+  const double m = mean_of(sample);
+  EXPECT_LE(ci.lower, m);
+  EXPECT_GE(ci.upper, m);
+  EXPECT_LT(ci.upper - ci.lower, 0.2);
+}
+
+TEST(Bootstrap, DeterministicForSeed) {
+  const std::vector<double> sample{3.0, 4.0, 5.0, 6.0};
+  const auto a = bootstrap_mean_ci(sample, 0.95, 500, 7);
+  const auto b = bootstrap_mean_ci(sample, 0.95, 500, 7);
+  EXPECT_EQ(a.lower, b.lower);
+  EXPECT_EQ(a.upper, b.upper);
+}
+
+TEST(Bootstrap, WiderLevelWiderInterval) {
+  std::vector<double> sample;
+  for (int i = 0; i < 30; ++i) sample.push_back(static_cast<double>(i % 7));
+  const auto narrow = bootstrap_mean_ci(sample, 0.80);
+  const auto wide = bootstrap_mean_ci(sample, 0.99);
+  EXPECT_LE(wide.lower, narrow.lower);
+  EXPECT_GE(wide.upper, narrow.upper);
+}
+
+TEST(Bootstrap, DegenerateSampleCollapses) {
+  const std::vector<double> sample{2.0, 2.0, 2.0};
+  const auto ci = bootstrap_mean_ci(sample);
+  EXPECT_DOUBLE_EQ(ci.lower, 2.0);
+  EXPECT_DOUBLE_EQ(ci.upper, 2.0);
+}
+
+TEST(Bootstrap, PreconditionsEnforced) {
+  EXPECT_THROW(bootstrap_mean_ci({}), precondition_error);
+  const std::vector<double> one{1.0};
+  EXPECT_THROW(bootstrap_mean_ci(one, 0.0), precondition_error);
+  EXPECT_THROW(bootstrap_mean_ci(one, 1.0), precondition_error);
+  EXPECT_THROW(bootstrap_mean_ci(one, 0.9, 5), precondition_error);
+}
+
+TEST(Means, GeometricBetweenHarmonicAndArithmetic) {
+  const std::vector<double> v{0.26, 0.842, 0.854, 0.994};
+  const double am = mean_of(v);
+  const double gm = geometric_mean_of(v);
+  const double hm = harmonic_mean_of(v);
+  EXPECT_LE(hm, gm + 1e-12);
+  EXPECT_LE(gm, am + 1e-12);
+}
+
+}  // namespace
+}  // namespace portabench

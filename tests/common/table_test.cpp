@@ -1,0 +1,76 @@
+// Tests for the Markdown/CSV table writer.
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace portabench {
+namespace {
+
+TEST(Table, HeaderOnlyMarkdown) {
+  Table t({"a", "bb"});
+  const std::string md = t.to_markdown();
+  EXPECT_NE(md.find("| a "), std::string::npos);
+  EXPECT_NE(md.find("| bb |"), std::string::npos);
+  EXPECT_NE(md.find("|---"), std::string::npos);
+}
+
+TEST(Table, RejectsEmptyHeaders) {
+  EXPECT_THROW(Table({}), precondition_error);
+}
+
+TEST(Table, RejectsMismatchedRow) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), precondition_error);
+  EXPECT_THROW(t.add_row({"1", "2", "3"}), precondition_error);
+}
+
+TEST(Table, MarkdownAlignsColumns) {
+  Table t({"model", "gflops"});
+  t.add_row({"CUDA", "1234.5"});
+  t.add_row({"Julia CUDA.jl", "987.1"});
+  const std::string md = t.to_markdown();
+  // Every line has the same length (padded columns).
+  std::size_t first_len = md.find('\n');
+  std::size_t pos = first_len + 1;
+  while (pos < md.size()) {
+    const std::size_t next = md.find('\n', pos);
+    EXPECT_EQ(next - pos, first_len);
+    pos = next + 1;
+  }
+}
+
+TEST(Table, CsvBasic) {
+  Table t({"x", "y"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.to_csv(), "x,y\n1,2\n");
+}
+
+TEST(Table, CsvEscapesCommasAndQuotes) {
+  Table t({"name", "note"});
+  t.add_row({"a,b", "say \"hi\""});
+  EXPECT_EQ(t.to_csv(), "name,note\n\"a,b\",\"say \"\"hi\"\"\"\n");
+}
+
+TEST(Table, NumFormatting) {
+  EXPECT_EQ(Table::num(0.9123, 3), "0.912");
+  EXPECT_EQ(Table::num(1.0, 1), "1.0");
+  EXPECT_EQ(Table::num(std::nan(""), 3), "-");  // unsupported cells print "-"
+  EXPECT_EQ(Table::num(1234.5678, 0), "1235");
+}
+
+TEST(Table, Accessors) {
+  Table t({"a"});
+  t.add_row({"r0"});
+  t.add_row({"r1"});
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.columns(), 1u);
+  EXPECT_EQ(t.row(1).at(0), "r1");
+  EXPECT_THROW(t.row(5), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace portabench

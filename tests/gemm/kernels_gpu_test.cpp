@@ -1,0 +1,219 @@
+// Correctness tests for the GPU GEMM kernels of Fig. 3 on the SIMT
+// simulator, including guard handling and the tiled shared-memory variant.
+#include "gemm/kernels_gpu.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/half.hpp"
+#include "common/rng.hpp"
+#include "gemm/reference.hpp"
+#include "gemm/validate.hpp"
+#include "simrt/mdarray.hpp"
+
+namespace portabench::gemm {
+namespace {
+
+using gpusim::DeviceBuffer;
+using gpusim::DeviceContext;
+using gpusim::GpuSpec;
+
+/// Row-major host reference: C = A*B (GPU kernels overwrite C).
+template <class T, class Acc>
+std::vector<Acc> host_reference_rowmajor(const std::vector<T>& A, const std::vector<T>& B,
+                                         std::size_t m, std::size_t n, std::size_t k) {
+  std::vector<Acc> C(m * n, Acc{});
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t l = 0; l < k; ++l) {
+      const Acc a = static_cast<Acc>(A[i * k + l]);
+      for (std::size_t j = 0; j < n; ++j) C[i * n + j] += a * static_cast<Acc>(B[l * n + j]);
+    }
+  }
+  return C;
+}
+
+template <class T>
+std::vector<T> random_flat(std::size_t count, std::uint64_t seed) {
+  std::vector<T> v(count);
+  Xoshiro256 rng(seed);
+  fill_uniform(std::span<T>(v), rng);
+  return v;
+}
+
+class GpuGemmTest : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {
+ protected:
+  DeviceContext ctx_{GpuSpec::a100()};
+};
+
+TEST_P(GpuGemmTest, CudaStyleMatchesHostReference) {
+  const auto [n, block] = GetParam();
+  auto hA = random_flat<double>(n * n, 31);
+  auto hB = random_flat<double>(n * n, 32);
+  DeviceBuffer<double> dA(ctx_, n * n);
+  DeviceBuffer<double> dB(ctx_, n * n);
+  DeviceBuffer<double> dC(ctx_, n * n);
+  dA.copy_from_host(hA);
+  dB.copy_from_host(hB);
+
+  GpuLaunchConfig cfg;
+  cfg.block = {block, block, 1};
+  gemm_cuda_style<double>(ctx_, cfg, dA, dB, dC, n, n, n);
+
+  std::vector<double> hC(n * n);
+  dC.copy_to_host(std::span<double>(hC));
+  const auto expected = host_reference_rowmajor<double, double>(hA, hB, n, n, n);
+  EXPECT_LE(max_abs_diff<double>(hC, expected), gemm_tolerance(Precision::kDouble, n));
+}
+
+TEST_P(GpuGemmTest, NumbaStyleMatchesCudaStyle) {
+  const auto [n, block] = GetParam();
+  auto hA = random_flat<double>(n * n, 33);
+  auto hB = random_flat<double>(n * n, 34);
+  DeviceBuffer<double> dA(ctx_, n * n);
+  DeviceBuffer<double> dB(ctx_, n * n);
+  DeviceBuffer<double> dC_cuda(ctx_, n * n);
+  DeviceBuffer<double> dC_numba(ctx_, n * n);
+  dA.copy_from_host(hA);
+  dB.copy_from_host(hB);
+
+  GpuLaunchConfig cfg;
+  cfg.block = {block, block, 1};
+  gemm_cuda_style<double>(ctx_, cfg, dA, dB, dC_cuda, n, n, n);
+  gemm_numba_cuda_style<double>(ctx_, cfg, dA, dB, dC_numba, n, n, n);
+
+  std::vector<double> a(n * n);
+  std::vector<double> b(n * n);
+  dC_cuda.copy_to_host(std::span<double>(a));
+  dC_numba.copy_to_host(std::span<double>(b));
+  // Same k-order accumulation: bitwise identical.
+  EXPECT_EQ(a, b);
+}
+
+INSTANTIATE_TEST_SUITE_P(SizesAndBlocks, GpuGemmTest,
+                         ::testing::Values(std::tuple{8u, 4u}, std::tuple{16u, 16u},
+                                           std::tuple{33u, 8u},  // guard exercised
+                                           std::tuple{48u, 32u}, std::tuple{65u, 16u}));
+
+TEST(GpuGemm, JuliaColumnMajorMatchesReference) {
+  constexpr std::size_t kN = 40;
+  DeviceContext ctx(GpuSpec::mi250x_gcd());
+  // Column-major host data.
+  auto hA_cm = random_flat<double>(kN * kN, 35);
+  auto hB_cm = random_flat<double>(kN * kN, 36);
+  DeviceBuffer<double> dA(ctx, kN * kN);
+  DeviceBuffer<double> dB(ctx, kN * kN);
+  DeviceBuffer<double> dC(ctx, kN * kN);
+  dA.copy_from_host(hA_cm);
+  dB.copy_from_host(hB_cm);
+
+  gemm_julia_gpu_style<double>(ctx, GpuLaunchConfig{}, dA, dB, dC, kN, kN, kN);
+  std::vector<double> hC(kN * kN);
+  dC.copy_to_host(std::span<double>(hC));
+
+  // Reference in column-major index space.
+  for (std::size_t i = 0; i < kN; ++i) {
+    for (std::size_t j = 0; j < kN; ++j) {
+      double sum = 0.0;
+      for (std::size_t l = 0; l < kN; ++l) sum += hA_cm[i + l * kN] * hB_cm[l + j * kN];
+      EXPECT_NEAR(hC[i + j * kN], sum, gemm_tolerance(Precision::kDouble, kN))
+          << i << "," << j;
+    }
+  }
+}
+
+TEST(GpuGemm, RectangularShapes) {
+  constexpr std::size_t kM = 20;
+  constexpr std::size_t kK = 50;
+  constexpr std::size_t kN = 35;
+  DeviceContext ctx(GpuSpec::a100());
+  auto hA = random_flat<double>(kM * kK, 37);
+  auto hB = random_flat<double>(kK * kN, 38);
+  DeviceBuffer<double> dA(ctx, kM * kK);
+  DeviceBuffer<double> dB(ctx, kK * kN);
+  DeviceBuffer<double> dC(ctx, kM * kN);
+  dA.copy_from_host(hA);
+  dB.copy_from_host(hB);
+  GpuLaunchConfig cfg;
+  cfg.block = {16, 16, 1};
+  gemm_cuda_style<double>(ctx, cfg, dA, dB, dC, kM, kN, kK);
+  std::vector<double> hC(kM * kN);
+  dC.copy_to_host(std::span<double>(hC));
+  const auto expected = host_reference_rowmajor<double, double>(hA, hB, kM, kN, kK);
+  EXPECT_LE(max_abs_diff<double>(hC, expected), gemm_tolerance(Precision::kDouble, kK));
+}
+
+TEST(GpuGemm, HalfInputsFloatAccumulate) {
+  constexpr std::size_t kN = 24;
+  DeviceContext ctx(GpuSpec::a100());
+  auto hA = random_flat<half>(kN * kN, 39);
+  auto hB = random_flat<half>(kN * kN, 40);
+  DeviceBuffer<half> dA(ctx, kN * kN);
+  DeviceBuffer<half> dB(ctx, kN * kN);
+  DeviceBuffer<float> dC(ctx, kN * kN);
+  dA.copy_from_host(hA);
+  dB.copy_from_host(hB);
+  GpuLaunchConfig cfg;
+  cfg.block = {8, 8, 1};
+  gemm_cuda_style<float>(ctx, cfg, dA, dB, dC, kN, kN, kN);
+  std::vector<float> hC(kN * kN);
+  dC.copy_to_host(std::span<float>(hC));
+  const auto expected = host_reference_rowmajor<half, float>(hA, hB, kN, kN, kN);
+  EXPECT_LE(max_abs_diff<float>(hC, expected), gemm_tolerance(Precision::kHalfIn, kN));
+}
+
+TEST(GpuGemm, TiledSharedMatchesNaive) {
+  // The optimization-headroom ablation kernel must agree with the naive
+  // kernel numerically (same FP32/FP64 dot products, different staging).
+  constexpr std::size_t kN = 50;  // not a multiple of the tile
+  DeviceContext ctx(GpuSpec::a100());
+  auto hA = random_flat<double>(kN * kN, 41);
+  auto hB = random_flat<double>(kN * kN, 42);
+  DeviceBuffer<double> dA(ctx, kN * kN);
+  DeviceBuffer<double> dB(ctx, kN * kN);
+  DeviceBuffer<double> dC_naive(ctx, kN * kN);
+  DeviceBuffer<double> dC_tiled(ctx, kN * kN);
+  dA.copy_from_host(hA);
+  dB.copy_from_host(hB);
+
+  GpuLaunchConfig cfg;
+  cfg.block = {16, 16, 1};
+  gemm_cuda_style<double>(ctx, cfg, dA, dB, dC_naive, kN, kN, kN);
+  gemm_tiled_shared<double>(ctx, cfg, dA, dB, dC_tiled, kN, kN, kN);
+
+  std::vector<double> naive(kN * kN);
+  std::vector<double> tiled(kN * kN);
+  dC_naive.copy_to_host(std::span<double>(naive));
+  dC_tiled.copy_to_host(std::span<double>(tiled));
+  EXPECT_LE(max_abs_diff<double>(tiled, naive), gemm_tolerance(Precision::kDouble, kN));
+}
+
+TEST(GpuGemm, TiledRequiresSquareBlock) {
+  DeviceContext ctx(GpuSpec::a100());
+  DeviceBuffer<double> dA(ctx, 64);
+  DeviceBuffer<double> dB(ctx, 64);
+  DeviceBuffer<double> dC(ctx, 64);
+  GpuLaunchConfig cfg;
+  cfg.block = {8, 4, 1};
+  EXPECT_THROW(gemm_tiled_shared<double>(ctx, cfg, dA, dB, dC, 8, 8, 8), precondition_error);
+}
+
+TEST(GpuGemm, BufferSizeMismatchRejected) {
+  DeviceContext ctx(GpuSpec::a100());
+  DeviceBuffer<double> dA(ctx, 63);  // should be 64
+  DeviceBuffer<double> dB(ctx, 64);
+  DeviceBuffer<double> dC(ctx, 64);
+  EXPECT_THROW(gemm_cuda_style<double>(ctx, GpuLaunchConfig{}, dA, dB, dC, 8, 8, 8),
+               precondition_error);
+}
+
+TEST(GpuGemm, LaunchConfigGridCoversProblem) {
+  GpuLaunchConfig cfg;  // 32x32 default
+  const auto grid = cfg.grid_for(100, 70);
+  EXPECT_EQ(grid.x, 3u);  // ceil(70/32) columns
+  EXPECT_EQ(grid.y, 4u);  // ceil(100/32) rows
+  EXPECT_EQ(grid.z, 1u);
+}
+
+}  // namespace
+}  // namespace portabench::gemm

@@ -1,0 +1,134 @@
+// Randomized cross-kernel property tests: for arbitrary shapes and seeds,
+// every hand-rolled kernel agrees with the blocked reference, and the
+// kernels agree with each other across layouts and execution substrates.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "gemm/kernels_cpu.hpp"
+#include "gemm/kernels_gpu.hpp"
+#include "gemm/reference.hpp"
+#include "gemm/validate.hpp"
+
+namespace portabench::gemm {
+namespace {
+
+using simrt::LayoutLeft;
+using simrt::LayoutRight;
+using simrt::ThreadsSpace;
+using simrt::View2;
+
+/// Deterministic pseudo-random shape from a case index.
+struct Shape {
+  std::size_t m;
+  std::size_t k;
+  std::size_t n;
+};
+
+Shape shape_for(std::uint64_t case_index) {
+  Xoshiro256 rng(0xCAFE + case_index);
+  auto dim = [&] { return 1 + static_cast<std::size_t>(rng() % 70); };
+  return {dim(), dim(), dim()};
+}
+
+class RandomizedGemm : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomizedGemm, AllCpuKernelsAgreeWithReference) {
+  const Shape s = shape_for(GetParam());
+  Xoshiro256 rng(GetParam());
+  ThreadsSpace space(3);
+
+  View2<double, LayoutRight> A(s.m, s.k);
+  View2<double, LayoutRight> B(s.k, s.n);
+  fill_uniform(std::span<double>(A.data(), s.m * s.k), rng);
+  fill_uniform(std::span<double>(B.data(), s.k * s.n), rng);
+  View2<double, LayoutRight> C_ref(s.m, s.n);
+  reference_gemm<double>(A, B, C_ref);
+  const double tol = gemm_tolerance(Precision::kDouble, s.k);
+
+  {
+    View2<double, LayoutRight> C(s.m, s.n);
+    gemm_openmp_style<double>(space, A, B, C);
+    EXPECT_LE(max_abs_diff(C, C_ref), tol) << "openmp " << s.m << "x" << s.k << "x" << s.n;
+  }
+  {
+    View2<double, LayoutRight> C(s.m, s.n);
+    gemm_kokkos_style<double>(space, A, B, C);
+    EXPECT_LE(max_abs_diff(C, C_ref), tol) << "kokkos";
+  }
+  {
+    View2<double, LayoutRight> C(s.m, s.n);
+    gemm_numba_style<double>(space, A, B, C);
+    EXPECT_LE(max_abs_diff(C, C_ref), tol) << "numba";
+  }
+  {
+    View2<double, LayoutRight> C(s.m, s.n);
+    gemm_team_style<double>(space, A, B, C, 1 + GetParam() % 9);
+    EXPECT_LE(max_abs_diff(C, C_ref), tol) << "team";
+  }
+
+  // Column-major Julia kernel on the same logical data.
+  {
+    View2<double, LayoutLeft> Al(s.m, s.k);
+    View2<double, LayoutLeft> Bl(s.k, s.n);
+    deep_copy(Al, A);
+    deep_copy(Bl, B);
+    View2<double, LayoutLeft> C(s.m, s.n);
+    gemm_julia_style<double>(space, Al, Bl, C);
+    EXPECT_LE(max_abs_diff(C, C_ref), tol) << "julia";
+  }
+}
+
+TEST_P(RandomizedGemm, GpuKernelsAgreeWithCpuReference) {
+  const Shape s = shape_for(GetParam() * 31);
+  Xoshiro256 rng(GetParam() * 17);
+  gpusim::DeviceContext ctx(gpusim::GpuSpec::a100());
+
+  std::vector<double> hA(s.m * s.k);
+  std::vector<double> hB(s.k * s.n);
+  fill_uniform(std::span<double>(hA), rng);
+  fill_uniform(std::span<double>(hB), rng);
+
+  // Reference via row-major views over copies of the same data.
+  View2<double, LayoutRight> A(s.m, s.k);
+  View2<double, LayoutRight> B(s.k, s.n);
+  for (std::size_t i = 0; i < s.m; ++i) {
+    for (std::size_t l = 0; l < s.k; ++l) A(i, l) = hA[i * s.k + l];
+  }
+  for (std::size_t l = 0; l < s.k; ++l) {
+    for (std::size_t j = 0; j < s.n; ++j) B(l, j) = hB[l * s.n + j];
+  }
+  View2<double, LayoutRight> C_ref(s.m, s.n);
+  reference_gemm<double>(A, B, C_ref);
+  const double tol = gemm_tolerance(Precision::kDouble, s.k);
+
+  gpusim::DeviceBuffer<double> dA(ctx, s.m * s.k);
+  gpusim::DeviceBuffer<double> dB(ctx, s.k * s.n);
+  dA.copy_from_host(hA);
+  dB.copy_from_host(hB);
+
+  GpuLaunchConfig cfg;
+  cfg.block = {1 + GetParam() % 16, 1 + (GetParam() / 3) % 16, 1};
+
+  auto check = [&](auto&& kernel, const char* label) {
+    gpusim::DeviceBuffer<double> dC(ctx, s.m * s.n);
+    kernel(ctx, cfg, dA, dB, dC, s.m, s.n, s.k);
+    std::vector<double> hC(s.m * s.n);
+    dC.copy_to_host(std::span<double>(hC));
+    double worst = 0.0;
+    for (std::size_t i = 0; i < s.m; ++i) {
+      for (std::size_t j = 0; j < s.n; ++j) {
+        worst = std::max(worst, std::abs(hC[i * s.n + j] - C_ref(i, j)));
+      }
+    }
+    EXPECT_LE(worst, tol) << label << " " << s.m << "x" << s.k << "x" << s.n << " block "
+                          << cfg.block.x << "x" << cfg.block.y;
+  };
+  check([](auto&... args) { gemm_cuda_style<double>(args...); }, "cuda");
+  check([](auto&... args) { gemm_kokkos_gpu_style<double>(args...); }, "kokkos-gpu");
+  check([](auto&... args) { gemm_numba_cuda_style<double>(args...); }, "numba-cuda");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomizedGemm, ::testing::Range<std::uint64_t>(0, 12));
+
+}  // namespace
+}  // namespace portabench::gemm

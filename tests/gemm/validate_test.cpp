@@ -1,0 +1,95 @@
+// Tests for the validation helpers.
+#include "gemm/validate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "simrt/mdarray.hpp"
+
+namespace portabench::gemm {
+namespace {
+
+using simrt::LayoutLeft;
+using simrt::LayoutRight;
+using simrt::View2;
+
+TEST(MaxAbsDiff, ZeroForIdenticalViews) {
+  View2<double, LayoutRight> a(3, 3);
+  View2<double, LayoutRight> b(3, 3);
+  a(1, 2) = 5.0;
+  b(1, 2) = 5.0;
+  EXPECT_EQ(max_abs_diff(a, b), 0.0);
+}
+
+TEST(MaxAbsDiff, FindsWorstElement) {
+  View2<double, LayoutRight> a(2, 2);
+  View2<double, LayoutRight> b(2, 2);
+  a(0, 0) = 1.0;
+  b(0, 0) = 1.5;
+  a(1, 1) = -3.0;
+  b(1, 1) = 1.0;
+  EXPECT_DOUBLE_EQ(max_abs_diff(a, b), 4.0);
+}
+
+TEST(MaxAbsDiff, CrossLayoutComparesLogicalElements) {
+  View2<double, LayoutRight> r(2, 3);
+  View2<double, LayoutLeft> l(2, 3);
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      r(i, j) = static_cast<double>(i * 3 + j);
+      l(i, j) = static_cast<double>(i * 3 + j);
+    }
+  }
+  EXPECT_EQ(max_abs_diff(r, l), 0.0);
+}
+
+TEST(MaxAbsDiff, FlatSpans) {
+  std::vector<float> a{1.0f, 2.0f, 3.0f};
+  std::vector<float> b{1.0f, 2.5f, 3.0f};
+  EXPECT_FLOAT_EQ(static_cast<float>(max_abs_diff<float>(a, b)), 0.5f);
+}
+
+TEST(Tolerance, ScalesWithKAndPrecision) {
+  EXPECT_LT(gemm_tolerance(Precision::kDouble, 100), gemm_tolerance(Precision::kSingle, 100));
+  EXPECT_LT(gemm_tolerance(Precision::kSingle, 100), gemm_tolerance(Precision::kHalfIn, 100));
+  EXPECT_LT(gemm_tolerance(Precision::kDouble, 10), gemm_tolerance(Precision::kDouble, 1000));
+}
+
+TEST(Tolerance, TightEnoughToCatchRealErrors) {
+  // A single off-by-one-element corruption at k=64 must exceed the
+  // double tolerance: 8 * 64 * eps ~ 1e-13 << 0.5.
+  EXPECT_LT(gemm_tolerance(Precision::kDouble, 64), 0.5);
+}
+
+TEST(Checksum, SumsAllElements) {
+  View2<double, LayoutRight> v(2, 2);
+  v(0, 0) = 1.0;
+  v(0, 1) = 2.0;
+  v(1, 0) = 3.0;
+  v(1, 1) = 4.0;
+  EXPECT_DOUBLE_EQ(checksum(v), 10.0);
+}
+
+TEST(Checksum, LayoutIndependent) {
+  View2<double, LayoutRight> r(3, 4);
+  View2<double, LayoutLeft> l(3, 4);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      r(i, j) = static_cast<double>(i + 10 * j);
+      l(i, j) = static_cast<double>(i + 10 * j);
+    }
+  }
+  EXPECT_DOUBLE_EQ(checksum(r), checksum(l));
+}
+
+TEST(Checksum, FlatSpanMatchesView) {
+  View2<double, LayoutRight> v(4, 4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) v(i, j) = static_cast<double>(i * 4 + j);
+  }
+  EXPECT_DOUBLE_EQ(checksum(std::span<const double>(v.data(), 16)), checksum(v));
+}
+
+}  // namespace
+}  // namespace portabench::gemm

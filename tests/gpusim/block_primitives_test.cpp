@@ -1,0 +1,121 @@
+// Tests for cooperative block-level reduce and scan.
+#include "gpusim/block_primitives.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+namespace portabench::gpusim {
+namespace {
+
+class BlockPrimitives : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  DeviceContext ctx_{GpuSpec::a100()};
+};
+
+TEST_P(BlockPrimitives, ReduceSumsLaneIds) {
+  const std::size_t lanes = GetParam();
+  double total = -1.0;
+  launch_blocks(ctx_, {1, 1, 1}, {lanes, 1, 1}, lanes * sizeof(double), [&](BlockCtx& bc) {
+    auto scratch = bc.shared<double>(lanes);
+    total = block_reduce_sum<double>(bc, scratch, [](const ThreadCtx& tc) {
+      return static_cast<double>(tc.lane_in_block());
+    });
+  });
+  const double expected = static_cast<double>(lanes * (lanes - 1)) / 2.0;
+  EXPECT_DOUBLE_EQ(total, expected);
+}
+
+TEST_P(BlockPrimitives, ExclusiveScanMatchesReference) {
+  const std::size_t lanes = GetParam();
+  std::vector<long> result(lanes, -1);
+  launch_blocks(ctx_, {1, 1, 1}, {lanes, 1, 1}, 2 * lanes * sizeof(long), [&](BlockCtx& bc) {
+    auto scratch = bc.shared<long>(2 * lanes);
+    block_exclusive_scan<long>(bc, scratch, [](const ThreadCtx& tc) {
+      return static_cast<long>(tc.lane_in_block() + 1);  // values 1..lanes
+    });
+    bc.for_lanes([&](const ThreadCtx& tc) {
+      result[tc.lane_in_block()] = scratch[tc.lane_in_block()];
+    });
+  });
+  long running = 0;
+  for (std::size_t i = 0; i < lanes; ++i) {
+    EXPECT_EQ(result[i], running) << "lane " << i;
+    running += static_cast<long>(i + 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(LaneCounts, BlockPrimitives,
+                         ::testing::Values(1, 2, 3, 7, 8, 31, 32, 33, 64, 100, 256));
+
+TEST(BlockPrimitivesMulti, ReducePerBlockIndependent) {
+  DeviceContext ctx(GpuSpec::a100());
+  constexpr std::size_t kLanes = 64;
+  std::vector<double> totals(4, 0.0);
+  launch_blocks(ctx, {4, 1, 1}, {kLanes, 1, 1}, kLanes * sizeof(double), [&](BlockCtx& bc) {
+    auto scratch = bc.shared<double>(kLanes);
+    totals[bc.block_idx().x] = block_reduce_sum<double>(bc, scratch, [&](const ThreadCtx&) {
+      return static_cast<double>(bc.block_idx().x + 1);
+    });
+  });
+  for (std::size_t b = 0; b < 4; ++b) {
+    EXPECT_DOUBLE_EQ(totals[b], static_cast<double>((b + 1) * kLanes));
+  }
+}
+
+TEST(BlockPrimitivesMulti, Reduce2DBlockLinearizesLanes) {
+  DeviceContext ctx(GpuSpec::a100());
+  double total = -1.0;
+  launch_blocks(ctx, {1, 1, 1}, {8, 4, 1}, 32 * sizeof(double), [&](BlockCtx& bc) {
+    auto scratch = bc.shared<double>(32);
+    total = block_reduce_sum<double>(bc, scratch,
+                                     [](const ThreadCtx&) { return 1.0; });
+  });
+  EXPECT_DOUBLE_EQ(total, 32.0);
+}
+
+TEST(BlockPrimitivesMulti, DotProductKernel) {
+  // A full dot-product kernel built from the primitive: per-block partial
+  // sums, finalized on the host — the canonical reduction pattern.
+  DeviceContext ctx(GpuSpec::a100());
+  constexpr std::size_t kN = 1000;
+  constexpr std::size_t kLanes = 128;
+  std::vector<double> x(kN);
+  std::vector<double> y(kN);
+  for (std::size_t i = 0; i < kN; ++i) {
+    x[i] = 1.0 + static_cast<double>(i % 7);
+    y[i] = 2.0 - static_cast<double>(i % 3);
+  }
+  const std::size_t blocks = blocks_for(kN, kLanes);
+  std::vector<double> partial(blocks, 0.0);
+
+  launch_blocks(ctx, {blocks, 1, 1}, {kLanes, 1, 1}, kLanes * sizeof(double),
+                [&](BlockCtx& bc) {
+                  auto scratch = bc.shared<double>(kLanes);
+                  partial[bc.block_idx().x] =
+                      block_reduce_sum<double>(bc, scratch, [&](const ThreadCtx& tc) {
+                        const std::size_t i = tc.global_x();
+                        return i < kN ? x[i] * y[i] : 0.0;
+                      });
+                });
+  const double device_dot = std::accumulate(partial.begin(), partial.end(), 0.0);
+  const double host_dot = std::inner_product(x.begin(), x.end(), y.begin(), 0.0);
+  EXPECT_NEAR(device_dot, host_dot, 1e-9 * std::abs(host_dot));
+}
+
+TEST(BlockPrimitivesMulti, ScratchTooSmallRejected) {
+  DeviceContext ctx(GpuSpec::a100());
+  launch_blocks(ctx, {1, 1, 1}, {32, 1, 1}, 64 * sizeof(double), [&](BlockCtx& bc) {
+    auto small = bc.shared<double>(16);
+    EXPECT_THROW(block_reduce_sum<double>(bc, small, [](const ThreadCtx&) { return 1.0; }),
+                 precondition_error);
+    auto scan_small = bc.shared<double>(33);
+    EXPECT_THROW(
+        block_exclusive_scan<double>(bc, scan_small, [](const ThreadCtx&) { return 1.0; }),
+        precondition_error);
+  });
+}
+
+}  // namespace
+}  // namespace portabench::gpusim

@@ -1,0 +1,96 @@
+// Tests for the memory-coalescing analyzer.
+#include "gpusim/coalescing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace portabench::gpusim {
+namespace {
+
+TEST(Coalescing, UnitStrideIsIdeal) {
+  // 32 lanes reading consecutive doubles: 256 bytes = 8 sectors, ideal.
+  const auto r = analyze_warp_access(32, 8, [](std::size_t lane) { return lane * 8; });
+  EXPECT_EQ(r.sectors, 8u);
+  EXPECT_EQ(r.ideal_sectors, 8u);
+  EXPECT_DOUBLE_EQ(r.expansion(), 1.0);
+}
+
+TEST(Coalescing, BroadcastBeatsIdeal) {
+  // All lanes reading the same address touch one sector: expansion < 1.
+  const auto r = analyze_warp_access(32, 8, [](std::size_t) { return 0; });
+  EXPECT_EQ(r.sectors, 1u);
+  EXPECT_LT(r.expansion(), 1.0);
+}
+
+TEST(Coalescing, LargeStrideFullyScattered) {
+  // Stride of 8192 bytes: one sector per lane.
+  const auto r =
+      analyze_warp_access(32, 8, [](std::size_t lane) { return lane * 8192; });
+  EXPECT_EQ(r.sectors, 32u);
+  EXPECT_DOUBLE_EQ(r.expansion(), 4.0);  // 32 sectors vs 8 ideal
+}
+
+TEST(Coalescing, MisalignedAccessSpillsOneSector) {
+  // Consecutive doubles starting 4 bytes into a sector: one extra sector.
+  const auto r =
+      analyze_warp_access(32, 8, [](std::size_t lane) { return 4 + lane * 8; });
+  EXPECT_EQ(r.sectors, 9u);
+}
+
+TEST(Coalescing, InvalidArgsRejected) {
+  EXPECT_THROW(analyze_warp_access(0, 8, [](std::size_t) { return 0; }), precondition_error);
+  EXPECT_THROW(analyze_warp_access(4, 0, [](std::size_t) { return 0; }), precondition_error);
+}
+
+TEST(GemmCoalescing, PaperBlockIsCoalesced) {
+  // Fig. 3a mapping with 32x32 blocks: B and C unit-stride, A broadcast.
+  const auto spec = GpuSpec::a100();
+  const auto r = analyze_gemm_coalescing(spec, {32, 32, 1}, 8192, 8, /*row_on_x=*/false);
+  EXPECT_DOUBLE_EQ(r.b_read.expansion(), 1.0);
+  EXPECT_DOUBLE_EQ(r.c_write.expansion(), 1.0);
+  EXPECT_LT(r.a_read.expansion(), 1.0);  // warp shares one row: broadcast
+  EXPECT_LT(r.weighted_expansion(8192), 1.0);
+}
+
+TEST(GemmCoalescing, KokkosTransposedMappingScatters) {
+  // Row on threadIdx.x: consecutive lanes hit rows n elements apart in
+  // B-row-major C, and A reads lose the broadcast.
+  const auto spec = GpuSpec::a100();
+  const auto r = analyze_gemm_coalescing(spec, {256, 1, 1}, 8192, 8, /*row_on_x=*/true);
+  EXPECT_DOUBLE_EQ(r.c_write.expansion(), 4.0);   // one sector per lane
+  EXPECT_DOUBLE_EQ(r.a_read.expansion(), 4.0);    // A[row*k] scattered too
+  EXPECT_LT(r.b_read.expansion(), 1.0);           // B[col] broadcast (col fixed)
+  EXPECT_GT(r.weighted_expansion(8192), 1.5);     // net: far worse than Fig. 3a
+}
+
+TEST(GemmCoalescing, AmdWavefrontWidth) {
+  // 64-lane wavefronts double the bytes per request; unit stride still
+  // coalesces perfectly.
+  const auto spec = GpuSpec::mi250x_gcd();
+  const auto r = analyze_gemm_coalescing(spec, {64, 4, 1}, 4096, 8, false);
+  EXPECT_EQ(r.b_read.lanes, 64u);
+  EXPECT_DOUBLE_EQ(r.b_read.expansion(), 1.0);
+}
+
+TEST(GemmCoalescing, Fp32PacksTwicePerSector) {
+  const auto spec = GpuSpec::a100();
+  const auto fp64 = analyze_gemm_coalescing(spec, {32, 32, 1}, 4096, 8, false);
+  const auto fp32 = analyze_gemm_coalescing(spec, {32, 32, 1}, 4096, 4, false);
+  EXPECT_EQ(fp32.b_read.sectors * 2, fp64.b_read.sectors);
+}
+
+TEST(GemmCoalescing, ExpansionExplainsKokkosGap) {
+  // The modeled Kokkos A100 efficiency (0.26) is of the order of the
+  // inverse weighted expansion of its transposed mapping — the mechanism
+  // check, not a calibration (the traits carry the exact value).
+  const auto spec = GpuSpec::a100();
+  const auto kokkos = analyze_gemm_coalescing(spec, {256, 1, 1}, 8192, 8, true);
+  const auto paper = analyze_gemm_coalescing(spec, {32, 32, 1}, 8192, 8, false);
+  const double relative = paper.weighted_expansion(8192) / kokkos.weighted_expansion(8192);
+  EXPECT_GT(relative, 0.1);
+  EXPECT_LT(relative, 0.5);  // brackets the observed 0.26
+}
+
+}  // namespace
+}  // namespace portabench::gpusim

@@ -1,0 +1,114 @@
+// Tests for the simulated GPU device and its counters.
+#include "gpusim/device.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace portabench::gpusim {
+namespace {
+
+TEST(GpuSpec, A100Parameters) {
+  const GpuSpec s = GpuSpec::a100();
+  EXPECT_EQ(s.vendor, Vendor::kNvidia);
+  EXPECT_EQ(s.warp_size, 32u);
+  EXPECT_EQ(s.sm_count, 108u);
+  EXPECT_EQ(s.max_threads_per_block, 1024u);
+}
+
+TEST(GpuSpec, Mi250xParameters) {
+  const GpuSpec s = GpuSpec::mi250x_gcd();
+  EXPECT_EQ(s.vendor, Vendor::kAmd);
+  EXPECT_EQ(s.warp_size, 64u);  // AMD wavefront
+  EXPECT_EQ(s.sm_count, 110u);
+}
+
+TEST(DeviceContext, ValidatesLaunchConfig) {
+  DeviceContext ctx(GpuSpec::a100());
+  EXPECT_NO_THROW(ctx.validate_launch({10, 10, 1}, {32, 32, 1}));
+  // 32*32*2 = 2048 > 1024 threads per block.
+  EXPECT_THROW(ctx.validate_launch({1, 1, 1}, {32, 32, 2}), precondition_error);
+  EXPECT_THROW(ctx.validate_launch({0, 1, 1}, {32, 32, 1}), precondition_error);
+}
+
+TEST(DeviceContext, LaunchCountersAccumulate) {
+  DeviceContext ctx(GpuSpec::a100());
+  ctx.note_launch({4, 2, 1}, {16, 16, 1});
+  ctx.note_launch({1, 1, 1}, {64, 1, 1});
+  const auto& c = ctx.counters();
+  EXPECT_EQ(c.kernel_launches, 2u);
+  EXPECT_EQ(c.blocks_executed, 9u);
+  EXPECT_EQ(c.threads_executed, 8u * 256u + 64u);
+}
+
+TEST(DeviceContext, AllocationAccounting) {
+  DeviceContext ctx(GpuSpec::a100());
+  ctx.note_alloc(1000);
+  ctx.note_alloc(500);
+  EXPECT_EQ(ctx.bytes_in_use(), 1500u);
+  EXPECT_EQ(ctx.counters().live_allocations, 2u);
+  EXPECT_EQ(ctx.counters().peak_bytes_allocated, 1500u);
+  ctx.note_free(1000);
+  EXPECT_EQ(ctx.bytes_in_use(), 500u);
+  EXPECT_EQ(ctx.counters().live_allocations, 1u);
+  EXPECT_EQ(ctx.counters().peak_bytes_allocated, 1500u);  // peak sticks
+}
+
+TEST(DeviceContext, OutOfMemoryRejected) {
+  GpuSpec tiny = GpuSpec::a100();
+  tiny.global_mem_bytes = 1024;
+  DeviceContext ctx(tiny);
+  ctx.note_alloc(1000);
+  EXPECT_THROW(ctx.note_alloc(100), precondition_error);
+}
+
+TEST(DeviceContext, OverFreeRejected) {
+  DeviceContext ctx(GpuSpec::a100());
+  ctx.note_alloc(100);
+  EXPECT_THROW(ctx.note_free(200), precondition_error);
+}
+
+TEST(DeviceContext, ResetClearsCountersNotUsage) {
+  DeviceContext ctx(GpuSpec::a100());
+  ctx.note_alloc(100);
+  ctx.note_launch({1, 1, 1}, {1, 1, 1});
+  ctx.reset_counters();
+  EXPECT_EQ(ctx.counters().kernel_launches, 0u);
+  EXPECT_EQ(ctx.bytes_in_use(), 100u);  // live memory is not forgotten
+}
+
+TEST(Dim3, VolumeAndDefaults) {
+  EXPECT_EQ(Dim3{}.volume(), 1u);
+  EXPECT_EQ((Dim3{4, 5, 2}).volume(), 40u);
+}
+
+TEST(Dim3, BlocksForCeilDiv) {
+  EXPECT_EQ(blocks_for(100, 32), 4u);
+  EXPECT_EQ(blocks_for(96, 32), 3u);
+  EXPECT_EQ(blocks_for(1, 32), 1u);
+  EXPECT_THROW(blocks_for(10, 0), precondition_error);
+}
+
+TEST(ThreadCtx, GlobalIndices) {
+  ThreadCtx tc;
+  tc.grid_dim = {4, 4, 1};
+  tc.block_dim = {32, 8, 1};
+  tc.block_idx = {2, 3, 0};
+  tc.thread_idx = {5, 7, 0};
+  EXPECT_EQ(tc.global_x(), 2u * 32u + 5u);
+  EXPECT_EQ(tc.global_y(), 3u * 8u + 7u);
+  EXPECT_EQ(tc.lane_in_block(), 7u * 32u + 5u);
+}
+
+TEST(ThreadCtx, NumbaGrid2MapsXY) {
+  ThreadCtx tc;
+  tc.block_dim = {16, 16, 1};
+  tc.block_idx = {1, 2, 0};
+  tc.thread_idx = {3, 4, 0};
+  const auto [i, j] = tc.numba_grid2();
+  EXPECT_EQ(i, tc.global_x());
+  EXPECT_EQ(j, tc.global_y());
+}
+
+}  // namespace
+}  // namespace portabench::gpusim

@@ -1,0 +1,89 @@
+// Tests for DeviceBuffer and transfer accounting.
+#include "gpusim/memory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace portabench::gpusim {
+namespace {
+
+class DeviceBufferTest : public ::testing::Test {
+ protected:
+  DeviceContext ctx_{GpuSpec::a100()};
+};
+
+TEST_F(DeviceBufferTest, AllocationTracked) {
+  {
+    DeviceBuffer<double> buf(ctx_, 1000);
+    EXPECT_EQ(buf.size(), 1000u);
+    EXPECT_EQ(ctx_.bytes_in_use(), 8000u);
+  }
+  EXPECT_EQ(ctx_.bytes_in_use(), 0u);  // RAII free
+}
+
+TEST_F(DeviceBufferTest, RoundTripPreservesData) {
+  std::vector<float> host(256);
+  std::iota(host.begin(), host.end(), 0.0f);
+  DeviceBuffer<float> buf(ctx_, 256);
+  buf.copy_from_host(host);
+  std::vector<float> back(256, -1.0f);
+  buf.copy_to_host(back);
+  EXPECT_EQ(host, back);
+}
+
+TEST_F(DeviceBufferTest, TransferBytesCounted) {
+  std::vector<int> host(100, 7);
+  DeviceBuffer<int> buf(ctx_, 100);
+  buf.copy_from_host(host);
+  buf.copy_from_host(host);
+  buf.copy_to_host(host);
+  EXPECT_EQ(ctx_.counters().bytes_h2d, 800u);
+  EXPECT_EQ(ctx_.counters().bytes_d2h, 400u);
+}
+
+TEST_F(DeviceBufferTest, SizeMismatchRejected) {
+  std::vector<int> small(50);
+  DeviceBuffer<int> buf(ctx_, 100);
+  EXPECT_THROW(buf.copy_from_host(small), precondition_error);
+  EXPECT_THROW(buf.copy_to_host(small), precondition_error);
+}
+
+TEST_F(DeviceBufferTest, MoveTransfersOwnership) {
+  DeviceBuffer<int> a(ctx_, 64);
+  int* p = a.data();
+  DeviceBuffer<int> b(std::move(a));
+  EXPECT_EQ(b.data(), p);
+  EXPECT_EQ(ctx_.bytes_in_use(), 64u * sizeof(int));  // freed exactly once at scope exit
+}
+
+TEST_F(DeviceBufferTest, MoveAssignFreesTarget) {
+  DeviceBuffer<int> a(ctx_, 64);
+  DeviceBuffer<int> b(ctx_, 128);
+  EXPECT_EQ(ctx_.bytes_in_use(), (64u + 128u) * sizeof(int));
+  b = std::move(a);
+  EXPECT_EQ(ctx_.bytes_in_use(), 64u * sizeof(int));
+}
+
+TEST_F(DeviceBufferTest, ZeroClears) {
+  std::vector<int> host(32, 9);
+  DeviceBuffer<int> buf(ctx_, 32);
+  buf.copy_from_host(host);
+  buf.zero();
+  std::vector<int> back(32, -1);
+  buf.copy_to_host(back);
+  for (int v : back) EXPECT_EQ(v, 0);
+}
+
+TEST_F(DeviceBufferTest, DeviceOomSurfacesAtAllocation) {
+  GpuSpec tiny = GpuSpec::a100();
+  tiny.global_mem_bytes = 1000;
+  DeviceContext small_ctx(tiny);
+  EXPECT_THROW(DeviceBuffer<double>(small_ctx, 200), precondition_error);
+}
+
+}  // namespace
+}  // namespace portabench::gpusim

@@ -1,0 +1,114 @@
+// Tests for the occupancy calculator.
+#include "gpusim/occupancy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/error.hpp"
+
+namespace portabench::gpusim {
+namespace {
+
+TEST(Occupancy, FullOccupancyWith1024Blocks) {
+  // 1024-thread blocks, light resources: 2 blocks fill 2048 threads/SM.
+  const GpuSpec spec = GpuSpec::a100();
+  KernelResources k{1024, 16, 0};
+  const Occupancy occ = compute_occupancy(spec, k);
+  EXPECT_EQ(occ.active_blocks_per_sm, 2u);
+  EXPECT_DOUBLE_EQ(occ.fraction, 1.0);
+  EXPECT_STREQ(occ.limiter, "threads");
+}
+
+TEST(Occupancy, PaperBlockConfig32x32) {
+  // The paper's 32x32 = 1024-thread blocks with the naive GEMM's ~32
+  // registers/thread: register-limited on the A100.
+  const GpuSpec spec = GpuSpec::a100();
+  KernelResources k{1024, 32, 0};
+  const Occupancy occ = compute_occupancy(spec, k);
+  // 65536 regs / (32 * 1024) = 2 blocks -> still full occupancy.
+  EXPECT_EQ(occ.active_blocks_per_sm, 2u);
+  EXPECT_DOUBLE_EQ(occ.fraction, 1.0);
+}
+
+TEST(Occupancy, RegisterLimited) {
+  const GpuSpec spec = GpuSpec::a100();
+  KernelResources k{256, 128, 0};  // heavy register usage
+  const Occupancy occ = compute_occupancy(spec, k);
+  // by_threads = 8, by_regs = 65536/(128*256) = 2.
+  EXPECT_EQ(occ.active_blocks_per_sm, 2u);
+  EXPECT_STREQ(occ.limiter, "registers");
+  EXPECT_DOUBLE_EQ(occ.fraction, 0.25);
+}
+
+TEST(Occupancy, SharedMemoryLimited) {
+  const GpuSpec spec = GpuSpec::a100();
+  KernelResources k{128, 16, 48 * 1024};
+  const Occupancy occ = compute_occupancy(spec, k);
+  // 164 KiB / 48 KiB = 3 blocks; by_threads would allow 16.
+  EXPECT_EQ(occ.active_blocks_per_sm, 3u);
+  EXPECT_STREQ(occ.limiter, "shared");
+}
+
+TEST(Occupancy, BlockCountLimited) {
+  const GpuSpec spec = GpuSpec::a100();
+  KernelResources k{32, 8, 0};  // tiny blocks
+  const Occupancy occ = compute_occupancy(spec, k);
+  // by_threads = 2048/32 = 64, capped at max_blocks_per_sm = 32.
+  EXPECT_EQ(occ.active_blocks_per_sm, 32u);
+  EXPECT_STREQ(occ.limiter, "blocks");
+  EXPECT_DOUBLE_EQ(occ.fraction, 0.5);
+}
+
+TEST(Occupancy, WarpGranularityRoundsUp) {
+  const GpuSpec spec = GpuSpec::a100();
+  KernelResources k33{33, 8, 0};  // 33 threads occupy 2 warps
+  KernelResources k64{64, 8, 0};
+  const Occupancy o33 = compute_occupancy(spec, k33);
+  const Occupancy o64 = compute_occupancy(spec, k64);
+  EXPECT_EQ(o33.active_blocks_per_sm, o64.active_blocks_per_sm);
+}
+
+TEST(Occupancy, AmdWavefrontGranularity) {
+  const GpuSpec spec = GpuSpec::mi250x_gcd();
+  KernelResources k{65, 8, 0};  // 65 threads -> 2 wavefronts of 64 = 128 slots
+  const Occupancy occ = compute_occupancy(spec, k);
+  EXPECT_EQ(occ.active_blocks_per_sm,
+            std::min<std::size_t>(spec.max_threads_per_sm / 128, spec.max_blocks_per_sm));
+}
+
+TEST(Occupancy, InvalidBlockYieldsZero) {
+  const GpuSpec spec = GpuSpec::a100();
+  EXPECT_EQ(compute_occupancy(spec, {0, 32, 0}).active_blocks_per_sm, 0u);
+  EXPECT_EQ(compute_occupancy(spec, {2048, 32, 0}).active_blocks_per_sm, 0u);
+  EXPECT_STREQ(compute_occupancy(spec, {0, 32, 0}).limiter, "none");
+}
+
+TEST(Occupancy, FractionAlwaysInUnitInterval) {
+  const GpuSpec spec = GpuSpec::a100();
+  for (std::size_t tpb : {32u, 64u, 100u, 256u, 512u, 1024u}) {
+    for (std::size_t regs : {8u, 32u, 64u, 255u}) {
+      const Occupancy occ = compute_occupancy(spec, {tpb, regs, 0});
+      EXPECT_GE(occ.fraction, 0.0);
+      EXPECT_LE(occ.fraction, 1.0);
+    }
+  }
+}
+
+TEST(Waves, CountsFullDeviceRounds) {
+  const GpuSpec spec = GpuSpec::a100();
+  Occupancy occ = compute_occupancy(spec, {1024, 16, 0});  // 2 blocks/SM
+  // 2 * 108 = 216 concurrent blocks.
+  EXPECT_DOUBLE_EQ(waves_for(spec, occ, 216), 1.0);
+  EXPECT_DOUBLE_EQ(waves_for(spec, occ, 217), 2.0);
+  EXPECT_DOUBLE_EQ(waves_for(spec, occ, 432), 2.0);
+}
+
+TEST(Waves, ZeroOccupancyRejected) {
+  const GpuSpec spec = GpuSpec::a100();
+  Occupancy zero;
+  EXPECT_THROW(waves_for(spec, zero, 100), precondition_error);
+}
+
+}  // namespace
+}  // namespace portabench::gpusim

@@ -1,0 +1,101 @@
+// Tests for streams and events.
+#include "gpusim/stream.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace portabench::gpusim {
+namespace {
+
+class StreamTest : public ::testing::Test {
+ protected:
+  DeviceContext ctx_{GpuSpec::a100()};
+};
+
+TEST_F(StreamTest, ClockAdvancesByModeledTime) {
+  Stream s(ctx_);
+  EXPECT_EQ(s.now(), 0.0);
+  s.enqueue(0.5, [] {});
+  s.enqueue(0.25, [] {});
+  EXPECT_DOUBLE_EQ(s.now(), 0.75);
+  EXPECT_EQ(s.operations(), 2u);
+}
+
+TEST_F(StreamTest, OperationsRunEagerlyInOrder) {
+  Stream s(ctx_);
+  std::vector<int> order;
+  s.enqueue(0.1, [&] { order.push_back(1); });
+  s.enqueue(0.1, [&] { order.push_back(2); });
+  s.enqueue(0.1, [&] { order.push_back(3); });
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST_F(StreamTest, NegativeDurationRejected) {
+  Stream s(ctx_);
+  EXPECT_THROW(s.enqueue(-1.0, [] {}), precondition_error);
+}
+
+TEST_F(StreamTest, EventRecordsCompletionTime) {
+  Stream s(ctx_);
+  s.enqueue(1.0, [] {});
+  Event e;
+  EXPECT_FALSE(e.recorded());
+  s.record(e);
+  EXPECT_TRUE(e.recorded());
+  EXPECT_DOUBLE_EQ(e.timestamp(), 1.0);
+}
+
+TEST_F(StreamTest, EventElapsed) {
+  Stream s(ctx_);
+  Event start;
+  Event stop;
+  s.record(start);
+  s.enqueue(2.5, [] {});
+  s.record(stop);
+  EXPECT_DOUBLE_EQ(Event::elapsed(start, stop), 2.5);
+}
+
+TEST_F(StreamTest, ElapsedRequiresRecordedEvents) {
+  Event a;
+  Event b;
+  EXPECT_THROW(Event::elapsed(a, b), precondition_error);
+  EXPECT_THROW(a.timestamp(), precondition_error);
+}
+
+TEST_F(StreamTest, CrossStreamWaitJumpsClock) {
+  Stream compute(ctx_);
+  Stream copy(ctx_);
+  copy.enqueue(3.0, [] {});  // long transfer
+  Event transfer_done;
+  copy.record(transfer_done);
+  compute.enqueue(1.0, [] {});
+  compute.wait(transfer_done);
+  EXPECT_DOUBLE_EQ(compute.now(), 3.0);  // stalled until the copy lands
+  compute.enqueue(1.0, [] {});
+  EXPECT_DOUBLE_EQ(compute.now(), 4.0);
+}
+
+TEST_F(StreamTest, OverlapBeatsSerialization) {
+  // The Section II transfer-overlap discussion, in miniature: two streams
+  // overlap a 3s copy with 3s of compute; one stream serializes to 6s.
+  Stream serial(ctx_);
+  serial.enqueue(3.0, [] {});
+  serial.enqueue(3.0, [] {});
+  Stream copy(ctx_);
+  Stream compute(ctx_);
+  copy.enqueue(3.0, [] {});
+  compute.enqueue(3.0, [] {});
+  const double overlapped = std::max(copy.now(), compute.now());
+  EXPECT_DOUBLE_EQ(serial.now(), 6.0);
+  EXPECT_DOUBLE_EQ(overlapped, 3.0);
+}
+
+TEST_F(StreamTest, SynchronizeReturnsCompletionTime) {
+  Stream s(ctx_);
+  s.enqueue(0.7, [] {});
+  EXPECT_DOUBLE_EQ(s.synchronize(), 0.7);
+}
+
+}  // namespace
+}  // namespace portabench::gpusim

@@ -1,0 +1,129 @@
+// End-to-end integration: the full study pipeline in miniature — run every
+// supported frontend functionally, derive efficiencies the way the benches
+// do, and check the resulting picture against the paper's conclusions.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "models/runner.hpp"
+#include "perfmodel/predict.hpp"
+#include "portability/metric.hpp"
+
+namespace portabench {
+namespace {
+
+using models::make_runner;
+using models::RunConfig;
+using perfmodel::Family;
+using perfmodel::kAllPlatforms;
+using perfmodel::kPortableFamilies;
+using perfmodel::Platform;
+
+TEST(EndToEnd, FullStudyPipelineVerifiesFunctionally) {
+  // Every figure's worth of (platform, family, precision) combinations
+  // executes functionally at a reduced size and validates.
+  int combinations_run = 0;
+  for (Platform p : kAllPlatforms) {
+    for (Family f : perfmodel::kAllFamilies) {
+      auto runner = make_runner(p, f);
+      if (!runner) continue;
+      for (Precision prec : kAllPrecisions) {
+        if (!runner->supports(prec)) continue;
+        RunConfig config;
+        config.n = 32;
+        config.precision = prec;
+        const auto result = runner->run(config);
+        EXPECT_TRUE(result.verified)
+            << perfmodel::name(p) << "/" << perfmodel::name(f) << "/" << name(prec);
+        ++combinations_run;
+      }
+    }
+  }
+  // 4 platforms x {vendor, kokkos: 2 precisions} + julia: 3 precisions
+  // each + numba on 3 platforms x 3 precisions.
+  EXPECT_EQ(combinations_run, 4 * 2 + 4 * 2 + 4 * 3 + 3 * 3);
+}
+
+TEST(EndToEnd, BenchStyleEfficienciesMatchTable3Builder) {
+  // Deriving efficiencies from predicted sweeps by hand (the way the
+  // fig benches print them) must agree with the portability module.
+  const auto table = portability::build_table3();
+  for (const auto& fp : table) {
+    for (const auto& entry : fp.entries) {
+      if (!entry.supported) continue;
+      const auto model = perfmodel::predict_sweep(entry.platform, fp.family, fp.precision);
+      const auto vendor =
+          perfmodel::predict_sweep(entry.platform, Family::kVendor, fp.precision);
+      ASSERT_FALSE(model.empty());
+      std::vector<double> ratios;
+      for (std::size_t i = 0; i < model.size(); ++i) {
+        ratios.push_back(model[i].gflops / vendor[i].gflops);
+      }
+      EXPECT_NEAR(mean_of(ratios), entry.efficiency, 1e-12);
+    }
+  }
+}
+
+TEST(EndToEnd, PaperHeadlineConclusionsHold) {
+  // Section VI, reproduced end to end from the model:
+  // (1) "Julia implementations have comparable performance on these
+  //     platforms" — efficiency >= 0.85 everywhere except the A100 FP32
+  //     open question.
+  for (Platform p : kAllPlatforms) {
+    const auto sweep = perfmodel::predict_sweep(p, Family::kJulia, Precision::kDouble);
+    ASSERT_FALSE(sweep.empty());
+    std::vector<double> eff;
+    for (const auto& pt : sweep) eff.push_back(pt.efficiency);
+    EXPECT_GT(mean_of(eff), 0.85) << perfmodel::name(p);
+  }
+  // (2) "there is still a performance gap on NVIDIA A100 GPUs for
+  //     single-precision floating point cases" (Julia).
+  const auto a100_fp32 =
+      perfmodel::predict_sweep(Platform::kWombatGpu, Family::kJulia, Precision::kSingle);
+  std::vector<double> eff32;
+  for (const auto& pt : a100_fp32) eff32.push_back(pt.efficiency);
+  EXPECT_LT(mean_of(eff32), 0.7);
+  // (3) "Python/Numba implementations still lack the support needed to
+  //     reach comparable CPU and GPU performance".
+  for (Platform p : {Platform::kCrusherCpu, Platform::kWombatCpu, Platform::kWombatGpu}) {
+    const auto sweep = perfmodel::predict_sweep(p, Family::kNumba, Precision::kDouble);
+    std::vector<double> eff;
+    for (const auto& pt : sweep) eff.push_back(pt.efficiency);
+    EXPECT_LT(mean_of(eff), 0.75) << perfmodel::name(p);
+  }
+}
+
+TEST(EndToEnd, FunctionalChecksumsAgreeAcrossModelsOnSameSeed) {
+  // All row-major CPU frontends compute the same C for the same seed
+  // (identical inputs, mathematically identical kernel).
+  RunConfig config;
+  config.n = 40;
+  config.seed = 4242;
+  auto vendor = make_runner(Platform::kCrusherCpu, Family::kVendor);
+  auto kokkos = make_runner(Platform::kCrusherCpu, Family::kKokkos);
+  auto numba = make_runner(Platform::kCrusherCpu, Family::kNumba);
+  const double ref = vendor->run(config).checksum;
+  EXPECT_NEAR(kokkos->run(config).checksum, ref, 1e-6);
+  EXPECT_NEAR(numba->run(config).checksum, ref, 1e-6);
+}
+
+TEST(EndToEnd, WarmupProtocolAbsorbsJit) {
+  // The Section IV measurement protocol: with warm-up exclusion, JIT cost
+  // never contaminates the recorded sample.
+  auto julia = make_runner(Platform::kWombatCpu, Family::kJulia);
+  RunConfig config;
+  config.n = 24;
+  RunStats stats(/*warmup=*/1);
+  for (int rep = 0; rep < 6; ++rep) {
+    const auto result = julia->run(config);
+    stats.add(result.host_seconds + result.jit_seconds);
+  }
+  EXPECT_EQ(stats.recorded(), 5u);
+  // All recorded samples are JIT-free: far below the 0.35 s compile cost.
+  for (double s : stats.sample()) EXPECT_LT(s, 0.35);
+}
+
+}  // namespace
+}  // namespace portabench

@@ -1,0 +1,73 @@
+// Tests for the KernelAbstractions.jl portable-layer frontend.
+#include <gtest/gtest.h>
+
+#include "models/gpu_runners.hpp"
+
+namespace portabench::models {
+namespace {
+
+TEST(KernelAbstractions, RunsOnBothGpuVendors) {
+  // The point of the portable layer: one kernel source, both devices.
+  for (Platform p : {Platform::kWombatGpu, Platform::kCrusherGpu}) {
+    KernelAbstractionsRunner runner(p);
+    RunConfig config;
+    config.n = 40;
+    const auto result = runner.run(config);
+    EXPECT_TRUE(result.verified) << perfmodel::name(p);
+    EXPECT_EQ(result.gpu.kernel_launches, 1u);
+  }
+}
+
+TEST(KernelAbstractions, NumericsIdenticalToDirectBackend) {
+  RunConfig config;
+  config.n = 48;
+  config.seed = 31337;
+  for (Platform p : {Platform::kWombatGpu, Platform::kCrusherGpu}) {
+    JuliaGpuRunner direct(p);
+    KernelAbstractionsRunner portable(p);
+    EXPECT_EQ(direct.run(config).checksum, portable.run(config).checksum);
+  }
+}
+
+TEST(KernelAbstractions, PaysAbstractionOverhead) {
+  RunConfig config;
+  config.n = 64;
+  config.verify = false;
+  JuliaGpuRunner direct(Platform::kWombatGpu);
+  KernelAbstractionsRunner portable(Platform::kWombatGpu);
+  const double direct_rate = direct.run(config).model_gflops;
+  const double portable_rate = portable.run(config).model_gflops;
+  EXPECT_LT(portable_rate, direct_rate);
+  EXPECT_NEAR(portable_rate / direct_rate, KernelAbstractionsRunner::kAbstractionFactor,
+              1e-9);
+}
+
+TEST(KernelAbstractions, ReportsOwnName) {
+  KernelAbstractionsRunner runner(Platform::kCrusherGpu);
+  EXPECT_EQ(runner.name(), "Julia KernelAbstractions.jl");
+  EXPECT_EQ(runner.family(), Family::kJulia);
+}
+
+TEST(KernelAbstractions, JitCostHigherThanDirectBackend) {
+  // The abstraction compiles through an extra layer: larger first-call
+  // latency than CUDA.jl alone.
+  KernelAbstractionsRunner portable(Platform::kWombatGpu);
+  JuliaGpuRunner direct(Platform::kWombatGpu);
+  RunConfig config;
+  config.n = 16;
+  EXPECT_GT(portable.run(config).jit_seconds, direct.run(config).jit_seconds);
+}
+
+TEST(KernelAbstractions, SupportsAllThreePrecisions) {
+  KernelAbstractionsRunner runner(Platform::kCrusherGpu);
+  for (Precision prec : kAllPrecisions) {
+    EXPECT_TRUE(runner.supports(prec));
+    RunConfig config;
+    config.n = 24;
+    config.precision = prec;
+    EXPECT_TRUE(runner.run(config).verified) << name(prec);
+  }
+}
+
+}  // namespace
+}  // namespace portabench::models

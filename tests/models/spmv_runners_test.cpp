@@ -1,0 +1,102 @@
+// Tests for the SpMV frontends.
+#include "models/spmv_runners.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace portabench::models {
+namespace {
+
+using perfmodel::kAllFamilies;
+using perfmodel::kAllPlatforms;
+
+TEST(SpmvRunners, EverySupportedCombinationVerifies) {
+  for (Platform p : kAllPlatforms) {
+    for (Family f : kAllFamilies) {
+      auto runner = make_spmv_runner(p, f);
+      if (p == Platform::kCrusherGpu && f == Family::kNumba) {
+        EXPECT_EQ(runner, nullptr);
+        continue;
+      }
+      ASSERT_NE(runner, nullptr);
+      SpmvRunConfig config;
+      config.rows = 200;
+      config.nnz_per_row = 9;
+      const auto r = runner->run(config);
+      EXPECT_TRUE(r.verified) << perfmodel::name(p) << "/" << perfmodel::name(f)
+                              << " max_error=" << r.max_error;
+      EXPECT_GT(r.model_gflops, 0.0);
+    }
+  }
+}
+
+TEST(SpmvRunners, ChecksumAgreesAcrossFamiliesOnSameSeed) {
+  // Same matrix + vector for every frontend: identical y up to rounding.
+  SpmvRunConfig config;
+  config.rows = 300;
+  config.seed = 2024;
+  double reference = 0.0;
+  for (Family f : kAllFamilies) {
+    auto runner = make_spmv_runner(Platform::kCrusherCpu, f);
+    const double checksum = runner->run(config).checksum;
+    if (reference == 0.0) {
+      reference = checksum;
+    } else {
+      EXPECT_NEAR(checksum, reference, 1e-8 * std::abs(reference)) << perfmodel::name(f);
+    }
+  }
+}
+
+TEST(SpmvRunners, GpuFrontendsShowDeviceActivity) {
+  auto cuda = make_spmv_runner(Platform::kWombatGpu, Family::kVendor);
+  SpmvRunConfig config;
+  config.rows = 128;
+  const auto r = cuda->run(config);
+  EXPECT_GE(r.gpu.kernel_launches, 1u);
+  EXPECT_GT(r.gpu.bytes_h2d, 0u);
+  EXPECT_GT(r.gpu.bytes_d2h, 0u);
+
+  auto julia = make_spmv_runner(Platform::kCrusherGpu, Family::kJulia);
+  const auto rj = julia->run(config);
+  // Vector kernel: one warp-wide block per row.
+  EXPECT_EQ(rj.gpu.blocks_executed, 128u);
+  EXPECT_TRUE(rj.verified);
+}
+
+TEST(SpmvRunners, BandwidthFactorsFlatterThanGemm) {
+  // The workload contrast: on GEMM the family spread spans 0.095..1.05;
+  // on bandwidth-bound SpMV every family sits within 20% of vendor.
+  for (Family f : perfmodel::kPortableFamilies) {
+    const double factor = SpmvRunner::family_bandwidth_factor(f);
+    EXPECT_GE(factor, 0.8) << perfmodel::name(f);
+    EXPECT_LE(factor, 1.0);
+  }
+}
+
+TEST(SpmvRunners, ModeledRateScalesWithPlatformBandwidth) {
+  SpmvRunConfig config;
+  config.rows = 100;
+  const double cpu =
+      make_spmv_runner(Platform::kCrusherCpu, Family::kVendor)->run(config).model_gflops;
+  const double gpu =
+      make_spmv_runner(Platform::kCrusherGpu, Family::kVendor)->run(config).model_gflops;
+  EXPECT_GT(gpu, 3.0 * cpu);  // HBM vs DDR4
+}
+
+TEST(SpmvRunners, NamesComeFromThePlatformTaxonomy) {
+  EXPECT_EQ(make_spmv_runner(Platform::kWombatCpu, Family::kJulia)->name(),
+            "Julia Threads");
+  EXPECT_EQ(make_spmv_runner(Platform::kWombatGpu, Family::kKokkos)->name(),
+            "Kokkos/CUDA");
+}
+
+TEST(SpmvRunners, InvalidConfigRejected) {
+  auto runner = make_spmv_runner(Platform::kCrusherCpu, Family::kVendor);
+  SpmvRunConfig config;
+  config.rows = 0;
+  EXPECT_THROW((void)runner->run(config), precondition_error);
+}
+
+}  // namespace
+}  // namespace portabench::models

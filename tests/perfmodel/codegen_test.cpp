@@ -1,0 +1,89 @@
+// Tests for the inner-loop codegen model.
+#include "perfmodel/codegen.hpp"
+
+#include <gtest/gtest.h>
+
+namespace portabench::perfmodel {
+namespace {
+
+TEST(GpuCodegen, UnrollRatioReproducesPaperPtxFinding) {
+  // Section IV-B: CUDA.jl unrolls 2x, native CUDA 4x; Table III measures
+  // the resulting efficiency at 0.867 on the A100.
+  EXPECT_NEAR(julia_a100_unroll_ratio(), 0.867, 0.005);
+}
+
+TEST(GpuCodegen, EfficiencyMonotoneInUnroll) {
+  double prev = 0.0;
+  for (int u : {1, 2, 3, 4}) {
+    CodegenProfile p = CodegenProfile::vendor_gpu();
+    p.unroll = u;
+    const double eff = gpu_inner_loop_efficiency(p);
+    EXPECT_GT(eff, prev);
+    prev = eff;
+  }
+  // Saturates at 4 chains (the pipeline depth).
+  CodegenProfile p8 = CodegenProfile::vendor_gpu();
+  p8.unroll = 8;
+  EXPECT_DOUBLE_EQ(gpu_inner_loop_efficiency(p8), prev);
+}
+
+TEST(GpuCodegen, VendorProfileIsIdeal) {
+  EXPECT_DOUBLE_EQ(gpu_inner_loop_efficiency(CodegenProfile::vendor_gpu()), 1.0);
+}
+
+TEST(GpuCodegen, BoundsChecksCost) {
+  CodegenProfile checked = CodegenProfile::vendor_gpu();
+  checked.bounds_checked = true;
+  EXPECT_LT(gpu_inner_loop_efficiency(checked),
+            gpu_inner_loop_efficiency(CodegenProfile::vendor_gpu()));
+}
+
+TEST(GpuCodegen, NumbaWorstOfTheThree) {
+  const double vendor = gpu_inner_loop_efficiency(CodegenProfile::vendor_gpu());
+  const double julia = gpu_inner_loop_efficiency(CodegenProfile::julia_gpu());
+  const double numba = gpu_inner_loop_efficiency(CodegenProfile::numba_gpu());
+  EXPECT_GT(vendor, julia);
+  EXPECT_GT(julia, numba);
+}
+
+TEST(CpuCodegen, VendorProfileIsIdeal) {
+  const auto epyc = CpuSpec::epyc_7a53();
+  EXPECT_DOUBLE_EQ(cpu_inner_loop_efficiency(CodegenProfile::vendor_cpu(epyc), epyc), 1.0);
+}
+
+TEST(CpuCodegen, JuliaNearVendorNumbaBehind) {
+  // Fig. 4/5 ordering: Julia ~ vendor, Numba well behind.
+  const auto epyc = CpuSpec::epyc_7a53();
+  const double julia = cpu_inner_loop_efficiency(CodegenProfile::julia_cpu(epyc), epyc);
+  const double numba = cpu_inner_loop_efficiency(CodegenProfile::numba_cpu(epyc), epyc);
+  EXPECT_GT(julia, 0.9);
+  EXPECT_LT(numba, 0.6);
+  EXPECT_GT(numba, 0.15);
+}
+
+TEST(CpuCodegen, ScalarCodeScalesWithVectorWidth) {
+  // Scalar fallback costs more on wider-SIMD machines.
+  const auto epyc = CpuSpec::epyc_7a53();    // 256-bit
+  const auto altra = CpuSpec::ampere_altra();  // 128-bit
+  CodegenProfile scalar;
+  scalar.vector_bits = 0;
+  EXPECT_LT(cpu_inner_loop_efficiency(scalar, epyc),
+            cpu_inner_loop_efficiency(scalar, altra));
+}
+
+TEST(CpuCodegen, EfficienciesInUnitInterval) {
+  const auto epyc = CpuSpec::epyc_7a53();
+  for (int unroll : {1, 2, 4}) {
+    for (std::size_t vec : {0u, 128u, 256u}) {
+      for (bool checked : {false, true}) {
+        CodegenProfile p{unroll, vec, checked, true, true};
+        const double eff = cpu_inner_loop_efficiency(p, epyc);
+        EXPECT_GT(eff, 0.0);
+        EXPECT_LE(eff, 1.0);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace portabench::perfmodel

@@ -1,0 +1,82 @@
+// Tests for the multi-device scaling model.
+#include "perfmodel/multigpu.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace portabench::perfmodel {
+namespace {
+
+class MultiGpuTest : public ::testing::Test {
+ protected:
+  GpuMachineModel model_{GpuPerfSpec::mi250x_gcd()};
+  LinkSpec link_ = LinkSpec::infinity_fabric();
+};
+
+TEST_F(MultiGpuTest, OneDeviceIsBaseline) {
+  const auto strong = strong_scaling_gemm(model_, link_, Precision::kDouble, 8192, 1);
+  ASSERT_EQ(strong.size(), 1u);
+  EXPECT_DOUBLE_EQ(strong[0].speedup, 1.0);
+  EXPECT_DOUBLE_EQ(strong[0].efficiency, 1.0);
+}
+
+TEST_F(MultiGpuTest, StrongScalingSpeedsUpButSubLinearly) {
+  // Crusher: 8 GCDs per node.
+  const auto sweep = strong_scaling_gemm(model_, link_, Precision::kDouble, 16384, 8);
+  ASSERT_EQ(sweep.size(), 8u);
+  for (std::size_t i = 1; i < sweep.size(); ++i) {
+    EXPECT_GT(sweep[i].speedup, sweep[i - 1].speedup) << i;   // still gains
+    EXPECT_LT(sweep[i].efficiency, 1.0 + 1e-12) << i;          // never superlinear
+  }
+  // Full-B broadcast + link contention erode efficiency visibly by G=8.
+  EXPECT_LT(sweep[7].efficiency, 0.95);
+  EXPECT_GT(sweep[7].speedup, 3.0);  // but scaling is far from broken
+}
+
+TEST_F(MultiGpuTest, KernelTimeSplitsExactly) {
+  const auto sweep = strong_scaling_gemm(model_, link_, Precision::kDouble, 8192, 4);
+  EXPECT_NEAR(sweep[3].kernel_s, sweep[0].kernel_s / 4.0, 1e-12);
+}
+
+TEST_F(MultiGpuTest, WeakScalingEfficiencyDropsOnlyViaLink) {
+  const auto sweep = weak_scaling_gemm(model_, link_, Precision::kDouble, 8192, 8);
+  ASSERT_EQ(sweep.size(), 8u);
+  // Kernel time constant; only staging contends.
+  for (const auto& p : sweep) EXPECT_DOUBLE_EQ(p.kernel_s, sweep[0].kernel_s);
+  EXPECT_GE(sweep[7].transfer_s, sweep[0].transfer_s);
+  // Large kernels dominate: weak efficiency stays high (the 170 GB/s
+  // host ceiling shared by 8 links costs ~17% at this size).
+  EXPECT_GT(sweep[7].efficiency, 0.75);
+  EXPECT_LT(sweep[7].efficiency, 0.95);
+}
+
+TEST_F(MultiGpuTest, HostBandwidthCapsContention) {
+  // With a host ceiling equal to a single link, 4 devices stage at 1/4
+  // the rate each: transfer time ~4x the single-device time.
+  const auto capped =
+      weak_scaling_gemm(model_, link_, Precision::kDouble, 4096, 4, link_.bw_gbs);
+  EXPECT_NEAR(capped[3].transfer_s / capped[0].transfer_s, 4.0, 0.2);
+  // With an unlimited host, staging stays flat.
+  const auto uncapped =
+      weak_scaling_gemm(model_, link_, Precision::kDouble, 4096, 4, 1.0e6);
+  EXPECT_NEAR(uncapped[3].transfer_s, uncapped[0].transfer_s, 1e-9);
+}
+
+TEST_F(MultiGpuTest, A100PairMatchesWombat) {
+  // Wombat: 2 A100s.
+  GpuMachineModel a100(GpuPerfSpec::a100());
+  const auto sweep =
+      strong_scaling_gemm(a100, LinkSpec::pcie4_x16(), Precision::kDouble, 16384, 2);
+  EXPECT_GT(sweep[1].speedup, 1.5);
+}
+
+TEST_F(MultiGpuTest, InvalidArgsRejected) {
+  EXPECT_THROW(strong_scaling_gemm(model_, link_, Precision::kDouble, 0, 2),
+               precondition_error);
+  EXPECT_THROW(weak_scaling_gemm(model_, link_, Precision::kDouble, 128, 0),
+               precondition_error);
+}
+
+}  // namespace
+}  // namespace portabench::perfmodel

@@ -1,0 +1,95 @@
+// Tests for the platform/family taxonomy and the paper's support matrix.
+#include "perfmodel/platform.hpp"
+
+#include <gtest/gtest.h>
+
+namespace portabench::perfmodel {
+namespace {
+
+TEST(Platform, GpuClassification) {
+  EXPECT_FALSE(is_gpu(Platform::kCrusherCpu));
+  EXPECT_FALSE(is_gpu(Platform::kWombatCpu));
+  EXPECT_TRUE(is_gpu(Platform::kCrusherGpu));
+  EXPECT_TRUE(is_gpu(Platform::kWombatGpu));
+}
+
+TEST(Platform, ArchLabelsMatchTable3) {
+  EXPECT_EQ(arch_label(Platform::kCrusherCpu), "Epyc 7A53");
+  EXPECT_EQ(arch_label(Platform::kWombatCpu), "Ampere Altra");
+  EXPECT_EQ(arch_label(Platform::kCrusherGpu), "MI250x");
+  EXPECT_EQ(arch_label(Platform::kWombatGpu), "A100");
+}
+
+TEST(ImplementationName, VendorPerPlatform) {
+  EXPECT_EQ(implementation_name(Platform::kCrusherCpu, Family::kVendor), "C/OpenMP");
+  EXPECT_EQ(implementation_name(Platform::kWombatGpu, Family::kVendor), "CUDA");
+  EXPECT_EQ(implementation_name(Platform::kCrusherGpu, Family::kVendor), "HIP");
+}
+
+TEST(ImplementationName, JuliaBackends) {
+  EXPECT_EQ(implementation_name(Platform::kWombatGpu, Family::kJulia), "Julia CUDA.jl");
+  EXPECT_EQ(implementation_name(Platform::kCrusherGpu, Family::kJulia), "Julia AMDGPU.jl");
+  EXPECT_EQ(implementation_name(Platform::kCrusherCpu, Family::kJulia), "Julia Threads");
+}
+
+TEST(Support, NumbaDeprecatedOnAmdGpus) {
+  // Section II-a footnote 3: Numba deprecated AMD GPU support.
+  for (Precision prec : kAllPrecisions) {
+    EXPECT_FALSE(supported(Platform::kCrusherGpu, Family::kNumba, prec));
+  }
+}
+
+TEST(Support, DoubleAndSingleEverywhereElse) {
+  for (Platform p : kAllPlatforms) {
+    for (Family f : kAllFamilies) {
+      if (p == Platform::kCrusherGpu && f == Family::kNumba) continue;
+      EXPECT_TRUE(supported(p, f, Precision::kDouble)) << name(p) << "/" << name(f);
+      EXPECT_TRUE(supported(p, f, Precision::kSingle)) << name(p) << "/" << name(f);
+    }
+  }
+}
+
+TEST(Support, Fp16JuliaEverywhere) {
+  for (Platform p : kAllPlatforms) {
+    EXPECT_TRUE(supported(p, Family::kJulia, Precision::kHalfIn)) << name(p);
+  }
+}
+
+TEST(Support, Fp16NotInVendorOrKokkos) {
+  for (Platform p : kAllPlatforms) {
+    EXPECT_FALSE(supported(p, Family::kVendor, Precision::kHalfIn)) << name(p);
+    EXPECT_FALSE(supported(p, Family::kKokkos, Precision::kHalfIn)) << name(p);
+  }
+}
+
+TEST(Support, Fp16NumbaOnNvidiaAndCpusOnly) {
+  EXPECT_TRUE(supported(Platform::kWombatGpu, Family::kNumba, Precision::kHalfIn));
+  EXPECT_TRUE(supported(Platform::kCrusherCpu, Family::kNumba, Precision::kHalfIn));
+  EXPECT_TRUE(supported(Platform::kWombatCpu, Family::kNumba, Precision::kHalfIn));
+  EXPECT_FALSE(supported(Platform::kCrusherGpu, Family::kNumba, Precision::kHalfIn));
+}
+
+TEST(FigureFamilies, Fig6PlotsHipKokkosJulia) {
+  // Crusher GPU, double precision: HIP, Kokkos, Julia — no Numba.
+  const auto fams = figure_families(Platform::kCrusherGpu, Precision::kDouble);
+  EXPECT_EQ(fams.size(), 3u);
+  EXPECT_EQ(fams[0], Family::kVendor);
+  EXPECT_EQ(fams[1], Family::kKokkos);
+  EXPECT_EQ(fams[2], Family::kJulia);
+}
+
+TEST(FigureFamilies, Fig7PlotsAllFour) {
+  const auto fams = figure_families(Platform::kWombatGpu, Precision::kDouble);
+  EXPECT_EQ(fams.size(), 4u);
+}
+
+TEST(FigureFamilies, Fp16GpuPanelsAreJuliaLedOnly) {
+  const auto crusher = figure_families(Platform::kCrusherGpu, Precision::kHalfIn);
+  EXPECT_EQ(crusher.size(), 1u);
+  EXPECT_EQ(crusher[0], Family::kJulia);
+  const auto wombat = figure_families(Platform::kWombatGpu, Precision::kHalfIn);
+  EXPECT_EQ(wombat.size(), 2u);  // Julia + Numba (Fig. 7c)
+}
+
+}  // namespace
+}  // namespace portabench::perfmodel

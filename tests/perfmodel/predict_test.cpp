@@ -1,0 +1,233 @@
+// Tests for the prediction API: Table III reproduction and the
+// qualitative curve shapes reported in Section IV.
+#include "perfmodel/predict.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace portabench::perfmodel {
+namespace {
+
+/// Mean Eq.-2 efficiency of a family on a platform over the standard sweep.
+double mean_efficiency(Platform p, Family f, Precision prec) {
+  const auto sweep = predict_sweep(p, f, prec);
+  if (sweep.empty()) return -1.0;
+  std::vector<double> eff;
+  for (const auto& pt : sweep) eff.push_back(pt.efficiency);
+  return mean_of(eff);
+}
+
+struct Table3Case {
+  Platform platform;
+  Family family;
+  Precision precision;
+  double paper_value;
+};
+
+class Table3Reproduction : public ::testing::TestWithParam<Table3Case> {};
+
+TEST_P(Table3Reproduction, EfficiencyWithinFivePercentOfPaper) {
+  const auto& c = GetParam();
+  const double measured = mean_efficiency(c.platform, c.family, c.precision);
+  EXPECT_NEAR(measured, c.paper_value, 0.05)
+      << name(c.platform) << " / " << name(c.family) << " / " << name(c.precision);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperTable3, Table3Reproduction,
+    ::testing::Values(
+        // Double precision rows of Table III.
+        Table3Case{Platform::kCrusherCpu, Family::kKokkos, Precision::kDouble, 0.994},
+        Table3Case{Platform::kCrusherCpu, Family::kJulia, Precision::kDouble, 0.912},
+        Table3Case{Platform::kCrusherCpu, Family::kNumba, Precision::kDouble, 0.550},
+        Table3Case{Platform::kWombatCpu, Family::kKokkos, Precision::kDouble, 0.854},
+        Table3Case{Platform::kWombatCpu, Family::kJulia, Precision::kDouble, 0.907},
+        Table3Case{Platform::kWombatCpu, Family::kNumba, Precision::kDouble, 0.713},
+        Table3Case{Platform::kCrusherGpu, Family::kKokkos, Precision::kDouble, 0.842},
+        Table3Case{Platform::kCrusherGpu, Family::kJulia, Precision::kDouble, 0.903},
+        Table3Case{Platform::kWombatGpu, Family::kKokkos, Precision::kDouble, 0.260},
+        Table3Case{Platform::kWombatGpu, Family::kJulia, Precision::kDouble, 0.867},
+        Table3Case{Platform::kWombatGpu, Family::kNumba, Precision::kDouble, 0.130},
+        // Single precision rows.
+        Table3Case{Platform::kCrusherCpu, Family::kKokkos, Precision::kSingle, 1.014},
+        Table3Case{Platform::kCrusherCpu, Family::kJulia, Precision::kSingle, 0.976},
+        Table3Case{Platform::kCrusherCpu, Family::kNumba, Precision::kSingle, 0.655},
+        Table3Case{Platform::kWombatCpu, Family::kKokkos, Precision::kSingle, 0.836},
+        Table3Case{Platform::kWombatCpu, Family::kJulia, Precision::kSingle, 0.900},
+        Table3Case{Platform::kWombatCpu, Family::kNumba, Precision::kSingle, 0.400},
+        Table3Case{Platform::kCrusherGpu, Family::kKokkos, Precision::kSingle, 0.677},
+        Table3Case{Platform::kCrusherGpu, Family::kJulia, Precision::kSingle, 1.050},
+        Table3Case{Platform::kWombatGpu, Family::kKokkos, Precision::kSingle, 0.208},
+        Table3Case{Platform::kWombatGpu, Family::kJulia, Precision::kSingle, 0.600},
+        Table3Case{Platform::kWombatGpu, Family::kNumba, Precision::kSingle, 0.095}));
+
+TEST(StandardSizes, MatchAppendixSweeps) {
+  const auto gpu = standard_sizes(Platform::kWombatGpu);
+  EXPECT_EQ(gpu.front(), 4096u);  // Appendix A: Ms = (4096 5120 ... 20480)
+  EXPECT_EQ(gpu.back(), 20480u);
+  EXPECT_EQ(gpu.size(), 17u);
+  const auto cpu = standard_sizes(Platform::kCrusherCpu);
+  EXPECT_EQ(cpu.front(), 1024u);
+  EXPECT_EQ(cpu.back(), 16384u);
+}
+
+TEST(Predict, UnsupportedCombinationsReturnNullopt) {
+  EXPECT_FALSE(predict(Platform::kCrusherGpu, Family::kNumba, Precision::kDouble, 4096));
+  EXPECT_FALSE(predict(Platform::kWombatGpu, Family::kVendor, Precision::kHalfIn, 4096));
+  EXPECT_TRUE(predict_sweep(Platform::kCrusherGpu, Family::kNumba, Precision::kDouble).empty());
+}
+
+TEST(Predict, VendorEfficiencyIsUnity) {
+  for (Platform p : kAllPlatforms) {
+    for (Precision prec : {Precision::kDouble, Precision::kSingle}) {
+      const auto pt = predict(p, Family::kVendor, prec, 8192);
+      ASSERT_TRUE(pt);
+      EXPECT_DOUBLE_EQ(pt->efficiency, 1.0);
+      EXPECT_DOUBLE_EQ(pt->gflops, pt->ref_gflops);
+    }
+  }
+}
+
+// --- Section IV qualitative shapes ----------------------------------------
+
+TEST(Shapes, Fig6aKokkosDipsAtLargestSize) {
+  // "Kokkos has a repeatable slowdown at the largest size."
+  const auto sweep = predict_sweep(Platform::kCrusherGpu, Family::kKokkos, Precision::kDouble);
+  ASSERT_GE(sweep.size(), 3u);
+  const double last = sweep.back().efficiency;
+  const double second_last = sweep[sweep.size() - 2].efficiency;
+  EXPECT_LT(last, 0.8 * second_last);
+}
+
+TEST(Shapes, Fig6bKokkosFp32ConsistentlyDecreases) {
+  // "Kokkos + HIP exhibits a consistent decrease" with size at FP32.
+  const auto sweep = predict_sweep(Platform::kCrusherGpu, Family::kKokkos, Precision::kSingle);
+  ASSERT_GE(sweep.size(), 3u);
+  for (std::size_t i = 1; i < sweep.size(); ++i) {
+    EXPECT_LT(sweep[i].efficiency, sweep[i - 1].efficiency) << "i=" << i;
+  }
+}
+
+TEST(Shapes, Fig6bJuliaBeatsHipAtFp32) {
+  // "Julia with AMDGPU.jl shows slightly better performance than the
+  // vendor HIP implementation" — efficiency above 1 early in the sweep,
+  // with the advantage shrinking at larger sizes.
+  const auto sweep = predict_sweep(Platform::kCrusherGpu, Family::kJulia, Precision::kSingle);
+  ASSERT_FALSE(sweep.empty());
+  EXPECT_GT(sweep.front().efficiency, 1.0);
+  EXPECT_LT(sweep.back().efficiency - 1.0, sweep.front().efficiency - 1.0);
+}
+
+TEST(Shapes, Fig7KokkosAndNumbaUnderperformJulia) {
+  // Fig. 7: "Kokkos and Python/Numba using a CUDA back end consistently
+  // underperform", while Julia sits close to CUDA.
+  for (Precision prec : {Precision::kDouble, Precision::kSingle}) {
+    for (const auto& pt : predict_sweep(Platform::kWombatGpu, Family::kKokkos, prec)) {
+      EXPECT_LT(pt.efficiency, 0.35);
+    }
+    for (const auto& pt : predict_sweep(Platform::kWombatGpu, Family::kNumba, prec)) {
+      EXPECT_LT(pt.efficiency, 0.2);
+    }
+    for (const auto& pt : predict_sweep(Platform::kWombatGpu, Family::kJulia, prec)) {
+      EXPECT_GT(pt.efficiency, 0.5);
+    }
+  }
+}
+
+TEST(Shapes, CpuPlatformsJuliaAndKokkosComparableToOpenMP) {
+  // Fig. 4/5: Kokkos and Julia perform comparably with C/OpenMP on CPUs.
+  for (Platform p : {Platform::kCrusherCpu, Platform::kWombatCpu}) {
+    for (Family f : {Family::kKokkos, Family::kJulia}) {
+      const double eff = mean_efficiency(p, f, Precision::kDouble);
+      EXPECT_GT(eff, 0.8) << name(p) << "/" << name(f);
+    }
+    // Numba "is still behind in terms of performance".
+    EXPECT_LT(mean_efficiency(p, Family::kNumba, Precision::kDouble), 0.8) << name(p);
+  }
+}
+
+TEST(Shapes, Fp16NoGainOverFp32OnGpus) {
+  // Figs. 6c / 7c: no noticeable FP16 improvement over FP32.
+  for (Platform p : {Platform::kCrusherGpu, Platform::kWombatGpu}) {
+    const auto h = predict(p, Family::kJulia, Precision::kHalfIn, 8192);
+    const auto s = predict(p, Family::kJulia, Precision::kSingle, 8192);
+    ASSERT_TRUE(h && s);
+    EXPECT_NEAR(h->gflops / s->gflops, 1.0, 0.05) << name(p);
+  }
+}
+
+TEST(Shapes, Fp16WinsOnArmLosesBigOnAmdCpu) {
+  // Fig. 5c: Arm FP16 "provided the expected levels of performance";
+  // Crusher CPU FP16 was "very low performance (not reported)".
+  const auto arm16 = predict(Platform::kWombatCpu, Family::kJulia, Precision::kHalfIn, 8192);
+  const auto arm32 = predict(Platform::kWombatCpu, Family::kJulia, Precision::kSingle, 8192);
+  ASSERT_TRUE(arm16 && arm32);
+  EXPECT_GT(arm16->gflops, arm32->gflops);
+
+  const auto amd16 = predict(Platform::kCrusherCpu, Family::kJulia, Precision::kHalfIn, 8192);
+  const auto amd32 = predict(Platform::kCrusherCpu, Family::kJulia, Precision::kSingle, 8192);
+  ASSERT_TRUE(amd16 && amd32);
+  EXPECT_LT(amd16->gflops, 0.2 * amd32->gflops);
+}
+
+TEST(Predict, EfficienciesBoundedSanity) {
+  // FP64/FP32 portable-model efficiencies stay within (0, 1.3]; FP16
+  // efficiencies are quoted against the vendor *FP32* reference (no FP16
+  // vendor kernel exists), so Arm's native-FP16 speedup can push them to
+  // ~1.4.
+  for (Platform p : kAllPlatforms) {
+    for (Family f : kPortableFamilies) {
+      for (Precision prec : kAllPrecisions) {
+        const double bound = prec == Precision::kHalfIn ? 1.6 : 1.3;
+        for (const auto& pt : predict_sweep(p, f, prec)) {
+          EXPECT_GT(pt.efficiency, 0.0);
+          EXPECT_LE(pt.efficiency, bound);
+        }
+      }
+    }
+  }
+}
+
+TEST(Predict, SinglePrecisionNeverSlowerThanDouble) {
+  // Every model on every platform gains (or at worst ties) moving from
+  // FP64 to FP32 — true in all four of the paper's figures.
+  for (Platform p : kAllPlatforms) {
+    for (Family f : kAllFamilies) {
+      const auto d = predict(p, f, Precision::kDouble, 8192);
+      const auto s = predict(p, f, Precision::kSingle, 8192);
+      if (!d || !s) continue;
+      EXPECT_GE(s->gflops, d->gflops * 0.99) << name(p) << "/" << name(f);
+    }
+  }
+}
+
+TEST(Predict, ReferenceRateNonDecreasingAcrossSweep) {
+  // Vendor curves rise to their plateau; no mid-sweep regressions.
+  for (Platform p : kAllPlatforms) {
+    const auto sweep = predict_sweep(p, Family::kVendor, Precision::kDouble);
+    for (std::size_t i = 1; i < sweep.size(); ++i) {
+      EXPECT_GE(sweep[i].ref_gflops, sweep[i - 1].ref_gflops * 0.999)
+          << name(p) << " i=" << i;
+    }
+  }
+}
+
+TEST(Predict, GpusOutrunCpusAtScale) {
+  // Cross-figure sanity: the accelerators dominate the CPUs at large n.
+  const double epyc =
+      predict(Platform::kCrusherCpu, Family::kVendor, Precision::kDouble, 16384)->gflops;
+  const double mi250x =
+      predict(Platform::kCrusherGpu, Family::kVendor, Precision::kDouble, 16384)->gflops;
+  EXPECT_GT(mi250x, 3.0 * epyc);
+}
+
+TEST(Predict, ZeroSizeRejected) {
+  EXPECT_THROW(predict(Platform::kWombatGpu, Family::kJulia, Precision::kDouble, 0),
+               precondition_error);
+}
+
+}  // namespace
+}  // namespace portabench::perfmodel

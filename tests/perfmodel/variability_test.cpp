@@ -1,0 +1,75 @@
+// Tests for the run-to-run variability model.
+#include "perfmodel/variability.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace portabench::perfmodel {
+namespace {
+
+TEST(Variability, DeterministicForFixedSeed) {
+  const auto spec = VariabilitySpec::for_platform(Platform::kWombatGpu);
+  const auto a = sample_timings(spec, 0.1, 10, 42);
+  const auto b = sample_timings(spec, 0.1, 10, 42);
+  EXPECT_EQ(a, b);
+  const auto c = sample_timings(spec, 0.1, 10, 43);
+  EXPECT_NE(a, c);
+}
+
+TEST(Variability, FirstRepCarriesColdStart) {
+  const auto spec = VariabilitySpec::for_platform(Platform::kCrusherGpu);
+  const auto samples = sample_timings(spec, 0.1, 8, 7);
+  // cold_start_factor 2.0: first rep ~3x the modeled time, rest ~1x.
+  EXPECT_GT(samples[0], 2.0 * 0.1);
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    EXPECT_LT(samples[i], 1.5 * 0.1) << i;
+  }
+}
+
+TEST(Variability, WarmupExclusionRecoversModeledTime) {
+  // The Section IV protocol end to end: discard the warm-up rep, the
+  // remaining mean lands on the modeled time within a few CV.
+  const auto spec = VariabilitySpec::for_platform(Platform::kWombatGpu);
+  const auto samples = sample_timings(spec, 0.25, 200, 99);
+  RunStats stats(/*warmup=*/1);
+  for (double s : samples) stats.add(s);
+  const auto summary = stats.summary();
+  EXPECT_NEAR(summary.mean, 0.25, 0.25 * 3.0 * spec.cv / std::sqrt(199.0) + 0.25 * 0.001);
+  // Without exclusion the cold start inflates the mean visibly.
+  EXPECT_GT(mean_of(samples), summary.mean);
+}
+
+TEST(Variability, CvMatchesSpecStatistically) {
+  const auto spec = VariabilitySpec::for_platform(Platform::kCrusherCpu);
+  const auto samples = sample_timings(spec, 1.0, 4000, 1234);
+  RunStats stats(1);
+  for (double s : samples) stats.add(s);
+  const auto summary = stats.summary();
+  EXPECT_NEAR(summary.stddev / summary.mean, spec.cv, spec.cv * 0.15);
+}
+
+TEST(Variability, PlatformOrdering) {
+  // Dedicated single-GPU runs are tighter than 4-NUMA CPU runs.
+  EXPECT_LT(VariabilitySpec::for_platform(Platform::kWombatGpu).cv,
+            VariabilitySpec::for_platform(Platform::kCrusherCpu).cv);
+}
+
+TEST(Variability, AllSamplesPositive) {
+  for (Platform p : kAllPlatforms) {
+    const auto spec = VariabilitySpec::for_platform(p);
+    for (double s : sample_timings(spec, 1e-4, 100, 5)) EXPECT_GT(s, 0.0);
+  }
+}
+
+TEST(Variability, InvalidArgsRejected) {
+  const auto spec = VariabilitySpec::for_platform(Platform::kWombatCpu);
+  EXPECT_THROW(sample_timings(spec, 0.0, 5, 1), precondition_error);
+  EXPECT_THROW(sample_timings(spec, -1.0, 5, 1), precondition_error);
+}
+
+}  // namespace
+}  // namespace portabench::perfmodel

@@ -1,0 +1,154 @@
+// Tests for the performance-portability metrics and the Table III builder.
+#include "portability/metric.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace portabench::portability {
+namespace {
+
+std::vector<EfficiencyEntry> entries(std::initializer_list<double> effs) {
+  std::vector<EfficiencyEntry> out;
+  Platform p = Platform::kCrusherCpu;
+  for (double e : effs) out.push_back({p, e, true});
+  return out;
+}
+
+TEST(SeriesEfficiency, MeanOfRatios) {
+  const std::vector<double> model{50.0, 100.0};
+  const std::vector<double> vendor{100.0, 100.0};
+  EXPECT_DOUBLE_EQ(series_efficiency(model, vendor), 0.75);
+}
+
+TEST(SeriesEfficiency, RejectsMismatchedOrEmpty) {
+  const std::vector<double> a{1.0};
+  const std::vector<double> b{1.0, 2.0};
+  EXPECT_THROW(series_efficiency(a, b), precondition_error);
+  EXPECT_THROW(series_efficiency({}, {}), precondition_error);
+}
+
+TEST(SeriesEfficiency, RejectsZeroVendor) {
+  const std::vector<double> m{1.0};
+  const std::vector<double> v{0.0};
+  EXPECT_THROW(series_efficiency(m, v), precondition_error);
+}
+
+TEST(PhiArithmetic, PaperKokkosDoubleRow) {
+  // Table III: Kokkos double = (0.994 + 0.854 + 0.842 + 0.260) / 4 = 0.738.
+  const auto e = entries({0.994, 0.854, 0.842, 0.260});
+  EXPECT_NEAR(phi_arithmetic(e), 0.738, 0.001);
+}
+
+TEST(PhiArithmetic, PaperNumbaRowChargesUnsupportedAmdGpu) {
+  // Numba double in Table III: Phi = (0.550 + 0.713 + 0 + 0.130) / 4 =
+  // 0.348 — the unsupported AMD GPU stays in |T| and contributes zero.
+  std::vector<EfficiencyEntry> e = entries({0.550, 0.713, 0.130});
+  e.push_back({Platform::kCrusherGpu, 0.0, false});
+  EXPECT_NEAR(phi_arithmetic(e), 0.348, 0.001);
+}
+
+TEST(PhiArithmetic, EmptyIsZero) {
+  EXPECT_EQ(phi_arithmetic({}), 0.0);
+}
+
+TEST(PhiPennycook, ZeroWhenAnyUnsupported) {
+  std::vector<EfficiencyEntry> e = entries({0.9, 0.8});
+  e.push_back({Platform::kCrusherGpu, 0.0, false});
+  EXPECT_EQ(phi_pennycook(e), 0.0);
+}
+
+TEST(PhiPennycook, HarmonicWhenAllSupported) {
+  const auto e = entries({1.0, 0.25});
+  EXPECT_DOUBLE_EQ(phi_pennycook(e), 0.4);  // HM(1, 0.25)
+}
+
+TEST(PhiHarmonicSupported, SkipsUnsupported) {
+  std::vector<EfficiencyEntry> e = entries({1.0, 0.25});
+  e.push_back({Platform::kWombatGpu, 0.0, false});
+  EXPECT_DOUBLE_EQ(phi_harmonic_supported(e), 0.4);
+}
+
+TEST(PhiVariants, HarmonicNeverExceedsArithmetic) {
+  const auto e = entries({0.994, 0.854, 0.842, 0.260});
+  EXPECT_LE(phi_pennycook(e), phi_arithmetic(e));
+}
+
+TEST(Cascade, MonotoneNonIncreasingWhenSortedBestFirst) {
+  const auto e = entries({0.9, 0.5, 0.7, 0.2});
+  const auto c = cascade(e);
+  ASSERT_EQ(c.size(), 4u);
+  EXPECT_DOUBLE_EQ(c[0], 0.9);
+  for (std::size_t i = 1; i < c.size(); ++i) EXPECT_LE(c[i], c[i - 1]);
+  EXPECT_NEAR(c.back(), (0.9 + 0.7 + 0.5 + 0.2) / 4.0, 1e-12);
+}
+
+TEST(Table3, HasSixFamilyBlocks) {
+  // 3 portable families x 2 precisions.
+  const auto table = build_table3();
+  EXPECT_EQ(table.size(), 6u);
+  for (const auto& row : table) {
+    EXPECT_EQ(row.entries.size(), 4u);  // one per platform
+  }
+}
+
+TEST(Table3, ReproducesPaperPhiValues) {
+  // Paper Table III Phi_M, computed with unsupported => 0 in a |T|=4
+  // denominator: Kokkos 0.738/0.684, Julia 0.897/0.882, Numba 0.348/0.288.
+  const auto table = build_table3();
+  for (const auto& fp : table) {
+    const double phi = fp.phi;
+    const bool is_double = fp.precision == Precision::kDouble;
+    switch (fp.family) {
+      case Family::kKokkos:
+        EXPECT_NEAR(phi, is_double ? 0.738 : 0.684, 0.05);
+        break;
+      case Family::kJulia:
+        EXPECT_NEAR(phi, is_double ? 0.897 : 0.882, 0.05);
+        break;
+      case Family::kNumba:
+        EXPECT_NEAR(phi, is_double ? 0.348 : 0.288, 0.05);
+        break;
+      default:
+        FAIL() << "unexpected family";
+    }
+  }
+}
+
+TEST(Table3, JuliaHasBestPhi) {
+  // "Julia has the best scores followed by Kokkos and Python/Numba."
+  const auto table = build_table3();
+  for (Precision prec : {Precision::kDouble, Precision::kSingle}) {
+    double julia = 0.0;
+    double kokkos = 0.0;
+    double numba = 0.0;
+    for (const auto& fp : table) {
+      if (fp.precision != prec) continue;
+      if (fp.family == Family::kJulia) julia = fp.phi;
+      if (fp.family == Family::kKokkos) kokkos = fp.phi;
+      if (fp.family == Family::kNumba) numba = fp.phi;
+    }
+    EXPECT_GT(julia, kokkos);
+    EXPECT_GT(kokkos, numba);
+  }
+}
+
+TEST(Table3, NumbaAmdGpuMarkedUnsupported) {
+  const auto table = build_table3();
+  for (const auto& fp : table) {
+    if (fp.family != Family::kNumba) continue;
+    bool found = false;
+    for (const auto& e : fp.entries) {
+      if (e.platform == Platform::kCrusherGpu) {
+        EXPECT_FALSE(e.supported);
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+}  // namespace
+}  // namespace portabench::portability

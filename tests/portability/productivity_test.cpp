@@ -1,0 +1,100 @@
+// Tests for the productivity analysis.
+#include "portability/productivity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace portabench::portability {
+namespace {
+
+TEST(Productivity, ProfilesCoverAllFamiliesOnBothTargets) {
+  const auto profiles = study_profiles();
+  int cpu = 0;
+  int gpu = 0;
+  for (const auto& p : profiles) (p.gpu ? gpu : cpu) += 1;
+  EXPECT_EQ(cpu, 4);
+  EXPECT_EQ(gpu, 4);
+}
+
+TEST(Productivity, VendorReferenceEffort) {
+  const auto profiles = study_profiles();
+  for (const auto& p : profiles) {
+    if (p.family != Family::kVendor) continue;
+    if (p.gpu) {
+      // CUDA/HIP are separate per-vendor sources: the vendor GPU baseline
+      // itself carries the rebuild penalty (1.0 SLOC ratio * 1.2).
+      EXPECT_DOUBLE_EQ(relative_effort(p, profiles), 1.2);
+    } else {
+      EXPECT_DOUBLE_EQ(relative_effort(p, profiles), 1.0);
+    }
+  }
+}
+
+TEST(Productivity, JuliaCheapestOnCpu) {
+  // Fig. 2c is the least invasive port: one macro, no harness to speak
+  // of, plus the seamless-FP16 credit.
+  const auto profiles = study_profiles();
+  double julia = 0.0;
+  double vendor = 0.0;
+  double kokkos = 0.0;
+  for (const auto& p : profiles) {
+    if (p.gpu) continue;
+    if (p.family == Family::kJulia) julia = relative_effort(p, profiles);
+    if (p.family == Family::kVendor) vendor = relative_effort(p, profiles);
+    if (p.family == Family::kKokkos) kokkos = relative_effort(p, profiles);
+  }
+  EXPECT_LT(julia, vendor);
+  EXPECT_LT(julia, kokkos);
+}
+
+TEST(Productivity, KokkosPaysRebuildPenalty) {
+  const auto profiles = study_profiles();
+  for (const auto& p : profiles) {
+    if (p.family == Family::kKokkos) {
+      EXPECT_TRUE(p.needs_rebuild_per_target);  // KOKKOS_DEVICES at build time
+    }
+    if (p.family == Family::kJulia || p.family == Family::kNumba) {
+      EXPECT_FALSE(p.needs_rebuild_per_target);  // JIT retargets at run time
+    }
+  }
+}
+
+TEST(Productivity, OnlyNumbaLacksPinningOnCpu) {
+  // Section III-A: OpenMP, Kokkos(OpenMP), and Julia all pin; Numba can't.
+  const auto profiles = study_profiles();
+  for (const auto& p : profiles) {
+    if (p.gpu) continue;
+    EXPECT_EQ(p.thread_pinning_api, p.family != Family::kNumba)
+        << p.implementation;
+  }
+}
+
+TEST(Productivity, OnlyJuliaHasSeamlessFp16) {
+  const auto profiles = study_profiles();
+  for (const auto& p : profiles) {
+    EXPECT_EQ(p.seamless_fp16, p.family == Family::kJulia) << p.implementation;
+  }
+}
+
+TEST(Productivity, PpScoreDivides) {
+  EXPECT_DOUBLE_EQ(pp_score(0.9, 0.5), 1.8);
+  EXPECT_DOUBLE_EQ(pp_score(0.9, 1.0), 0.9);
+  EXPECT_THROW(pp_score(0.9, 0.0), precondition_error);
+}
+
+TEST(Productivity, MechanismNames) {
+  EXPECT_EQ(name(Mechanism::kPragma), "pragma");
+  EXPECT_EQ(name(Mechanism::kDecorator), "decorator");
+  EXPECT_EQ(name(Mechanism::kKernel), "device kernel");
+}
+
+TEST(Productivity, TotalSlocSums) {
+  EffortProfile p;
+  p.kernel_sloc = 9;
+  p.harness_sloc = 5;
+  EXPECT_EQ(total_sloc(p), 14u);
+}
+
+}  // namespace
+}  // namespace portabench::portability

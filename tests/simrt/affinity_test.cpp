@@ -1,0 +1,124 @@
+// Tests for the thread-affinity placement model.
+#include "simrt/affinity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace portabench::simrt {
+namespace {
+
+const CpuTopology kCrusher{64, 4};  // EPYC 7A53
+const CpuTopology kWombat{80, 1};   // Ampere Altra
+
+TEST(Topology, CoresPerDomain) {
+  EXPECT_EQ(kCrusher.cores_per_domain(), 16u);
+  EXPECT_EQ(kWombat.cores_per_domain(), 80u);
+}
+
+TEST(Topology, DomainOfCore) {
+  EXPECT_EQ(kCrusher.domain_of(0), 0u);
+  EXPECT_EQ(kCrusher.domain_of(15), 0u);
+  EXPECT_EQ(kCrusher.domain_of(16), 1u);
+  EXPECT_EQ(kCrusher.domain_of(63), 3u);
+  EXPECT_THROW(kCrusher.domain_of(64), precondition_error);
+}
+
+TEST(Topology, UnevenDomainsRejected) {
+  const CpuTopology bad{10, 3};
+  EXPECT_THROW(bad.cores_per_domain(), precondition_error);
+}
+
+TEST(Placement, NoneLeavesUnpinned) {
+  const Placement p = compute_placement(kCrusher, 64, BindPolicy::kNone);
+  EXPECT_FALSE(p.pinned());
+  for (auto c : p.core_of_thread) EXPECT_EQ(c, Placement::kUnpinned);
+}
+
+TEST(Placement, ClosePacksConsecutively) {
+  // JULIA_EXCLUSIVE / OMP_PROC_BIND=close: thread i on core i.
+  const Placement p = compute_placement(kCrusher, 64, BindPolicy::kClose);
+  ASSERT_TRUE(p.pinned());
+  for (std::size_t t = 0; t < 64; ++t) EXPECT_EQ(p.core_of_thread[t], t);
+}
+
+TEST(Placement, CloseWrapsWhenOversubscribed) {
+  const Placement p = compute_placement(kWombat, 160, BindPolicy::kClose);
+  EXPECT_EQ(p.core_of_thread[80], 0u);
+  EXPECT_EQ(p.core_of_thread[159], 79u);
+}
+
+TEST(Placement, SpreadRoundRobinsDomains) {
+  const Placement p = compute_placement(kCrusher, 8, BindPolicy::kSpread);
+  // First four threads land on distinct domains.
+  std::set<std::size_t> domains;
+  for (std::size_t t = 0; t < 4; ++t) domains.insert(kCrusher.domain_of(p.core_of_thread[t]));
+  EXPECT_EQ(domains.size(), 4u);
+}
+
+TEST(Placement, SpreadUsesAllCoresAtFullCount) {
+  const Placement p = compute_placement(kCrusher, 64, BindPolicy::kSpread);
+  std::set<std::size_t> cores(p.core_of_thread.begin(), p.core_of_thread.end());
+  EXPECT_EQ(cores.size(), 64u);  // a bijection onto all cores
+}
+
+TEST(Placement, ZeroThreadsRejected) {
+  EXPECT_THROW(compute_placement(kCrusher, 0, BindPolicy::kClose), precondition_error);
+}
+
+TEST(RemoteFraction, SingleDomainIsAlwaysLocal) {
+  // Wombat (1 NUMA): pinning policy cannot matter for locality.
+  for (auto policy : {BindPolicy::kNone, BindPolicy::kClose, BindPolicy::kSpread}) {
+    const Placement p = compute_placement(kWombat, 80, policy);
+    EXPECT_EQ(remote_access_fraction(kWombat, p), 0.0);
+  }
+}
+
+TEST(RemoteFraction, UnpinnedPaysMostOnMultiDomain) {
+  const Placement unpinned = compute_placement(kCrusher, 64, BindPolicy::kNone);
+  const Placement pinned = compute_placement(kCrusher, 64, BindPolicy::kClose);
+  const double remote_unpinned = remote_access_fraction(kCrusher, unpinned);
+  const double remote_pinned = remote_access_fraction(kCrusher, pinned);
+  // Numba (no pinning API) sees a strictly larger remote share than
+  // OpenMP/Julia with binding — the Section IV-A explanation.
+  EXPECT_GT(remote_unpinned, remote_pinned);
+  EXPECT_NEAR(remote_unpinned, 0.75, 1e-12);  // (d-1)/d for d=4
+  EXPECT_GE(remote_pinned, 0.0);
+  EXPECT_LE(remote_pinned, 1.0);
+}
+
+TEST(RemoteFraction, BoundedByOne) {
+  for (std::size_t domains : {1u, 2u, 4u, 8u}) {
+    const CpuTopology topo{64, domains};
+    for (auto policy : {BindPolicy::kNone, BindPolicy::kClose, BindPolicy::kSpread}) {
+      const Placement p = compute_placement(topo, 64, policy);
+      const double r = remote_access_fraction(topo, p);
+      EXPECT_GE(r, 0.0);
+      EXPECT_LE(r, 1.0);
+    }
+  }
+}
+
+TEST(Placement, SpreadWithFewerThreadsThanDomains) {
+  // 2 threads on a 4-domain machine: distinct domains, one each.
+  const Placement p = compute_placement(kCrusher, 2, BindPolicy::kSpread);
+  EXPECT_NE(kCrusher.domain_of(p.core_of_thread[0]),
+            kCrusher.domain_of(p.core_of_thread[1]));
+}
+
+TEST(Placement, SingleThreadAnyPolicy) {
+  for (auto policy : {BindPolicy::kClose, BindPolicy::kSpread}) {
+    const Placement p = compute_placement(kCrusher, 1, policy);
+    ASSERT_EQ(p.core_of_thread.size(), 1u);
+    EXPECT_LT(p.core_of_thread[0], kCrusher.cores);
+  }
+}
+
+TEST(BindPolicyNames, Stable) {
+  EXPECT_EQ(name(BindPolicy::kNone), "none");
+  EXPECT_EQ(name(BindPolicy::kClose), "close");
+  EXPECT_EQ(name(BindPolicy::kSpread), "spread");
+}
+
+}  // namespace
+}  // namespace portabench::simrt

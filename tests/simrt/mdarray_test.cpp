@@ -1,0 +1,178 @@
+// Tests for the multi-dimensional views.
+#include "simrt/mdarray.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "common/error.hpp"
+
+namespace portabench::simrt {
+namespace {
+
+TEST(View1, AllocatesZeroed) {
+  View1<double> v(10);
+  EXPECT_EQ(v.size(), 10u);
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(v(i), 0.0);
+}
+
+TEST(View1, CheckedAccessThrows) {
+  View1<int> v(3);
+  EXPECT_NO_THROW(v.at(2));
+  EXPECT_THROW(v.at(3), precondition_error);
+}
+
+TEST(View1, SubviewAliases) {
+  View1<int> v(10);
+  for (std::size_t i = 0; i < 10; ++i) v(i) = static_cast<int>(i);
+  View1<int> sub = v.subview(3, 7);
+  EXPECT_EQ(sub.size(), 4u);
+  EXPECT_EQ(sub(0), 3);
+  sub(0) = 99;
+  EXPECT_EQ(v(3), 99);  // shared storage
+}
+
+TEST(View1, SubviewBoundsChecked) {
+  View1<int> v(10);
+  EXPECT_THROW(v.subview(5, 11), precondition_error);
+  EXPECT_THROW(v.subview(7, 3), precondition_error);
+}
+
+TEST(View2, RowMajorStrides) {
+  View2<double, LayoutRight> v(3, 5);
+  EXPECT_EQ(v.extent(0), 3u);
+  EXPECT_EQ(v.extent(1), 5u);
+  EXPECT_EQ(v.stride(0), 5u);
+  EXPECT_EQ(v.stride(1), 1u);
+  EXPECT_TRUE(v.contiguous());
+}
+
+TEST(View2, ColMajorStrides) {
+  View2<double, LayoutLeft> v(3, 5);
+  EXPECT_EQ(v.stride(0), 1u);
+  EXPECT_EQ(v.stride(1), 3u);
+  EXPECT_TRUE(v.contiguous());
+}
+
+TEST(View2, LayoutsStoreDifferently) {
+  View2<int, LayoutRight> r(2, 3);
+  View2<int, LayoutLeft> l(2, 3);
+  r(0, 1) = 7;
+  l(0, 1) = 7;
+  // Same logical element, different storage offset.
+  EXPECT_EQ(r.data()[1], 7);  // row-major: (0,1) at offset 1
+  EXPECT_EQ(l.data()[2], 7);  // col-major: (0,1) at offset 0 + 1*2
+}
+
+TEST(View2, AdjacencyMatchesLayout) {
+  View2<int, LayoutRight> r(4, 4);
+  View2<int, LayoutLeft> l(4, 4);
+  // Row-major: (i, j) and (i, j+1) adjacent; col-major: (i, j) and (i+1, j).
+  EXPECT_EQ(&r(0, 1) - &r(0, 0), 1);
+  EXPECT_EQ(&l(1, 0) - &l(0, 0), 1);
+}
+
+TEST(View2, CopiesShareStorage) {
+  View2<int, LayoutRight> a(2, 2);
+  View2<int, LayoutRight> b = a;  // Kokkos::View semantics
+  b(1, 1) = 5;
+  EXPECT_EQ(a(1, 1), 5);
+  EXPECT_TRUE(a.same_storage(b));
+}
+
+TEST(View2, CheckedAccess) {
+  View2<int, LayoutRight> v(2, 3);
+  EXPECT_NO_THROW(v.at(1, 2));
+  EXPECT_THROW(v.at(2, 0), precondition_error);
+  EXPECT_THROW(v.at(0, 3), precondition_error);
+}
+
+TEST(View2, SubviewRowMajor) {
+  View2<int, LayoutRight> v(4, 4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) v(i, j) = static_cast<int>(10 * i + j);
+  }
+  auto sub = v.subview(1, 3, 2, 4);
+  EXPECT_EQ(sub.extent(0), 2u);
+  EXPECT_EQ(sub.extent(1), 2u);
+  EXPECT_EQ(sub(0, 0), 12);
+  EXPECT_EQ(sub(1, 1), 23);
+  EXPECT_FALSE(sub.contiguous());
+  sub(0, 0) = -1;
+  EXPECT_EQ(v(1, 2), -1);
+}
+
+TEST(View2, SubviewColMajor) {
+  View2<int, LayoutLeft> v(4, 4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) v(i, j) = static_cast<int>(10 * i + j);
+  }
+  auto sub = v.subview(2, 4, 1, 3);
+  EXPECT_EQ(sub(0, 0), 21);
+  EXPECT_EQ(sub(1, 1), 32);
+}
+
+TEST(View2, SubviewBounds) {
+  View2<int, LayoutRight> v(3, 3);
+  EXPECT_THROW(v.subview(0, 4, 0, 3), precondition_error);
+  EXPECT_THROW(v.subview(2, 1, 0, 3), precondition_error);
+}
+
+TEST(View2, DeepCopyAcrossLayouts) {
+  View2<int, LayoutRight> src(3, 4);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) src(i, j) = static_cast<int>(i * 4 + j);
+  }
+  View2<int, LayoutLeft> dst(3, 4);
+  deep_copy(dst, src);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) EXPECT_EQ(dst(i, j), src(i, j));
+  }
+  EXPECT_FALSE(dst.same_storage(View2<int, LayoutLeft>(3, 4)));
+}
+
+TEST(View2, DeepCopyShapeMismatchRejected) {
+  View2<int, LayoutRight> a(2, 3);
+  View2<int, LayoutRight> b(3, 2);
+  EXPECT_THROW(deep_copy(b, a), precondition_error);
+}
+
+TEST(View2, SubviewOfSubviewComposes) {
+  View2<int, LayoutRight> v(8, 8);
+  for (std::size_t i = 0; i < 8; ++i) {
+    for (std::size_t j = 0; j < 8; ++j) v(i, j) = static_cast<int>(10 * i + j);
+  }
+  auto outer = v.subview(2, 7, 1, 6);   // rows 2..6, cols 1..5
+  auto inner = outer.subview(1, 3, 2, 4);  // -> rows 3..4, cols 3..4 of v
+  EXPECT_EQ(inner.extent(0), 2u);
+  EXPECT_EQ(inner.extent(1), 2u);
+  EXPECT_EQ(inner(0, 0), 33);
+  EXPECT_EQ(inner(1, 1), 44);
+  inner(0, 1) = -9;
+  EXPECT_EQ(v(3, 4), -9);
+}
+
+TEST(View2, SharedStorageSurvivesOriginalGoingOutOfScope) {
+  View2<int, LayoutRight> kept;
+  {
+    View2<int, LayoutRight> original(4, 4);
+    original(2, 2) = 11;
+    kept = original.subview(1, 4, 1, 4);
+  }
+  // The subview holds a reference on the storage.
+  EXPECT_EQ(kept(1, 1), 11);
+}
+
+TEST(View2, DataIsCacheAligned) {
+  View2<double, LayoutRight> v(17, 31);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(v.data()) % kCacheLineBytes, 0u);
+}
+
+TEST(View2, ExtentDimChecked) {
+  View2<int, LayoutRight> v(2, 2);
+  EXPECT_THROW(v.extent(2), precondition_error);
+  EXPECT_THROW(v.stride(2), precondition_error);
+}
+
+}  // namespace
+}  // namespace portabench::simrt

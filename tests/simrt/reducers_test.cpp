@@ -1,0 +1,105 @@
+// Tests for typed reducers.
+#include "simrt/reducers.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace portabench::simrt {
+namespace {
+
+class ReducerSpaces : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  ThreadsSpace space_{GetParam()};
+};
+
+TEST_P(ReducerSpaces, SumMatchesClosedForm) {
+  const long result = parallel_reduce(space_, RangePolicy(0, 1001), Sum<long>{},
+                                      [](std::size_t i, long& acc) { acc += static_cast<long>(i); });
+  EXPECT_EQ(result, 500500L);
+}
+
+TEST_P(ReducerSpaces, MinFindsGlobalMinimum) {
+  std::vector<double> data(997);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<double>((i * 7919) % 1000);
+  }
+  data[513] = -42.0;
+  const double result = parallel_reduce(
+      space_, RangePolicy(0, data.size()), Min<double>{},
+      [&](std::size_t i, double& acc) { acc = Min<double>::join(acc, data[i]); });
+  EXPECT_EQ(result, -42.0);
+}
+
+TEST_P(ReducerSpaces, MaxFindsGlobalMaximum) {
+  std::vector<int> data(500);
+  for (std::size_t i = 0; i < data.size(); ++i) data[i] = static_cast<int>(i % 100);
+  data[77] = 100000;
+  const int result =
+      parallel_reduce(space_, RangePolicy(0, data.size()), Max<int>{},
+                      [&](std::size_t i, int& acc) { acc = Max<int>::join(acc, data[i]); });
+  EXPECT_EQ(result, 100000);
+}
+
+TEST_P(ReducerSpaces, ProdOverSmallRange) {
+  const long result = parallel_reduce(space_, RangePolicy(1, 11), Prod<long>{},
+                                      [](std::size_t i, long& acc) { acc *= static_cast<long>(i); });
+  EXPECT_EQ(result, 3628800L);  // 10!
+}
+
+TEST_P(ReducerSpaces, MinLocTracksIndex) {
+  std::vector<double> data(300, 5.0);
+  data[123] = -1.0;
+  const auto result = parallel_reduce(
+      space_, RangePolicy(0, data.size()), MinLoc<double>{},
+      [&](std::size_t i, MinLoc<double>::value_type& acc) {
+        acc = MinLoc<double>::join(acc, {data[i], i});
+      });
+  EXPECT_EQ(result.value, -1.0);
+  EXPECT_EQ(result.index, 123u);
+}
+
+TEST_P(ReducerSpaces, EmptyRangeYieldsIdentity) {
+  const long sum = parallel_reduce(space_, RangePolicy(5, 5), Sum<long>{},
+                                   [](std::size_t, long& acc) { acc += 1; });
+  EXPECT_EQ(sum, 0L);
+  const double min = parallel_reduce(space_, RangePolicy(5, 5), Min<double>{},
+                                     [](std::size_t, double&) {});
+  EXPECT_EQ(min, std::numeric_limits<double>::max());
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, ReducerSpaces, ::testing::Values(1, 2, 4, 7));
+
+TEST(Reducers, SerialMatchesThreaded) {
+  SerialSpace serial;
+  ThreadsSpace threads(4);
+  auto body = [](std::size_t i, long& acc) { acc += static_cast<long>(i * i); };
+  const long a = parallel_reduce(serial, RangePolicy(0, 4000), Sum<long>{}, body);
+  const long b = parallel_reduce(threads, RangePolicy(0, 4000), Sum<long>{}, body);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Reducers, Identities) {
+  EXPECT_EQ(Sum<int>::identity(), 0);
+  EXPECT_EQ(Prod<int>::identity(), 1);
+  EXPECT_EQ(Min<int>::identity(), std::numeric_limits<int>::max());
+  EXPECT_EQ(Max<int>::identity(), std::numeric_limits<int>::lowest());
+}
+
+TEST(Reducers, JoinIsAssociativeOnSamples) {
+  // Property: join(a, join(b, c)) == join(join(a, b), c) for Min/Max.
+  const int samples[] = {3, -7, 0, 42, -1};
+  for (int a : samples) {
+    for (int b : samples) {
+      for (int c : samples) {
+        EXPECT_EQ(Min<int>::join(a, Min<int>::join(b, c)),
+                  Min<int>::join(Min<int>::join(a, b), c));
+        EXPECT_EQ(Max<int>::join(a, Max<int>::join(b, c)),
+                  Max<int>::join(Max<int>::join(a, b), c));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace portabench::simrt

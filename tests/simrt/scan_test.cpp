@@ -1,0 +1,144 @@
+// Tests for parallel prefix sums.
+#include "simrt/scan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace portabench::simrt {
+namespace {
+
+class ScanTest : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(ScanTest, ExclusiveMatchesSerialReference) {
+  const auto [extent, threads] = GetParam();
+  std::vector<long> in(extent);
+  for (std::size_t i = 0; i < extent; ++i) in[i] = static_cast<long>((i * 31 + 7) % 100);
+
+  std::vector<long> expected(extent);
+  long running = 0;
+  for (std::size_t i = 0; i < extent; ++i) {
+    expected[i] = running;
+    running += in[i];
+  }
+
+  ThreadsSpace space(threads);
+  std::vector<long> out(extent, -1);
+  exclusive_scan(space, std::span<const long>(in), std::span<long>(out));
+  EXPECT_EQ(out, expected);
+}
+
+TEST_P(ScanTest, InclusiveMatchesPartialSum) {
+  const auto [extent, threads] = GetParam();
+  std::vector<long> in(extent, 0);
+  for (std::size_t i = 0; i < extent; ++i) in[i] = static_cast<long>(i % 13);
+  std::vector<long> expected(extent);
+  std::partial_sum(in.begin(), in.end(), expected.begin());
+
+  ThreadsSpace space(threads);
+  std::vector<long> out(extent, -1);
+  inclusive_scan(space, std::span<const long>(in), std::span<long>(out));
+  EXPECT_EQ(out, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(ExtentsAndThreads, ScanTest,
+                         ::testing::Combine(::testing::Values(0, 1, 2, 5, 64, 1000),
+                                            ::testing::Values(1, 3, 4, 8)));
+
+TEST(Scan, SerialSpaceWorks) {
+  SerialSpace space;
+  const std::vector<int> in{1, 2, 3, 4};
+  std::vector<int> out(4);
+  exclusive_scan(space, std::span<const int>(in), std::span<int>(out));
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 3, 6}));
+  inclusive_scan(space, std::span<const int>(in), std::span<int>(out));
+  EXPECT_EQ(out, (std::vector<int>{1, 3, 6, 10}));
+}
+
+TEST(Scan, SizeMismatchRejected) {
+  SerialSpace space;
+  const std::vector<int> in{1, 2, 3};
+  std::vector<int> out(2);
+  EXPECT_THROW(exclusive_scan(space, std::span<const int>(in), std::span<int>(out)),
+               precondition_error);
+}
+
+TEST(Scan, InPlaceRejected) {
+  ThreadsSpace space(2);
+  std::vector<int> buf{1, 2, 3};
+  EXPECT_THROW(
+      exclusive_scan(space, std::span<const int>(buf.data(), 3), std::span<int>(buf)),
+      precondition_error);
+}
+
+TEST(FunctorScan, SerialComputesExclusivePrefixes) {
+  SerialSpace space;
+  const std::vector<long> in{3, 1, 4, 1, 5};
+  std::vector<long> prefixes(5, -1);
+  const long total = parallel_scan<long>(
+      space, RangePolicy(0, 5), [&](std::size_t i, long& partial, bool is_final) {
+        if (is_final) prefixes[i] = partial;  // exclusive prefix
+        partial += in[i];
+      });
+  EXPECT_EQ(total, 14L);
+  EXPECT_EQ(prefixes, (std::vector<long>{0, 3, 4, 8, 9}));
+}
+
+TEST(FunctorScan, ThreadedMatchesSerial) {
+  SerialSpace serial;
+  ThreadsSpace threads(4);
+  constexpr std::size_t kN = 1003;
+  std::vector<long> in(kN);
+  for (std::size_t i = 0; i < kN; ++i) in[i] = static_cast<long>((i * 13) % 17);
+
+  std::vector<long> a(kN, -1);
+  std::vector<long> b(kN, -1);
+  auto body_into = [&](std::vector<long>& out) {
+    return [&in, &out](std::size_t i, long& partial, bool is_final) {
+      if (is_final) out[i] = partial;
+      partial += in[i];
+    };
+  };
+  const long ta = parallel_scan<long>(serial, RangePolicy(0, kN), body_into(a));
+  const long tb = parallel_scan<long>(threads, RangePolicy(0, kN), body_into(b));
+  EXPECT_EQ(ta, tb);
+  EXPECT_EQ(a, b);
+}
+
+TEST(FunctorScan, StreamCompactionUseCase) {
+  // The canonical scan application: compact the even numbers of [0, 100).
+  ThreadsSpace space(3);
+  constexpr std::size_t kN = 100;
+  std::vector<std::size_t> out(kN / 2, 0);
+  parallel_scan<std::size_t>(space, RangePolicy(0, kN),
+                             [&](std::size_t i, std::size_t& partial, bool is_final) {
+                               const bool keep = i % 2 == 0;
+                               if (is_final && keep) out[partial] = i;
+                               if (keep) ++partial;
+                             });
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], 2 * i);
+}
+
+TEST(FunctorScan, EmptyRangeReturnsIdentity) {
+  ThreadsSpace space(2);
+  const long total = parallel_scan<long>(space, RangePolicy(7, 7),
+                                         [](std::size_t, long&, bool) { FAIL(); });
+  EXPECT_EQ(total, 0L);
+}
+
+TEST(Scan, DoubleScanIsDeterministic) {
+  ThreadsSpace space(4);
+  std::vector<double> in(777);
+  for (std::size_t i = 0; i < in.size(); ++i) in[i] = 1.0 / (1.0 + static_cast<double>(i));
+  std::vector<double> out1(in.size());
+  std::vector<double> out2(in.size());
+  exclusive_scan(space, std::span<const double>(in), std::span<double>(out1));
+  exclusive_scan(space, std::span<const double>(in), std::span<double>(out2));
+  EXPECT_EQ(out1, out2);  // bitwise: fixed block partition
+}
+
+}  // namespace
+}  // namespace portabench::simrt

@@ -1,0 +1,136 @@
+// Tests for the fork-join thread pool.
+#include "simrt/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace portabench::simrt {
+namespace {
+
+TEST(ThreadPool, SingleThreadRunsInline) {
+  ThreadPool pool(1);
+  std::size_t calls = 0;
+  pool.run([&](std::size_t tid) {
+    EXPECT_EQ(tid, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1u);
+}
+
+TEST(ThreadPool, EveryThreadIdRunsExactlyOnce) {
+  for (std::size_t nt : {2u, 4u, 8u}) {
+    ThreadPool pool(nt);
+    std::vector<std::atomic<int>> counts(nt);
+    pool.run([&](std::size_t tid) { counts[tid].fetch_add(1); });
+    for (std::size_t t = 0; t < nt; ++t) EXPECT_EQ(counts[t].load(), 1) << "nt=" << nt;
+  }
+}
+
+TEST(ThreadPool, ReusableAcrossRegions) {
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  for (int region = 0; region < 50; ++region) {
+    pool.run([&](std::size_t) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 200);
+}
+
+TEST(ThreadPool, ParallelSumMatchesSerial) {
+  constexpr std::size_t kN = 100000;
+  ThreadPool pool(4);
+  std::vector<double> partial(4, 0.0);
+  pool.run([&](std::size_t tid) {
+    for (std::size_t i = tid; i < kN; i += 4) partial[tid] += static_cast<double>(i);
+  });
+  const double sum = std::accumulate(partial.begin(), partial.end(), 0.0);
+  EXPECT_DOUBLE_EQ(sum, static_cast<double>(kN) * (kN - 1) / 2.0);
+}
+
+TEST(ThreadPool, ExceptionFromWorkerPropagates) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.run([](std::size_t tid) {
+    if (tid == 3) throw std::runtime_error("worker failed");
+  }),
+               std::runtime_error);
+  // Pool remains usable after the failure.
+  std::atomic<int> ok{0};
+  pool.run([&](std::size_t) { ok.fetch_add(1); });
+  EXPECT_EQ(ok.load(), 4);
+}
+
+TEST(ThreadPool, ExceptionFromCallerThreadPropagates) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.run([](std::size_t tid) {
+    if (tid == 0) throw std::logic_error("master failed");
+  }),
+               std::logic_error);
+}
+
+TEST(ThreadPool, ZeroThreadsRejected) {
+  EXPECT_THROW(ThreadPool(0), precondition_error);
+}
+
+TEST(ThreadPool, PlacementRecorded) {
+  Placement p = compute_placement(CpuTopology{8, 1}, 4, BindPolicy::kClose);
+  ThreadPool pool(4, p);
+  EXPECT_TRUE(pool.placement().pinned());
+  EXPECT_EQ(pool.placement().core_of_thread.size(), 4u);
+}
+
+TEST(ThreadPool, UndersizedPlacementRejected) {
+  Placement p = compute_placement(CpuTopology{8, 1}, 2, BindPolicy::kClose);
+  EXPECT_THROW(ThreadPool(4, p), precondition_error);
+}
+
+TEST(ThreadPool, ManyThreadsOnFewCores) {
+  // Oversubscription (the simulation-host case) must still be correct.
+  ThreadPool pool(16);
+  std::atomic<int> count{0};
+  pool.run([&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 16);
+}
+
+TEST(ThreadPool, StressManyRegionsWithIntermittentFailures) {
+  // Alternating failing and succeeding regions must neither deadlock nor
+  // leak state between regions.
+  ThreadPool pool(4);
+  int failures = 0;
+  std::atomic<int> work{0};
+  for (int region = 0; region < 100; ++region) {
+    if (region % 7 == 3) {
+      try {
+        pool.run([&](std::size_t tid) {
+          work.fetch_add(1);
+          if (tid == 2) throw std::runtime_error("intermittent");
+        });
+      } catch (const std::runtime_error&) {
+        ++failures;
+      }
+    } else {
+      pool.run([&](std::size_t) { work.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(failures, 14);      // regions 3, 10, ..., 94
+  EXPECT_EQ(work.load(), 400);  // every region ran all 4 threads
+}
+
+TEST(ThreadPool, DistinctThreadsObserved) {
+  ThreadPool pool(4);
+  std::mutex m;
+  std::set<std::thread::id> ids;
+  pool.run([&](std::size_t) {
+    std::lock_guard lock(m);
+    ids.insert(std::this_thread::get_id());
+  });
+  EXPECT_EQ(ids.size(), 4u);
+}
+
+}  // namespace
+}  // namespace portabench::simrt

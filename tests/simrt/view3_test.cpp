@@ -1,0 +1,91 @@
+// Tests for rank-3 views and batch slicing.
+#include "simrt/view3.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace portabench::simrt {
+namespace {
+
+TEST(View3, ExtentsAndZeroInit) {
+  View3<double, LayoutRight> v(2, 3, 4);
+  EXPECT_EQ(v.extent(0), 2u);
+  EXPECT_EQ(v.extent(1), 3u);
+  EXPECT_EQ(v.extent(2), 4u);
+  EXPECT_EQ(v.size(), 24u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      for (std::size_t k = 0; k < 4; ++k) EXPECT_EQ(v(i, j, k), 0.0);
+    }
+  }
+}
+
+TEST(View3, RowMajorAdjacency) {
+  View3<int, LayoutRight> v(2, 3, 4);
+  EXPECT_EQ(&v(0, 0, 1) - &v(0, 0, 0), 1);       // k fastest
+  EXPECT_EQ(&v(0, 1, 0) - &v(0, 0, 0), 4);       // j stride = n2
+  EXPECT_EQ(&v(1, 0, 0) - &v(0, 0, 0), 12);      // i stride = n1*n2
+}
+
+TEST(View3, ColMajorAdjacency) {
+  View3<int, LayoutLeft> v(2, 3, 4);
+  EXPECT_EQ(&v(1, 0, 0) - &v(0, 0, 0), 1);       // i fastest (Julia Array{T,3})
+  EXPECT_EQ(&v(0, 1, 0) - &v(0, 0, 0), 2);       // j stride = n0
+  EXPECT_EQ(&v(0, 0, 1) - &v(0, 0, 0), 6);       // k stride = n0*n1
+}
+
+TEST(View3, CheckedAccess) {
+  View3<int, LayoutRight> v(2, 2, 2);
+  EXPECT_NO_THROW(v.at(1, 1, 1));
+  EXPECT_THROW(v.at(2, 0, 0), precondition_error);
+  EXPECT_THROW(v.at(0, 2, 0), precondition_error);
+  EXPECT_THROW(v.at(0, 0, 2), precondition_error);
+}
+
+TEST(View3, RowMajorSliceIsBatchMatrix) {
+  // C convention: batch along dim 0.
+  View3<int, LayoutRight> v(3, 4, 5);
+  for (std::size_t b = 0; b < 3; ++b) {
+    for (std::size_t i = 0; i < 4; ++i) {
+      for (std::size_t j = 0; j < 5; ++j) v(b, i, j) = static_cast<int>(100 * b + 10 * i + j);
+    }
+  }
+  auto m = v.slice(1);
+  EXPECT_EQ(m.extent(0), 4u);
+  EXPECT_EQ(m.extent(1), 5u);
+  EXPECT_EQ(m(2, 3), 123);
+  m(2, 3) = -1;
+  EXPECT_EQ(v(1, 2, 3), -1);  // aliases the rank-3 storage
+}
+
+TEST(View3, ColMajorSliceIsJuliaConvention) {
+  // Julia convention: A[:, :, b] — batch along the last axis.
+  View3<int, LayoutLeft> v(4, 5, 3);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 5; ++j) {
+      for (std::size_t b = 0; b < 3; ++b) v(i, j, b) = static_cast<int>(100 * b + 10 * i + j);
+    }
+  }
+  auto m = v.slice(2);
+  EXPECT_EQ(m.extent(0), 4u);
+  EXPECT_EQ(m.extent(1), 5u);
+  EXPECT_EQ(m(1, 4), 214);
+  // The slice preserves column-major adjacency.
+  EXPECT_EQ(&m(1, 0) - &m(0, 0), 1);
+}
+
+TEST(View3, SliceOutOfRangeRejected) {
+  View3<int, LayoutRight> r(2, 3, 3);
+  EXPECT_THROW(r.slice(2), precondition_error);
+  View3<int, LayoutLeft> l(3, 3, 2);
+  EXPECT_THROW(l.slice(2), precondition_error);
+}
+
+TEST(View3, ExtentDimChecked) {
+  View3<int, LayoutRight> v(1, 1, 1);
+  EXPECT_THROW(v.extent(3), precondition_error);
+}
+
+}  // namespace
+}  // namespace portabench::simrt

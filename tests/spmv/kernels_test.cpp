@@ -1,0 +1,124 @@
+// Tests for the SpMV kernels across substrates and conventions.
+#include "spmv/kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace portabench::spmv {
+namespace {
+
+std::vector<double> random_vector(std::size_t n, std::uint64_t seed) {
+  std::vector<double> v(n);
+  Xoshiro256 rng(seed);
+  fill_uniform(std::span<double>(v), rng);
+  return v;
+}
+
+double max_diff(std::span<const double> a, std::span<const double> b) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    worst = std::max(worst, std::abs(a[i] - b[i]));
+  }
+  return worst;
+}
+
+class SpmvKernels : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  void SetUp() override {
+    const std::uint64_t seed = GetParam();
+    A_ = (seed % 2 == 0) ? random_csr<double>(137, 211, 7, seed)
+                         : banded_csr<double>(150, 4, seed);
+    x_ = random_vector(A_.cols, seed + 1);
+    reference_.resize(A_.rows);
+    spmv_reference<double>(A_, x_, std::span<double>(reference_));
+  }
+
+  CsrMatrix<double> A_;
+  std::vector<double> x_;
+  std::vector<double> reference_;
+};
+
+TEST_P(SpmvKernels, RowParallelCsrMatchesReference) {
+  simrt::ThreadsSpace space(4);
+  std::vector<double> y(A_.rows, -1.0);
+  spmv_csr_row_parallel<double>(space, A_, x_, std::span<double>(y));
+  // Same accumulation order as the reference: bitwise equal.
+  EXPECT_EQ(max_diff(y, reference_), 0.0);
+}
+
+TEST_P(SpmvKernels, SerialSpaceWorksToo) {
+  simrt::SerialSpace space;
+  std::vector<double> y(A_.rows, -1.0);
+  spmv_csr_row_parallel<double>(space, A_, x_, std::span<double>(y));
+  EXPECT_EQ(max_diff(y, reference_), 0.0);
+}
+
+TEST_P(SpmvKernels, JuliaCscColumnParallelMatches) {
+  simrt::ThreadsSpace space(4);
+  const auto csc = csr_to_csc(A_);
+  std::vector<double> y(A_.rows, -1.0);
+  spmv_csc_column_parallel<double>(space, csc, x_, std::span<double>(y));
+  // Column traversal reorders the additions: rounding-level tolerance.
+  EXPECT_LE(max_diff(y, reference_), 1e-12 * static_cast<double>(A_.cols));
+}
+
+TEST_P(SpmvKernels, GpuScalarMatches) {
+  gpusim::DeviceContext ctx(gpusim::GpuSpec::a100());
+  gpusim::DeviceBuffer<double> dx(ctx, A_.cols);
+  gpusim::DeviceBuffer<double> dy(ctx, A_.rows);
+  dx.copy_from_host(x_);
+  spmv_gpu_scalar<double>(ctx, A_, dx, dy);
+  std::vector<double> y(A_.rows);
+  dy.copy_to_host(std::span<double>(y));
+  EXPECT_EQ(max_diff(y, reference_), 0.0);
+  EXPECT_GE(ctx.counters().kernel_launches, 1u);
+}
+
+TEST_P(SpmvKernels, GpuVectorMatches) {
+  gpusim::DeviceContext ctx(gpusim::GpuSpec::mi250x_gcd());  // 64-wide wavefronts
+  gpusim::DeviceBuffer<double> dx(ctx, A_.cols);
+  gpusim::DeviceBuffer<double> dy(ctx, A_.rows);
+  dx.copy_from_host(x_);
+  spmv_gpu_vector<double>(ctx, A_, dx, dy);
+  std::vector<double> y(A_.rows);
+  dy.copy_to_host(std::span<double>(y));
+  // Tree reduction reorders additions.
+  EXPECT_LE(max_diff(y, reference_), 1e-12 * static_cast<double>(A_.cols));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpmvKernels, ::testing::Values(2, 3, 4, 5, 10, 11));
+
+TEST(SpmvEdge, EmptyRowsYieldZero) {
+  CsrMatrix<double> A;
+  A.rows = 3;
+  A.cols = 3;
+  A.row_ptr = {0, 1, 1, 2};  // middle row empty
+  A.col_idx = {0, 2};
+  A.values = {2.0, 3.0};
+  A.validate();
+  const std::vector<double> x{1.0, 1.0, 1.0};
+  std::vector<double> y(3, -1.0);
+  spmv_reference<double>(A, x, std::span<double>(y));
+  EXPECT_EQ(y[0], 2.0);
+  EXPECT_EQ(y[1], 0.0);
+  EXPECT_EQ(y[2], 3.0);
+
+  simrt::ThreadsSpace space(2);
+  std::vector<double> y2(3, -1.0);
+  spmv_csr_row_parallel<double>(space, A, x, std::span<double>(y2));
+  EXPECT_EQ(y2, y);
+}
+
+TEST(SpmvEdge, SizeMismatchRejected) {
+  const auto A = banded_csr<double>(10, 1, 1);
+  std::vector<double> x(9);
+  std::vector<double> y(10);
+  simrt::SerialSpace space;
+  EXPECT_THROW(
+      spmv_csr_row_parallel<double>(space, A, std::span<const double>(x), std::span<double>(y)),
+      precondition_error);
+}
+
+}  // namespace
+}  // namespace portabench::spmv

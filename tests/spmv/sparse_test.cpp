@@ -1,0 +1,79 @@
+// Tests for the sparse containers and builders.
+#include "spmv/sparse.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace portabench::spmv {
+namespace {
+
+TEST(Csr, RandomBuilderIsValid) {
+  const auto m = random_csr<double>(100, 200, 8, 42);
+  EXPECT_NO_THROW(m.validate());
+  EXPECT_EQ(m.rows, 100u);
+  EXPECT_EQ(m.cols, 200u);
+  EXPECT_GT(m.nnz(), 100u * 4);  // jitter dedup can drop some, not most
+  EXPECT_LE(m.nnz(), 100u * 8);
+}
+
+TEST(Csr, RandomBuilderDeterministic) {
+  const auto a = random_csr<double>(50, 50, 4, 7);
+  const auto b = random_csr<double>(50, 50, 4, 7);
+  EXPECT_EQ(a.col_idx, b.col_idx);
+  EXPECT_EQ(a.values, b.values);
+  const auto c = random_csr<double>(50, 50, 4, 8);
+  EXPECT_NE(a.values, c.values);
+}
+
+TEST(Csr, BandedShape) {
+  const auto m = banded_csr<double>(10, 1, 1);  // tridiagonal
+  EXPECT_NO_THROW(m.validate());
+  EXPECT_EQ(m.nnz(), 28u);  // 3*10 - 2
+  // Row 0: columns 0, 1.
+  EXPECT_EQ(m.row_ptr[1] - m.row_ptr[0], 2u);
+  EXPECT_EQ(m.col_idx[0], 0u);
+  EXPECT_EQ(m.col_idx[1], 1u);
+}
+
+TEST(Csr, ValidateCatchesCorruption) {
+  auto m = banded_csr<double>(5, 1, 1);
+  m.col_idx[2] = 99;  // out of range
+  EXPECT_THROW(m.validate(), precondition_error);
+}
+
+TEST(Csr, BuilderPreconditions) {
+  EXPECT_THROW(random_csr<double>(0, 10, 2, 1), precondition_error);
+  EXPECT_THROW(random_csr<double>(10, 10, 11, 1), precondition_error);
+}
+
+TEST(Csc, ConversionPreservesEntries) {
+  const auto csr = random_csr<double>(30, 40, 5, 11);
+  const auto csc = csr_to_csc(csr);
+  EXPECT_EQ(csc.nnz(), csr.nnz());
+  EXPECT_EQ(csc.rows, csr.rows);
+  EXPECT_EQ(csc.cols, csr.cols);
+  // Every CSR entry appears in the CSC structure.
+  for (std::size_t r = 0; r < csr.rows; ++r) {
+    for (std::size_t e = csr.row_ptr[r]; e < csr.row_ptr[r + 1]; ++e) {
+      const std::size_t c = csr.col_idx[e];
+      bool found = false;
+      for (std::size_t f = csc.col_ptr[c]; f < csc.col_ptr[c + 1]; ++f) {
+        if (csc.row_idx[f] == r && csc.values[f] == csr.values[e]) found = true;
+      }
+      EXPECT_TRUE(found) << "entry (" << r << "," << c << ")";
+    }
+  }
+}
+
+TEST(Csc, RowsAscendingWithinColumns) {
+  const auto csc = csr_to_csc(random_csr<double>(60, 60, 6, 13));
+  for (std::size_t c = 0; c < csc.cols; ++c) {
+    for (std::size_t f = csc.col_ptr[c] + 1; f < csc.col_ptr[c + 1]; ++f) {
+      EXPECT_GT(csc.row_idx[f], csc.row_idx[f - 1]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace portabench::spmv

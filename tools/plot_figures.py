@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Plot the reproduced figures from export_figures_json output.
+
+Usage:
+    build/bench/export_figures_json > figures.json
+    tools/plot_figures.py figures.json --out-dir plots/
+
+Produces one PNG per figure panel (fig4_FP64.png, ...) shaped like the
+paper's Figs. 4-7: GFLOPS vs matrix size, one line per programming model.
+Requires matplotlib; falls back to a textual summary without it.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def text_summary(doc):
+    for fig in doc["figures"]:
+        print(f'{fig["id"]}: {fig["platform"]}')
+        for panel in fig["panels"]:
+            largest = panel["sizes"][-1]
+            print(f'  {panel["precision"]} @ n={largest}:')
+            for series in panel["series"]:
+                print(f'    {series["model"]:<24} {series["gflops"][-1]:9.1f} GFLOP/s')
+    print("\nTable III (Phi):")
+    for row in doc["table3"]:
+        print(f'  {row["family"]:<14} {row["precision"]}: Phi = {row["phi"]:.3f}')
+
+
+def plot(doc, out_dir):
+    import matplotlib
+
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    os.makedirs(out_dir, exist_ok=True)
+    markers = ["o", "s", "^", "d", "v", "x"]
+    for fig in doc["figures"]:
+        for panel in fig["panels"]:
+            plt.figure(figsize=(6, 4))
+            for i, series in enumerate(panel["series"]):
+                plt.plot(
+                    panel["sizes"],
+                    series["gflops"],
+                    marker=markers[i % len(markers)],
+                    markersize=3,
+                    label=series["model"],
+                )
+            plt.xlabel("matrix size n")
+            plt.ylabel("GFLOP/s (modeled)")
+            plt.title(f'{fig["platform"]} — {panel["precision"]}')
+            plt.ylim(bottom=0)
+            plt.legend(fontsize=8)
+            plt.grid(alpha=0.3)
+            path = os.path.join(out_dir, f'{fig["id"]}_{panel["precision"]}.png')
+            plt.savefig(path, dpi=150, bbox_inches="tight")
+            plt.close()
+            print(f"wrote {path}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("json_path", help="output of build/bench/export_figures_json")
+    parser.add_argument("--out-dir", default="plots", help="PNG output directory")
+    args = parser.parse_args()
+
+    doc = load(args.json_path)
+    try:
+        plot(doc, args.out_dir)
+    except ImportError:
+        print("matplotlib not available; textual summary instead:\n", file=sys.stderr)
+        text_summary(doc)
+
+
+if __name__ == "__main__":
+    main()
