@@ -15,6 +15,11 @@
 //
 // All kernels compute C += A * B, templated on input scalar T and
 // accumulation type Acc (Acc = float for the FP16 experiments, Fig. 1c).
+//
+// The kernels are generic over their view types: anything with View2's
+// access surface (extent/operator()/at, value_type, is_row_major) works,
+// so the same source runs over plain simrt views (the benchmarked path)
+// or portacheck shadow views (the sanitized path) without modification.
 #pragma once
 
 #include <cstddef>
@@ -37,10 +42,11 @@ void check_shapes(const VA& A, const VB& B, const VC& C) {
 }  // namespace detail
 
 /// C/OpenMP-style kernel (Fig. 2a): row-major, outer-i parallel, i-k-j.
-template <class Acc, class Space, class T, class TC>
-void gemm_openmp_style(const Space& space, const simrt::View2<T, simrt::LayoutRight>& A,
-                       const simrt::View2<T, simrt::LayoutRight>& B,
-                       simrt::View2<TC, simrt::LayoutRight>& C) {
+template <class Acc, class Space, class VA, class VB, class VC>
+void gemm_openmp_style(const Space& space, const VA& A, const VB& B, VC& C) {
+  static_assert(VA::is_row_major && VB::is_row_major && VC::is_row_major,
+                "the C/OpenMP kernel is row-major (Fig. 2a)");
+  using TC = typename VC::value_type;
   detail::check_shapes(A, B, C);
   const std::size_t k = A.extent(1);
   const std::size_t n = B.extent(1);
@@ -57,9 +63,11 @@ void gemm_openmp_style(const Space& space, const simrt::View2<T, simrt::LayoutRi
 }
 
 /// Kokkos-style kernel (Fig. 2b): one lambda instance per C(i,j) entry.
-template <class Acc, class Space, class T, class TC, class Layout>
-void gemm_kokkos_style(const Space& space, const simrt::View2<T, Layout>& A,
-                       const simrt::View2<T, Layout>& B, simrt::View2<TC, Layout>& C) {
+template <class Acc, class Space, class VA, class VB, class VC>
+void gemm_kokkos_style(const Space& space, const VA& A, const VB& B, VC& C) {
+  static_assert(std::is_same_v<typename VA::layout_type, typename VC::layout_type>,
+                "the Kokkos kernel is layout-generic but layout-consistent");
+  using TC = typename VC::value_type;
   detail::check_shapes(A, B, C);
   const std::size_t k = A.extent(1);
   simrt::parallel_for(
@@ -76,10 +84,12 @@ void gemm_kokkos_style(const Space& space, const simrt::View2<T, Layout>& A,
 /// Julia @threads-style kernel (Fig. 2c): column-major, @threads over the
 /// output column j, j-l-i order with temp = B[l, j].  `inbounds` selects
 /// the @inbounds (unchecked) or default (bounds-checked) access path.
-template <class Acc, class Space, class T, class TC>
-void gemm_julia_style(const Space& space, const simrt::View2<T, simrt::LayoutLeft>& A,
-                      const simrt::View2<T, simrt::LayoutLeft>& B,
-                      simrt::View2<TC, simrt::LayoutLeft>& C, bool inbounds = true) {
+template <class Acc, class Space, class VA, class VB, class VC>
+void gemm_julia_style(const Space& space, const VA& A, const VB& B, VC& C,
+                      bool inbounds = true) {
+  static_assert(!VA::is_row_major && !VB::is_row_major && !VC::is_row_major,
+                "the Julia kernel is column-major (Fig. 2c)");
+  using TC = typename VC::value_type;
   detail::check_shapes(A, B, C);
   const std::size_t m = A.extent(0);
   const std::size_t k = A.extent(1);
@@ -108,10 +118,10 @@ void gemm_julia_style(const Space& space, const simrt::View2<T, simrt::LayoutLef
 /// the "next step" Kokkos formulation the paper's Section II-b discussion
 /// of back-end-specific lowering points at, used by the batched-GEMM
 /// mini-app and the team-lowering tests.
-template <class Acc, class Space, class T, class TC, class Layout>
-void gemm_team_style(const Space& space, const simrt::View2<T, Layout>& A,
-                     const simrt::View2<T, Layout>& B, simrt::View2<TC, Layout>& C,
+template <class Acc, class Space, class VA, class VB, class VC>
+void gemm_team_style(const Space& space, const VA& A, const VB& B, VC& C,
                      std::size_t team_size = 8) {
+  using TC = typename VC::value_type;
   detail::check_shapes(A, B, C);
   const std::size_t m = C.extent(0);
   const std::size_t n = C.extent(1);
@@ -134,10 +144,11 @@ void gemm_team_style(const Space& space, const simrt::View2<T, Layout>& A,
 /// Python/Numba-style kernel (Fig. 2d): row-major, prange over i, i-k-j.
 /// Numba always emits bounds-safe numpy indexing; @njit(fastmath) relaxes
 /// FP contraction but not the access checks, so this uses at().
-template <class Acc, class Space, class T, class TC>
-void gemm_numba_style(const Space& space, const simrt::View2<T, simrt::LayoutRight>& A,
-                      const simrt::View2<T, simrt::LayoutRight>& B,
-                      simrt::View2<TC, simrt::LayoutRight>& C) {
+template <class Acc, class Space, class VA, class VB, class VC>
+void gemm_numba_style(const Space& space, const VA& A, const VB& B, VC& C) {
+  static_assert(VA::is_row_major && VB::is_row_major && VC::is_row_major,
+                "the Numba kernel is row-major (Fig. 2d)");
+  using TC = typename VC::value_type;
   detail::check_shapes(A, B, C);
   const std::size_t k = A.extent(1);
   const std::size_t n = B.extent(1);

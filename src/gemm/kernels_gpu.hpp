@@ -32,23 +32,21 @@ struct GpuLaunchConfig {
 /// CUDA/HIP-style kernel (Fig. 3a): raw pointers, row-major linearized,
 /// row = blockIdx.y*blockDim.y + threadIdx.y, col from x.
 /// A: m x k, B: k x n, C: m x n, all row-major in device memory.
-template <class Acc, class T, class TC>
+template <class Acc, class BA, class BB, class BC>
 void gemm_cuda_style(gpusim::DeviceContext& ctx, const GpuLaunchConfig& cfg,
-                     const gpusim::DeviceBuffer<T>& A, const gpusim::DeviceBuffer<T>& B,
-                     gpusim::DeviceBuffer<TC>& C, std::size_t m, std::size_t n, std::size_t k) {
+                     const BA& A, const BB& B, BC& C, std::size_t m, std::size_t n,
+                     std::size_t k) {
+  using TC = typename BC::value_type;
   PB_EXPECTS(A.size() == m * k && B.size() == k * n && C.size() == m * n);
-  const T* a = A.data();
-  const T* b = B.data();
-  TC* c = C.data();
-  gpusim::launch(ctx, cfg.grid_for(m, n), cfg.block, [=](const gpusim::ThreadCtx& tc) {
+  gpusim::launch(ctx, cfg.grid_for(m, n), cfg.block, [&](const gpusim::ThreadCtx& tc) {
     const std::size_t row = tc.global_y();
     const std::size_t col = tc.global_x();
     if (row < m && col < n) {
       Acc sum{};
       for (std::size_t i = 0; i < k; ++i) {
-        sum += static_cast<Acc>(a[row * k + i]) * static_cast<Acc>(b[i * n + col]);
+        sum += static_cast<Acc>(A[row * k + i]) * static_cast<Acc>(B[i * n + col]);
       }
-      c[row * n + col] = static_cast<TC>(sum);
+      C[row * n + col] = static_cast<TC>(sum);
     }
   });
 }
@@ -61,27 +59,24 @@ void gemm_cuda_style(gpusim::DeviceContext& ctx, const GpuLaunchConfig& cfg,
 /// modeled mechanism behind the paper's "Kokkos ... consistently
 /// underperform[s], which raises questions about the configuration"
 /// (Section IV-B), quantified by gpusim::analyze_gemm_coalescing.
-template <class Acc, class T, class TC>
+template <class Acc, class BA, class BB, class BC>
 void gemm_kokkos_gpu_style(gpusim::DeviceContext& ctx, const GpuLaunchConfig& cfg,
-                           const gpusim::DeviceBuffer<T>& A, const gpusim::DeviceBuffer<T>& B,
-                           gpusim::DeviceBuffer<TC>& C, std::size_t m, std::size_t n,
+                           const BA& A, const BB& B, BC& C, std::size_t m, std::size_t n,
                            std::size_t k) {
+  using TC = typename BC::value_type;
   PB_EXPECTS(A.size() == m * k && B.size() == k * n && C.size() == m * n);
-  const T* a = A.data();
-  const T* b = B.data();
-  TC* c = C.data();
   // x covers rows, y covers columns (the transposed MDRange lowering).
   const gpusim::Dim3 grid{gpusim::blocks_for(m, cfg.block.x),
                           gpusim::blocks_for(n, cfg.block.y), 1};
-  gpusim::launch(ctx, grid, cfg.block, [=](const gpusim::ThreadCtx& tc) {
+  gpusim::launch(ctx, grid, cfg.block, [&](const gpusim::ThreadCtx& tc) {
     const std::size_t row = tc.global_x();
     const std::size_t col = tc.global_y();
     if (row < m && col < n) {
       Acc sum{};
       for (std::size_t i = 0; i < k; ++i) {
-        sum += static_cast<Acc>(a[row * k + i]) * static_cast<Acc>(b[i * n + col]);
+        sum += static_cast<Acc>(A[row * k + i]) * static_cast<Acc>(B[i * n + col]);
       }
-      c[row * n + col] = static_cast<TC>(sum);
+      C[row * n + col] = static_cast<TC>(sum);
     }
   });
 }
@@ -89,49 +84,44 @@ void gemm_kokkos_gpu_style(gpusim::DeviceContext& ctx, const GpuLaunchConfig& cf
 /// Julia CUDA.jl / AMDGPU.jl-style kernel (Figs. 3b/3c): CUArray/ROCArray
 /// multidimensional indexing over column-major storage; thread x covers
 /// rows (the fast, stride-1 axis in column-major), y covers columns.
-template <class Acc, class T, class TC>
+template <class Acc, class BA, class BB, class BC>
 void gemm_julia_gpu_style(gpusim::DeviceContext& ctx, const GpuLaunchConfig& cfg,
-                          const gpusim::DeviceBuffer<T>& A, const gpusim::DeviceBuffer<T>& B,
-                          gpusim::DeviceBuffer<TC>& C, std::size_t m, std::size_t n,
+                          const BA& A, const BB& B, BC& C, std::size_t m, std::size_t n,
                           std::size_t k) {
+  using TC = typename BC::value_type;
   PB_EXPECTS(A.size() == m * k && B.size() == k * n && C.size() == m * n);
-  const T* a = A.data();  // column-major m x k: a[i + l*m]
-  const T* b = B.data();  // column-major k x n: b[l + j*k]
-  TC* c = C.data();       // column-major m x n: c[i + j*m]
+  // Column-major storage: A[i + l*m], B[l + j*k], C[i + j*m].
   // Julia's grid is defined from total thread counts (Fig. 3c note); the
   // resulting coverage is identical to the block-count convention.
-  gpusim::launch(ctx, cfg.grid_for(n, m), cfg.block, [=](const gpusim::ThreadCtx& tc) {
+  gpusim::launch(ctx, cfg.grid_for(n, m), cfg.block, [&](const gpusim::ThreadCtx& tc) {
     const std::size_t i = tc.global_x();  // row: stride-1 axis
     const std::size_t j = tc.global_y();  // column
     if (i < m && j < n) {
       Acc sum{};
       for (std::size_t l = 0; l < k; ++l) {
-        sum += static_cast<Acc>(a[i + l * m]) * static_cast<Acc>(b[l + j * k]);
+        sum += static_cast<Acc>(A[i + l * m]) * static_cast<Acc>(B[l + j * k]);
       }
-      c[i + j * m] = static_cast<TC>(sum);
+      C[i + j * m] = static_cast<TC>(sum);
     }
   });
 }
 
 /// Numba-CUDA-style kernel (Fig. 3d): `i, j = cuda.grid(2)` over row-major
 /// DeviceNDArrays, guarded by C.shape.
-template <class Acc, class T, class TC>
+template <class Acc, class BA, class BB, class BC>
 void gemm_numba_cuda_style(gpusim::DeviceContext& ctx, const GpuLaunchConfig& cfg,
-                           const gpusim::DeviceBuffer<T>& A, const gpusim::DeviceBuffer<T>& B,
-                           gpusim::DeviceBuffer<TC>& C, std::size_t m, std::size_t n,
+                           const BA& A, const BB& B, BC& C, std::size_t m, std::size_t n,
                            std::size_t k) {
+  using TC = typename BC::value_type;
   PB_EXPECTS(A.size() == m * k && B.size() == k * n && C.size() == m * n);
-  const T* a = A.data();
-  const T* b = B.data();
-  TC* c = C.data();
-  gpusim::launch(ctx, cfg.grid_for(n, m), cfg.block, [=](const gpusim::ThreadCtx& tc) {
+  gpusim::launch(ctx, cfg.grid_for(n, m), cfg.block, [&](const gpusim::ThreadCtx& tc) {
     const auto [i, j] = tc.numba_grid2();
     if (i < m && j < n) {
       Acc tmp{};
       for (std::size_t l = 0; l < k; ++l) {
-        tmp += static_cast<Acc>(a[i * k + l]) * static_cast<Acc>(b[l * n + j]);
+        tmp += static_cast<Acc>(A[i * k + l]) * static_cast<Acc>(B[l * n + j]);
       }
-      c[i * n + j] = static_cast<TC>(tmp);
+      C[i * n + j] = static_cast<TC>(tmp);
     }
   });
 }
@@ -140,17 +130,14 @@ void gemm_numba_cuda_style(gpusim::DeviceContext& ctx, const GpuLaunchConfig& cf
 /// the paper deliberately studies naive kernels — but included as the
 /// optimization-headroom ablation: how much the "hand-rolled lower bound"
 /// leaves on the table.  Square tiles of cfg.block.x (== block.y required).
-template <class Acc, class T, class TC>
+template <class Acc, class BA, class BB, class BC>
 void gemm_tiled_shared(gpusim::DeviceContext& ctx, const GpuLaunchConfig& cfg,
-                       const gpusim::DeviceBuffer<T>& A, const gpusim::DeviceBuffer<T>& B,
-                       gpusim::DeviceBuffer<TC>& C, std::size_t m, std::size_t n,
+                       const BA& A, const BB& B, BC& C, std::size_t m, std::size_t n,
                        std::size_t k) {
+  using TC = typename BC::value_type;
   PB_EXPECTS(A.size() == m * k && B.size() == k * n && C.size() == m * n);
   PB_EXPECTS(cfg.block.x == cfg.block.y && cfg.block.z == 1);
   const std::size_t tile = cfg.block.x;
-  const T* a = A.data();
-  const T* b = B.data();
-  TC* c = C.data();
 
   const gpusim::Dim3 grid = cfg.grid_for(m, n);
   const std::size_t shared_bytes = 2 * tile * tile * sizeof(Acc);
@@ -170,11 +157,11 @@ void gemm_tiled_shared(gpusim::DeviceContext& ctx, const GpuLaunchConfig& cfg,
         const std::size_t kl = kt * tile;
         a_tile[tc.thread_idx.y * tile + tc.thread_idx.x] =
             (row < m && kl + tc.thread_idx.x < k)
-                ? static_cast<Acc>(a[row * k + kl + tc.thread_idx.x])
+                ? static_cast<Acc>(A[row * k + kl + tc.thread_idx.x])
                 : Acc{};
         b_tile[tc.thread_idx.y * tile + tc.thread_idx.x] =
             (kl + tc.thread_idx.y < k && col < n)
-                ? static_cast<Acc>(b[(kl + tc.thread_idx.y) * n + col])
+                ? static_cast<Acc>(B[(kl + tc.thread_idx.y) * n + col])
                 : Acc{};
       });
       // Phase 2: multiply the tiles (barrier before next load).
@@ -190,7 +177,7 @@ void gemm_tiled_shared(gpusim::DeviceContext& ctx, const GpuLaunchConfig& cfg,
     bc.for_lanes([&](const gpusim::ThreadCtx& tc) {
       const std::size_t row = tc.global_y();
       const std::size_t col = tc.global_x();
-      if (row < m && col < n) c[row * n + col] = static_cast<TC>(acc[tc.lane_in_block()]);
+      if (row < m && col < n) C[row * n + col] = static_cast<TC>(acc[tc.lane_in_block()]);
     });
   });
 }

@@ -16,9 +16,29 @@
 #include "common/buffer.hpp"
 #include "device.hpp"
 #include "dim3.hpp"
+#include "portacheck/hooks.hpp"
 #include "simrt/parallel.hpp"
 
 namespace portabench::gpusim {
+
+namespace detail {
+
+/// Linear block id, x-fastest (CUDA convention).
+inline std::size_t linear_block(const Dim3& grid, const Dim3& idx) noexcept {
+  return idx.x + grid.x * (idx.y + grid.y * idx.z);
+}
+
+/// Shadow lane for a simulated SIMT thread: its linear global thread id.
+/// Derived from the block's ORIGINAL coordinates, so a permuted schedule
+/// reports the same lane ids as the canonical one.
+inline std::size_t simt_lane(const Dim3& grid, const Dim3& block, const Dim3& block_idx,
+                             const Dim3& thread_idx) noexcept {
+  const std::size_t in_block =
+      thread_idx.x + block.x * (thread_idx.y + block.y * thread_idx.z);
+  return linear_block(grid, block_idx) * block.volume() + in_block;
+}
+
+}  // namespace detail
 
 /// Execute `kernel(ThreadCtx)` for every thread of the grid, serially over
 /// blocks (deterministic).  Throws precondition_error on an invalid
@@ -31,6 +51,31 @@ void launch(DeviceContext& ctx, const Dim3& grid, const Dim3& block, F&& kernel)
   ThreadCtx tc;
   tc.grid_dim = grid;
   tc.block_dim = block;
+
+  if (portacheck::active()) {
+    // Sanitized path: blocks execute in a seed-permuted order and every
+    // simulated thread carries its linear global thread id as shadow lane,
+    // so write-write conflicts between SIMT threads are flagged even though
+    // the simulation itself is serial.
+    portacheck::begin_region();
+    const auto order = portacheck::permutation(grid.volume(), portacheck::order_seed());
+    for (const std::size_t linear : order) {
+      tc.block_idx = {linear % grid.x, (linear / grid.x) % grid.y,
+                      linear / (grid.x * grid.y)};
+      for (std::size_t tz = 0; tz < block.z; ++tz) {
+        for (std::size_t ty = 0; ty < block.y; ++ty) {
+          for (std::size_t tx = 0; tx < block.x; ++tx) {
+            tc.thread_idx = {tx, ty, tz};
+            portacheck::LaneScope lane(
+                detail::simt_lane(grid, block, tc.block_idx, tc.thread_idx));
+            kernel(tc);
+          }
+        }
+      }
+    }
+    return;
+  }
+
   for (std::size_t bz = 0; bz < grid.z; ++bz) {
     for (std::size_t by = 0; by < grid.y; ++by) {
       for (std::size_t bx = 0; bx < grid.x; ++bx) {
@@ -58,6 +103,9 @@ void launch(DeviceContext& ctx, const simrt::ThreadsSpace& host, const Dim3& gri
   ctx.note_launch(grid, block);
 
   const std::size_t num_blocks = grid.volume();
+  const bool checked = portacheck::active();
+  // Block order permutation comes from the checked parallel_for dispatch;
+  // here we only refine the shadow lane from per-block to per-SIMT-thread.
   simrt::parallel_for(host, simrt::RangePolicy(0, num_blocks), [&](std::size_t linear) {
     ThreadCtx tc;
     tc.grid_dim = grid;
@@ -67,7 +115,13 @@ void launch(DeviceContext& ctx, const simrt::ThreadsSpace& host, const Dim3& gri
       for (std::size_t ty = 0; ty < block.y; ++ty) {
         for (std::size_t tx = 0; tx < block.x; ++tx) {
           tc.thread_idx = {tx, ty, tz};
-          kernel(tc);
+          if (checked) {
+            portacheck::LaneScope lane(
+                detail::simt_lane(grid, block, tc.block_idx, tc.thread_idx));
+            kernel(tc);
+          } else {
+            kernel(tc);
+          }
         }
       }
     }
@@ -92,6 +146,25 @@ class BlockCtx {
     tc.grid_dim = grid_;
     tc.block_dim = block_;
     tc.block_idx = block_idx_;
+
+    if (portacheck::active()) {
+      // A for_lanes region is one barrier-to-barrier span: open a fresh
+      // shadow epoch so accesses before the implicit __syncthreads never
+      // conflict with accesses after it, permute lane order within the
+      // region, and tag each lane with its global SIMT thread id.
+      portacheck::begin_region();
+      const auto order =
+          portacheck::permutation(block_.volume(), portacheck::order_seed());
+      for (const std::size_t lin : order) {
+        tc.thread_idx = {lin % block_.x, (lin / block_.x) % block_.y,
+                         lin / (block_.x * block_.y)};
+        portacheck::LaneScope lane(
+            detail::simt_lane(grid_, block_, block_idx_, tc.thread_idx));
+        region(tc);
+      }
+      return;
+    }
+
     for (std::size_t tz = 0; tz < block_.z; ++tz) {
       for (std::size_t ty = 0; ty < block_.y; ++ty) {
         for (std::size_t tx = 0; tx < block_.x; ++tx) {
@@ -131,6 +204,22 @@ void launch_blocks(DeviceContext& ctx, const Dim3& grid, const Dim3& block,
   ctx.validate_launch(grid, block);
   PB_EXPECTS(shared_bytes <= ctx.spec().shared_mem_per_block);
   ctx.note_launch(grid, block);
+
+  if (portacheck::active()) {
+    // Blocks of a cooperative launch are still independent — shuffle them.
+    // (Cross-block conflicts through global memory are flagged only if the
+    // blocks land in the same epoch; for_lanes() bumps the epoch per
+    // barrier span, so this check is intra-span by design.)
+    const auto order = portacheck::permutation(grid.volume(), portacheck::order_seed());
+    for (const std::size_t linear : order) {
+      BlockCtx bc(grid, block,
+                  Dim3{linear % grid.x, (linear / grid.x) % grid.y,
+                       linear / (grid.x * grid.y)},
+                  shared_bytes);
+      kernel(bc);
+    }
+    return;
+  }
 
   for (std::size_t bz = 0; bz < grid.z; ++bz) {
     for (std::size_t by = 0; by < grid.y; ++by) {

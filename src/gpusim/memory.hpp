@@ -21,6 +21,8 @@ namespace portabench::gpusim {
 template <class T>
 class DeviceBuffer {
  public:
+  using value_type = T;
+
   DeviceBuffer() = default;
 
   DeviceBuffer(DeviceContext& ctx, std::size_t count)
@@ -51,6 +53,11 @@ class DeviceBuffer {
   [[nodiscard]] std::span<T> span() noexcept { return storage_.span(); }
   [[nodiscard]] std::span<const T> span() const noexcept { return storage_.span(); }
 
+  [[nodiscard]] T& operator[](std::size_t i) noexcept { return storage_.data()[i]; }
+  [[nodiscard]] const T& operator[](std::size_t i) const noexcept {
+    return storage_.data()[i];
+  }
+
   /// cudaMemcpyHostToDevice analogue.
   void copy_from_host(std::span<const T> host) {
     PB_EXPECTS(ctx_ != nullptr && host.size() == storage_.size());
@@ -67,6 +74,34 @@ class DeviceBuffer {
 
   /// cudaMemset(0) analogue.
   void zero() { std::memset(storage_.data(), 0, storage_.size() * sizeof(T)); }
+
+  /// Byte-granular H2D copy (cudaMemcpy with a byte count).  `bytes` must
+  /// be a whole number of elements and fit the allocation — a misaligned
+  /// or oversized count is a structured precondition_error, not UB.
+  void copy_from_host_bytes(const void* src, std::size_t bytes) {
+    PB_EXPECTS(ctx_ != nullptr);
+    PB_EXPECTS(bytes % sizeof(T) == 0);
+    PB_EXPECTS(bytes <= storage_.size() * sizeof(T));
+    std::memcpy(storage_.data(), src, bytes);
+    ctx_->note_h2d(bytes);
+  }
+
+  /// Byte-granular D2H copy; same element-alignment contract as above.
+  void copy_to_host_bytes(void* dst, std::size_t bytes) const {
+    PB_EXPECTS(ctx_ != nullptr);
+    PB_EXPECTS(bytes % sizeof(T) == 0);
+    PB_EXPECTS(bytes <= storage_.size() * sizeof(T));
+    std::memcpy(dst, storage_.data(), bytes);
+    ctx_->note_d2h(bytes);
+  }
+
+  /// cudaFree analogue: returns the arena to the device's accounting.
+  /// Freeing an already-freed (or moved-from / default-constructed) buffer
+  /// throws precondition_error, where the real API would corrupt the heap.
+  void free() {
+    PB_EXPECTS(ctx_ != nullptr);
+    release();
+  }
 
  private:
   void release() noexcept {

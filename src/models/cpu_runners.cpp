@@ -9,6 +9,7 @@
 #include "gemm/validate.hpp"
 #include "perfmodel/predict.hpp"
 #include "perfmodel/traits.hpp"
+#include "portacheck/portacheck.hpp"
 #include "simrt/mdarray.hpp"
 #include "simrt/parallel.hpp"
 
@@ -64,7 +65,16 @@ void run_cpu_gemm(const RunConfig& config, bool fill_ones, Kernel&& kernel,
   simrt::ThreadsSpace space(config.host_threads);
 
   Timer timer;
-  kernel(space, A, B, C);
+  if (portacheck::active()) {
+    // Sanitized run: route every element access of the frontend kernel
+    // through shadow views (same storage, race + bounds attribution).
+    portacheck::ShadowView2<T, Layout> sA(A, "A");
+    portacheck::ShadowView2<T, Layout> sB(B, "B");
+    portacheck::ShadowView2<Acc, Layout> sC(C, "C");
+    kernel(space, sA, sB, sC);
+  } else {
+    kernel(space, A, B, C);
+  }
   result.host_seconds = timer.seconds();
   result.checksum = gemm::checksum(C);
 

@@ -11,6 +11,7 @@
 #include "gemm/reference.hpp"
 #include "gemm/validate.hpp"
 #include "perfmodel/predict.hpp"
+#include "portacheck/portacheck.hpp"
 #include "simrt/mdarray.hpp"
 
 namespace portabench::models {
@@ -84,7 +85,16 @@ void run_gpu_gemm(gpusim::DeviceContext& device, const gemm::GpuLaunchConfig& cf
   Timer timer;
   dA.copy_from_host(hA);
   dB.copy_from_host(hB);
-  kernel(device, cfg, dA, dB, dC, n, n, n);
+  if (portacheck::active()) {
+    // Sanitized run: device accesses go through shadow buffers so the
+    // launch's SIMT lanes are race- and bounds-checked.
+    portacheck::ShadowDeviceBuffer<T> sA(dA, "dA");
+    portacheck::ShadowDeviceBuffer<T> sB(dB, "dB");
+    portacheck::ShadowDeviceBuffer<Acc> sC(dC, "dC");
+    kernel(device, cfg, sA, sB, sC, n, n, n);
+  } else {
+    kernel(device, cfg, dA, dB, dC, n, n, n);
+  }
   dC.copy_to_host(std::span<Acc>(hC));
   result.host_seconds = timer.seconds();
   result.checksum = gemm::checksum(std::span<const Acc>(hC));

@@ -1,0 +1,75 @@
+// Intentionally defective kernels — the sanitizer's negative controls.
+//
+// The `sanitized` ctest tier proves two things: the kernel zoo is clean
+// under every scheduler seed, AND the detector actually fires.  These
+// fixtures supply the second half: each contains a bug of a class the
+// paper's methodology worries about (unsynchronized accumulation; the
+// missing double-buffer of a stencil), written in the same style as the
+// legitimate kernels.  They must NEVER be called outside a test that
+// expects race_error/bounds_error.
+#pragma once
+
+#include <cstddef>
+
+#include "gpusim/launch.hpp"
+#include "simrt/parallel.hpp"
+
+namespace portabench::portacheck::fixtures {
+
+/// Racy fixture 1 (host): unsynchronized histogram.  Iterations i and
+/// i + bins both increment bin i — a read-modify-write with no atomics,
+/// i.e. the bug `#pragma omp parallel for` over a shared counter array
+/// produces.  Under portacheck this raises race_error naming the bins
+/// array and the conflicting bin index; unchecked it silently loses
+/// increments (or happens to pass, which is the point).
+template <class Space, class Bins>
+void racy_histogram(const Space& space, Bins& bins, std::size_t samples) {
+  const std::size_t nbins = bins.size();
+  simrt::parallel_for(space, simrt::RangePolicy(0, samples), [&](std::size_t i) {
+    bins[i % nbins] += 1;
+  });
+}
+
+/// Racy fixture 2 (device): in-place Jacobi sweep — the Fig. 3-shaped
+/// stencil with the double buffer dropped.  Thread (i, j) reads the four
+/// neighbours that other threads of the same launch write: a read-write
+/// race on every interior cell, undetectable by output comparison on a
+/// serial simulator but flagged by the shadow log regardless of
+/// execution order.
+template <class Buf>
+void racy_inplace_stencil(gpusim::DeviceContext& ctx, Buf& grid, std::size_t rows,
+                          std::size_t cols, const gpusim::Dim3& block = {16, 16, 1}) {
+  const gpusim::Dim3 launch_grid{gpusim::blocks_for(cols, block.x),
+                                 gpusim::blocks_for(rows, block.y), 1};
+  gpusim::launch(ctx, launch_grid, block, [&](const gpusim::ThreadCtx& tc) {
+    const std::size_t i = tc.global_y();
+    const std::size_t j = tc.global_x();
+    if (i >= 1 && i + 1 < rows && j >= 1 && j + 1 < cols) {
+      grid[i * cols + j] = 0.25 * (grid[(i - 1) * cols + j] + grid[(i + 1) * cols + j] +
+                                   grid[i * cols + j - 1] + grid[i * cols + j + 1]);
+    }
+  });
+}
+
+/// Bounds fixture (device): the Fig. 3a kernel with its `row < m` guard
+/// deleted.  On any grid that over-covers the matrix the unguarded
+/// threads index past the allocation — UB on real hardware, a structured
+/// bounds_error under portacheck.
+template <class Acc, class ABuf, class BBuf, class CBuf>
+void unguarded_gemm(gpusim::DeviceContext& ctx, const gpusim::Dim3& grid,
+                    const gpusim::Dim3& block, const ABuf& A, const BBuf& B, CBuf& C,
+                    std::size_t m, std::size_t n, std::size_t k) {
+  gpusim::launch(ctx, grid, block, [&](const gpusim::ThreadCtx& tc) {
+    const std::size_t row = tc.global_y();
+    const std::size_t col = tc.global_x();
+    // Missing: if (row < m && col < n)
+    Acc sum{};
+    for (std::size_t l = 0; l < k; ++l) {
+      sum += static_cast<Acc>(A[row * k + l]) * static_cast<Acc>(B[l * n + col]);
+    }
+    C[row * n + col] = static_cast<typename CBuf::value_type>(sum);
+  });
+  (void)m;
+}
+
+}  // namespace portabench::portacheck::fixtures

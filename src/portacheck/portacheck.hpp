@@ -1,0 +1,22 @@
+// portacheck: opt-in race/bounds/determinism sanitizer for simrt + gpusim.
+//
+// Three cooperating mechanisms (docs/SANITIZER.md):
+//   1. shadow access logs  — per-cell last-writer/last-reader tagged with
+//      (region epoch, lane); conflicting lanes in one region raise
+//      race_error with the array name and cell indices;
+//   2. always-on bounds    — shadow views check extents on every access,
+//      including the operator() path that models `@inbounds`;
+//   3. permutation scheduler — PORTABENCH_CHECK_SEED shuffles chunk /
+//      tile / team / SIMT-block execution order deterministically, so a
+//      kernel whose result depends on schedule is exposed by comparing
+//      runs across seeds.
+//
+// Enable with PORTABENCH_CHECK=1 (+ PORTABENCH_CHECK_SEED=N) or a
+// portacheck::ScopedCheck.  When inactive, dispatch costs one relaxed
+// load and the shadow machinery is never instantiated.
+#pragma once
+
+#include "hooks.hpp"          // IWYU pragma: export
+#include "shadow.hpp"         // IWYU pragma: export
+#include "shadow_device.hpp"  // IWYU pragma: export
+#include "shadow_view.hpp"    // IWYU pragma: export

@@ -1,0 +1,76 @@
+#include "shadow.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace portabench::portacheck {
+
+namespace {
+
+std::string format_indices(const std::array<std::size_t, 3>& idx, std::size_t rank) {
+  std::ostringstream os;
+  os << "(";
+  for (std::size_t d = 0; d < rank; ++d) os << (d ? ", " : "") << idx[d];
+  os << ")";
+  return os.str();
+}
+
+}  // namespace
+
+ShadowLog::ShadowLog(std::string name, std::array<std::size_t, 3> extents, std::size_t rank)
+    : name_(std::move(name)), extents_(extents), rank_(rank) {
+  PB_EXPECTS(rank >= 1 && rank <= 3);
+  for (std::size_t d = rank; d < 3; ++d) extents_[d] = 1;
+  const std::size_t count = extents_[0] * extents_[1] * extents_[2];
+  PB_EXPECTS(count > 0);
+  cells_ = std::make_unique<Cell[]>(count);
+}
+
+void ShadowLog::check_bounds(std::size_t i0, std::size_t i1, std::size_t i2) const {
+  if (i0 < extents_[0] && i1 < extents_[1] && i2 < extents_[2]) return;
+  const std::array<std::size_t, 3> idx{i0, i1, i2};
+  std::ostringstream os;
+  os << "portacheck: out-of-bounds access to '" << name_ << "' at " << format_indices(idx, rank_)
+     << ", extents " << format_indices(extents_, rank_) << " (lane " << current_lane() << ")";
+  throw bounds_error(name_, idx, rank_, extents_, os.str());
+}
+
+void ShadowLog::raise_race(race_error::Kind kind, std::array<std::size_t, 3> idx,
+                           std::uint64_t lane_a, std::uint64_t lane_b) const {
+  std::ostringstream os;
+  os << "portacheck: "
+     << (kind == race_error::Kind::kWriteWrite ? "write-write" : "read-write")
+     << " race on '" << name_ << "' at " << format_indices(idx, rank_) << ": lanes " << lane_a
+     << " and " << lane_b << " conflict within one parallel region";
+  throw race_error(name_, idx, rank_, kind, lane_a, lane_b, os.str());
+}
+
+void ShadowLog::record_read(std::size_t i0, std::size_t i1, std::size_t i2) {
+  const std::uint64_t epoch = current_region();
+  const std::uint64_t lane = current_lane();
+  Cell& c = cell(i0, i1, i2);
+  accesses_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t prev_w = c.write.load(std::memory_order_relaxed);
+  if (prev_w != 0 && epoch_of(prev_w) == epoch && lane_of(prev_w) != lane) {
+    raise_race(race_error::Kind::kReadWrite, {i0, i1, i2}, lane_of(prev_w), lane);
+  }
+  c.read.store(pack(epoch, lane), std::memory_order_relaxed);
+}
+
+void ShadowLog::record_write(std::size_t i0, std::size_t i1, std::size_t i2) {
+  const std::uint64_t epoch = current_region();
+  const std::uint64_t lane = current_lane();
+  Cell& c = cell(i0, i1, i2);
+  accesses_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t prev_w = c.write.exchange(pack(epoch, lane), std::memory_order_relaxed);
+  if (prev_w != 0 && epoch_of(prev_w) == epoch && lane_of(prev_w) != lane) {
+    raise_race(race_error::Kind::kWriteWrite, {i0, i1, i2}, lane_of(prev_w), lane);
+  }
+  const std::uint64_t prev_r = c.read.load(std::memory_order_relaxed);
+  if (prev_r != 0 && epoch_of(prev_r) == epoch && lane_of(prev_r) != lane) {
+    raise_race(race_error::Kind::kReadWrite, {i0, i1, i2}, lane_of(prev_r), lane);
+  }
+}
+
+}  // namespace portabench::portacheck

@@ -1,0 +1,137 @@
+// Per-cell shadow access logs and the structured errors they raise.
+//
+// A ShadowLog mirrors one array (rank 1-3) with two atomic words per
+// cell: the last writer and the last reader, each tagged with the region
+// epoch and lane that performed the access.  Two accesses to one cell
+// conflict when they share the current epoch, come from different lanes,
+// and at least one is a write — the classic happens-before-free
+// definition specialized to the fork-join regions simrt/gpusim execute
+// (lanes of one region are unordered; region boundaries and cooperative
+// barriers order everything, which is why begin_region() retires the
+// whole log at once instead of clearing it).
+//
+// Detection is exact for write-write conflicts and best-effort for
+// read-write (only the most recent reader of a cell is remembered), and
+// crucially it is *schedule-independent*: a logically racy kernel is
+// flagged even when the host interleaving happened to serialize the
+// conflicting accesses — e.g. under gpusim's serial SIMT execution.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "hooks.hpp"
+
+namespace portabench::portacheck {
+
+/// Base of all sanitizer findings: names the array and the cell.
+class check_error : public std::runtime_error {
+ public:
+  check_error(std::string array, std::array<std::size_t, 3> indices, std::size_t rank,
+              const std::string& what)
+      : std::runtime_error(what), array_(std::move(array)), indices_(indices), rank_(rank) {}
+
+  [[nodiscard]] const std::string& array() const noexcept { return array_; }
+  [[nodiscard]] const std::array<std::size_t, 3>& indices() const noexcept { return indices_; }
+  [[nodiscard]] std::size_t rank() const noexcept { return rank_; }
+
+ private:
+  std::string array_;
+  std::array<std::size_t, 3> indices_;
+  std::size_t rank_;
+};
+
+/// Conflicting access to one cell by two lanes within one region.
+class race_error : public check_error {
+ public:
+  enum class Kind { kWriteWrite, kReadWrite };
+
+  race_error(std::string array, std::array<std::size_t, 3> indices, std::size_t rank,
+             Kind kind, std::uint64_t lane_a, std::uint64_t lane_b, const std::string& what)
+      : check_error(std::move(array), indices, rank, what),
+        kind_(kind), lane_a_(lane_a), lane_b_(lane_b) {}
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] std::uint64_t lane_a() const noexcept { return lane_a_; }
+  [[nodiscard]] std::uint64_t lane_b() const noexcept { return lane_b_; }
+
+ private:
+  Kind kind_;
+  std::uint64_t lane_a_;
+  std::uint64_t lane_b_;
+};
+
+/// Access outside the view's extents — the violation `@inbounds` hides.
+class bounds_error : public check_error {
+ public:
+  bounds_error(std::string array, std::array<std::size_t, 3> indices, std::size_t rank,
+               std::array<std::size_t, 3> extents, const std::string& what)
+      : check_error(std::move(array), indices, rank, what), extents_(extents) {}
+
+  [[nodiscard]] const std::array<std::size_t, 3>& extents() const noexcept { return extents_; }
+
+ private:
+  std::array<std::size_t, 3> extents_;
+};
+
+/// Shadow state for one array.  Thread-safe; shared by all aliasing
+/// shadow views of the array.
+class ShadowLog {
+ public:
+  ShadowLog(std::string name, std::array<std::size_t, 3> extents, std::size_t rank);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::size_t rank() const noexcept { return rank_; }
+  [[nodiscard]] const std::array<std::size_t, 3>& extents() const noexcept { return extents_; }
+  [[nodiscard]] std::uint64_t accesses() const noexcept {
+    return accesses_.load(std::memory_order_relaxed);
+  }
+
+  /// Validate logical indices against the extents; throws bounds_error.
+  void check_bounds(std::size_t i0, std::size_t i1 = 0, std::size_t i2 = 0) const;
+
+  /// Record accesses (indices already bounds-checked).  Throw race_error
+  /// on a conflict with a prior access in the current region epoch.
+  void record_read(std::size_t i0, std::size_t i1 = 0, std::size_t i2 = 0);
+  void record_write(std::size_t i0, std::size_t i1 = 0, std::size_t i2 = 0);
+
+ private:
+  struct Cell {
+    std::atomic<std::uint64_t> write{0};
+    std::atomic<std::uint64_t> read{0};
+  };
+
+  // Token layout: epoch << 24 | (lane + 1).  0 means "never accessed".
+  static constexpr std::uint64_t kLaneBits = 24;
+  static constexpr std::uint64_t kLaneMask = (1ull << kLaneBits) - 1;
+
+  [[nodiscard]] static std::uint64_t pack(std::uint64_t epoch, std::uint64_t lane) noexcept {
+    return (epoch << kLaneBits) | ((lane % (kLaneMask - 1)) + 1);
+  }
+  [[nodiscard]] static std::uint64_t epoch_of(std::uint64_t token) noexcept {
+    return token >> kLaneBits;
+  }
+  [[nodiscard]] static std::uint64_t lane_of(std::uint64_t token) noexcept {
+    return (token & kLaneMask) - 1;
+  }
+
+  [[nodiscard]] Cell& cell(std::size_t i0, std::size_t i1, std::size_t i2) const noexcept {
+    return cells_[(i0 * extents_[1] + i1) * extents_[2] + i2];
+  }
+
+  [[noreturn]] void raise_race(race_error::Kind kind, std::array<std::size_t, 3> idx,
+                               std::uint64_t lane_a, std::uint64_t lane_b) const;
+
+  std::string name_;
+  std::array<std::size_t, 3> extents_;
+  std::size_t rank_;
+  std::unique_ptr<Cell[]> cells_;
+  std::atomic<std::uint64_t> accesses_{0};
+};
+
+}  // namespace portabench::portacheck

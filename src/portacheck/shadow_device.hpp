@@ -1,0 +1,56 @@
+// Shadow-instrumented device memory.
+//
+// ShadowDeviceBuffer fronts a gpusim::DeviceBuffer the way ShadowView2
+// fronts a host view: every indexed access is bounds-checked against the
+// allocation and attributed to the current SIMT lane (the linear global
+// thread id gpusim::launch assigns under PORTABENCH_CHECK), so a device
+// kernel that writes outside its buffer — the missing `if (row < m)`
+// guard of a Fig. 3 kernel — raises bounds_error instead of corrupting
+// host memory, and two device threads touching one cell inside a launch
+// raise race_error even though the simulator may have executed them
+// serially.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "gpusim/memory.hpp"
+#include "shadow.hpp"
+#include "shadow_view.hpp"
+
+namespace portabench::portacheck {
+
+/// Non-owning instrumented handle over a device buffer.  The wrapped
+/// buffer must outlive the shadow handle.
+template <class T>
+class ShadowDeviceBuffer {
+ public:
+  using value_type = T;
+
+  ShadowDeviceBuffer(gpusim::DeviceBuffer<T>& buffer, std::string name)
+      : buffer_(&buffer),
+        log_(std::make_shared<ShadowLog>(std::move(name), std::array<std::size_t, 3>{
+                                             buffer.size(), 1, 1}, 1)) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return buffer_->size(); }
+
+  [[nodiscard]] Ref<T> operator[](std::size_t i) const {
+    log_->check_bounds(i);
+    return Ref<T>(&(*buffer_)[i], log_.get(), {i, 0, 0});
+  }
+
+  /// Transfers stay on the un-instrumented path: H2D/D2H run on the host
+  /// timeline, outside any kernel region.
+  void copy_from_host(std::span<const T> host) { buffer_->copy_from_host(host); }
+  void copy_to_host(std::span<T> host) const { buffer_->copy_to_host(host); }
+  void zero() { buffer_->zero(); }
+
+  [[nodiscard]] gpusim::DeviceBuffer<T>& underlying() const noexcept { return *buffer_; }
+  [[nodiscard]] ShadowLog& log() const noexcept { return *log_; }
+
+ private:
+  gpusim::DeviceBuffer<T>* buffer_;
+  std::shared_ptr<ShadowLog> log_;
+};
+
+}  // namespace portabench::portacheck

@@ -1,0 +1,164 @@
+// Shadow-instrumented host views.
+//
+// ShadowView1/2/3 wrap a simrt view (aliasing its storage — copies are
+// cheap handles, Kokkos-style) and route every element access through a
+// ShadowLog: extents are enforced on *both* access paths — operator()
+// and at() — even in release builds, catching exactly the violations the
+// paper's Julia frontend hides behind `@inbounds`; and each access is
+// attributed to the current portacheck lane so conflicting accesses
+// within one parallel region raise race_error.
+//
+// Accesses are mediated by a Ref proxy: reading (conversion to the value
+// type) records a read, assignment records a write, compound assignment
+// records both.  The kernel zoo is templated on its view types, so the
+// same Fig. 2/3 kernel source runs over plain views (zero overhead) or
+// shadow views (sanitized) without modification.
+#pragma once
+
+#include <string>
+#include <type_traits>
+#include <utility>
+
+#include "shadow.hpp"
+#include "simrt/mdarray.hpp"
+#include "simrt/view3.hpp"
+
+namespace portabench::portacheck {
+
+/// Instrumented reference to one element.
+template <class T>
+class Ref {
+ public:
+  using value_type = T;
+
+  Ref(T* elem, ShadowLog* log, std::array<std::size_t, 3> idx) noexcept
+      : elem_(elem), log_(log), idx_(idx) {}
+
+  /// Read path: conversion to the element type records a read.
+  operator T() const {  // NOLINT(google-explicit-constructor)
+    log_->record_read(idx_[0], idx_[1], idx_[2]);
+    return *elem_;
+  }
+
+  /// Explicit conversion to any other type static_cast can reach from T
+  /// (the kernels' `static_cast<Acc>(A(i, l))` path, including half ->
+  /// float which chains two user-defined conversions).
+  template <class U>
+    requires(!std::is_same_v<U, T> &&
+             requires(const T& v) { static_cast<U>(v); })
+  explicit operator U() const {
+    return static_cast<U>(static_cast<T>(*this));
+  }
+
+  const Ref& operator=(const T& value) const {
+    log_->record_write(idx_[0], idx_[1], idx_[2]);
+    *elem_ = value;
+    return *this;
+  }
+  // Proxy copy-assign must forward the *value*, not rebind the proxy.
+  const Ref& operator=(const Ref& other) const { return *this = static_cast<T>(other); }
+
+  const Ref& operator+=(const T& value) const { return *this = static_cast<T>(*this) + value; }
+  const Ref& operator-=(const T& value) const { return *this = static_cast<T>(*this) - value; }
+  const Ref& operator*=(const T& value) const { return *this = static_cast<T>(*this) * value; }
+  const Ref& operator/=(const T& value) const { return *this = static_cast<T>(*this) / value; }
+
+ private:
+  T* elem_;
+  ShadowLog* log_;
+  std::array<std::size_t, 3> idx_;
+};
+
+/// Rank-1 shadow view (also fronts flat device buffers and spans).
+template <class T>
+class ShadowView1 {
+ public:
+  using value_type = T;
+
+  ShadowView1(simrt::View1<T> view, std::string name)
+      : view_(std::move(view)),
+        log_(std::make_shared<ShadowLog>(std::move(name), std::array<std::size_t, 3>{
+                                             view_.size(), 1, 1}, 1)) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return view_.size(); }
+  [[nodiscard]] std::size_t extent(std::size_t dim) const { return view_.extent(dim); }
+
+  [[nodiscard]] Ref<T> operator()(std::size_t i) const {
+    log_->check_bounds(i);
+    return Ref<T>(&view_(i), log_.get(), {i, 0, 0});
+  }
+  [[nodiscard]] Ref<T> operator[](std::size_t i) const { return (*this)(i); }
+  [[nodiscard]] Ref<T> at(std::size_t i) const { return (*this)(i); }
+
+  [[nodiscard]] const simrt::View1<T>& underlying() const noexcept { return view_; }
+  [[nodiscard]] ShadowLog& log() const noexcept { return *log_; }
+
+ private:
+  simrt::View1<T> view_;
+  std::shared_ptr<ShadowLog> log_;
+};
+
+/// Rank-2 shadow view: drop-in for View2 in the templated kernel zoo.
+template <class T, class Layout = simrt::LayoutRight>
+class ShadowView2 {
+ public:
+  using value_type = T;
+  using layout_type = Layout;
+  static constexpr bool is_row_major = std::is_same_v<Layout, simrt::LayoutRight>;
+
+  ShadowView2(simrt::View2<T, Layout> view, std::string name)
+      : view_(std::move(view)),
+        log_(std::make_shared<ShadowLog>(std::move(name), std::array<std::size_t, 3>{
+                                             view_.extent(0), view_.extent(1), 1}, 2)) {}
+
+  [[nodiscard]] std::size_t extent(std::size_t dim) const { return view_.extent(dim); }
+  [[nodiscard]] std::size_t size() const noexcept { return view_.size(); }
+
+  [[nodiscard]] Ref<T> operator()(std::size_t i, std::size_t j) const {
+    log_->check_bounds(i, j);
+    return Ref<T>(&view_(i, j), log_.get(), {i, j, 0});
+  }
+  [[nodiscard]] Ref<T> at(std::size_t i, std::size_t j) const { return (*this)(i, j); }
+
+  [[nodiscard]] const simrt::View2<T, Layout>& underlying() const noexcept { return view_; }
+  [[nodiscard]] ShadowLog& log() const noexcept { return *log_; }
+
+ private:
+  simrt::View2<T, Layout> view_;
+  std::shared_ptr<ShadowLog> log_;
+};
+
+/// Rank-3 shadow view (the batched-GEMM container).
+template <class T, class Layout = simrt::LayoutRight>
+class ShadowView3 {
+ public:
+  using value_type = T;
+  using layout_type = Layout;
+  static constexpr bool is_row_major = std::is_same_v<Layout, simrt::LayoutRight>;
+
+  ShadowView3(simrt::View3<T, Layout> view, std::string name)
+      : view_(std::move(view)),
+        log_(std::make_shared<ShadowLog>(std::move(name), std::array<std::size_t, 3>{
+                                             view_.extent(0), view_.extent(1), view_.extent(2)},
+                                         3)) {}
+
+  [[nodiscard]] std::size_t extent(std::size_t dim) const { return view_.extent(dim); }
+  [[nodiscard]] std::size_t size() const noexcept { return view_.size(); }
+
+  [[nodiscard]] Ref<T> operator()(std::size_t i, std::size_t j, std::size_t k) const {
+    log_->check_bounds(i, j, k);
+    return Ref<T>(&view_(i, j, k), log_.get(), {i, j, k});
+  }
+  [[nodiscard]] Ref<T> at(std::size_t i, std::size_t j, std::size_t k) const {
+    return (*this)(i, j, k);
+  }
+
+  [[nodiscard]] const simrt::View3<T, Layout>& underlying() const noexcept { return view_; }
+  [[nodiscard]] ShadowLog& log() const noexcept { return *log_; }
+
+ private:
+  simrt::View3<T, Layout> view_;
+  std::shared_ptr<ShadowLog> log_;
+};
+
+}  // namespace portabench::portacheck

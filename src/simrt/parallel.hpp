@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "policy.hpp"
+#include "portacheck/hooks.hpp"
 #include "thread_pool.hpp"
 
 namespace portabench::simrt {
@@ -66,6 +67,35 @@ inline std::size_t default_chunk(std::size_t extent, std::size_t num_threads) {
   return std::max<std::size_t>(1, extent / std::max<std::size_t>(1, target));
 }
 
+// --- portacheck sanitized dispatch (see docs/SANITIZER.md) -----------------
+//
+// Under PORTABENCH_CHECK each parallel region opens a fresh shadow epoch,
+// every logical iteration runs under its own lane id (iterations of one
+// region are unordered, so per-iteration lanes flag conflicts even when
+// two iterations land on the same pool thread), and the iteration chunks
+// are executed in a seed-permuted order to prove schedule independence.
+
+/// Chunked, seed-permuted execution of f over [0, extent) with lane ==
+/// iteration index.  Threads grab permuted chunks from a shared counter.
+template <class F>
+void checked_range_run(ThreadPool& pool, std::size_t extent, std::size_t chunk, F& f) {
+  const std::size_t nchunks = (extent + chunk - 1) / chunk;
+  const auto order = portacheck::permutation(nchunks, portacheck::order_seed());
+  std::atomic<std::size_t> next{0};
+  pool.run([&](std::size_t) {
+    for (;;) {
+      const std::size_t slot = next.fetch_add(1, std::memory_order_relaxed);
+      if (slot >= nchunks) return;
+      const std::size_t start = order[slot] * chunk;
+      const std::size_t stop = std::min(start + chunk, extent);
+      for (std::size_t i = start; i < stop; ++i) {
+        portacheck::LaneScope lane(i);
+        f(i);
+      }
+    }
+  });
+}
+
 }  // namespace detail
 
 // ---------------------------------------------------------------------------
@@ -75,6 +105,17 @@ inline std::size_t default_chunk(std::size_t extent, std::size_t num_threads) {
 /// Serial: f(i) for i in [begin, end).
 template <class F>
 void parallel_for(const SerialSpace&, const RangePolicy& policy, F&& f) {
+  if (portacheck::active()) {
+    portacheck::begin_region();
+    const std::size_t extent = policy.extent();
+    const auto order = portacheck::permutation(extent, portacheck::order_seed());
+    for (std::size_t slot = 0; slot < extent; ++slot) {
+      const std::size_t i = order[slot];
+      portacheck::LaneScope lane(i);
+      f(policy.begin + i);
+    }
+    return;
+  }
   for (std::size_t i = policy.begin; i < policy.end; ++i) f(i);
 }
 
@@ -85,6 +126,15 @@ void parallel_for(const ThreadsSpace& space, const RangePolicy& policy, F&& f) {
   if (extent == 0) return;
   ThreadPool& pool = space.pool();
   const std::size_t nt = pool.size();
+
+  if (portacheck::active()) {
+    portacheck::begin_region();
+    const std::size_t chunk =
+        policy.chunk != 0 ? policy.chunk : detail::default_chunk(extent, nt);
+    auto body = [&](std::size_t i) { f(policy.begin + i); };
+    detail::checked_range_run(pool, extent, chunk, body);
+    return;
+  }
 
   if (policy.schedule == Schedule::kStatic) {
     pool.run([&](std::size_t t) {
@@ -138,10 +188,36 @@ void run_tile(const MDRangePolicy2& policy, const std::array<std::size_t, 2>& ti
   }
 }
 
+/// run_tile under the sanitizer: each (i, j) iteration gets its own lane,
+/// linearized over the full iteration rectangle (not the tile).
+template <class F>
+void checked_run_tile(const MDRangePolicy2& policy, const std::array<std::size_t, 2>& tile,
+                      std::size_t tile_index, std::size_t tiles1, F& f) {
+  auto body = [&](std::size_t i, std::size_t j) {
+    portacheck::LaneScope lane((i - policy.lower[0]) * policy.extent(1) +
+                               (j - policy.lower[1]));
+    f(i, j);
+  };
+  run_tile(policy, tile, tile_index, tiles1, body);
+}
+
 }  // namespace detail
 
 template <class F>
 void parallel_for(const SerialSpace&, const MDRangePolicy2& policy, F&& f) {
+  if (portacheck::active()) {
+    if (policy.extent(0) == 0 || policy.extent(1) == 0) return;
+    portacheck::begin_region();
+    const auto tile = detail::effective_tile(policy);
+    const std::size_t tiles1 = (policy.extent(1) + tile[1] - 1) / tile[1];
+    const std::size_t num_tiles =
+        ((policy.extent(0) + tile[0] - 1) / tile[0]) * tiles1;
+    const auto order = portacheck::permutation(num_tiles, portacheck::order_seed());
+    for (std::size_t slot = 0; slot < num_tiles; ++slot) {
+      detail::checked_run_tile(policy, tile, order[slot], tiles1, f);
+    }
+    return;
+  }
   for (std::size_t i = policy.lower[0]; i < policy.upper[0]; ++i) {
     for (std::size_t j = policy.lower[1]; j < policy.upper[1]; ++j) f(i, j);
   }
@@ -157,6 +233,19 @@ void parallel_for(const ThreadsSpace& space, const MDRangePolicy2& policy, F&& f
 
   ThreadPool& pool = space.pool();
   const std::size_t nt = pool.size();
+  if (portacheck::active()) {
+    portacheck::begin_region();
+    const auto order = portacheck::permutation(num_tiles, portacheck::order_seed());
+    std::atomic<std::size_t> next{0};
+    pool.run([&](std::size_t) {
+      for (;;) {
+        const std::size_t slot = next.fetch_add(1, std::memory_order_relaxed);
+        if (slot >= num_tiles) return;
+        detail::checked_run_tile(policy, tile, order[slot], tiles1, f);
+      }
+    });
+    return;
+  }
   if (policy.schedule == Schedule::kStatic) {
     pool.run([&](std::size_t t) {
       const auto block = detail::static_block(num_tiles, nt, t);
@@ -182,6 +271,22 @@ void parallel_for(const ThreadsSpace& space, const MDRangePolicy2& policy, F&& f
 
 template <class F>
 void parallel_for(const SerialSpace&, const TeamPolicy& policy, F&& f) {
+  if (portacheck::active()) {
+    portacheck::begin_region();
+    std::vector<std::byte> scratch(policy.scratch_bytes);
+    const auto order = portacheck::permutation(policy.league, portacheck::order_seed());
+    for (std::size_t slot = 0; slot < policy.league; ++slot) {
+      const std::size_t league = order[slot];
+      std::fill(scratch.begin(), scratch.end(), std::byte{0});
+      // Teams are the unordered unit: lanes of one team run sequentially and
+      // may legitimately share scratch, so the shadow lane is the league rank.
+      portacheck::LaneScope lane_scope(league);
+      for (std::size_t lane = 0; lane < policy.team_size; ++lane) {
+        f(TeamMember(league, lane, policy.team_size, scratch.data(), scratch.size()));
+      }
+    }
+    return;
+  }
   std::vector<std::byte> scratch(policy.scratch_bytes);
   for (std::size_t league = 0; league < policy.league; ++league) {
     std::fill(scratch.begin(), scratch.end(), std::byte{0});  // fresh per team
@@ -196,6 +301,25 @@ void parallel_for(const ThreadsSpace& space, const TeamPolicy& policy, F&& f) {
   if (policy.league == 0) return;
   ThreadPool& pool = space.pool();
   const std::size_t nt = pool.size();
+  if (portacheck::active()) {
+    portacheck::begin_region();
+    const auto order = portacheck::permutation(policy.league, portacheck::order_seed());
+    std::atomic<std::size_t> next{0};
+    pool.run([&](std::size_t) {
+      std::vector<std::byte> scratch(policy.scratch_bytes);
+      for (;;) {
+        const std::size_t slot = next.fetch_add(1, std::memory_order_relaxed);
+        if (slot >= policy.league) return;
+        const std::size_t league = order[slot];
+        std::fill(scratch.begin(), scratch.end(), std::byte{0});
+        portacheck::LaneScope lane_scope(league);
+        for (std::size_t lane = 0; lane < policy.team_size; ++lane) {
+          f(TeamMember(league, lane, policy.team_size, scratch.data(), scratch.size()));
+        }
+      }
+    });
+    return;
+  }
   pool.run([&](std::size_t t) {
     // One scratch arena per pool thread: teams on the same thread run
     // back-to-back and each gets a zeroed arena.
@@ -226,6 +350,19 @@ concept NotReducer = !requires { typename std::remove_cvref_t<F>::value_type; };
 /// Serial sum-reduce: f(i, acc) accumulates into acc.
 template <detail::NotReducer F, class T>
 void parallel_reduce(const SerialSpace&, const RangePolicy& policy, F&& f, T& result) {
+  if (portacheck::active()) {
+    // No permutation: a serial reduction's accumulation order is part of its
+    // contract (fp determinism), but each iteration still gets a lane so
+    // side-channel writes from inside reduce bodies are race-checked.
+    portacheck::begin_region();
+    T acc{};
+    for (std::size_t i = policy.begin; i < policy.end; ++i) {
+      portacheck::LaneScope lane(i - policy.begin);
+      f(i, acc);
+    }
+    result = acc;
+    return;
+  }
   T acc{};
   for (std::size_t i = policy.begin; i < policy.end; ++i) f(i, acc);
   result = acc;
@@ -241,12 +378,31 @@ void parallel_reduce(const ThreadsSpace& space, const RangePolicy& policy, F&& f
   const std::size_t nt = pool.size();
   std::vector<T> partial(nt, T{});
   if (extent != 0) {
-    pool.run([&](std::size_t t) {
-      T acc{};
-      const auto block = detail::static_block(extent, nt, t);
-      for (std::size_t i = block.begin; i < block.end; ++i) f(policy.begin + i, acc);
-      partial[t] = acc;
-    });
+    if (portacheck::active()) {
+      // Permute which pool thread owns which static block, but keep each
+      // block's iteration order and the block-ordered join: the checked run
+      // reshuffles the schedule without perturbing fp summation order, so
+      // results stay bitwise-identical across seeds.
+      portacheck::begin_region();
+      const auto order = portacheck::permutation(nt, portacheck::order_seed());
+      pool.run([&](std::size_t t) {
+        const std::size_t b = order[t];
+        T acc{};
+        const auto block = detail::static_block(extent, nt, b);
+        for (std::size_t i = block.begin; i < block.end; ++i) {
+          portacheck::LaneScope lane(i);
+          f(policy.begin + i, acc);
+        }
+        partial[b] = acc;
+      });
+    } else {
+      pool.run([&](std::size_t t) {
+        T acc{};
+        const auto block = detail::static_block(extent, nt, t);
+        for (std::size_t i = block.begin; i < block.end; ++i) f(policy.begin + i, acc);
+        partial[t] = acc;
+      });
+    }
   }
   T total{};
   for (const T& p : partial) total += p;

@@ -1,6 +1,7 @@
 #include "thread_pool.hpp"
 
 #include "common/error.hpp"
+#include "portacheck/hooks.hpp"
 
 namespace portabench::simrt {
 
@@ -17,7 +18,13 @@ ThreadPool::ThreadPool(std::size_t num_threads, Placement placement)
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lock(mutex_);
+    // Drain before shutdown: if the last handle to the pool is dropped on
+    // one thread while another still has a run() in flight (e.g. a
+    // parallel_reduce chunk mid-execution), workers must finish and join
+    // that region before being told to exit — otherwise the region's
+    // rendezvous would wait on threads that already left.
+    std::unique_lock lock(mutex_);
+    done_cv_.wait(lock, [this] { return task_ == nullptr && remaining_ == 0; });
     shutdown_ = true;
   }
   start_cv_.notify_all();
@@ -37,6 +44,7 @@ void ThreadPool::run(const std::function<void(std::size_t)>& task) {
 
   // The caller participates as logical thread 0 (like an OpenMP master).
   try {
+    portacheck::LaneScope lane(0);
     task(0);
   } catch (...) {
     std::lock_guard lock(mutex_);
@@ -46,6 +54,8 @@ void ThreadPool::run(const std::function<void(std::size_t)>& task) {
   std::unique_lock lock(mutex_);
   done_cv_.wait(lock, [this] { return remaining_ == 0; });
   task_ = nullptr;
+  // Wake a destructor that may be draining on another thread.
+  done_cv_.notify_all();
   if (first_error_) {
     auto err = first_error_;
     first_error_ = nullptr;
@@ -65,6 +75,9 @@ void ThreadPool::worker_loop(std::size_t thread_id) {
       task = task_;
     }
     try {
+      // Default shadow lane for tasks submitted via run() directly; the
+      // checked parallel_* paths override this per logical iteration.
+      portacheck::LaneScope lane(thread_id);
       (*task)(thread_id);
     } catch (...) {
       std::lock_guard lock(mutex_);
@@ -72,7 +85,9 @@ void ThreadPool::worker_loop(std::size_t thread_id) {
     }
     {
       std::lock_guard lock(mutex_);
-      if (--remaining_ == 0) done_cv_.notify_one();
+      // notify_all: both run()'s rendezvous and a draining destructor may
+      // be waiting on done_cv_.
+      if (--remaining_ == 0) done_cv_.notify_all();
     }
   }
 }

@@ -34,15 +34,16 @@ void spmv_reference(const CsrMatrix<T>& A, std::span<const T> x, std::span<T> y)
   }
 }
 
-/// C/OpenMP / Kokkos / Numba shape: row-parallel CSR.
-template <class T, class Space>
-void spmv_csr_row_parallel(const Space& space, const CsrMatrix<T>& A, std::span<const T> x,
-                           std::span<T> y) {
+/// C/OpenMP / Kokkos / Numba shape: row-parallel CSR.  x and y are any
+/// indexable vector types (span, View1, shadow view); the sparse structure
+/// itself is read-only host data and stays un-instrumented.
+template <class T, class Space, class XV, class YV>
+void spmv_csr_row_parallel(const Space& space, const CsrMatrix<T>& A, const XV& x, YV&& y) {
   PB_EXPECTS(x.size() == A.cols && y.size() == A.rows);
   simrt::parallel_for(space, simrt::RangePolicy(0, A.rows), [&](std::size_t r) {
     T sum{};
     for (std::size_t e = A.row_ptr[r]; e < A.row_ptr[r + 1]; ++e) {
-      sum += A.values[e] * x[A.col_idx[e]];
+      sum += A.values[e] * static_cast<T>(x[A.col_idx[e]]);
     }
     y[r] = sum;
   });
@@ -50,9 +51,9 @@ void spmv_csr_row_parallel(const Space& space, const CsrMatrix<T>& A, std::span<
 
 /// Julia shape: CSC columns with per-thread y privatization, joined in
 /// thread order (deterministic for a fixed thread count).
-template <class T>
+template <class T, class XV, class YV>
 void spmv_csc_column_parallel(const simrt::ThreadsSpace& space, const CscMatrix<T>& A,
-                              std::span<const T> x, std::span<T> y) {
+                              const XV& x, YV&& y) {
   PB_EXPECTS(x.size() == A.cols && y.size() == A.rows);
   const std::size_t nt = space.concurrency();
   std::vector<std::vector<T>> partial(nt, std::vector<T>(A.rows, T{}));
@@ -61,57 +62,54 @@ void spmv_csc_column_parallel(const simrt::ThreadsSpace& space, const CscMatrix<
     auto block = simrt::detail::static_block(A.cols, nt, t);
     std::vector<T>& mine = partial[t];
     for (std::size_t c = block.begin; c < block.end; ++c) {
-      const T xc = x[c];
+      const T xc = static_cast<T>(x[c]);
       for (std::size_t e = A.col_ptr[c]; e < A.col_ptr[c + 1]; ++e) {
         mine[A.row_idx[e]] += A.values[e] * xc;
       }
     }
   });
 
-  std::fill(y.begin(), y.end(), T{});
-  for (std::size_t t = 0; t < nt; ++t) {
-    for (std::size_t r = 0; r < A.rows; ++r) y[r] += partial[t][r];
+  // The join runs on the caller after the region: index-wise so shadow
+  // views (no iterators) work as y.
+  for (std::size_t r = 0; r < A.rows; ++r) {
+    T sum{};
+    for (std::size_t t = 0; t < nt; ++t) sum += partial[t][r];
+    y[r] = sum;
   }
 }
 
 /// GPU scalar kernel: one thread per row.
-template <class T>
-void spmv_gpu_scalar(gpusim::DeviceContext& ctx, const CsrMatrix<T>& A,
-                     const gpusim::DeviceBuffer<T>& x, gpusim::DeviceBuffer<T>& y,
+template <class T, class BX, class BY>
+void spmv_gpu_scalar(gpusim::DeviceContext& ctx, const CsrMatrix<T>& A, const BX& x, BY&& y,
                      std::size_t threads_per_block = 128) {
   PB_EXPECTS(x.size() == A.cols && y.size() == A.rows);
   const std::size_t* row_ptr = A.row_ptr.data();
   const std::size_t* col_idx = A.col_idx.data();
   const T* values = A.values.data();
-  const T* xv = x.data();
-  T* yv = y.data();
   const std::size_t rows = A.rows;
 
   gpusim::launch(ctx, {gpusim::blocks_for(rows, threads_per_block), 1, 1},
-                 {threads_per_block, 1, 1}, [=](const gpusim::ThreadCtx& tc) {
+                 {threads_per_block, 1, 1}, [&](const gpusim::ThreadCtx& tc) {
                    const std::size_t r = tc.global_x();
                    if (r < rows) {
                      T sum{};
                      for (std::size_t e = row_ptr[r]; e < row_ptr[r + 1]; ++e) {
-                       sum += values[e] * xv[col_idx[e]];
+                       sum += values[e] * static_cast<T>(x[col_idx[e]]);
                      }
-                     yv[r] = sum;
+                     y[r] = sum;
                    }
                  });
 }
 
 /// GPU vector kernel: one warp-wide block per row, lanes stride the row's
 /// entries, cooperative sum via shared memory.
-template <class T>
-void spmv_gpu_vector(gpusim::DeviceContext& ctx, const CsrMatrix<T>& A,
-                     const gpusim::DeviceBuffer<T>& x, gpusim::DeviceBuffer<T>& y) {
+template <class T, class BX, class BY>
+void spmv_gpu_vector(gpusim::DeviceContext& ctx, const CsrMatrix<T>& A, const BX& x, BY&& y) {
   PB_EXPECTS(x.size() == A.cols && y.size() == A.rows);
   const std::size_t warp = ctx.spec().warp_size;
   const std::size_t* row_ptr = A.row_ptr.data();
   const std::size_t* col_idx = A.col_idx.data();
   const T* values = A.values.data();
-  const T* xv = x.data();
-  T* yv = y.data();
 
   gpusim::launch_blocks(
       ctx, {A.rows, 1, 1}, {warp, 1, 1}, warp * sizeof(T), [&](gpusim::BlockCtx& bc) {
@@ -120,12 +118,12 @@ void spmv_gpu_vector(gpusim::DeviceContext& ctx, const CsrMatrix<T>& A,
         const T total = gpusim::block_reduce_sum<T>(bc, scratch, [&](const gpusim::ThreadCtx& tc) {
           T sum{};
           for (std::size_t e = row_ptr[r] + tc.thread_idx.x; e < row_ptr[r + 1]; e += warp) {
-            sum += values[e] * xv[col_idx[e]];
+            sum += values[e] * static_cast<T>(x[col_idx[e]]);
           }
           return sum;
         });
         bc.for_lanes([&](const gpusim::ThreadCtx& tc) {
-          if (tc.thread_idx.x == 0) yv[r] = total;
+          if (tc.thread_idx.x == 0) y[r] = total;
         });
       });
 }

@@ -14,9 +14,10 @@
 
 namespace portabench::stencil {
 
-/// Serial reference sweep.
-inline void sweep_serial(const simrt::View2<double, simrt::LayoutRight>& in,
-                         simrt::View2<double, simrt::LayoutRight>& out) {
+/// Serial reference sweep.  View-generic (plain or shadow views).
+template <class VIn, class VOut>
+void sweep_serial(const VIn& in, VOut& out) {
+  static_assert(VIn::is_row_major && VOut::is_row_major);
   for (std::size_t i = 1; i + 1 < in.extent(0); ++i) {
     for (std::size_t j = 1; j + 1 < in.extent(1); ++j) {
       out(i, j) = 0.25 * (in(i - 1, j) + in(i + 1, j) + in(i, j - 1) + in(i, j + 1));
@@ -25,9 +26,9 @@ inline void sweep_serial(const simrt::View2<double, simrt::LayoutRight>& in,
 }
 
 /// Host-parallel sweep via MDRangePolicy (the Kokkos shape).
-template <class Space>
-void sweep_mdrange(const Space& space, const simrt::View2<double, simrt::LayoutRight>& in,
-                   simrt::View2<double, simrt::LayoutRight>& out) {
+template <class Space, class VIn, class VOut>
+void sweep_mdrange(const Space& space, const VIn& in, VOut& out) {
+  static_assert(VIn::is_row_major && VOut::is_row_major);
   simrt::parallel_for(space,
                       simrt::MDRangePolicy2({1, 1}, {in.extent(0) - 1, in.extent(1) - 1}),
                       [&](std::size_t i, std::size_t j) {
@@ -37,12 +38,15 @@ void sweep_mdrange(const Space& space, const simrt::View2<double, simrt::LayoutR
 }
 
 /// Naive device sweep: one thread per interior point, global loads only.
-inline void sweep_gpu_naive(gpusim::DeviceContext& ctx, const double* in, double* out,
-                            std::size_t rows, std::size_t cols,
-                            const gpusim::Dim3& block = {32, 8, 1}) {
+/// `in`/`out` are anything flat-indexable (raw pointers or shadow device
+/// buffers), row-major linearized.
+template <class PIn, class POut>
+void sweep_gpu_naive(gpusim::DeviceContext& ctx, const PIn& in, POut&& out,
+                     std::size_t rows, std::size_t cols,
+                     const gpusim::Dim3& block = {32, 8, 1}) {
   const gpusim::Dim3 grid{gpusim::blocks_for(cols, block.x),
                           gpusim::blocks_for(rows, block.y), 1};
-  gpusim::launch(ctx, grid, block, [=](const gpusim::ThreadCtx& tc) {
+  gpusim::launch(ctx, grid, block, [&](const gpusim::ThreadCtx& tc) {
     const std::size_t i = tc.global_y();
     const std::size_t j = tc.global_x();
     if (i >= 1 && i + 1 < rows && j >= 1 && j + 1 < cols) {
@@ -55,8 +59,9 @@ inline void sweep_gpu_naive(gpusim::DeviceContext& ctx, const double* in, double
 /// Shared-memory tiled device sweep: each block cooperatively stages its
 /// tile plus halo, then computes from shared memory — the classic stencil
 /// optimization, expressed with the simulator's barrier semantics.
-inline void sweep_gpu_tiled(gpusim::DeviceContext& ctx, const double* in, double* out,
-                            std::size_t rows, std::size_t cols, std::size_t tile = 16) {
+template <class PIn, class POut>
+void sweep_gpu_tiled(gpusim::DeviceContext& ctx, const PIn& in, POut&& out,
+                     std::size_t rows, std::size_t cols, std::size_t tile = 16) {
   PB_EXPECTS(tile >= 2);
   const std::size_t halo = tile + 2;
   const gpusim::Dim3 block{tile, tile, 1};

@@ -4,9 +4,15 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 
 #include "common/half.hpp"
 #include "common/rng.hpp"
+#include "gemm/kernels_cpu.hpp"
+#include "gemm/validate.hpp"
+#include "portacheck/hooks.hpp"
+#include "simrt/mdarray.hpp"
+#include "simrt/parallel.hpp"
 
 namespace portabench {
 namespace {
@@ -91,6 +97,34 @@ TEST(HalfAccumulation, MixedPrecisionDotMatchesDoubleClosely) {
   EXPECT_NEAR(mixed / static_cast<float>(exact), 1.0f, 1e-3f);
 }
 
+TEST(HalfProperty, RoundTripThroughFloatExactForAllBitPatterns) {
+  // Exhaustive: every one of the 65536 FP16 encodings must survive the
+  // half -> float -> half round trip bit-for-bit (float is a superset of
+  // half, so the conversion pair must be the identity; NaNs must stay
+  // NaN even if the payload is not preserved).
+  for (std::uint32_t bits = 0; bits <= 0xFFFF; ++bits) {
+    const half original = half::from_bits(static_cast<std::uint16_t>(bits));
+    const half back(static_cast<float>(original));
+    if (original.is_nan()) {
+      EXPECT_TRUE(back.is_nan()) << bits;
+    } else {
+      EXPECT_EQ(back.bits(), original.bits()) << bits;
+    }
+  }
+}
+
+TEST(HalfProperty, RoundTripThroughDoubleExactForAllBitPatterns) {
+  for (std::uint32_t bits = 0; bits <= 0xFFFF; ++bits) {
+    const half original = half::from_bits(static_cast<std::uint16_t>(bits));
+    const half back(static_cast<double>(original));
+    if (original.is_nan()) {
+      EXPECT_TRUE(back.is_nan()) << bits;
+    } else {
+      EXPECT_EQ(back.bits(), original.bits()) << bits;
+    }
+  }
+}
+
 TEST(BFloat16Property, RoundTripThroughFloatExact) {
   for (std::uint32_t bits = 0; bits <= 0xFFFF; bits += 3) {
     const bfloat16 original = bfloat16::from_bits(static_cast<std::uint16_t>(bits));
@@ -101,6 +135,101 @@ TEST(BFloat16Property, RoundTripThroughFloatExact) {
     } else {
       EXPECT_EQ(back.bits(), original.bits()) << bits;
     }
+  }
+}
+
+// --- half-in / float-accumulate GEMM determinism ---------------------------
+//
+// The Fig. 1c mixed-precision scheme, as a property: with inputs chosen
+// so every product and partial sum is exactly representable in float,
+// every CPU kernel ordering (i-k-j, dot-product, j-l-i, team), every
+// thread count, and every portacheck scheduler seed must produce the
+// bitwise-identical result.
+
+namespace {
+
+/// FP16-exact test value: multiples of 1/8 in [-2, 2).  Products are
+/// multiples of 1/64 bounded by 4, and a 24-term accumulation stays far
+/// inside float's exact-integer range scaled by 1/64 — so float
+/// accumulation is exact and therefore order-independent.
+half exact_half(std::size_t i, std::size_t j) {
+  const int step = static_cast<int>((i * 7 + j * 13) % 32) - 16;
+  return half(static_cast<float>(step) / 8.0f);
+}
+
+template <class Layout>
+simrt::View2<half, Layout> exact_matrix(std::size_t n, std::size_t salt) {
+  simrt::View2<half, Layout> v(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) v(i, j) = exact_half(i + salt, j);
+  }
+  return v;
+}
+
+template <class Layout, class Kernel>
+double half_gemm_checksum(std::size_t n, std::size_t threads, Kernel&& kernel) {
+  auto A = exact_matrix<Layout>(n, 0);
+  auto B = exact_matrix<Layout>(n, 5);
+  simrt::View2<float, Layout> C(n, n);
+  simrt::ThreadsSpace space(threads);
+  kernel(space, A, B, C);
+  return gemm::checksum(C);
+}
+
+}  // namespace
+
+TEST(HalfGemmDeterminism, BitwiseIdenticalAcrossKernelOrderings) {
+  const std::size_t n = 24;
+  using LR = simrt::LayoutRight;
+  using LL = simrt::LayoutLeft;
+  const double openmp = half_gemm_checksum<LR>(n, 4, [](auto& s, auto& A, auto& B, auto& C) {
+    gemm::gemm_openmp_style<float>(s, A, B, C);
+  });
+  const double kokkos = half_gemm_checksum<LR>(n, 4, [](auto& s, auto& A, auto& B, auto& C) {
+    gemm::gemm_kokkos_style<float>(s, A, B, C);
+  });
+  const double numba = half_gemm_checksum<LR>(n, 4, [](auto& s, auto& A, auto& B, auto& C) {
+    gemm::gemm_numba_style<float>(s, A, B, C);
+  });
+  const double team = half_gemm_checksum<LR>(n, 4, [](auto& s, auto& A, auto& B, auto& C) {
+    gemm::gemm_team_style<float>(s, A, B, C, 3);
+  });
+  const double julia = half_gemm_checksum<LL>(n, 4, [](auto& s, auto& A, auto& B, auto& C) {
+    gemm::gemm_julia_style<float>(s, A, B, C);
+  });
+  EXPECT_NE(openmp, 0.0);
+  EXPECT_EQ(openmp, kokkos);
+  EXPECT_EQ(openmp, numba);
+  EXPECT_EQ(openmp, team);
+  EXPECT_EQ(openmp, julia);
+}
+
+TEST(HalfGemmDeterminism, BitwiseIdenticalAcrossThreadCounts) {
+  const std::size_t n = 24;
+  double first = 0.0;
+  for (std::size_t threads : {1u, 2u, 4u, 5u}) {
+    const double sum = half_gemm_checksum<simrt::LayoutRight>(
+        n, threads,
+        [](auto& s, auto& A, auto& B, auto& C) { gemm::gemm_openmp_style<float>(s, A, B, C); });
+    if (threads == 1u) {
+      first = sum;
+    } else {
+      EXPECT_EQ(sum, first) << threads << " threads";
+    }
+  }
+}
+
+TEST(HalfGemmDeterminism, BitwiseIdenticalAcrossSanitizerSeeds) {
+  const std::size_t n = 24;
+  const double baseline = half_gemm_checksum<simrt::LayoutRight>(
+      n, 4,
+      [](auto& s, auto& A, auto& B, auto& C) { gemm::gemm_openmp_style<float>(s, A, B, C); });
+  for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    portacheck::ScopedCheck check(seed);
+    const double sum = half_gemm_checksum<simrt::LayoutRight>(
+        n, 4,
+        [](auto& s, auto& A, auto& B, auto& C) { gemm::gemm_openmp_style<float>(s, A, B, C); });
+    EXPECT_EQ(sum, baseline) << "seed " << seed;
   }
 }
 

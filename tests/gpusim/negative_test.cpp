@@ -1,0 +1,106 @@
+// Negative-path tests for gpusim: invalid launches, misaligned or
+// oversized byte transfers, and double-free must surface as structured
+// errors (precondition_error), never as UB — the simulator's analogue of
+// CUDA error codes.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "gpusim/launch.hpp"
+#include "gpusim/memory.hpp"
+
+namespace portabench::gpusim {
+namespace {
+
+class GpusimNegativeTest : public ::testing::Test {
+ protected:
+  DeviceContext ctx_{GpuSpec::a100()};
+};
+
+TEST_F(GpusimNegativeTest, ZeroVolumeGridRejected) {
+  auto kernel = [](const ThreadCtx&) {};
+  EXPECT_THROW(launch(ctx_, {0, 1, 1}, {32, 1, 1}, kernel), precondition_error);
+  EXPECT_THROW(launch(ctx_, {4, 0, 1}, {32, 1, 1}, kernel), precondition_error);
+}
+
+TEST_F(GpusimNegativeTest, ZeroVolumeBlockRejected) {
+  auto kernel = [](const ThreadCtx&) {};
+  EXPECT_THROW(launch(ctx_, {1, 1, 1}, {0, 1, 1}, kernel), precondition_error);
+}
+
+TEST_F(GpusimNegativeTest, OversizedBlockRejected) {
+  // 33 * 32 = 1056 > the A100's 1024 threads per block.
+  auto kernel = [](const ThreadCtx&) {};
+  EXPECT_THROW(launch(ctx_, {1, 1, 1}, {33, 32, 1}, kernel), precondition_error);
+  // Launch counters must not record the failed launch.
+  EXPECT_EQ(ctx_.counters().kernel_launches, 0u);
+}
+
+TEST_F(GpusimNegativeTest, CooperativeLaunchValidatesSharedMemory) {
+  auto kernel = [](BlockCtx&) {};
+  const std::size_t too_much = ctx_.spec().shared_mem_per_block + 1;
+  EXPECT_THROW(launch_blocks(ctx_, {1, 1, 1}, {32, 1, 1}, too_much, kernel),
+               precondition_error);
+  EXPECT_THROW(launch_blocks(ctx_, {0, 1, 1}, {32, 1, 1}, 0, kernel), precondition_error);
+}
+
+TEST_F(GpusimNegativeTest, MisalignedByteCopyRejected) {
+  DeviceBuffer<double> buf(ctx_, 16);
+  std::vector<double> host(16, 1.0);
+  // 12 bytes is not a whole number of doubles.
+  EXPECT_THROW(buf.copy_from_host_bytes(host.data(), 12), precondition_error);
+  EXPECT_THROW(buf.copy_to_host_bytes(host.data(), 12), precondition_error);
+}
+
+TEST_F(GpusimNegativeTest, OversizedByteCopyRejected) {
+  DeviceBuffer<double> buf(ctx_, 16);
+  std::vector<double> host(17, 1.0);
+  EXPECT_THROW(buf.copy_from_host_bytes(host.data(), 17 * sizeof(double)),
+               precondition_error);
+  EXPECT_THROW(buf.copy_to_host_bytes(host.data(), 17 * sizeof(double)),
+               precondition_error);
+}
+
+TEST_F(GpusimNegativeTest, PartialByteCopyWorksAndIsAccounted) {
+  DeviceBuffer<double> buf(ctx_, 16);
+  std::vector<double> host(4, 2.5);
+  buf.copy_from_host_bytes(host.data(), 4 * sizeof(double));
+  EXPECT_EQ(buf[3], 2.5);
+  std::vector<double> back(4, 0.0);
+  buf.copy_to_host_bytes(back.data(), 4 * sizeof(double));
+  EXPECT_EQ(back, host);
+  EXPECT_EQ(ctx_.counters().bytes_h2d, 32u);
+  EXPECT_EQ(ctx_.counters().bytes_d2h, 32u);
+}
+
+TEST_F(GpusimNegativeTest, DoubleFreeRejected) {
+  DeviceBuffer<float> buf(ctx_, 64);
+  EXPECT_EQ(ctx_.bytes_in_use(), 256u);
+  buf.free();
+  EXPECT_EQ(ctx_.bytes_in_use(), 0u);
+  EXPECT_THROW(buf.free(), precondition_error);  // cudaFree of a freed pointer
+}
+
+TEST_F(GpusimNegativeTest, UseAfterFreeTransfersRejected) {
+  DeviceBuffer<int> buf(ctx_, 8);
+  std::vector<int> host(8, 3);
+  buf.free();
+  EXPECT_THROW(buf.copy_from_host(host), precondition_error);
+  EXPECT_THROW(buf.copy_to_host(host), precondition_error);
+  EXPECT_THROW(buf.copy_from_host_bytes(host.data(), sizeof(int)), precondition_error);
+}
+
+TEST_F(GpusimNegativeTest, FreeOfDefaultOrMovedFromBufferRejected) {
+  DeviceBuffer<int> empty;
+  EXPECT_THROW(empty.free(), precondition_error);
+
+  DeviceBuffer<int> a(ctx_, 8);
+  DeviceBuffer<int> b(std::move(a));
+  EXPECT_THROW(a.free(), precondition_error);  // NOLINT(bugprone-use-after-move)
+  b.free();                                    // the moved-to owner frees once
+  EXPECT_EQ(ctx_.bytes_in_use(), 0u);
+}
+
+}  // namespace
+}  // namespace portabench::gpusim

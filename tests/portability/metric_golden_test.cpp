@@ -1,0 +1,130 @@
+// Golden-file regression test for the portability metrics: feeding the
+// paper's Table III efficiencies through metric.cpp must reproduce the
+// published Phi values (FP64 and FP32) to two decimal places, and the
+// Pennycook harmonic-mean variant must match precomputed goldens.  The
+// golden file pins the paper's numbers so a metric regression cannot
+// silently drift the headline table.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "portability/metric.hpp"
+
+#ifndef PORTABENCH_GOLDEN_DIR
+#error "PORTABENCH_GOLDEN_DIR must point at tests/portability/golden"
+#endif
+
+namespace portabench::portability {
+namespace {
+
+Platform parse_platform(const std::string& token) {
+  if (token == "crusher-cpu") return Platform::kCrusherCpu;
+  if (token == "wombat-cpu") return Platform::kWombatCpu;
+  if (token == "crusher-gpu") return Platform::kCrusherGpu;
+  if (token == "wombat-gpu") return Platform::kWombatGpu;
+  throw std::runtime_error("unknown platform in golden file: " + token);
+}
+
+struct GoldenTable {
+  // (family, precision) -> entries in Table III platform order.
+  std::map<std::string, std::vector<EfficiencyEntry>> entries;
+  std::map<std::string, double> phi_arithmetic;
+  std::map<std::string, double> phi_pennycook;
+};
+
+GoldenTable load_golden() {
+  const std::string path = std::string(PORTABENCH_GOLDEN_DIR) + "/table3_paper.txt";
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open golden file " << path;
+
+  GoldenTable table;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ss(line);
+    std::string tag, family, precision;
+    ss >> tag >> family >> precision;
+    const std::string key = family + "/" + precision;
+    if (tag == "entry") {
+      std::string platform, eff;
+      int supported = 0;
+      ss >> platform >> eff >> supported;
+      EfficiencyEntry e;
+      e.platform = parse_platform(platform);
+      e.supported = supported != 0;
+      e.efficiency = e.supported ? std::stod(eff) : 0.0;
+      table.entries[key].push_back(e);
+    } else if (tag == "phi_arithmetic") {
+      double value = 0.0;
+      ss >> value;
+      table.phi_arithmetic[key] = value;
+    } else if (tag == "phi_pennycook") {
+      double value = 0.0;
+      ss >> value;
+      table.phi_pennycook[key] = value;
+    } else {
+      ADD_FAILURE() << "unknown golden tag: " << tag;
+    }
+  }
+  return table;
+}
+
+TEST(MetricGolden, GoldenFileIsComplete) {
+  const GoldenTable golden = load_golden();
+  ASSERT_EQ(golden.entries.size(), 6u);  // 3 families x 2 precisions
+  for (const auto& [key, entries] : golden.entries) {
+    EXPECT_EQ(entries.size(), 4u) << key;  // the four Table III platforms
+    ASSERT_TRUE(golden.phi_arithmetic.contains(key)) << key;
+    ASSERT_TRUE(golden.phi_pennycook.contains(key)) << key;
+  }
+}
+
+TEST(MetricGolden, PhiArithmeticReproducesPaperTable3ToTwoDecimals) {
+  const GoldenTable golden = load_golden();
+  for (const auto& [key, entries] : golden.entries) {
+    const double phi = phi_arithmetic(entries);
+    // The paper publishes Phi to three decimals; matching to two decimal
+    // places (|diff| < 0.005) is exact modulo Table III's own rounding.
+    EXPECT_NEAR(phi, golden.phi_arithmetic.at(key), 0.005) << key;
+  }
+}
+
+TEST(MetricGolden, PhiPennycookMatchesPrecomputedGoldens) {
+  const GoldenTable golden = load_golden();
+  for (const auto& [key, entries] : golden.entries) {
+    const double phi = phi_pennycook(entries);
+    EXPECT_NEAR(phi, golden.phi_pennycook.at(key), 5e-4) << key;
+  }
+}
+
+TEST(MetricGolden, UnsupportedPlatformZeroesPennycookButNotArithmetic) {
+  const GoldenTable golden = load_golden();
+  for (const std::string precision : {"double", "single"}) {
+    const auto& numba = golden.entries.at("numba/" + precision);
+    EXPECT_EQ(phi_pennycook(numba), 0.0);
+    EXPECT_GT(phi_arithmetic(numba), 0.0);
+  }
+}
+
+TEST(MetricGolden, CascadeIsNonIncreasingForGoldenSeries) {
+  // Pennycook's cascade: adding platforms (best-first) can only erode Phi.
+  const GoldenTable golden = load_golden();
+  for (const auto& [key, entries] : golden.entries) {
+    const auto steps = cascade(entries);
+    std::size_t supported = 0;
+    for (const auto& e : entries) supported += e.supported ? 1 : 0;
+    ASSERT_EQ(steps.size(), supported) << key;
+    for (std::size_t i = 1; i < steps.size(); ++i) {
+      EXPECT_LE(steps[i], steps[i - 1] + 1e-12) << key << " step " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace portabench::portability

@@ -1,0 +1,87 @@
+// Tests for the portacheck hook substrate: activation state, the seeded
+// permutation scheduler, lane scoping, and region epochs.
+#include "portacheck/hooks.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+namespace portabench::portacheck {
+namespace {
+
+TEST(Permutation, SeedZeroIsIdentity) {
+  const auto order = permutation(64, 0);
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Permutation, IsAPermutation) {
+  for (std::uint64_t seed : {1ull, 2ull, 3ull, 12345ull}) {
+    auto order = permutation(257, seed);
+    std::sort(order.begin(), order.end());
+    for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(Permutation, DeterministicPerSeed) {
+  EXPECT_EQ(permutation(100, 7), permutation(100, 7));
+  EXPECT_NE(permutation(100, 7), permutation(100, 8));
+}
+
+TEST(Permutation, SeedsActuallyShuffle) {
+  const auto order = permutation(128, 1);
+  std::size_t moved = 0;
+  for (std::size_t i = 0; i < order.size(); ++i) moved += order[i] != i;
+  // Fisher-Yates leaves only ~1 fixed point in expectation.
+  EXPECT_GT(moved, 100u);
+}
+
+TEST(Permutation, EmptyAndSingleton) {
+  EXPECT_TRUE(permutation(0, 5).empty());
+  EXPECT_EQ(permutation(1, 5), std::vector<std::size_t>{0});
+}
+
+TEST(ScopedCheck, ActivatesAndRestores) {
+  // The suite may already run under PORTABENCH_CHECK=1; save whatever the
+  // ambient state is and verify restoration against it.
+  const bool ambient = active();
+  const std::uint64_t ambient_seed = order_seed();
+  {
+    ScopedCheck check(42);
+    EXPECT_TRUE(active());
+    EXPECT_EQ(order_seed(), 42u);
+    {
+      ScopedCheck inner(7);
+      EXPECT_EQ(order_seed(), 7u);
+    }
+    EXPECT_EQ(order_seed(), 42u);
+  }
+  EXPECT_EQ(active(), ambient);
+  EXPECT_EQ(order_seed(), ambient_seed);
+}
+
+TEST(LaneScopeTest, NestsAndRestores) {
+  set_current_lane(0);
+  {
+    LaneScope outer(5);
+    EXPECT_EQ(current_lane(), 5u);
+    {
+      LaneScope inner(9);
+      EXPECT_EQ(current_lane(), 9u);
+    }
+    EXPECT_EQ(current_lane(), 5u);
+  }
+  EXPECT_EQ(current_lane(), 0u);
+}
+
+TEST(RegionEpochs, MonotonicallyIncrease) {
+  const std::uint64_t before = current_region();
+  const std::uint64_t opened = begin_region();
+  EXPECT_GT(opened, before);
+  EXPECT_EQ(current_region(), opened);
+  EXPECT_GT(begin_region(), opened);
+}
+
+}  // namespace
+}  // namespace portabench::portacheck

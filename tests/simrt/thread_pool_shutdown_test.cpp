@@ -1,0 +1,101 @@
+// Shutdown-ordering tests for ThreadPool: the destructor must drain an
+// in-flight parallel region (run() issued from another thread) before
+// telling workers to exit, instead of tearing down a rendezvous that
+// still has chunks mid-flight.
+#include "simrt/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+
+#include "simrt/parallel.hpp"
+
+namespace portabench::simrt {
+namespace {
+
+TEST(ThreadPoolShutdown, DestructorDrainsInFlightRun) {
+  for (int iter = 0; iter < 25; ++iter) {
+    std::atomic<bool> started{false};
+    std::atomic<int> completed{0};
+    auto pool = std::make_unique<ThreadPool>(4);
+
+    std::thread caller([&] {
+      pool->run([&](std::size_t) {
+        started.store(true);
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        completed.fetch_add(1);
+      });
+    });
+
+    while (!started.load()) std::this_thread::yield();
+    // Destroy the pool while the region is executing: the destructor must
+    // block until every logical thread has finished its chunk.
+    pool.reset();
+    EXPECT_EQ(completed.load(), 4);
+    caller.join();
+  }
+}
+
+TEST(ThreadPoolShutdown, DestructorDrainsInFlightReduce) {
+  for (int iter = 0; iter < 10; ++iter) {
+    std::atomic<bool> started{false};
+    auto space = std::make_unique<ThreadsSpace>(4);
+    double sum = 0.0;
+
+    std::thread caller([&] {
+      parallel_reduce(*space, RangePolicy(0, 4000),
+                      [&](std::size_t i, double& acc) {
+                        started.store(true);
+                        acc += static_cast<double>(i);
+                      },
+                      sum);
+    });
+
+    while (!started.load()) std::this_thread::yield();
+    space.reset();  // drops the pool's last handle mid-reduce
+    caller.join();
+    EXPECT_EQ(sum, 4000.0 * 3999.0 / 2.0);
+  }
+}
+
+TEST(ThreadPoolShutdown, ImmediateDestructionAfterRunIsClean) {
+  // Back-to-back create/run/destroy: stresses the window between the last
+  // worker's completion notification and teardown.
+  for (int iter = 0; iter < 50; ++iter) {
+    std::atomic<int> hits{0};
+    {
+      ThreadPool pool(3);
+      pool.run([&](std::size_t) { hits.fetch_add(1); });
+    }
+    EXPECT_EQ(hits.load(), 3);
+  }
+}
+
+TEST(ThreadPoolShutdown, PoolSurvivesThrowingTaskThenShutsDown) {
+  auto pool = std::make_unique<ThreadPool>(4);
+  EXPECT_THROW(pool->run([](std::size_t t) {
+                 if (t == 2) throw std::runtime_error("boom");
+               }),
+               std::runtime_error);
+  // The pool must be reusable after an exceptional region...
+  std::atomic<int> hits{0};
+  pool->run([&](std::size_t) { hits.fetch_add(1); });
+  EXPECT_EQ(hits.load(), 4);
+  // ...and destructible without hanging.
+  pool.reset();
+}
+
+TEST(ThreadPoolShutdown, SingleThreadPoolDegenerateCase) {
+  auto pool = std::make_unique<ThreadPool>(1);
+  int hits = 0;
+  pool->run([&](std::size_t) { ++hits; });
+  EXPECT_EQ(hits, 1);
+  pool.reset();
+}
+
+}  // namespace
+}  // namespace portabench::simrt
