@@ -1,0 +1,322 @@
+// Dispatch microbenchmark: the cost of the simrt execution hot path.
+//
+// Measures what the paper's CPU figures implicitly contain — how cheaply
+// the runtime forks, schedules, and joins a parallel region — and emits
+// the numbers as machine-readable BENCH_dispatch.json so every PR has a
+// perf trajectory to compare against (the CI bench-smoke step runs this
+// binary with --quick and archives the JSON).
+//
+// Three sections:
+//   small_region  launch+join latency for tiny extents on the Threads
+//                 space, against an embedded copy of the pre-epoch-pool
+//                 implementation (mutex + notify_all + condvar rendezvous
+//                 per region) — the ratio is the dispatch speedup.
+//   grain         dynamic-schedule chunk throughput at varying grain
+//                 through the work-stealing queues.
+//   reduce        parallel_reduce overhead, Serial vs Threads.
+//
+// Usage: micro_dispatch [--quick] [--threads N] [--out PATH]
+#include <algorithm>
+#include <condition_variable>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
+#include "simrt/parallel.hpp"
+
+namespace {
+
+using namespace portabench;
+
+// --- the pre-change pool, verbatim semantics --------------------------------
+//
+// A faithful copy of the condvar-per-region ThreadPool this PR replaced:
+// every run() takes the mutex, bumps an epoch, notify_all()s the workers,
+// and joins through a condvar rendezvous; workers sleep between regions.
+// Kept here (not in src/) purely as the measurement baseline.
+class LegacyThreadPool {
+ public:
+  explicit LegacyThreadPool(std::size_t num_threads) : num_threads_(num_threads) {
+    workers_.reserve(num_threads - 1);
+    for (std::size_t t = 1; t < num_threads; ++t) {
+      workers_.emplace_back([this, t] { worker_loop(t); });
+    }
+  }
+
+  LegacyThreadPool(const LegacyThreadPool&) = delete;
+  LegacyThreadPool& operator=(const LegacyThreadPool&) = delete;
+
+  ~LegacyThreadPool() {
+    {
+      std::unique_lock lock(mutex_);
+      done_cv_.wait(lock, [this] { return task_ == nullptr && remaining_ == 0; });
+      shutdown_ = true;
+    }
+    start_cv_.notify_all();
+    for (auto& w : workers_) w.join();
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return num_threads_; }
+
+  void run(const std::function<void(std::size_t)>& task) {
+    {
+      std::lock_guard lock(mutex_);
+      task_ = &task;
+      remaining_ = num_threads_ - 1;
+      ++epoch_;
+    }
+    start_cv_.notify_all();
+    task(0);
+    std::unique_lock lock(mutex_);
+    done_cv_.wait(lock, [this] { return remaining_ == 0; });
+    task_ = nullptr;
+    done_cv_.notify_all();
+  }
+
+ private:
+  void worker_loop(std::size_t thread_id) {
+    std::uint64_t seen_epoch = 0;
+    for (;;) {
+      const std::function<void(std::size_t)>* task = nullptr;
+      {
+        std::unique_lock lock(mutex_);
+        start_cv_.wait(lock, [&] { return shutdown_ || epoch_ != seen_epoch; });
+        if (shutdown_) return;
+        seen_epoch = epoch_;
+        task = task_;
+      }
+      (*task)(thread_id);
+      {
+        std::lock_guard lock(mutex_);
+        if (--remaining_ == 0) done_cv_.notify_all();
+      }
+    }
+  }
+
+  std::size_t num_threads_;
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(std::size_t)>* task_ = nullptr;
+  std::uint64_t epoch_ = 0;
+  std::size_t remaining_ = 0;
+  bool shutdown_ = false;
+};
+
+// --- measurement ------------------------------------------------------------
+
+struct Options {
+  bool quick = false;
+  std::size_t threads = 4;
+  std::string out = "BENCH_dispatch.json";
+};
+
+/// Best-of-samples per-region latency in microseconds: `batch` regions
+/// per sample, minimum over `samples` samples (min is the robust
+/// statistic for latency on a noisy shared host).
+template <class Region>
+double region_latency_us(std::size_t samples, std::size_t batch, Region&& region) {
+  double best = 1e30;
+  for (std::size_t s = 0; s < samples; ++s) {
+    Timer timer;
+    for (std::size_t r = 0; r < batch; ++r) region();
+    best = std::min(best, timer.seconds() / static_cast<double>(batch));
+  }
+  return best * 1e6;
+}
+
+struct SmallRegionRow {
+  std::size_t extent;
+  double new_us;
+  double legacy_us;
+  double speedup;
+};
+
+struct GrainRow {
+  std::size_t chunk;  // 0 == heuristic default
+  double region_us;
+  double mitems_per_s;
+};
+
+struct ReduceRow {
+  std::size_t extent;
+  double serial_us;
+  double threads_us;
+  double overhead_x;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      opt.quick = true;
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      opt.threads = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      opt.out = argv[++i];
+    } else {
+      std::cerr << "usage: micro_dispatch [--quick] [--threads N] [--out PATH]\n";
+      return 2;
+    }
+  }
+
+  const std::size_t samples = opt.quick ? 5 : 9;
+  const std::size_t batch = opt.quick ? 200 : 600;
+  const std::size_t nt = std::max<std::size_t>(2, opt.threads);
+
+  std::cout << "=== micro_dispatch: simrt region launch/join cost (host threads = "
+            << nt << ") ===\n\n";
+
+  simrt::ThreadsSpace space(nt);
+  LegacyThreadPool legacy(nt);
+  volatile std::size_t sink = 0;  // defeats whole-region elision
+
+  // --- small_region: launch+join latency, new pool vs legacy pool ----------
+  std::vector<SmallRegionRow> small_rows;
+  for (std::size_t extent : {std::size_t{1}, std::size_t{64}, std::size_t{256},
+                             std::size_t{1024}}) {
+    auto body = [&](std::size_t i) { sink = sink + i; };
+    const double new_us = region_latency_us(samples, batch, [&] {
+      simrt::parallel_for(space, simrt::RangePolicy(0, extent), body);
+    });
+    const double legacy_us = region_latency_us(samples, batch, [&] {
+      legacy.run([&](std::size_t t) {
+        const auto block = simrt::detail::static_block(extent, nt, t);
+        for (std::size_t i = block.begin; i < block.end; ++i) body(i);
+      });
+    });
+    small_rows.push_back({extent, new_us, legacy_us, legacy_us / new_us});
+  }
+
+  Table small_table({"extent", "new pool (us)", "legacy pool (us)", "speedup"});
+  for (const auto& r : small_rows) {
+    small_table.add_row({std::to_string(r.extent), Table::num(r.new_us, 3),
+                         Table::num(r.legacy_us, 3), Table::num(r.speedup, 2)});
+  }
+  std::cout << "-- small-region launch+join latency (static schedule) --\n"
+            << small_table.to_markdown() << "\n";
+
+  // --- grain: dynamic chunk throughput through the steal queues -------------
+  const std::size_t grain_extent = 1 << 16;
+  std::vector<double> data(grain_extent, 1.0);
+  std::vector<GrainRow> grain_rows;
+  for (std::size_t chunk : {std::size_t{1}, std::size_t{8}, std::size_t{64},
+                            std::size_t{512}, std::size_t{0}}) {
+    const double us = region_latency_us(opt.quick ? 3 : 5, opt.quick ? 5 : 20, [&] {
+      simrt::parallel_for(
+          space, simrt::RangePolicy(0, grain_extent, simrt::Schedule::kDynamic, chunk),
+          [&](std::size_t i) { data[i] = data[i] * 1.0000001 + 0.5; });
+    });
+    grain_rows.push_back({chunk, us, static_cast<double>(grain_extent) / us});
+  }
+
+  Table grain_table({"chunk", "region (us)", "Mitems/s"});
+  for (const auto& r : grain_rows) {
+    grain_table.add_row({r.chunk == 0 ? std::string("auto") : std::to_string(r.chunk),
+                         Table::num(r.region_us, 1), Table::num(r.mitems_per_s, 1)});
+  }
+  std::cout << "-- dynamic-schedule throughput vs grain (extent = " << grain_extent
+            << ", work-stealing queues) --\n"
+            << grain_table.to_markdown() << "\n";
+
+  // --- reduce: overhead of the threaded join vs serial ----------------------
+  simrt::SerialSpace serial;
+  std::vector<ReduceRow> reduce_rows;
+  for (std::size_t extent : {std::size_t{1024}, std::size_t{65536}}) {
+    double serial_sum = 0.0;
+    double threads_sum = 0.0;
+    auto body = [](std::size_t i, double& acc) { acc += static_cast<double>(i); };
+    const double serial_us = region_latency_us(samples, opt.quick ? 50 : 200, [&] {
+      simrt::parallel_reduce(serial, simrt::RangePolicy(0, extent), body, serial_sum);
+    });
+    const double threads_us = region_latency_us(samples, opt.quick ? 50 : 200, [&] {
+      simrt::parallel_reduce(space, simrt::RangePolicy(0, extent), body, threads_sum);
+    });
+    if (serial_sum != threads_sum) {
+      std::cerr << "FAILED: reduce mismatch at extent " << extent << "\n";
+      return 1;
+    }
+    reduce_rows.push_back({extent, serial_us, threads_us, threads_us / serial_us});
+  }
+
+  Table reduce_table({"extent", "Serial (us)", "Threads (us)", "Threads/Serial"});
+  for (const auto& r : reduce_rows) {
+    reduce_table.add_row({std::to_string(r.extent), Table::num(r.serial_us, 2),
+                          Table::num(r.threads_us, 2), Table::num(r.overhead_x, 2)});
+  }
+  std::cout << "-- parallel_reduce overhead --\n" << reduce_table.to_markdown() << "\n";
+
+  // --- machine-readable artifact --------------------------------------------
+  JsonWriter w;
+  w.begin_object();
+  w.key("bench");
+  w.value("micro_dispatch");
+  w.key("host_threads");
+  w.value(nt);
+  w.key("quick");
+  w.value(opt.quick);
+  w.key("small_region");
+  w.begin_array();
+  for (const auto& r : small_rows) {
+    w.begin_object();
+    w.key("extent");
+    w.value(r.extent);
+    w.key("new_us");
+    w.value(r.new_us);
+    w.key("legacy_us");
+    w.value(r.legacy_us);
+    w.key("speedup");
+    w.value(r.speedup);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("grain");
+  w.begin_array();
+  for (const auto& r : grain_rows) {
+    w.begin_object();
+    w.key("chunk");
+    w.value(r.chunk);
+    w.key("region_us");
+    w.value(r.region_us);
+    w.key("mitems_per_s");
+    w.value(r.mitems_per_s);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("reduce");
+  w.begin_array();
+  for (const auto& r : reduce_rows) {
+    w.begin_object();
+    w.key("extent");
+    w.value(r.extent);
+    w.key("serial_us");
+    w.value(r.serial_us);
+    w.key("threads_us");
+    w.value(r.threads_us);
+    w.key("overhead_x");
+    w.value(r.overhead_x);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+
+  std::ofstream out(opt.out);
+  out << w.str() << "\n";
+  if (!out) {
+    std::cerr << "FAILED: could not write " << opt.out << "\n";
+    return 1;
+  }
+  std::cout << "wrote " << opt.out << "\n";
+  return 0;
+}

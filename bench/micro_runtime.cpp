@@ -7,6 +7,9 @@
 #include <benchmark/benchmark.h>
 
 #include <atomic>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "gpusim/launch.hpp"
 #include "simrt/parallel.hpp"
@@ -85,4 +88,26 @@ BENCHMARK(BM_GpusimThreadRate)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN, plus a default JSON artifact: unless the caller already
+// passed --benchmark_out, results are mirrored to BENCH_runtime.json so
+// the runtime substrate's cost is tracked PR-over-PR alongside
+// BENCH_dispatch.json (see docs/PERF.md).
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag = "--benchmark_out=BENCH_runtime.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]).starts_with("--benchmark_out=")) has_out = true;
+  }
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int arg_count = static_cast<int>(args.size());
+  benchmark::Initialize(&arg_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(arg_count, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

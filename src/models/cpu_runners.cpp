@@ -5,6 +5,7 @@
 #include "common/rng.hpp"
 #include "common/timer.hpp"
 #include "gemm/kernels_cpu.hpp"
+#include "gemm/kernels_tiled.hpp"
 #include "gemm/reference.hpp"
 #include "gemm/validate.hpp"
 #include "perfmodel/predict.hpp"
@@ -153,6 +154,18 @@ void NumbaCpuRunner::execute(const RunConfig& config, Precision prec, RunResult&
         cfg, fill_ones,
         [](const simrt::ThreadsSpace& space, auto& A, auto& B, auto& C) {
           gemm::gemm_numba_style<Acc>(space, A, B, C);
+        },
+        res);
+  });
+}
+
+void OptimizedCppRunner::execute(const RunConfig& config, Precision, RunResult& result) {
+  detail::dispatch_precision(config, false, result, [&]<class T, class Acc>(
+      const RunConfig& cfg, bool ones, RunResult& res) {
+    detail::run_cpu_gemm<T, Acc, simrt::LayoutRight>(
+        cfg, ones,
+        [](const simrt::ThreadsSpace& space, auto& A, auto& B, auto& C) {
+          gemm::gemm_tiled<Acc>(space, A, B, C);
         },
         res);
   });

@@ -85,4 +85,25 @@ class NumbaCpuRunner final : public detail::CpuRunnerBase {
   void execute(const RunConfig& config, Precision prec, RunResult& result) override;
 };
 
+/// Optimized C++ frontend: the tiled/packed register-blocked GEMM
+/// (gemm/kernels_tiled.hpp) run through the same harness as the four
+/// paper models.  Not one of the paper's Fig. 2 frontends — it is the
+/// measured host-performance ceiling the naive kernels are normalized
+/// against in the Eq.-2 efficiency machinery (portability::ceiling_
+/// efficiency).  Families/platforms reuse the Vendor slot: this is what a
+/// tuned native implementation on the CPU looks like.
+class OptimizedCppRunner final : public detail::CpuRunnerBase {
+ public:
+  using CpuRunnerBase::CpuRunnerBase;
+  [[nodiscard]] Family family() const noexcept override { return Family::kVendor; }
+  [[nodiscard]] std::string_view name() const override { return "Optimized C++ (tiled)"; }
+  /// The paper's vendor C kernels skip FP16, but the ceiling must exist at
+  /// every precision the naive frontends run: packing converts T -> Acc,
+  /// so binary16 operands get the FP32-accumulate scheme for free.
+  [[nodiscard]] bool supports(Precision) const override { return true; }
+
+ private:
+  void execute(const RunConfig& config, Precision prec, RunResult& result) override;
+};
+
 }  // namespace portabench::models

@@ -25,4 +25,9 @@ std::unique_ptr<ModelRunner> make_runner(Platform p, Family f) {
   return nullptr;
 }
 
+std::unique_ptr<ModelRunner> make_optimized_cpu_runner(Platform p) {
+  if (perfmodel::is_gpu(p)) return nullptr;
+  return std::make_unique<OptimizedCppRunner>(p);
+}
+
 }  // namespace portabench::models

@@ -66,4 +66,9 @@ class ModelRunner {
 /// AMD GPUs).
 [[nodiscard]] std::unique_ptr<ModelRunner> make_runner(Platform p, Family f);
 
+/// Build the optimized C++ (tiled/packed GEMM) frontend: the measured
+/// host ceiling the naive frontends are normalized against.  CPU
+/// platforms only — returns nullptr for GPU platforms.
+[[nodiscard]] std::unique_ptr<ModelRunner> make_optimized_cpu_runner(Platform p);
+
 }  // namespace portabench::models

@@ -21,6 +21,11 @@ double series_efficiency(std::span<const double> model_gflops,
   return mean_of(ratios);
 }
 
+double ceiling_efficiency(double model_seconds, double ceiling_seconds) {
+  PB_EXPECTS(model_seconds > 0.0 && ceiling_seconds > 0.0);
+  return ceiling_seconds / model_seconds;
+}
+
 double phi_arithmetic(std::span<const EfficiencyEntry> entries) {
   if (entries.empty()) return 0.0;
   double sum = 0.0;

@@ -32,6 +32,13 @@ struct EfficiencyEntry {
 [[nodiscard]] double series_efficiency(std::span<const double> model_gflops,
                                        std::span<const double> vendor_gflops);
 
+/// Eq.-2 efficiency from *measured host timings* against the optimized
+/// C++ tiled-GEMM ceiling (gemm/kernels_tiled.hpp, OptimizedCppRunner):
+/// the fraction of the ceiling's rate a model's naive kernel reaches on
+/// an identical problem, i.e. ceiling_seconds / model_seconds.  Values
+/// above 1 mean the model beat the ceiling.  Both timings must be > 0.
+[[nodiscard]] double ceiling_efficiency(double model_seconds, double ceiling_seconds);
+
 /// Phi_M per the paper's Eq. (1): arithmetic mean of e_i over all |T|
 /// platforms, with unsupported platforms contributing zero.  This is the
 /// convention Table III uses: Numba's Phi of 0.348 is

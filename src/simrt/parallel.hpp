@@ -62,10 +62,68 @@ inline Block static_block(std::size_t extent, std::size_t num_threads, std::size
 }
 
 inline std::size_t default_chunk(std::size_t extent, std::size_t num_threads) {
-  // Aim for ~8 chunks per thread, minimum 1 iteration per chunk.
-  const std::size_t target = num_threads * 8;
-  return std::max<std::size_t>(1, extent / std::max<std::size_t>(1, target));
+  // Aim for ~8 chunks per thread (load balance), but never chunks so
+  // small that per-chunk scheduling overhead exceeds the work: at least
+  // kMinGrain iterations per chunk, relaxed to extent/nt when the extent
+  // is too small to give every thread even one such chunk (so all
+  // threads still participate).
+  constexpr std::size_t kMinGrain = 8;
+  const std::size_t nt = std::max<std::size_t>(1, num_threads);
+  const std::size_t balanced = (extent + nt * 8 - 1) / (nt * 8);  // ceil
+  const std::size_t per_thread = std::max<std::size_t>(1, extent / nt);
+  return std::max(balanced, std::min(kMinGrain, per_thread));
 }
+
+/// Per-thread chunk queue for dynamic scheduling: a contiguous range of
+/// chunk indices drained from the front via fetch_add.  Padded so each
+/// owner's hot counter lives on its own cache line — a thief touches a
+/// remote line only when its own queue is empty (the old dispatch
+/// funnelled every chunk of every thread through one shared counter).
+struct alignas(kCacheLineBytes) ChunkQueue {
+  std::atomic<std::size_t> next{0};
+  std::size_t end = 0;
+};
+
+/// Execute body(thread, chunk) for every chunk index in [0, nchunks).
+/// Chunks are dealt to per-thread queues in contiguous blocks (so the
+/// common case preserves locality); a thread drains its own queue, then
+/// steals round-robin from its right neighbour's.  A steal uses the same
+/// fetch_add pop as the owner, so the protocol stays lock-free; the
+/// overshoot past `end` from racing pops is benign.  Work is fixed up
+/// front, so after one full pass over all queues a thread can retire.
+/// `work_hint` is the region's total iteration count, used for grain-based
+/// fork elision (ThreadPool::run_auto): a sub-cutoff region drains all the
+/// queues on the caller instead of forking.
+template <class Body>
+void work_steal_run(ThreadPool& pool, std::size_t nchunks, std::size_t work_hint,
+                    Body&& body) {
+  if (nchunks == 0) return;
+  const std::size_t nt = pool.size();
+  std::vector<ChunkQueue> queues(nt);
+  for (std::size_t t = 0; t < nt; ++t) {
+    const Block b = static_block(nchunks, nt, t);
+    queues[t].next.store(b.begin, std::memory_order_relaxed);
+    queues[t].end = b.end;
+  }
+  pool.run_auto([&](std::size_t t) {
+    for (std::size_t v = 0; v < nt; ++v) {
+      ChunkQueue& q = queues[(t + v) % nt];
+      for (;;) {
+        const std::size_t c = q.next.fetch_add(1, std::memory_order_relaxed);
+        if (c >= q.end) break;
+        body(t, c);
+      }
+    }
+  }, work_hint);
+}
+
+/// Cache-line-padded accumulator slot: per-thread reduce partials must
+/// not share lines, or the join's writes ping-pong the line between
+/// cores while the region is still running.
+template <class T>
+struct alignas(kCacheLineBytes) PaddedSlot {
+  T value{};
+};
 
 // --- portacheck sanitized dispatch (see docs/SANITIZER.md) -----------------
 //
@@ -137,23 +195,20 @@ void parallel_for(const ThreadsSpace& space, const RangePolicy& policy, F&& f) {
   }
 
   if (policy.schedule == Schedule::kStatic) {
-    pool.run([&](std::size_t t) {
+    pool.run_auto([&](std::size_t t) {
       const auto block = detail::static_block(extent, nt, t);
       for (std::size_t i = block.begin; i < block.end; ++i) f(policy.begin + i);
-    });
+    }, extent);
     return;
   }
 
   const std::size_t chunk =
       policy.chunk != 0 ? policy.chunk : detail::default_chunk(extent, nt);
-  std::atomic<std::size_t> next{0};
-  pool.run([&](std::size_t) {
-    for (;;) {
-      const std::size_t start = next.fetch_add(chunk, std::memory_order_relaxed);
-      if (start >= extent) return;
-      const std::size_t stop = std::min(start + chunk, extent);
-      for (std::size_t i = start; i < stop; ++i) f(policy.begin + i);
-    }
+  const std::size_t nchunks = (extent + chunk - 1) / chunk;
+  detail::work_steal_run(pool, nchunks, extent, [&](std::size_t, std::size_t c) {
+    const std::size_t start = c * chunk;
+    const std::size_t stop = std::min(start + chunk, extent);
+    for (std::size_t i = start; i < stop; ++i) f(policy.begin + i);
   });
 }
 
@@ -246,22 +301,18 @@ void parallel_for(const ThreadsSpace& space, const MDRangePolicy2& policy, F&& f
     });
     return;
   }
+  const std::size_t total_iters = policy.extent(0) * policy.extent(1);
   if (policy.schedule == Schedule::kStatic) {
-    pool.run([&](std::size_t t) {
+    pool.run_auto([&](std::size_t t) {
       const auto block = detail::static_block(num_tiles, nt, t);
       for (std::size_t ti = block.begin; ti < block.end; ++ti) {
         detail::run_tile(policy, tile, ti, tiles1, f);
       }
-    });
+    }, total_iters);
     return;
   }
-  std::atomic<std::size_t> next{0};
-  pool.run([&](std::size_t) {
-    for (;;) {
-      const std::size_t ti = next.fetch_add(1, std::memory_order_relaxed);
-      if (ti >= num_tiles) return;
-      detail::run_tile(policy, tile, ti, tiles1, f);
-    }
+  detail::work_steal_run(pool, num_tiles, total_iters, [&](std::size_t, std::size_t ti) {
+    detail::run_tile(policy, tile, ti, tiles1, f);
   });
 }
 
@@ -271,13 +322,18 @@ void parallel_for(const ThreadsSpace& space, const MDRangePolicy2& policy, F&& f
 
 template <class F>
 void parallel_for(const SerialSpace&, const TeamPolicy& policy, F&& f) {
+  // Allocation check hoisted out of the league loop: scratch-free teams
+  // (the common case for the Fig. 2 kernels) pay neither the allocation
+  // nor the per-team std::fill.
+  const bool has_scratch = policy.scratch_bytes != 0;
+  std::vector<std::byte> scratch;
+  if (has_scratch) scratch.resize(policy.scratch_bytes);
   if (portacheck::active()) {
     portacheck::begin_region();
-    std::vector<std::byte> scratch(policy.scratch_bytes);
     const auto order = portacheck::permutation(policy.league, portacheck::order_seed());
     for (std::size_t slot = 0; slot < policy.league; ++slot) {
       const std::size_t league = order[slot];
-      std::fill(scratch.begin(), scratch.end(), std::byte{0});
+      if (has_scratch) std::fill(scratch.begin(), scratch.end(), std::byte{0});
       // Teams are the unordered unit: lanes of one team run sequentially and
       // may legitimately share scratch, so the shadow lane is the league rank.
       portacheck::LaneScope lane_scope(league);
@@ -287,9 +343,8 @@ void parallel_for(const SerialSpace&, const TeamPolicy& policy, F&& f) {
     }
     return;
   }
-  std::vector<std::byte> scratch(policy.scratch_bytes);
   for (std::size_t league = 0; league < policy.league; ++league) {
-    std::fill(scratch.begin(), scratch.end(), std::byte{0});  // fresh per team
+    if (has_scratch) std::fill(scratch.begin(), scratch.end(), std::byte{0});  // fresh per team
     for (std::size_t lane = 0; lane < policy.team_size; ++lane) {
       f(TeamMember(league, lane, policy.team_size, scratch.data(), scratch.size()));
     }
@@ -301,17 +356,19 @@ void parallel_for(const ThreadsSpace& space, const TeamPolicy& policy, F&& f) {
   if (policy.league == 0) return;
   ThreadPool& pool = space.pool();
   const std::size_t nt = pool.size();
+  const bool has_scratch = policy.scratch_bytes != 0;
   if (portacheck::active()) {
     portacheck::begin_region();
     const auto order = portacheck::permutation(policy.league, portacheck::order_seed());
     std::atomic<std::size_t> next{0};
     pool.run([&](std::size_t) {
-      std::vector<std::byte> scratch(policy.scratch_bytes);
+      std::vector<std::byte> scratch;
+      if (has_scratch) scratch.resize(policy.scratch_bytes);
       for (;;) {
         const std::size_t slot = next.fetch_add(1, std::memory_order_relaxed);
         if (slot >= policy.league) return;
         const std::size_t league = order[slot];
-        std::fill(scratch.begin(), scratch.end(), std::byte{0});
+        if (has_scratch) std::fill(scratch.begin(), scratch.end(), std::byte{0});
         portacheck::LaneScope lane_scope(league);
         for (std::size_t lane = 0; lane < policy.team_size; ++lane) {
           f(TeamMember(league, lane, policy.team_size, scratch.data(), scratch.size()));
@@ -320,20 +377,40 @@ void parallel_for(const ThreadsSpace& space, const TeamPolicy& policy, F&& f) {
     });
     return;
   }
-  pool.run([&](std::size_t t) {
+  const std::size_t team_iters = policy.league * policy.team_size;
+  if (policy.schedule == Schedule::kDynamic) {
+    // Teams stolen chunk-by-chunk: one league rank per chunk, per-thread
+    // scratch arenas allocated lazily on first use.
+    std::vector<std::vector<std::byte>> arenas(nt);
+    detail::work_steal_run(pool, policy.league, team_iters,
+                           [&](std::size_t t, std::size_t league) {
+      std::vector<std::byte>& scratch = arenas[t];
+      if (has_scratch) {
+        if (scratch.empty()) scratch.resize(policy.scratch_bytes);
+        std::fill(scratch.begin(), scratch.end(), std::byte{0});
+      }
+      for (std::size_t lane = 0; lane < policy.team_size; ++lane) {
+        f(TeamMember(league, lane, policy.team_size, scratch.data(), scratch.size()));
+      }
+    });
+    return;
+  }
+  pool.run_auto([&](std::size_t t) {
     // One scratch arena per pool thread: teams on the same thread run
-    // back-to-back and each gets a zeroed arena.
-    std::vector<std::byte> scratch(policy.scratch_bytes);
+    // back-to-back and each gets a zeroed arena.  The allocation check is
+    // hoisted: scratch-free leagues skip both the allocation and the fill.
+    std::vector<std::byte> scratch;
+    if (has_scratch) scratch.resize(policy.scratch_bytes);
     const auto block = detail::static_block(policy.league, nt, t);
     for (std::size_t league = block.begin; league < block.end; ++league) {
-      std::fill(scratch.begin(), scratch.end(), std::byte{0});
+      if (has_scratch) std::fill(scratch.begin(), scratch.end(), std::byte{0});
       // Host lowering: one pool thread executes all lanes of its team
       // sequentially (Kokkos OpenMP back end behaviour for TeamThreadRange).
       for (std::size_t lane = 0; lane < policy.team_size; ++lane) {
         f(TeamMember(league, lane, policy.team_size, scratch.data(), scratch.size()));
       }
     }
-  });
+  }, team_iters);
 }
 
 // ---------------------------------------------------------------------------
@@ -376,7 +453,11 @@ void parallel_reduce(const ThreadsSpace& space, const RangePolicy& policy, F&& f
   const std::size_t extent = policy.extent();
   ThreadPool& pool = space.pool();
   const std::size_t nt = pool.size();
-  std::vector<T> partial(nt, T{});
+  // Padded partials: each thread's accumulator slot owns a full cache
+  // line, so the end-of-block stores never contend.  The join still walks
+  // the slots in thread order — results stay bitwise-identical to the
+  // unpadded layout.
+  std::vector<detail::PaddedSlot<T>> partial(nt);
   if (extent != 0) {
     if (portacheck::active()) {
       // Permute which pool thread owns which static block, but keep each
@@ -393,19 +474,19 @@ void parallel_reduce(const ThreadsSpace& space, const RangePolicy& policy, F&& f
           portacheck::LaneScope lane(i);
           f(policy.begin + i, acc);
         }
-        partial[b] = acc;
+        partial[b].value = acc;
       });
     } else {
-      pool.run([&](std::size_t t) {
+      pool.run_auto([&](std::size_t t) {
         T acc{};
         const auto block = detail::static_block(extent, nt, t);
         for (std::size_t i = block.begin; i < block.end; ++i) f(policy.begin + i, acc);
-        partial[t] = acc;
-      });
+        partial[t].value = acc;
+      }, extent);
     }
   }
   T total{};
-  for (const T& p : partial) total += p;
+  for (const auto& p : partial) total += p.value;
   result = total;
 }
 

@@ -68,10 +68,15 @@ struct TeamPolicy {
   std::size_t league = 0;
   std::size_t team_size = 1;
   std::size_t scratch_bytes = 0;
+  /// kStatic keeps the contiguous block-per-thread lowering; kDynamic
+  /// deals leagues to per-thread steal queues (for leagues with uneven
+  /// per-team cost, e.g. batched GEMM over mixed sizes).
+  Schedule schedule = Schedule::kStatic;
 
   TeamPolicy() = default;
-  TeamPolicy(std::size_t l, std::size_t t, std::size_t scratch = 0)
-      : league(l), team_size(t), scratch_bytes(scratch) {
+  TeamPolicy(std::size_t l, std::size_t t, std::size_t scratch = 0,
+             Schedule s = Schedule::kStatic)
+      : league(l), team_size(t), scratch_bytes(scratch), schedule(s) {
     PB_EXPECTS(t >= 1);
   }
 };

@@ -83,12 +83,12 @@ typename R::value_type parallel_reduce(const ThreadsSpace& space, const RangePol
   const std::size_t nt = pool.size();
   std::vector<V> partial(nt, R::identity());
   if (extent != 0) {
-    pool.run([&](std::size_t t) {
+    pool.run_auto([&](std::size_t t) {
       V acc = R::identity();
       const auto block = detail::static_block(extent, nt, t);
       for (std::size_t i = block.begin; i < block.end; ++i) f(policy.begin + i, acc);
       partial[t] = acc;
-    });
+    }, extent);
   }
   V total = R::identity();
   for (const V& p : partial) total = R::join(total, p);

@@ -47,7 +47,7 @@ void exclusive_scan(const ThreadsSpace& space, std::span<const T> in, std::span<
 
   // Phase 1: per-block local exclusive scan + block totals.
   std::vector<T> block_total(nt, T{});
-  pool.run([&](std::size_t t) {
+  pool.run_auto([&](std::size_t t) {
     const auto block = detail::static_block(extent, nt, t);
     T running{};
     for (std::size_t i = block.begin; i < block.end; ++i) {
@@ -55,7 +55,7 @@ void exclusive_scan(const ThreadsSpace& space, std::span<const T> in, std::span<
       running = running + in[i];
     }
     block_total[t] = running;
-  });
+  }, extent);
 
   // Phase 2: serial scan of block totals (nt elements — negligible).
   std::vector<T> block_offset(nt, T{});
@@ -66,11 +66,11 @@ void exclusive_scan(const ThreadsSpace& space, std::span<const T> in, std::span<
   }
 
   // Phase 3: add offsets.
-  pool.run([&](std::size_t t) {
+  pool.run_auto([&](std::size_t t) {
     const auto block = detail::static_block(extent, nt, t);
     const T offset = block_offset[t];
     for (std::size_t i = block.begin; i < block.end; ++i) out[i] = out[i] + offset;
-  });
+  }, extent);
 }
 
 template <class T>
@@ -105,14 +105,14 @@ T parallel_scan(const ThreadsSpace& space, const RangePolicy& policy, F&& f) {
 
   // Pass 1: per-block totals (is_final = false: contributions only).
   std::vector<T> block_total(nt, T{});
-  pool.run([&](std::size_t t) {
+  pool.run_auto([&](std::size_t t) {
     const auto block = detail::static_block(extent, nt, t);
     T partial{};
     for (std::size_t i = block.begin; i < block.end; ++i) {
       f(policy.begin + i, partial, false);
     }
     block_total[t] = partial;
-  });
+  }, extent);
 
   // Serial scan of block totals.
   std::vector<T> block_offset(nt, T{});
@@ -123,13 +123,13 @@ T parallel_scan(const ThreadsSpace& space, const RangePolicy& policy, F&& f) {
   }
 
   // Pass 2: final pass with offsets.
-  pool.run([&](std::size_t t) {
+  pool.run_auto([&](std::size_t t) {
     const auto block = detail::static_block(extent, nt, t);
     T partial = block_offset[t];
     for (std::size_t i = block.begin; i < block.end; ++i) {
       f(policy.begin + i, partial, true);
     }
-  });
+  }, extent);
   return running;
 }
 

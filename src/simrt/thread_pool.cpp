@@ -5,8 +5,33 @@
 
 namespace portabench::simrt {
 
+namespace {
+
+/// One spin-loop iteration's worth of politeness: a pipeline hint on
+/// architectures that have one, a scheduler yield elsewhere.
+inline void cpu_pause() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  std::this_thread::yield();
+#endif
+}
+
+// Spin budget before falling back to a condvar park.  The pause phase
+// covers the multicore fast path (the signal arrives within tens of
+// cycles); the yield phase covers oversubscribed hosts, where the peer
+// needs the core to make progress at all.
+constexpr int kPauseSpins = 128;
+constexpr int kYieldSpins = 512;
+
+}  // namespace
+
 ThreadPool::ThreadPool(std::size_t num_threads, Placement placement)
-    : num_threads_(num_threads), placement_(std::move(placement)) {
+    : num_threads_(num_threads),
+      placement_(std::move(placement)),
+      slots_(num_threads == 0 ? 0 : num_threads - 1) {
   PB_EXPECTS(num_threads >= 1);
   PB_EXPECTS(placement_.core_of_thread.empty() ||
              placement_.core_of_thread.size() >= num_threads);
@@ -17,78 +42,184 @@ ThreadPool::ThreadPool(std::size_t num_threads, Placement placement)
 }
 
 ThreadPool::~ThreadPool() {
+  // Drain before shutdown: if the last handle to the pool is dropped on
+  // one thread while another still has a run() in flight (e.g. a
+  // parallel_reduce chunk mid-execution), the region must retire before
+  // workers are told to exit — otherwise its join would wait on threads
+  // that already left.
+  while (in_flight_.load(std::memory_order_acquire)) std::this_thread::yield();
   {
-    // Drain before shutdown: if the last handle to the pool is dropped on
-    // one thread while another still has a run() in flight (e.g. a
-    // parallel_reduce chunk mid-execution), workers must finish and join
-    // that region before being told to exit — otherwise the region's
-    // rendezvous would wait on threads that already left.
-    std::unique_lock lock(mutex_);
-    done_cv_.wait(lock, [this] { return task_ == nullptr && remaining_ == 0; });
-    shutdown_ = true;
+    // shutdown_ is flipped under the park mutex so a worker evaluating its
+    // park predicate cannot miss it (the store and the predicate are
+    // ordered by the lock).
+    std::lock_guard lock(mutex_);
+    shutdown_.store(true, std::memory_order_seq_cst);
   }
   start_cv_.notify_all();
   for (auto& w : workers_) w.join();
 }
 
-void ThreadPool::run(const std::function<void(std::size_t)>& task) {
-  {
-    std::lock_guard lock(mutex_);
-    PB_EXPECTS(task_ == nullptr);  // non-reentrant
-    task_ = &task;
-    remaining_ = num_threads_ - 1;
-    first_error_ = nullptr;
-    ++epoch_;
-  }
-  start_cv_.notify_all();
-
-  // The caller participates as logical thread 0 (like an OpenMP master).
-  try {
-    portacheck::LaneScope lane(0);
-    task(0);
-  } catch (...) {
-    std::lock_guard lock(mutex_);
-    if (!first_error_) first_error_ = std::current_exception();
-  }
-
-  std::unique_lock lock(mutex_);
-  done_cv_.wait(lock, [this] { return remaining_ == 0; });
-  task_ = nullptr;
-  // Wake a destructor that may be draining on another thread.
-  done_cv_.notify_all();
-  if (first_error_) {
-    auto err = first_error_;
-    first_error_ = nullptr;
-    std::rethrow_exception(err);
+void ThreadPool::record_error() noexcept {
+  std::lock_guard lock(error_mutex_);
+  if (!has_error_.load(std::memory_order_relaxed)) {
+    first_error_ = std::current_exception();
+    has_error_.store(true, std::memory_order_release);
   }
 }
 
-void ThreadPool::worker_loop(std::size_t thread_id) {
-  std::uint64_t seen_epoch = 0;
+bool ThreadPool::await_epoch(WorkerSlot& slot, std::uint64_t epoch) {
+  int spins = 0;
   for (;;) {
-    const std::function<void(std::size_t)>* task = nullptr;
-    {
-      std::unique_lock lock(mutex_);
-      start_cv_.wait(lock, [&] { return shutdown_ || epoch_ != seen_epoch; });
-      if (shutdown_) return;
-      seen_epoch = epoch_;
-      task = task_;
+    if (slot.go.load(std::memory_order_acquire) >= epoch) return true;
+    if (shutdown_.load(std::memory_order_acquire)) return false;
+    if (spins < kPauseSpins) {
+      cpu_pause();
+    } else if (spins < kPauseSpins + kYieldSpins) {
+      std::this_thread::yield();
+    } else {
+      break;  // spin budget exhausted: park
     }
+    ++spins;
+  }
+  std::unique_lock lock(mutex_);
+  // seq_cst Dekker pair with run_impl: the caller stores go then loads
+  // parked; we store parked then load go.  At least one side must see the
+  // other's store, so either the caller notifies or the predicate is
+  // already true and we never sleep.
+  slot.parked.store(1, std::memory_order_seq_cst);
+  start_cv_.wait(lock, [&] {
+    return shutdown_.load(std::memory_order_seq_cst) ||
+           slot.go.load(std::memory_order_seq_cst) >= epoch;
+  });
+  slot.parked.store(0, std::memory_order_relaxed);
+  return slot.go.load(std::memory_order_acquire) >= epoch;
+}
+
+void ThreadPool::worker_loop(std::size_t thread_id) {
+  WorkerSlot& slot = slots_[thread_id - 1];
+  std::uint64_t epoch = 0;
+  for (;;) {
+    ++epoch;
+    if (!await_epoch(slot, epoch)) return;
+    // task_fn_/task_ctx_ were published before the slot's go store; the
+    // acquire load in await_epoch orders these plain reads after it.
+    const TaskFn fn = task_fn_;
+    void* const ctx = task_ctx_;
     try {
       // Default shadow lane for tasks submitted via run() directly; the
       // checked parallel_* paths override this per logical iteration.
       portacheck::LaneScope lane(thread_id);
-      (*task)(thread_id);
+      fn(ctx, thread_id);
     } catch (...) {
-      std::lock_guard lock(mutex_);
-      if (!first_error_) first_error_ = std::current_exception();
+      record_error();
     }
+    const std::size_t prev = arrived_.fetch_add(1, std::memory_order_seq_cst);
+    if (prev + 1 == num_threads_ - 1 &&
+        caller_parked_.load(std::memory_order_seq_cst)) {
+      // Empty critical section: the caller either holds the mutex inside
+      // wait() (notify after we acquire+release is ordered correctly) or
+      // has not parked yet, in which case its predicate will see arrived_.
+      { std::lock_guard lock(mutex_); }
+      done_cv_.notify_one();
+    }
+  }
+}
+
+void ThreadPool::run_inline(TaskFn fn, void* ctx) {
+  PB_EXPECTS(fn != nullptr);
+  PB_EXPECTS(!in_flight_.load(std::memory_order_relaxed));  // non-reentrant
+  // in_flight_ still guards the destructor drain: the pool must not tear
+  // down while another thread is mid-region, even a caller-only one.
+  in_flight_.store(true, std::memory_order_relaxed);
+  // Same lane decomposition and error contract as the forked path: every
+  // lane runs (a throw does not skip the rest), first error is rethrown.
+  for (std::size_t t = 0; t < num_threads_; ++t) {
+    try {
+      portacheck::LaneScope lane(t);
+      fn(ctx, t);
+    } catch (...) {
+      record_error();
+    }
+  }
+  in_flight_.store(false, std::memory_order_release);
+  if (has_error_.load(std::memory_order_acquire)) {
+    std::exception_ptr err;
     {
-      std::lock_guard lock(mutex_);
-      // notify_all: both run()'s rendezvous and a draining destructor may
-      // be waiting on done_cv_.
-      if (--remaining_ == 0) done_cv_.notify_all();
+      std::lock_guard lock(error_mutex_);
+      err = first_error_;
+      first_error_ = nullptr;
+      has_error_.store(false, std::memory_order_relaxed);
     }
+    std::rethrow_exception(err);
+  }
+}
+
+void ThreadPool::run_impl(TaskFn fn, void* ctx) {
+  PB_EXPECTS(fn != nullptr);
+  if (num_threads_ == 1) {
+    // Degenerate pool: the caller is the whole team, no signaling at all.
+    portacheck::LaneScope lane(0);
+    fn(ctx, 0);
+    return;
+  }
+
+  PB_EXPECTS(!in_flight_.load(std::memory_order_relaxed));  // non-reentrant
+  in_flight_.store(true, std::memory_order_relaxed);
+  task_fn_ = fn;
+  task_ctx_ = ctx;
+  arrived_.store(0, std::memory_order_relaxed);
+
+  // Publish the region: one padded line per worker, then a condvar nudge
+  // only if someone actually parked.
+  const std::uint64_t epoch = ++epoch_;
+  bool any_parked = false;
+  for (WorkerSlot& slot : slots_) {
+    slot.go.store(epoch, std::memory_order_seq_cst);
+    any_parked |= slot.parked.load(std::memory_order_seq_cst) != 0;
+  }
+  if (any_parked) {
+    { std::lock_guard lock(mutex_); }
+    start_cv_.notify_all();
+  }
+
+  // The caller participates as logical thread 0 (like an OpenMP master).
+  try {
+    portacheck::LaneScope lane(0);
+    fn(ctx, 0);
+  } catch (...) {
+    record_error();
+  }
+
+  // Join: spin on the arrival counter, then park on done_cv_.
+  const std::size_t expect = num_threads_ - 1;
+  int spins = 0;
+  while (arrived_.load(std::memory_order_acquire) != expect) {
+    if (spins < kPauseSpins) {
+      cpu_pause();
+    } else if (spins < kPauseSpins + kYieldSpins) {
+      std::this_thread::yield();
+    } else {
+      std::unique_lock lock(mutex_);
+      caller_parked_.store(true, std::memory_order_seq_cst);
+      done_cv_.wait(lock, [&] {
+        return arrived_.load(std::memory_order_seq_cst) == expect;
+      });
+      caller_parked_.store(false, std::memory_order_relaxed);
+      break;
+    }
+    ++spins;
+  }
+  in_flight_.store(false, std::memory_order_release);
+
+  if (has_error_.load(std::memory_order_acquire)) {
+    std::exception_ptr err;
+    {
+      std::lock_guard lock(error_mutex_);
+      err = first_error_;
+      first_error_ = nullptr;
+      has_error_.store(false, std::memory_order_relaxed);
+    }
+    std::rethrow_exception(err);
   }
 }
 

@@ -58,7 +58,7 @@ void spmv_csc_column_parallel(const simrt::ThreadsSpace& space, const CscMatrix<
   const std::size_t nt = space.concurrency();
   std::vector<std::vector<T>> partial(nt, std::vector<T>(A.rows, T{}));
 
-  space.pool().run([&](std::size_t t) {
+  space.pool().run_auto([&](std::size_t t) {
     auto block = simrt::detail::static_block(A.cols, nt, t);
     std::vector<T>& mine = partial[t];
     for (std::size_t c = block.begin; c < block.end; ++c) {
@@ -67,7 +67,7 @@ void spmv_csc_column_parallel(const simrt::ThreadsSpace& space, const CscMatrix<
         mine[A.row_idx[e]] += A.values[e] * xc;
       }
     }
-  });
+  }, A.cols);
 
   // The join runs on the caller after the region: index-wise so shadow
   // views (no iterators) work as y.
