@@ -75,10 +75,9 @@ void BM_GpusimThreadRate(benchmark::State& state) {
   gpusim::DeviceContext ctx(gpusim::GpuSpec::a100());
   const std::size_t n = 256;
   std::vector<double> out(n * n, 0.0);
-  double* p = out.data();
   for (auto _ : state) {
-    gpusim::launch(ctx, {n / 16, n / 16, 1}, {16, 16, 1}, [=](const gpusim::ThreadCtx& tc) {
-      p[tc.global_y() * n + tc.global_x()] += 1.0;
+    gpusim::launch(ctx, {n / 16, n / 16, 1}, {16, 16, 1}, [&](const gpusim::ThreadCtx& tc) {
+      out[tc.global_y() * n + tc.global_x()] += 1.0;
     });
     benchmark::DoNotOptimize(out[0]);
   }

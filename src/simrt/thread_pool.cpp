@@ -51,9 +51,11 @@ ThreadPool::~ThreadPool() {
   {
     // shutdown_ is flipped under the park mutex so a worker evaluating its
     // park predicate cannot miss it (the store and the predicate are
-    // ordered by the lock).
+    // ordered by the lock).  release, not seq_cst: the lock orders the
+    // parked path, and the unlocked fast-path load in await_epoch only
+    // needs acquire/release — shutdown_ is not part of a Dekker pair.
     std::lock_guard lock(mutex_);
-    shutdown_.store(true, std::memory_order_seq_cst);
+    shutdown_.store(true, std::memory_order_release);
   }
   start_cv_.notify_all();
   for (auto& w : workers_) w.join();
@@ -86,10 +88,13 @@ bool ThreadPool::await_epoch(WorkerSlot& slot, std::uint64_t epoch) {
   // parked; we store parked then load go.  At least one side must see the
   // other's store, so either the caller notifies or the predicate is
   // already true and we never sleep.
-  slot.parked.store(1, std::memory_order_seq_cst);
+  slot.parked.store(1, std::memory_order_seq_cst);  // portalint: mo-ok(Dekker store side; pairs with run_impl's go-store/parked-load)
   start_cv_.wait(lock, [&] {
-    return shutdown_.load(std::memory_order_seq_cst) ||
-           slot.go.load(std::memory_order_seq_cst) >= epoch;
+    // shutdown_ may be relaxed here: its store happens under this same
+    // mutex, so the lock orders it.  go stays seq_cst — it is the load
+    // side of the Dekker pair and must not hoist above the parked store.
+    return shutdown_.load(std::memory_order_relaxed) ||
+           slot.go.load(std::memory_order_seq_cst) >= epoch;  // portalint: mo-ok(Dekker load side)
   });
   slot.parked.store(0, std::memory_order_relaxed);
   return slot.go.load(std::memory_order_acquire) >= epoch;
@@ -113,9 +118,9 @@ void ThreadPool::worker_loop(std::size_t thread_id) {
     } catch (...) {
       record_error();
     }
-    const std::size_t prev = arrived_.fetch_add(1, std::memory_order_seq_cst);
+    const std::size_t prev = arrived_.fetch_add(1, std::memory_order_seq_cst);  // portalint: mo-ok(Dekker store side; pairs with run_impl's caller_parked-store/arrived-load)
     if (prev + 1 == num_threads_ - 1 &&
-        caller_parked_.load(std::memory_order_seq_cst)) {
+        caller_parked_.load(std::memory_order_seq_cst)) {  // portalint: mo-ok(Dekker load side)
       // Empty critical section: the caller either holds the mutex inside
       // wait() (notify after we acquire+release is ordered correctly) or
       // has not parked yet, in which case its predicate will see arrived_.
@@ -174,8 +179,8 @@ void ThreadPool::run_impl(TaskFn fn, void* ctx) {
   const std::uint64_t epoch = ++epoch_;
   bool any_parked = false;
   for (WorkerSlot& slot : slots_) {
-    slot.go.store(epoch, std::memory_order_seq_cst);
-    any_parked |= slot.parked.load(std::memory_order_seq_cst) != 0;
+    slot.go.store(epoch, std::memory_order_seq_cst);  // portalint: mo-ok(Dekker store side; pairs with await_epoch's parked-store/go-load)
+    any_parked |= slot.parked.load(std::memory_order_seq_cst) != 0;  // portalint: mo-ok(Dekker load side)
   }
   if (any_parked) {
     { std::lock_guard lock(mutex_); }
@@ -200,9 +205,9 @@ void ThreadPool::run_impl(TaskFn fn, void* ctx) {
       std::this_thread::yield();
     } else {
       std::unique_lock lock(mutex_);
-      caller_parked_.store(true, std::memory_order_seq_cst);
+      caller_parked_.store(true, std::memory_order_seq_cst);  // portalint: mo-ok(Dekker store side; pairs with worker_loop's arrived-add/caller_parked-load)
       done_cv_.wait(lock, [&] {
-        return arrived_.load(std::memory_order_seq_cst) == expect;
+        return arrived_.load(std::memory_order_seq_cst) == expect;  // portalint: mo-ok(Dekker load side)
       });
       caller_parked_.store(false, std::memory_order_relaxed);
       break;

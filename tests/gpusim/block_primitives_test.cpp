@@ -19,6 +19,7 @@ TEST_P(BlockPrimitives, ReduceSumsLaneIds) {
   double total = -1.0;
   launch_blocks(ctx_, {1, 1, 1}, {lanes, 1, 1}, lanes * sizeof(double), [&](BlockCtx& bc) {
     auto scratch = bc.shared<double>(lanes);
+    // portalint: ls-capture-write-ok(block_reduce_sum broadcasts; every lane stores the identical reduced value)
     total = block_reduce_sum<double>(bc, scratch, [](const ThreadCtx& tc) {
       return static_cast<double>(tc.lane_in_block());
     });
@@ -69,6 +70,7 @@ TEST(BlockPrimitivesMulti, Reduce2DBlockLinearizesLanes) {
   double total = -1.0;
   launch_blocks(ctx, {1, 1, 1}, {8, 4, 1}, 32 * sizeof(double), [&](BlockCtx& bc) {
     auto scratch = bc.shared<double>(32);
+    // portalint: ls-capture-write-ok(block_reduce_sum broadcasts; every lane stores the identical reduced value)
     total = block_reduce_sum<double>(bc, scratch,
                                      [](const ThreadCtx&) { return 1.0; });
   });

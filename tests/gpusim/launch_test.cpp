@@ -93,6 +93,7 @@ TEST_F(LaunchTest, KernelSeesDeviceBuffers) {
   double* dst = out.data();
   launch(ctx_, {blocks_for(kCount, 256), 1, 1}, {256, 1, 1}, [=](const ThreadCtx& tc) {
     const std::size_t i = tc.global_x();
+    // portalint: ls-ptr-capture-ok(device-buffer pointer visibility is exactly what this test exercises)
     if (i < kCount) dst[i] = 2.0 * src[i];
   });
 
@@ -157,6 +158,7 @@ TEST_F(LaunchTest, SharedMemoryZeroInitialized) {
   launch_blocks(ctx_, {1, 1, 1}, {1, 1, 1}, 64, [&](BlockCtx& bc) {
     auto bytes = bc.shared<std::uint8_t>(64);
     bc.for_lanes([&](const ThreadCtx&) {
+      // portalint: ls-capture-write-ok(1x1x1 block: a single lane runs this body)
       for (auto v : bytes) all_zero = all_zero && v == 0;
     });
   });
@@ -187,6 +189,7 @@ TEST_F(LaunchTest, ThreeDimensionalBlocksCovered) {
 TEST_F(LaunchTest, GlobalZIndexComputed) {
   std::size_t max_z = 0;
   launch(ctx_, {1, 1, 3}, {1, 1, 2}, [&](const ThreadCtx& tc) {
+    // portalint: ls-capture-write-ok(gpusim lanes run in-order on the host thread; racy on real devices)
     max_z = std::max(max_z, tc.global_z());
   });
   EXPECT_EQ(max_z, 2u * 2u + 1u);  // blockIdx.z=2, threadIdx.z=1

@@ -1,0 +1,182 @@
+// Unit tests for the portalint plumbing: lexer edge cases, inline
+// suppressions, baseline matching/staleness, JSON rendering and exit
+// codes.  Analyzed sources are written to the gtest temp dir, whose
+// path has no "tests"/"fixtures" component, so every rule applies.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "engine.hpp"
+#include "lexer.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+fs::path write_temp(const std::string& name, const std::string& text) {
+  const fs::path p = fs::path(::testing::TempDir()) / name;
+  std::ofstream out(p);
+  out << text;
+  return p;
+}
+
+portalint::Result scan(const fs::path& file, const fs::path& baseline = {}) {
+  portalint::Options opts;
+  opts.inputs = {file};
+  opts.root = file.parent_path();
+  if (baseline.empty()) {
+    opts.use_baseline = false;
+  } else {
+    opts.baseline_path = baseline;
+  }
+  return portalint::run_portalint(opts);
+}
+
+// --- lexer ------------------------------------------------------------------
+
+TEST(Lexer, FoldsContinuedDirectivesAndKeepsLineNumbers) {
+  const auto lx = portalint::lex("#define WIDE \\\n  42\nint x = WIDE;\n");
+  ASSERT_EQ(lx.directives.size(), 1u);
+  EXPECT_EQ(lx.directives[0].line, 1);
+  EXPECT_EQ(lx.directives[0].text, "define WIDE 42");
+  ASSERT_FALSE(lx.tokens.empty());
+  EXPECT_EQ(lx.tokens[0].text, "int");
+  EXPECT_EQ(lx.tokens[0].line, 3);
+}
+
+TEST(Lexer, RawStringsAreOpaque) {
+  const auto lx = portalint::lex("auto s = R\"(volatile std::mutex)\";\n");
+  for (const auto& t : lx.tokens) {
+    EXPECT_NE(t.text, "volatile");
+    EXPECT_NE(t.text, "mutex");
+  }
+}
+
+TEST(Lexer, BlockCommentSpansLines) {
+  const auto lx = portalint::lex("/* a\n   b */ int y;\n");
+  ASSERT_EQ(lx.comments.size(), 1u);
+  EXPECT_EQ(lx.comments[0].line, 1);
+  EXPECT_EQ(lx.comments[0].end_line, 2);
+}
+
+// --- suppressions -----------------------------------------------------------
+
+TEST(Suppression, SameLineCommentSilencesFinding) {
+  const auto f = write_temp("sup_same.cpp",
+                            "volatile int spin = 0;  // portalint: raw-thread-ok(benchmark sink)\n");
+  const auto r = scan(f);
+  EXPECT_TRUE(r.active.empty());
+  ASSERT_EQ(r.suppressed.size(), 1u);
+  EXPECT_EQ(r.suppressed[0].rule, "raw-thread");
+}
+
+TEST(Suppression, PreviousLineCommentSilencesFinding) {
+  const auto f = write_temp("sup_prev.cpp",
+                            "// portalint: raw-thread-ok(benchmark sink)\n"
+                            "volatile int spin = 0;\n");
+  const auto r = scan(f);
+  EXPECT_TRUE(r.active.empty());
+  EXPECT_EQ(r.suppressed.size(), 1u);
+}
+
+TEST(Suppression, FamilyPrefixCoversConcreteRule) {
+  // "mo-ok" suppresses mo-explicit (and mo-balance) at that site.
+  const auto f = write_temp("sup_prefix.cpp",
+                            "#include <atomic>\n"
+                            "std::atomic<int> g{0};\n"
+                            "// portalint: mo-ok(assertion does not order anything)\n"
+                            "int peek() { return g.load(); }\n");
+  const auto r = scan(f);
+  EXPECT_TRUE(r.active.empty());
+  EXPECT_FALSE(r.suppressed.empty());
+}
+
+TEST(Suppression, WrongRuleDoesNotSilence) {
+  const auto f = write_temp("sup_wrong.cpp",
+                            "volatile int spin = 0;  // portalint: det-rand-ok(unrelated)\n");
+  const auto r = scan(f);
+  ASSERT_EQ(r.active.size(), 1u);
+  EXPECT_EQ(r.active[0].rule, "raw-thread");
+  EXPECT_EQ(portalint::exit_code(r), 1);
+}
+
+// --- baseline ---------------------------------------------------------------
+
+TEST(Baseline, EntryAbsorbsMatchingFinding) {
+  const auto f = write_temp("base_hit.cpp", "volatile int spin = 0;\n");
+  const auto b = write_temp("base_hit.baseline",
+                            "# comment\n"
+                            "raw-thread :: base_hit.cpp :: volatile int spin = 0; :: legacy sink\n");
+  const auto r = scan(f, b);
+  EXPECT_TRUE(r.active.empty());
+  EXPECT_TRUE(r.stale.empty());
+  ASSERT_EQ(r.baselined.size(), 1u);
+  EXPECT_EQ(portalint::exit_code(r), 0);
+}
+
+TEST(Baseline, StaleEntryFailsTheRun) {
+  const auto f = write_temp("base_stale.cpp", "int clean = 0;\n");
+  const auto b = write_temp("base_stale.baseline",
+                            "raw-thread :: base_stale.cpp :: volatile int gone = 0; :: was removed\n");
+  const auto r = scan(f, b);
+  EXPECT_TRUE(r.active.empty());
+  ASSERT_EQ(r.stale.size(), 1u);
+  EXPECT_EQ(r.stale[0].rule, "raw-thread");
+  EXPECT_EQ(portalint::exit_code(r), 1);
+}
+
+TEST(Baseline, MalformedLineIsAnError) {
+  std::vector<std::string> errors;
+  const auto entries = portalint::parse_baseline("only :: two-fields\n", errors);
+  EXPECT_TRUE(entries.empty());
+  EXPECT_FALSE(errors.empty());
+}
+
+TEST(Baseline, ExcerptMatchIsWhitespaceInsensitive) {
+  const auto f = write_temp("base_ws.cpp", "    volatile   int spin = 0;\n");
+  const auto b = write_temp("base_ws.baseline",
+                            "raw-thread :: base_ws.cpp :: volatile int spin = 0; :: sink\n");
+  const auto r = scan(f, b);
+  EXPECT_TRUE(r.active.empty());
+  EXPECT_TRUE(r.stale.empty());
+}
+
+// --- rendering & exit codes -------------------------------------------------
+
+TEST(Report, JsonCarriesFindingsAndSummary) {
+  const auto f = write_temp("json_out.cpp", "volatile int spin = 0;\n");
+  const auto r = scan(f);
+  std::ostringstream os;
+  portalint::print_json(r, os);
+  const std::string j = os.str();
+  EXPECT_NE(j.find("\"findings\""), std::string::npos);
+  EXPECT_NE(j.find("\"raw-thread\""), std::string::npos);
+  EXPECT_NE(j.find("\"summary\":{\"files\":1"), std::string::npos);
+}
+
+TEST(Report, CleanFileExitsZero) {
+  const auto f = write_temp("clean.cpp", "int answer() { return 42; }\n");
+  const auto r = scan(f);
+  EXPECT_TRUE(r.clean());
+  EXPECT_EQ(portalint::exit_code(r), 0);
+}
+
+// Regression: structured bindings declare lane-local names, so a store
+// indexed through them must not fire ls-nonlane-store (the gemm
+// numba-style kernels use exactly this shape).
+TEST(Rules, StructuredBindingNamesAreLaneLocals) {
+  const auto f = write_temp("sb.cpp",
+                            "void k(Ctx& ctx, double* C, int n) {\n"
+                            "  launch(ctx, {1, 1, 1}, {4, 4, 1}, [&](const ThreadCtx& tc) {\n"
+                            "    const auto [i, j] = tc.numba_grid2();\n"
+                            "    C[i * n + j] = 0.0;\n"
+                            "  });\n"
+                            "}\n");
+  const auto r = scan(f);
+  for (const auto& fi : r.active) EXPECT_NE(fi.rule, "ls-nonlane-store") << fi.message;
+}
+
+}  // namespace

@@ -1,0 +1,12 @@
+// portalint fixture: known-bad (with cycle_b.hpp).  The cycle report
+// anchors on the lexicographically first member's include line.
+#pragma once
+#include "cycle_b.hpp"  // portalint-expect: hy-include-cycle
+
+namespace fixture {
+
+struct A {
+  int b_tag;
+};
+
+}  // namespace fixture

@@ -1,0 +1,11 @@
+// portalint fixture: the other half of the cycle_a.hpp include cycle.
+#pragma once
+#include "cycle_a.hpp"
+
+namespace fixture {
+
+struct B {
+  int a_tag;
+};
+
+}  // namespace fixture

@@ -1,0 +1,8 @@
+// portalint fixture: leaf of the acyclic include chain.
+#pragma once
+
+namespace fixture {
+
+inline int leaf_value() { return 1; }
+
+}  // namespace fixture

@@ -1,0 +1,10 @@
+// portalint fixture: known-good.  A two-file include chain with no back
+// edge: top -> leaf, leaf -> nothing.
+#pragma once
+#include "leaf.hpp"
+
+namespace fixture {
+
+inline int top_value() { return leaf_value() + 1; }
+
+}  // namespace fixture

@@ -1,0 +1,16 @@
+// portalint fixture: known-bad.  Global libc rand() and hardware
+// entropy both make runs unreproducible; all randomness must flow
+// through the seeded common/rng streams.
+#include <cstdlib>
+#include <random>
+
+namespace fixture {
+
+inline double noise_wrong() {
+  std::random_device entropy;  // portalint-expect: det-rand
+  const double a = static_cast<double>(entropy());
+  const double b = static_cast<double>(rand());  // portalint-expect: det-rand
+  return a + b;
+}
+
+}  // namespace fixture

@@ -1,0 +1,11 @@
+// portalint fixture: known-good.  A seeded stream from common/rng: the
+// same seed reproduces the same sequence on every run and platform.
+#include <cstdint>
+
+namespace fixture {
+
+inline double noise_right(RngStream& stream) { return stream.uniform(); }
+
+inline RngStream make_stream(std::uint64_t seed) { return RngStream(seed); }
+
+}  // namespace fixture

@@ -1,0 +1,20 @@
+// portalint fixture: known-bad.  Iterating an unordered container feeds
+// its unspecified order into a floating-point reduction — the result
+// differs between standard libraries (and hash seeds).
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace fixture {
+
+inline double total_wrong(const std::vector<std::pair<std::string, double>>& items) {
+  std::unordered_map<std::string, double> weights(items.begin(), items.end());
+  double sum = 0.0;
+  for (const auto& [name, w] : weights) {  // portalint-expect: det-unordered
+    sum += w;
+  }
+  return sum;
+}
+
+}  // namespace fixture

@@ -1,0 +1,23 @@
+// portalint fixture: known-good.  The unordered container is used only
+// for lookup; anything reduced is first copied out and sorted, so the
+// summation order is pinned.
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace fixture {
+
+inline double total_right(const std::vector<std::pair<std::string, double>>& items) {
+  std::unordered_map<std::string, double> weights(items.begin(), items.end());
+  std::vector<std::pair<std::string, double>> ordered(weights.begin(), weights.end());
+  std::sort(ordered.begin(), ordered.end());
+  double sum = 0.0;
+  for (const auto& [name, w] : ordered) {
+    sum += w;
+  }
+  return sum;
+}
+
+}  // namespace fixture

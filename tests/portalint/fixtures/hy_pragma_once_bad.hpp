@@ -1,0 +1,8 @@
+// portalint-expect: hy-pragma-once — this header deliberately omits the guard.
+// (The rule anchors on line 1, so the marker lives here.)
+
+namespace fixture {
+
+inline int answer() { return 42; }
+
+}  // namespace fixture

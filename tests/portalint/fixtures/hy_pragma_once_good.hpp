@@ -1,0 +1,9 @@
+// portalint fixture: known-good.  Guarded header in this repository's
+// include-guard style.
+#pragma once
+
+namespace fixture {
+
+inline int answer() { return 42; }
+
+}  // namespace fixture

@@ -1,0 +1,14 @@
+// portalint fixture: known-bad.  using-directives at file and namespace
+// scope leak into every translation unit that includes this header.
+#pragma once
+#include <string>
+
+using namespace std;  // portalint-expect: hy-using-ns
+
+namespace fixture {
+
+using namespace std::chrono;  // portalint-expect: hy-using-ns
+
+inline string greet() { return "hello"; }
+
+}  // namespace fixture

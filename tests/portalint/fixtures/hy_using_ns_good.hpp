@@ -1,0 +1,13 @@
+// portalint fixture: known-good.  A using-directive confined to a
+// function body is visible to that body only; headers may do this.
+#pragma once
+#include <chrono>
+
+namespace fixture {
+
+inline double seconds_since(std::chrono::steady_clock::time_point t0) {
+  using namespace std::chrono;
+  return duration_cast<duration<double>>(steady_clock::now() - t0).count();
+}
+
+}  // namespace fixture

@@ -1,0 +1,27 @@
+// portalint fixture: known-bad.  Lines expected to fire carry an inline
+// expect marker naming the rule; the fixture test fails if the file
+// produces any finding not matching a marker (or vice versa).
+//
+// Fixtures are lexed, never compiled — the dispatch calls and types only
+// need to look like the real APIs.
+#include <cstddef>
+
+namespace fixture {
+
+inline double sum_wrong(Space& space, std::size_t n) {
+  double sum = 0.0;
+  parallel_for(space, n, [&](std::size_t i) {
+    sum += static_cast<double>(i);  // portalint-expect: ls-capture-write
+  });
+  return sum;
+}
+
+inline std::size_t count_wrong(Space& space, std::size_t n) {
+  std::size_t hits = 0;
+  parallel_for(space, n, [&](std::size_t i) {
+    if (i % 2 == 0) ++hits;  // portalint-expect: ls-capture-write
+  });
+  return hits;
+}
+
+}  // namespace fixture

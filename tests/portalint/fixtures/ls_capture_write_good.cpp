@@ -1,0 +1,27 @@
+// portalint fixture: known-good.  The race-free counterparts of
+// ls_capture_write_bad.cpp — an atomic accumulator with explicit
+// ordering, and per-lane slots combined after the join.
+#include <atomic>
+#include <cstddef>
+
+namespace fixture {
+
+inline double sum_right_atomic(Space& space, std::size_t n) {
+  std::atomic<double> total{0.0};
+  parallel_for(space, n, [&](std::size_t i) {
+    total.fetch_add(static_cast<double>(i), std::memory_order_relaxed);
+  });
+  return total.load(std::memory_order_relaxed);
+}
+
+inline double sum_right_slots(Space& space, std::size_t n, double* partials) {
+  parallel_for(space, n, [&](std::size_t i) {
+    double term = static_cast<double>(i);
+    partials[i] = term;
+  });
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) sum += partials[i];
+  return sum;
+}
+
+}  // namespace fixture

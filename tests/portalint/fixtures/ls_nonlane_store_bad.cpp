@@ -1,0 +1,16 @@
+// portalint fixture: known-bad.  Every lane stores through the same
+// index — a classic transposed-loop bug where the store does not depend
+// on the lane variable at all.
+#include <cstddef>
+#include <vector>
+
+namespace fixture {
+
+inline void broadcast_wrong(Space& space, std::size_t n, std::vector<double>& out) {
+  const std::size_t last = n - 1;
+  parallel_for(space, n, [&, last](std::size_t i) {
+    out[last] = static_cast<double>(i);  // portalint-expect: ls-nonlane-store
+  });
+}
+
+}  // namespace fixture

@@ -1,0 +1,22 @@
+// portalint fixture: known-good.  Stores are indexed by the lane
+// variable (directly and through a derived local), so lanes never
+// collide.
+#include <cstddef>
+#include <vector>
+
+namespace fixture {
+
+inline void scatter_right(Space& space, std::size_t n, std::vector<double>& out) {
+  parallel_for(space, n, [&](std::size_t i) {
+    out[i] = static_cast<double>(i);
+  });
+}
+
+inline void strided_right(Space& space, std::size_t n, std::vector<double>& out) {
+  parallel_for(space, n, [&](std::size_t i) {
+    const std::size_t slot = 2 * i + 1;
+    out[slot] = static_cast<double>(i);
+  });
+}
+
+}  // namespace fixture

@@ -1,0 +1,15 @@
+// portalint fixture: known-bad.  A device kernel captures a raw pointer
+// by value — the access bypasses the buffer layer, so it is neither
+// bounds-checkable nor portable to a discrete-memory device.
+#include <cstddef>
+
+namespace fixture {
+
+inline void scale_wrong(Ctx& ctx, std::size_t n, double* data) {
+  double* p = data;
+  launch(ctx, {1, 1, 1}, {n, 1, 1}, [=](const ThreadCtx& tc) {
+    p[tc.global_x()] *= 2.0;  // portalint-expect: ls-ptr-capture
+  });
+}
+
+}  // namespace fixture

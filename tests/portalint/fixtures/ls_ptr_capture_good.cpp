@@ -1,0 +1,15 @@
+// portalint fixture: known-good.  The kernel goes through a device
+// buffer view instead of a raw pointer, so accesses stay checkable and
+// the capture is portable.
+#include <cstddef>
+
+namespace fixture {
+
+inline void scale_right(Ctx& ctx, std::size_t n, DeviceBuffer& buf) {
+  auto view = buf.view();
+  launch(ctx, {1, 1, 1}, {n, 1, 1}, [&](const ThreadCtx& tc) {
+    view[tc.global_x()] *= 2.0;
+  });
+}
+
+}  // namespace fixture

@@ -1,0 +1,16 @@
+// portalint fixture: known-bad.  The flag is loaded with acquire but no
+// store anywhere releases it — the acquire synchronizes with nothing, so
+// the "handshake" publishes no data.
+#include <atomic>
+
+namespace fixture {
+
+inline std::atomic<int> half_handshake{0};
+
+inline bool wait_wrong() {
+  return half_handshake.load(std::memory_order_acquire) != 0;  // portalint-expect: mo-balance
+}
+
+inline void nudge_wrong() { half_handshake.store(1, std::memory_order_relaxed); }
+
+}  // namespace fixture

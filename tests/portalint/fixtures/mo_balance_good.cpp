@@ -1,0 +1,15 @@
+// portalint fixture: known-good.  Acquire-side load and release-side
+// store on the same variable: the pairing balances.
+#include <atomic>
+
+namespace fixture {
+
+inline std::atomic<int> full_handshake{0};
+
+inline void signal_right() { full_handshake.store(1, std::memory_order_release); }
+
+inline bool wait_right() {
+  return full_handshake.load(std::memory_order_acquire) != 0;
+}
+
+}  // namespace fixture

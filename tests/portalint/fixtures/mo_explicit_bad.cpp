@@ -1,0 +1,19 @@
+// portalint fixture: known-bad.  Atomic operations with no explicit
+// memory_order default to seq_cst silently; the rule demands the
+// algorithm state the ordering it actually needs.
+#include <atomic>
+
+namespace fixture {
+
+inline std::atomic<int> ready_flag_bad{0};
+
+inline void publish_wrong(int* payload) {
+  *payload = 42;
+  ready_flag_bad.store(1);  // portalint-expect: mo-explicit
+}
+
+inline bool consume_wrong() {
+  return ready_flag_bad.load() != 0;  // portalint-expect: mo-explicit
+}
+
+}  // namespace fixture

@@ -1,0 +1,18 @@
+// portalint fixture: known-good.  Same publish/consume handshake with
+// the orderings named: release pairs with acquire on one variable.
+#include <atomic>
+
+namespace fixture {
+
+inline std::atomic<int> ready_flag_good{0};
+
+inline void publish_right(int* payload) {
+  *payload = 42;
+  ready_flag_good.store(1, std::memory_order_release);
+}
+
+inline bool consume_right() {
+  return ready_flag_good.load(std::memory_order_acquire) != 0;
+}
+
+}  // namespace fixture

@@ -1,0 +1,18 @@
+// portalint fixture: known-bad.  Hand-rolled threading outside the
+// runtime layers: raw std::thread / std::mutex and a volatile "flag".
+#include <mutex>
+#include <thread>
+
+namespace fixture {
+
+inline void roll_your_own(int iterations) {
+  volatile bool stop = false;  // portalint-expect: raw-thread
+  std::mutex guard;  // portalint-expect: raw-thread
+  std::thread worker([&guard, iterations] {  // portalint-expect: raw-thread
+    for (int i = 0; i < iterations; ++i) guard.lock(), guard.unlock();
+  });
+  stop = true;
+  worker.join();
+}
+
+}  // namespace fixture

@@ -1,0 +1,16 @@
+// portalint fixture: known-good.  Concurrency routed through the simrt
+// runtime; std::thread::hardware_concurrency() is a metafunction query,
+// not a primitive, and stays allowed.
+#include <cstddef>
+#include <thread>
+
+namespace fixture {
+
+inline void use_the_runtime(ThreadPool& pool, double* out) {
+  const std::size_t width = std::thread::hardware_concurrency();
+  pool.run([out, width](std::size_t tid) {
+    out[tid] = static_cast<double>(width);
+  });
+}
+
+}  // namespace fixture

@@ -1,0 +1,141 @@
+// Fixture-driven rule tests: every file under fixtures/ is either
+// known-bad (each expected finding marked inline with
+// "portalint-expect: <rule>") or known-good (must scan clean).  A bad
+// fixture firing anything beyond its markers — or a marker not firing —
+// is a test failure, so the rule heuristics cannot drift silently.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "engine.hpp"
+#include "rules.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+const fs::path kFixtures = fs::path(PORTALINT_FIXTURE_DIR);
+
+using RuleAt = std::pair<std::string, int>;  // (rule id, line)
+
+/// The "portalint-expect: <rule>" markers in a fixture file.
+std::multiset<RuleAt> expected_markers(const fs::path& file) {
+  auto unit = portalint::load_file(file, kFixtures);
+  EXPECT_TRUE(unit.has_value()) << "unreadable fixture: " << file;
+  std::multiset<RuleAt> out;
+  if (!unit) return out;
+  constexpr std::string_view kTag = "portalint-expect:";
+  for (const auto& c : unit->lex.comments) {
+    const auto pos = c.text.find(kTag);
+    if (pos == std::string::npos) continue;
+    std::istringstream iss(c.text.substr(pos + kTag.size()));
+    std::string rule;
+    iss >> rule;
+    EXPECT_FALSE(rule.empty()) << file << ": empty portalint-expect marker";
+    if (!rule.empty()) out.insert({rule, c.line});
+  }
+  return out;
+}
+
+/// Active findings from scanning `inputs` with fixtures opted in and no
+/// baseline (fixtures are meant to fire; nothing may be absorbed).
+std::multiset<RuleAt> findings_for(const std::vector<fs::path>& inputs) {
+  portalint::Options opts;
+  opts.inputs = inputs;
+  opts.root = kFixtures;
+  opts.use_baseline = false;
+  opts.include_fixtures = true;
+  const portalint::Result r = portalint::run_portalint(opts);
+  EXPECT_TRUE(r.errors.empty()) << (r.errors.empty() ? std::string() : r.errors.front());
+  std::multiset<RuleAt> out;
+  for (const auto& f : r.active) out.insert({f.rule, f.line});
+  return out;
+}
+
+std::string to_string(const std::multiset<RuleAt>& s) {
+  std::ostringstream os;
+  for (const auto& [rule, line] : s) os << "  " << rule << " @ line " << line << "\n";
+  return os.str();
+}
+
+class BadFixture : public ::testing::TestWithParam<std::string> {};
+class GoodFixture : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(BadFixture, FiresExactlyItsMarkedRules) {
+  const fs::path file = kFixtures / GetParam();
+  const auto expected = expected_markers(file);
+  ASSERT_FALSE(expected.empty()) << file << " has no portalint-expect markers";
+  const auto actual = findings_for({file});
+  EXPECT_EQ(actual, expected) << "expected:\n"
+                              << to_string(expected) << "actual:\n"
+                              << to_string(actual);
+}
+
+TEST_P(GoodFixture, ScansClean) {
+  const fs::path file = kFixtures / GetParam();
+  EXPECT_TRUE(expected_markers(file).empty()) << file << " is a good fixture with markers";
+  const auto actual = findings_for({file});
+  EXPECT_TRUE(actual.empty()) << "unexpected findings:\n" << to_string(actual);
+}
+
+INSTANTIATE_TEST_SUITE_P(Portalint, BadFixture,
+                         ::testing::Values("ls_capture_write_bad.cpp",
+                                           "ls_nonlane_store_bad.cpp",
+                                           "ls_ptr_capture_bad.cpp",
+                                           "mo_explicit_bad.cpp",
+                                           "mo_balance_bad.cpp",
+                                           "raw_thread_bad.cpp",
+                                           "det_rand_bad.cpp",
+                                           "det_unordered_bad.cpp",
+                                           "hy_pragma_once_bad.hpp",
+                                           "hy_using_ns_bad.hpp"));
+
+INSTANTIATE_TEST_SUITE_P(Portalint, GoodFixture,
+                         ::testing::Values("ls_capture_write_good.cpp",
+                                           "ls_nonlane_store_good.cpp",
+                                           "ls_ptr_capture_good.cpp",
+                                           "mo_explicit_good.cpp",
+                                           "mo_balance_good.cpp",
+                                           "raw_thread_good.cpp",
+                                           "det_rand_good.cpp",
+                                           "det_unordered_good.cpp",
+                                           "hy_pragma_once_good.hpp",
+                                           "hy_using_ns_good.hpp"));
+
+// The include-cycle rule is inherently multi-file: scan the cycle
+// directory as a unit and anchor on cycle_a's include line.
+TEST(IncludeCycleFixture, CycleDirectoryFiresOnce) {
+  auto expected = expected_markers(kFixtures / "cycle" / "cycle_a.hpp");
+  const auto more = expected_markers(kFixtures / "cycle" / "cycle_b.hpp");
+  expected.insert(more.begin(), more.end());
+  ASSERT_EQ(expected.size(), 1u);
+  const auto actual = findings_for({kFixtures / "cycle"});
+  EXPECT_EQ(actual, expected) << "expected:\n"
+                              << to_string(expected) << "actual:\n"
+                              << to_string(actual);
+}
+
+TEST(IncludeCycleFixture, AcyclicChainScansClean) {
+  const auto actual = findings_for({kFixtures / "cycle_ok"});
+  EXPECT_TRUE(actual.empty()) << "unexpected findings:\n" << to_string(actual);
+}
+
+// Completeness: every rule in the catalogue is pinned by at least one
+// bad fixture, so a new rule cannot land without a known-bad exemplar.
+TEST(FixtureCorpus, CoversEveryRule) {
+  std::set<std::string> covered;
+  for (const auto& entry : fs::recursive_directory_iterator(kFixtures)) {
+    if (!entry.is_regular_file()) continue;
+    for (const auto& [rule, line] : expected_markers(entry.path())) covered.insert(rule);
+  }
+  for (const auto& rule : portalint::all_rules()) {
+    EXPECT_TRUE(covered.count(rule.id)) << "no bad fixture covers rule " << rule.id;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,53 @@
+// Self-check: the repository's own src/, bench/ and tests/ trees must
+// scan clean under portalint with the checked-in baseline — no active
+// findings, no stale baseline entries.  This is the same invocation the
+// CI lint job and the `portalint_repo` ctest run.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "engine.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+const fs::path kRoot = fs::path(PORTALINT_REPO_ROOT);
+
+TEST(SelfCheck, RepositoryScansClean) {
+  portalint::Options opts;
+  opts.inputs = {kRoot / "src", kRoot / "bench", kRoot / "tests"};
+  opts.root = kRoot;
+  opts.baseline_path = kRoot / "portalint.baseline";
+  const portalint::Result r = portalint::run_portalint(opts);
+
+  EXPECT_TRUE(r.errors.empty());
+  for (const auto& f : r.active) {
+    ADD_FAILURE() << f.unit->rel << ":" << f.line << " [" << f.rule << "] " << f.message;
+  }
+  for (const auto& e : r.stale) {
+    ADD_FAILURE() << "stale baseline entry (line " << e.source_line << "): " << e.rule
+                  << " :: " << e.rel;
+  }
+  EXPECT_EQ(portalint::exit_code(r), 0);
+
+  // The scan actually covered the tree and exercised both silencing
+  // mechanisms (fixture dirs are skipped by default, so their deliberate
+  // findings never appear here).
+  EXPECT_GT(r.files_scanned, 100u);
+  EXPECT_FALSE(r.suppressed.empty()) << "expected inline -ok() suppressions in the tree";
+  EXPECT_FALSE(r.baselined.empty()) << "expected portalint.baseline to absorb findings";
+}
+
+TEST(SelfCheck, FixturesAreSkippedByDefault) {
+  portalint::Options opts;
+  opts.inputs = {kRoot / "tests"};
+  opts.root = kRoot;
+  opts.use_baseline = false;
+  const portalint::Result r = portalint::run_portalint(opts);
+  for (const auto& f : r.active) {
+    EXPECT_EQ(f.unit->rel.find("fixtures"), std::string::npos) << f.unit->rel;
+  }
+}
+
+}  // namespace

@@ -124,6 +124,7 @@ TEST(MDRange, LowerBoundsRespected) {
     EXPECT_LT(i, 5u);
     EXPECT_GE(j, 3u);
     EXPECT_LT(j, 7u);
+    // portalint: ls-capture-write-ok(SerialSpace runs every iteration on the calling thread)
     ++count;
   });
   EXPECT_EQ(count, 12u);

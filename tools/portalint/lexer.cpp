@@ -1,0 +1,203 @@
+#include "lexer.hpp"
+
+#include <array>
+#include <cctype>
+
+namespace portalint {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Multi-character punctuators, longest first within each leading char.
+constexpr std::array<std::string_view, 22> kMultiPunct = {
+    "<<=", ">>=", "->*", "...", "::", "->", "++", "--", "<<", ">>",
+    "<=",  ">=",  "==",  "!=",  "&&", "||", "+=", "-=", "*=", "/=",
+    "%=",  "##",
+};
+
+}  // namespace
+
+LexOutput lex(std::string_view src) {
+  LexOutput out;
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+  int line = 1;
+  bool at_line_start = true;  // only whitespace seen since last newline
+
+  auto peek = [&](std::size_t k) -> char { return i + k < n ? src[i + k] : '\0'; };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      at_line_start = true;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+
+    // Line comment.
+    if (c == '/' && peek(1) == '/') {
+      std::size_t j = i + 2;
+      while (j < n && src[j] != '\n') ++j;
+      out.comments.push_back({line, line, std::string(src.substr(i + 2, j - i - 2))});
+      i = j;
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && peek(1) == '*') {
+      const int start_line = line;
+      std::size_t j = i + 2;
+      while (j + 1 < n && !(src[j] == '*' && src[j + 1] == '/')) {
+        if (src[j] == '\n') ++line;
+        ++j;
+      }
+      out.comments.push_back(
+          {start_line, line, std::string(src.substr(i + 2, j - i - 2))});
+      i = j + 1 < n ? j + 2 : n;
+      continue;
+    }
+
+    // Preprocessor directive: '#' first on its line; fold continuations.
+    if (c == '#' && at_line_start) {
+      const int start_line = line;
+      std::string text;
+      std::size_t j = i + 1;
+      bool hit_comment = false;
+      for (;;) {
+        while (j < n && src[j] != '\n') {
+          // A trailing // comment is not part of the directive: leave it
+          // for the comment lexer so suppressions on #include lines work.
+          if (src[j] == '/' && j + 1 < n && src[j + 1] == '/') {
+            hit_comment = true;
+            break;
+          }
+          text += src[j];
+          ++j;
+        }
+        if (hit_comment) break;
+        if (!text.empty() && text.back() == '\\') {
+          text.pop_back();
+          text += ' ';
+          if (j < n) {
+            ++line;
+            ++j;  // consume the newline, keep folding
+            continue;
+          }
+        }
+        break;
+      }
+      // Trim and collapse leading whitespace ("  pragma   once" -> "pragma once").
+      std::string norm;
+      bool in_ws = true;
+      for (char ch : text) {
+        if (std::isspace(static_cast<unsigned char>(ch))) {
+          if (!in_ws) norm += ' ';
+          in_ws = true;
+        } else {
+          norm += ch;
+          in_ws = false;
+        }
+      }
+      while (!norm.empty() && norm.back() == ' ') norm.pop_back();
+      out.directives.push_back({start_line, norm});
+      i = j;
+      continue;
+    }
+    at_line_start = false;
+
+    // Raw string literal: [prefix]R"delim( ... )delim".
+    if ((c == 'R' || ((c == 'u' || c == 'U' || c == 'L') &&
+                      (peek(1) == 'R' || (c == 'u' && peek(1) == '8' && peek(2) == 'R')))) &&
+        src.substr(i).find('"') != std::string_view::npos) {
+      std::size_t r = i;
+      while (r < n && src[r] != 'R' && ident_char(src[r])) ++r;
+      if (r < n && src[r] == 'R' && r + 1 < n && src[r + 1] == '"') {
+        std::size_t j = r + 2;
+        std::string delim;
+        while (j < n && src[j] != '(') delim += src[j++];
+        const std::string closer = ")" + delim + "\"";
+        const std::size_t end = src.find(closer, j);
+        const std::size_t stop = end == std::string_view::npos ? n : end + closer.size();
+        const int start_line = line;
+        for (std::size_t k = i; k < stop; ++k) {
+          if (src[k] == '\n') ++line;
+        }
+        out.tokens.push_back({Tok::kString, std::string(src.substr(i, stop - i)), start_line});
+        i = stop;
+        continue;
+      }
+    }
+
+    // String / char literal.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      const int start_line = line;
+      std::size_t j = i + 1;
+      while (j < n && src[j] != quote) {
+        if (src[j] == '\\' && j + 1 < n) ++j;
+        if (src[j] == '\n') ++line;
+        ++j;
+      }
+      const std::size_t stop = j < n ? j + 1 : n;
+      out.tokens.push_back({quote == '"' ? Tok::kString : Tok::kChar,
+                            std::string(src.substr(i, stop - i)), start_line});
+      i = stop;
+      continue;
+    }
+
+    // Number (incl. hex, digit separators, suffixes, leading-dot floats).
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+      std::size_t j = i;
+      while (j < n && (ident_char(src[j]) || src[j] == '.' || src[j] == '\'' ||
+                       ((src[j] == '+' || src[j] == '-') && j > i &&
+                        (src[j - 1] == 'e' || src[j - 1] == 'E' || src[j - 1] == 'p' ||
+                         src[j - 1] == 'P')))) {
+        ++j;
+      }
+      out.tokens.push_back({Tok::kNumber, std::string(src.substr(i, j - i)), line});
+      i = j;
+      continue;
+    }
+
+    // Identifier / keyword.
+    if (ident_start(c)) {
+      std::size_t j = i;
+      while (j < n && ident_char(src[j])) ++j;
+      out.tokens.push_back({Tok::kIdent, std::string(src.substr(i, j - i)), line});
+      i = j;
+      continue;
+    }
+
+    // Punctuator, longest match.
+    std::string_view rest = src.substr(i);
+    std::string_view matched;
+    for (std::string_view p : kMultiPunct) {
+      if (rest.starts_with(p)) {
+        matched = p;
+        break;
+      }
+    }
+    if (!matched.empty()) {
+      out.tokens.push_back({Tok::kPunct, std::string(matched), line});
+      i += matched.size();
+    } else {
+      out.tokens.push_back({Tok::kPunct, std::string(1, c), line});
+      ++i;
+    }
+  }
+  return out;
+}
+
+}  // namespace portalint

@@ -1,0 +1,54 @@
+// portalint lexer: a C++-shaped tokenizer sufficient for static analysis
+// of this repository's sources.  It is not a conforming C++ lexer — it
+// tokenizes identifiers, literals, and (longest-match) punctuators, and
+// lifts comments and preprocessor directives out of the token stream so
+// rules can consume them separately (suppression comments, #include /
+// #pragma once directives).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace portalint {
+
+enum class Tok {
+  kIdent,
+  kNumber,
+  kString,
+  kChar,
+  kPunct,
+};
+
+struct Token {
+  Tok kind;
+  std::string text;
+  int line = 0;  // 1-based source line the token starts on
+};
+
+/// A // or /* */ comment.  `line` is the line the comment starts on;
+/// `end_line` the line it ends on (same for line comments).
+struct Comment {
+  int line = 0;
+  int end_line = 0;
+  std::string text;  // without the comment markers
+};
+
+/// One preprocessor directive, backslash-continuations folded in.
+struct Directive {
+  int line = 0;
+  std::string text;  // full text after '#', trimmed
+};
+
+struct LexOutput {
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+  std::vector<Directive> directives;
+};
+
+/// Tokenize `source`.  Never throws on malformed input: unterminated
+/// literals/comments are closed at end of file.
+[[nodiscard]] LexOutput lex(std::string_view source);
+
+}  // namespace portalint

@@ -1,0 +1,65 @@
+// portalint CLI — static lane-safety & concurrency linter for the
+// portabench kernels and runtimes.  See docs/LINT.md.
+//
+// Usage: portalint [options] <path>...
+//   --json               emit a JSON report instead of text
+//   --baseline <file>    baseline file (default: portalint.baseline found
+//                        upward from the first input)
+//   --no-baseline        ignore any baseline file
+//   --include-fixtures   also scan directories named "fixtures"
+//   --root <dir>         root for relative paths in reports
+//   --list-rules         print the rule catalogue and exit
+//
+// Exit status: 0 clean, 1 findings or stale baseline entries, 2 usage error.
+
+#include <iostream>
+#include <string>
+
+#include "engine.hpp"
+#include "rules.hpp"
+
+int main(int argc, char** argv) {
+  portalint::Options opts;
+  bool json = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--no-baseline") {
+      opts.use_baseline = false;
+    } else if (arg == "--include-fixtures") {
+      opts.include_fixtures = true;
+    } else if (arg == "--baseline" && i + 1 < argc) {
+      opts.baseline_path = argv[++i];
+    } else if (arg == "--root" && i + 1 < argc) {
+      opts.root = argv[++i];
+    } else if (arg == "--list-rules") {
+      for (const auto& r : portalint::all_rules()) {
+        std::cout << r.id << "  [" << r.family << "]  " << r.summary << "\n";
+      }
+      return 0;
+    } else if (arg == "-h" || arg == "--help") {
+      std::cout << "usage: portalint [--json] [--baseline FILE | --no-baseline] "
+                   "[--include-fixtures] [--root DIR] [--list-rules] <path>...\n";
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "portalint: unknown option: " << arg << "\n";
+      return 2;
+    } else {
+      opts.inputs.emplace_back(arg);
+    }
+  }
+  if (opts.inputs.empty()) {
+    std::cerr << "portalint: no input paths (try --help)\n";
+    return 2;
+  }
+
+  const portalint::Result r = portalint::run_portalint(opts);
+  if (json) {
+    portalint::print_json(r, std::cout);
+  } else {
+    portalint::print_text(r, std::cout);
+  }
+  return portalint::exit_code(r);
+}

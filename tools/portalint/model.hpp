@@ -1,0 +1,68 @@
+// portalint data model: scanned files, findings, suppressions, baseline.
+#pragma once
+
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lexer.hpp"
+
+namespace portalint {
+
+/// One `<rule-prefix>-ok(reason)` inline suppression.
+struct Suppression {
+  std::string rule_prefix;  // "mo", "ls-capture-write", ...
+  std::string reason;
+};
+
+/// A scanned source file.
+struct FileUnit {
+  std::filesystem::path path;  // absolute
+  std::string rel;             // root-relative display path, '/' separators
+  std::vector<std::string> lines;
+  LexOutput lex;
+  bool is_header = false;
+  bool is_fixture = false;  // path contains a "fixtures" component
+  bool has_pragma_once = false;
+  std::vector<std::pair<int, std::string>> quoted_includes;  // (line, path)
+  std::map<int, std::vector<Suppression>> suppressions;      // keyed by line
+
+  /// True when `rel` contains the given path component.
+  [[nodiscard]] bool has_component(std::string_view comp) const;
+  /// Source line (1-based), empty if out of range.
+  [[nodiscard]] std::string line_text(int line) const;
+  /// First suppression at `line` or the line above whose prefix covers
+  /// `rule` (exact id or id starts with "<prefix>-"); nullptr otherwise.
+  [[nodiscard]] const Suppression* find_suppression(int line,
+                                                    std::string_view rule) const;
+};
+
+struct Finding {
+  std::string rule;
+  std::string family;  // lane-safety | concurrency | determinism | hygiene
+  std::string message;
+  const FileUnit* unit = nullptr;
+  int line = 0;
+  /// Normalized (trimmed, whitespace-collapsed) text of the flagged line;
+  /// the stable key baseline entries match against.
+  std::string excerpt;
+};
+
+struct Project {
+  std::vector<FileUnit> files;
+  std::filesystem::path root;  // paths in output are relative to this
+};
+
+struct BaselineEntry {
+  std::string rule;
+  std::string rel;      // root-relative path
+  std::string excerpt;  // normalized flagged line
+  std::string justification;
+  int source_line = 0;  // line in the baseline file (diagnostics)
+};
+
+/// Trim + collapse runs of whitespace to single spaces.
+[[nodiscard]] std::string normalize_excerpt(std::string_view s);
+
+}  // namespace portalint

@@ -1,0 +1,33 @@
+// portalint rule registry.
+//
+// Four families (see docs/LINT.md):
+//   lane-safety   ls-capture-write, ls-nonlane-store, ls-ptr-capture
+//   concurrency   mo-explicit, mo-balance, raw-thread
+//   determinism   det-rand, det-unordered
+//   hygiene       hy-pragma-once, hy-using-ns, hy-include-cycle
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model.hpp"
+
+namespace portalint {
+
+struct RuleDesc {
+  std::string id;
+  std::string family;
+  std::string summary;
+};
+
+/// Static descriptions of every rule (for --list-rules and docs tests).
+[[nodiscard]] const std::vector<RuleDesc>& all_rules();
+
+/// Run every rule over the project.  Emitted findings are NOT yet
+/// filtered by inline suppressions or the baseline (the engine does
+/// that), with one exception: multi-site rules (mo-balance,
+/// hy-include-cycle) honor suppressions on any participating line
+/// themselves, since a single anchor line cannot represent them.
+[[nodiscard]] std::vector<Finding> run_rules(const Project& project);
+
+}  // namespace portalint
