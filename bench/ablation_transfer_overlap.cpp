@@ -27,15 +27,15 @@ double stream_schedule(gpusim::DeviceContext& ctx, double h2d_s, double kernel_s
   gpusim::Event last_d2h;
   double makespan = 0.0;
   for (std::size_t b = 0; b < batches; ++b) {
-    copy.enqueue(h2d_s, {});
+    copy.enqueue(h2d_s);
     gpusim::Event in_ready;
     copy.record(in_ready);
     compute.wait(in_ready);
-    compute.enqueue(kernel_s, {});
+    compute.enqueue(kernel_s);
     gpusim::Event done;
     compute.record(done);
     copy.wait(done);  // D2H shares the copy engine, ordered after H2D of the next batch
-    copy.enqueue(d2h_s, {});
+    copy.enqueue(d2h_s);
     copy.record(last_d2h);
     makespan = std::max(compute.now(), last_d2h.timestamp());
   }

@@ -1,0 +1,274 @@
+// Launch microbenchmark: the cost of the gpusim execution engine.
+//
+// Times one n x n naive GEMM launch (the paper's Fig. 3a kernel — the
+// workload every GPU figure repeats hundreds of times) through three
+// execution strategies, per block-size sweep:
+//
+//   serial    an embedded copy of the pre-engine launch path: fresh
+//             limit validation per launch, 3-deep nested block walk,
+//             3-deep nested thread loops — the seed behaviour, kept here
+//             (not in src/) purely as the measurement baseline.
+//   parallel  gpusim::launch(): block-parallel across the LaunchEngine's
+//             worker team with the memoized launch-config cache and the
+//             flattened strength-reduced lane walk.
+//   pooled    gpusim::launch_blocks(): the same math written as a
+//             cooperative kernel whose per-block scratch is carved from
+//             the engine's pooled per-worker arenas (zero allocations
+//             steady-state).
+//
+// All three produce bitwise-identical C (verified every sample); the
+// ratios serial/parallel and serial/pooled are the engine speedup that
+// BENCH_launch.json records.  --require X makes the binary exit nonzero
+// unless the best parallel speedup reaches X — the CI release-bench job
+// runs `micro_launch --n 512 --require 4` to pin the PR's 4x target.
+//
+// Usage: micro_launch [--n N] [--samples K] [--threads N] [--require X]
+//                     [--out PATH]
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/engine.hpp"
+#include "gpusim/launch.hpp"
+
+namespace {
+
+using namespace portabench;
+
+// --- the pre-engine launch path, verbatim semantics -------------------------
+//
+// A faithful copy of the serial launch this PR replaced: device limits are
+// re-derived on every launch (no config cache) and the grid is walked with
+// the original 3-deep block nest and 3-deep thread nest.
+template <class F>
+void legacy_launch(gpusim::DeviceContext& ctx, const gpusim::Dim3& grid,
+                   const gpusim::Dim3& block, F&& kernel) {
+  ctx.validate_launch(grid, block);
+  ctx.note_launch(grid, block);
+
+  gpusim::ThreadCtx tc;
+  tc.grid_dim = grid;
+  tc.block_dim = block;
+  for (std::size_t bz = 0; bz < grid.z; ++bz) {
+    for (std::size_t by = 0; by < grid.y; ++by) {
+      for (std::size_t bx = 0; bx < grid.x; ++bx) {
+        tc.block_idx = {bx, by, bz};
+        for (std::size_t tz = 0; tz < block.z; ++tz) {
+          for (std::size_t ty = 0; ty < block.y; ++ty) {
+            for (std::size_t tx = 0; tx < block.x; ++tx) {
+              tc.thread_idx = {tx, ty, tz};
+              kernel(tc);
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+struct Options {
+  std::size_t n = 256;
+  std::size_t samples = 3;
+  std::size_t threads = 0;  // 0 == engine default (env / hardware)
+  double require = 0.0;     // minimum acceptable best parallel speedup
+  std::string out = "BENCH_launch.json";
+};
+
+/// Best-of-samples wall time in milliseconds for one launch.
+template <class Launch>
+double launch_ms(std::size_t samples, Launch&& launch) {
+  double best = 1e30;
+  for (std::size_t s = 0; s < samples; ++s) {
+    Timer timer;
+    launch();
+    best = std::min(best, timer.seconds());
+  }
+  return best * 1e3;
+}
+
+struct SweepRow {
+  std::size_t block;
+  double serial_ms;
+  double parallel_ms;
+  double pooled_ms;
+  double speedup_parallel;
+  double speedup_pooled;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--n") == 0 && i + 1 < argc) {
+      opt.n = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--samples") == 0 && i + 1 < argc) {
+      opt.samples = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      opt.threads = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--require") == 0 && i + 1 < argc) {
+      opt.require = std::strtod(argv[++i], nullptr);
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      opt.out = argv[++i];
+    } else {
+      std::cerr << "usage: micro_launch [--n N] [--samples K] [--threads N] "
+                   "[--require X] [--out PATH]\n";
+      return 2;
+    }
+  }
+
+  const std::size_t n = opt.n;
+  gpusim::DeviceContext ctx(gpusim::GpuSpec::a100());
+  auto engine = std::make_shared<gpusim::LaunchEngine>(opt.threads);
+  ctx.set_engine(engine);
+
+  std::cout << "=== micro_launch: gpusim engine launch cost (n = " << n
+            << " naive GEMM, workers = " << engine->workers() << ") ===\n\n";
+
+  std::vector<double> A(n * n);
+  std::vector<double> B(n * n);
+  Xoshiro256 rng(42);
+  fill_uniform(std::span<double>(A), rng);
+  fill_uniform(std::span<double>(B), rng);
+  std::vector<double> c_serial(n * n);
+  std::vector<double> c_parallel(n * n);
+  std::vector<double> c_pooled(n * n);
+
+  // The Fig. 3a per-thread body, shared by all three strategies.
+  auto gemm_body = [&](std::span<double> C) {
+    return [&, C](const gpusim::ThreadCtx& tc) {
+      const std::size_t row = tc.global_y();
+      const std::size_t col = tc.global_x();
+      if (row < n && col < n) {
+        double sum = 0.0;
+        for (std::size_t i = 0; i < n; ++i) sum += A[row * n + i] * B[i * n + col];
+        C[row * n + col] = sum;
+      }
+    };
+  };
+
+  std::vector<SweepRow> rows;
+  for (std::size_t b : {std::size_t{8}, std::size_t{16}, std::size_t{32}}) {
+    const gpusim::Dim3 block{b, b, 1};
+    const gpusim::Dim3 grid{gpusim::blocks_for(n, b), gpusim::blocks_for(n, b), 1};
+
+    const double serial_ms_v = launch_ms(opt.samples, [&] {
+      legacy_launch(ctx, grid, block, gemm_body(c_serial));
+    });
+    const double parallel_ms_v = launch_ms(opt.samples, [&] {
+      gpusim::launch(ctx, grid, block, gemm_body(c_parallel));
+    });
+    // Cooperative form: per-lane partial sums land in pooled block-shared
+    // scratch, the write-back region drains it after the implicit barrier.
+    const std::size_t shared_bytes = block.volume() * sizeof(double);
+    const double pooled_ms_v = launch_ms(opt.samples, [&] {
+      gpusim::launch_blocks(ctx, grid, block, shared_bytes, [&](gpusim::BlockCtx& bc) {
+        auto acc = bc.shared<double>(bc.block_dim().volume());
+        bc.for_lanes([&](const gpusim::ThreadCtx& tc) {
+          const std::size_t row = tc.global_y();
+          const std::size_t col = tc.global_x();
+          if (row < n && col < n) {
+            double sum = 0.0;
+            for (std::size_t i = 0; i < n; ++i) sum += A[row * n + i] * B[i * n + col];
+            acc[tc.lane_in_block()] = sum;
+          }
+        });
+        bc.for_lanes([&](const gpusim::ThreadCtx& tc) {
+          const std::size_t row = tc.global_y();
+          const std::size_t col = tc.global_x();
+          if (row < n && col < n) c_pooled[row * n + col] = acc[tc.lane_in_block()];
+        });
+      });
+    });
+
+    // Block parallelism must not change a single bit of the result.
+    if (c_parallel != c_serial || c_pooled != c_serial) {
+      std::cerr << "FAILED: result mismatch at block " << b << "x" << b << "\n";
+      return 1;
+    }
+
+    rows.push_back({b, serial_ms_v, parallel_ms_v, pooled_ms_v,
+                    serial_ms_v / parallel_ms_v, serial_ms_v / pooled_ms_v});
+  }
+
+  Table table({"block", "serial (ms)", "parallel (ms)", "pooled (ms)",
+               "speedup par", "speedup pool"});
+  double best_speedup = 0.0;
+  for (const auto& r : rows) {
+    best_speedup = std::max(best_speedup, r.speedup_parallel);
+    table.add_row({std::to_string(r.block) + "x" + std::to_string(r.block),
+                   Table::num(r.serial_ms, 2), Table::num(r.parallel_ms, 2),
+                   Table::num(r.pooled_ms, 2), Table::num(r.speedup_parallel, 2),
+                   Table::num(r.speedup_pooled, 2)});
+  }
+  std::cout << "-- one-launch latency, serial seed path vs engine --\n"
+            << table.to_markdown() << "\n";
+
+  const gpusim::LaunchCacheStats cache = ctx.launch_cache_stats();
+  std::cout << "launch-config cache: " << cache.hits << " hits / " << cache.misses
+            << " misses; arena high water = " << engine->arena_high_water()
+            << " bytes\n";
+
+  // --- machine-readable artifact --------------------------------------------
+  JsonWriter w;
+  w.begin_object();
+  w.key("bench");
+  w.value("micro_launch");
+  w.key("n");
+  w.value(n);
+  w.key("workers");
+  w.value(engine->workers());
+  w.key("samples");
+  w.value(opt.samples);
+  w.key("sweep");
+  w.begin_array();
+  for (const auto& r : rows) {
+    w.begin_object();
+    w.key("block");
+    w.value(r.block);
+    w.key("serial_ms");
+    w.value(r.serial_ms);
+    w.key("parallel_ms");
+    w.value(r.parallel_ms);
+    w.key("pooled_ms");
+    w.value(r.pooled_ms);
+    w.key("speedup_parallel");
+    w.value(r.speedup_parallel);
+    w.key("speedup_pooled");
+    w.value(r.speedup_pooled);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("best_speedup");
+  w.value(best_speedup);
+  w.key("cache_hits");
+  w.value(cache.hits);
+  w.key("cache_misses");
+  w.value(cache.misses);
+  w.key("arena_high_water_bytes");
+  w.value(engine->arena_high_water());
+  w.end_object();
+
+  std::ofstream out(opt.out);
+  out << w.str() << "\n";
+  if (!out) {
+    std::cerr << "FAILED: could not write " << opt.out << "\n";
+    return 1;
+  }
+  std::cout << "wrote " << opt.out << "\n";
+
+  if (opt.require > 0.0 && best_speedup < opt.require) {
+    std::cerr << "FAILED: best parallel speedup " << best_speedup << "x is below the "
+              << opt.require << "x requirement\n";
+    return 1;
+  }
+  return 0;
+}

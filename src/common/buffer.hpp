@@ -11,6 +11,7 @@
 #include <memory>
 #include <new>
 #include <span>
+#include <utility>
 
 #include "error.hpp"
 
@@ -33,8 +34,16 @@ class AlignedBuffer {
     std::uninitialized_value_construct_n(data_.get(), count);
   }
 
-  AlignedBuffer(AlignedBuffer&&) noexcept = default;
-  AlignedBuffer& operator=(AlignedBuffer&&) noexcept = default;
+  // Moves must zero the source's size: a defaulted move would null the
+  // data pointer but *copy* size_, leaving a moved-from buffer that
+  // claims elements it no longer owns.
+  AlignedBuffer(AlignedBuffer&& other) noexcept
+      : data_(std::move(other.data_)), size_(std::exchange(other.size_, 0)) {}
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+    data_ = std::move(other.data_);
+    size_ = std::exchange(other.size_, 0);
+    return *this;
+  }
   AlignedBuffer(const AlignedBuffer&) = delete;
   AlignedBuffer& operator=(const AlignedBuffer&) = delete;
 

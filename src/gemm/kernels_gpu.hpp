@@ -140,14 +140,17 @@ void gemm_tiled_shared(gpusim::DeviceContext& ctx, const GpuLaunchConfig& cfg,
   const std::size_t tile = cfg.block.x;
 
   const gpusim::Dim3 grid = cfg.grid_for(m, n);
-  const std::size_t shared_bytes = 2 * tile * tile * sizeof(Acc);
+  // Three tile-sized arrays: A tile, B tile, and the per-lane accumulators
+  // (all carved from the block's pooled shared arena — no per-block heap
+  // allocation; the arena arrives zero-filled, so acc starts at Acc{}).
+  const std::size_t shared_bytes = 3 * tile * tile * sizeof(Acc);
   const std::size_t k_tiles = (k + tile - 1) / tile;
 
   gpusim::launch_blocks(ctx, grid, cfg.block, shared_bytes, [&](gpusim::BlockCtx& bc) {
     auto a_tile = bc.template shared<Acc>(tile * tile, 0);
     auto b_tile = bc.template shared<Acc>(tile * tile, tile * tile * sizeof(Acc));
     // Per-lane accumulators persist across the k-tile loop's barriers.
-    std::vector<Acc> acc(tile * tile, Acc{});
+    auto acc = bc.template shared<Acc>(tile * tile, 2 * tile * tile * sizeof(Acc));
 
     for (std::size_t kt = 0; kt < k_tiles; ++kt) {
       // Phase 1: cooperative load of the A and B tiles (barrier after).

@@ -1,5 +1,7 @@
 #include "device.hpp"
 
+#include "engine.hpp"
+
 namespace portabench::gpusim {
 
 GpuSpec GpuSpec::a100() {
@@ -34,10 +36,77 @@ GpuSpec GpuSpec::mi250x_gcd() {
   return s;
 }
 
+DeviceContext::DeviceContext(GpuSpec spec) : spec_(std::move(spec)) {
+  PB_EXPECTS(spec_.warp_size > 0 && spec_.max_threads_per_block > 0);
+}
+
+DeviceContext::~DeviceContext() = default;
+
 void DeviceContext::validate_launch(const Dim3& grid, const Dim3& block) const {
   PB_EXPECTS(grid.volume() > 0);
   PB_EXPECTS(block.volume() > 0);
   PB_EXPECTS(block.volume() <= spec_.max_threads_per_block);
+}
+
+namespace {
+
+std::size_t cache_slot(const Dim3& grid, const Dim3& block, std::size_t shared_bytes,
+                       std::size_t slots) {
+  // FNV-1a over the nine key words; slots is a power of two.
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::size_t v) {
+    h ^= static_cast<std::uint64_t>(v);
+    h *= 1099511628211ull;
+  };
+  mix(grid.x);
+  mix(grid.y);
+  mix(grid.z);
+  mix(block.x);
+  mix(block.y);
+  mix(block.z);
+  mix(shared_bytes);
+  return static_cast<std::size_t>(h) & (slots - 1);
+}
+
+}  // namespace
+
+const Occupancy& DeviceContext::validate_launch_cached(const Dim3& grid, const Dim3& block,
+                                                       std::size_t shared_bytes) const {
+  const std::size_t slot = cache_slot(grid, block, shared_bytes, kCacheSlots);
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    CacheEntry& e = cache_[slot];
+    if (e.valid && e.grid == grid && e.block == block && e.shared_bytes == shared_bytes) {
+      ++cache_stats_.hits;
+      return e.occupancy;
+    }
+  }
+  // Miss: full validation outside the lock (it may throw), then install.
+  validate_launch(grid, block);
+  PB_EXPECTS(shared_bytes <= spec_.shared_mem_per_block);
+  KernelResources res;
+  res.threads_per_block = block.volume();
+  res.shared_bytes_per_block = shared_bytes;
+  const Occupancy occ = compute_occupancy(spec_, res);
+
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  CacheEntry& e = cache_[slot];
+  e.valid = true;
+  e.grid = grid;
+  e.block = block;
+  e.shared_bytes = shared_bytes;
+  e.occupancy = occ;
+  ++cache_stats_.misses;
+  return e.occupancy;
+}
+
+LaunchCacheStats DeviceContext::launch_cache_stats() const noexcept {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  return cache_stats_;
+}
+
+LaunchEngine& DeviceContext::engine() const noexcept {
+  return engine_ ? *engine_ : LaunchEngine::shared();
 }
 
 void DeviceContext::note_alloc(std::size_t bytes) {

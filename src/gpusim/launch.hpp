@@ -8,14 +8,26 @@
 // fission" lowering of __syncthreads used by SIMT-on-CPU runtimes), with
 // block-shared scratch memory — used by the tiled shared-memory GEMM that
 // the ablation benches contrast against the paper's naive kernels.
+//
+// Execution model (see docs/PERF.md, "The gpusim launch engine"): blocks
+// of a CUDA grid are independent, so both entry points run blocks in
+// parallel across the device's LaunchEngine by default — the host-side
+// analogue of blocks landing on different SMs.  Sub-cutoff grids run
+// serially inline (fork elision), the sanitized path keeps its serial
+// seed-permuted schedule with per-SIMT-thread shadow lanes, and
+// launch_serial()/launch_blocks_serial() pin the serial walk explicitly
+// (the baseline the micro_launch bench measures against).  Block-shared
+// scratch comes from the engine's pooled per-worker arenas: the
+// steady-state launch path allocates nothing.
 #pragma once
 
 #include <cstddef>
-#include <vector>
+#include <span>
 
 #include "common/buffer.hpp"
 #include "device.hpp"
 #include "dim3.hpp"
+#include "engine.hpp"
 #include "portacheck/hooks.hpp"
 #include "simrt/parallel.hpp"
 
@@ -28,6 +40,11 @@ inline std::size_t linear_block(const Dim3& grid, const Dim3& idx) noexcept {
   return idx.x + grid.x * (idx.y + grid.y * idx.z);
 }
 
+/// Block coordinates of a linear block id (inverse of linear_block).
+inline Dim3 block_from_linear(const Dim3& grid, std::size_t linear) noexcept {
+  return {linear % grid.x, (linear / grid.x) % grid.y, linear / (grid.x * grid.y)};
+}
+
 /// Shadow lane for a simulated SIMT thread: its linear global thread id.
 /// Derived from the block's ORIGINAL coordinates, so a permuted schedule
 /// reports the same lane ids as the canonical one.
@@ -38,14 +55,55 @@ inline std::size_t simt_lane(const Dim3& grid, const Dim3& block, const Dim3& bl
   return linear_block(grid, block_idx) * block.volume() + in_block;
 }
 
+/// Run `kernel(tc)` for every lane of tc's block: the 3-deep thread-index
+/// nest flattened into one strength-reduced carry walk (x fastest, the
+/// CUDA linearization — execution order is identical to the nested
+/// loops, so results are bitwise-identical).  The caller hoists all
+/// other ThreadCtx state; only thread_idx changes per lane.
+template <class F>
+inline void run_block_lanes(ThreadCtx& tc, F&& kernel) {
+  const Dim3 block = tc.block_dim;
+  const std::size_t lanes = block.volume();
+  tc.thread_idx = {0, 0, 0};
+  for (std::size_t lin = 0; lin < lanes; ++lin) {
+    kernel(tc);
+    if (++tc.thread_idx.x == block.x) {
+      tc.thread_idx.x = 0;
+      if (++tc.thread_idx.y == block.y) {
+        tc.thread_idx.y = 0;
+        ++tc.thread_idx.z;
+      }
+    }
+  }
+}
+
+/// Sanitized lane walk of one block: seed-permuted-order-independent by
+/// construction (lane order inside a barrier-free launch is arbitrary),
+/// every simulated thread tagged with its linear global thread id.
+template <class F>
+inline void run_block_lanes_checked(ThreadCtx& tc, F&& kernel) {
+  const Dim3 block = tc.block_dim;
+  for (std::size_t tz = 0; tz < block.z; ++tz) {
+    for (std::size_t ty = 0; ty < block.y; ++ty) {
+      for (std::size_t tx = 0; tx < block.x; ++tx) {
+        tc.thread_idx = {tx, ty, tz};
+        portacheck::LaneScope lane(
+            simt_lane(tc.grid_dim, block, tc.block_idx, tc.thread_idx));
+        kernel(tc);
+      }
+    }
+  }
+}
+
 }  // namespace detail
 
-/// Execute `kernel(ThreadCtx)` for every thread of the grid, serially over
-/// blocks (deterministic).  Throws precondition_error on an invalid
-/// configuration, mirroring a CUDA launch failure.
+/// Execute `kernel(ThreadCtx)` for every thread of the grid with the
+/// serial block walk (deterministic block order; the pre-engine seed
+/// behaviour).  launch() routes sub-cutoff grids here; the micro_launch
+/// bench uses it as the serial baseline.
 template <class F>
-void launch(DeviceContext& ctx, const Dim3& grid, const Dim3& block, F&& kernel) {
-  ctx.validate_launch(grid, block);
+void launch_serial(DeviceContext& ctx, const Dim3& grid, const Dim3& block, F&& kernel) {
+  ctx.validate_launch_cached(grid, block, 0);
   ctx.note_launch(grid, block);
 
   ThreadCtx tc;
@@ -60,46 +118,52 @@ void launch(DeviceContext& ctx, const Dim3& grid, const Dim3& block, F&& kernel)
     portacheck::begin_region();
     const auto order = portacheck::permutation(grid.volume(), portacheck::order_seed());
     for (const std::size_t linear : order) {
-      tc.block_idx = {linear % grid.x, (linear / grid.x) % grid.y,
-                      linear / (grid.x * grid.y)};
-      for (std::size_t tz = 0; tz < block.z; ++tz) {
-        for (std::size_t ty = 0; ty < block.y; ++ty) {
-          for (std::size_t tx = 0; tx < block.x; ++tx) {
-            tc.thread_idx = {tx, ty, tz};
-            portacheck::LaneScope lane(
-                detail::simt_lane(grid, block, tc.block_idx, tc.thread_idx));
-            kernel(tc);
-          }
-        }
-      }
+      tc.block_idx = detail::block_from_linear(grid, linear);
+      detail::run_block_lanes_checked(tc, kernel);
     }
     return;
   }
 
-  for (std::size_t bz = 0; bz < grid.z; ++bz) {
-    for (std::size_t by = 0; by < grid.y; ++by) {
-      for (std::size_t bx = 0; bx < grid.x; ++bx) {
-        tc.block_idx = {bx, by, bz};
-        for (std::size_t tz = 0; tz < block.z; ++tz) {
-          for (std::size_t ty = 0; ty < block.y; ++ty) {
-            for (std::size_t tx = 0; tx < block.x; ++tx) {
-              tc.thread_idx = {tx, ty, tz};
-              kernel(tc);
-            }
-          }
-        }
-      }
-    }
+  const std::size_t num_blocks = grid.volume();
+  for (std::size_t linear = 0; linear < num_blocks; ++linear) {
+    tc.block_idx = detail::block_from_linear(grid, linear);
+    detail::run_block_lanes(tc, kernel);
   }
 }
 
-/// Execute a grid with host-side parallelism across blocks (blocks are
-/// independent in the CUDA model, so this is semantics-preserving for any
-/// correct kernel).
+/// Execute `kernel(ThreadCtx)` for every thread of the grid.  Blocks run
+/// in parallel across the device's LaunchEngine (blocks are independent
+/// in the CUDA model, so this is semantics-preserving for any correct
+/// kernel); sub-cutoff grids run serially inline, and the sanitized path
+/// is the serial seed-permuted schedule.  Throws precondition_error on an
+/// invalid configuration, mirroring a CUDA launch failure.
+template <class F>
+void launch(DeviceContext& ctx, const Dim3& grid, const Dim3& block, F&& kernel) {
+  if (portacheck::active()) {
+    launch_serial(ctx, grid, block, std::forward<F>(kernel));
+    return;
+  }
+  ctx.validate_launch_cached(grid, block, 0);
+  ctx.note_launch(grid, block);
+
+  const std::size_t num_blocks = grid.volume();
+  ctx.engine().run_blocks(
+      num_blocks, num_blocks * block.volume(), [&](std::size_t, std::size_t linear) {
+        ThreadCtx tc;
+        tc.grid_dim = grid;
+        tc.block_dim = block;
+        tc.block_idx = detail::block_from_linear(grid, linear);
+        detail::run_block_lanes(tc, kernel);
+      });
+}
+
+/// Execute a grid with host-side parallelism across blocks on an explicit
+/// simrt execution space (kept for callers that manage their own host
+/// resources; the 4-argument launch() is the default engine-backed path).
 template <class F>
 void launch(DeviceContext& ctx, const simrt::ThreadsSpace& host, const Dim3& grid,
             const Dim3& block, F&& kernel) {
-  ctx.validate_launch(grid, block);
+  ctx.validate_launch_cached(grid, block, 0);
   ctx.note_launch(grid, block);
 
   const std::size_t num_blocks = grid.volume();
@@ -110,29 +174,22 @@ void launch(DeviceContext& ctx, const simrt::ThreadsSpace& host, const Dim3& gri
     ThreadCtx tc;
     tc.grid_dim = grid;
     tc.block_dim = block;
-    tc.block_idx = {linear % grid.x, (linear / grid.x) % grid.y, linear / (grid.x * grid.y)};
-    for (std::size_t tz = 0; tz < block.z; ++tz) {
-      for (std::size_t ty = 0; ty < block.y; ++ty) {
-        for (std::size_t tx = 0; tx < block.x; ++tx) {
-          tc.thread_idx = {tx, ty, tz};
-          if (checked) {
-            portacheck::LaneScope lane(
-                detail::simt_lane(grid, block, tc.block_idx, tc.thread_idx));
-            kernel(tc);
-          } else {
-            kernel(tc);
-          }
-        }
-      }
+    tc.block_idx = detail::block_from_linear(grid, linear);
+    if (checked) {
+      detail::run_block_lanes_checked(tc, kernel);
+    } else {
+      detail::run_block_lanes(tc, kernel);
     }
   });
 }
 
-/// Per-block execution context for cooperative kernels.
+/// Per-block execution context for cooperative kernels.  The shared
+/// memory span is a zero-filled slice of a pooled per-worker arena owned
+/// by the launch engine — valid for the duration of the block only.
 class BlockCtx {
  public:
-  BlockCtx(Dim3 grid, Dim3 block, Dim3 block_idx, std::size_t shared_bytes)
-      : grid_(grid), block_(block), block_idx_(block_idx), shared_(shared_bytes) {}
+  BlockCtx(Dim3 grid, Dim3 block, Dim3 block_idx, std::span<std::byte> shared)
+      : grid_(grid), block_(block), block_idx_(block_idx), shared_(shared) {}
 
   [[nodiscard]] const Dim3& grid_dim() const noexcept { return grid_; }
   [[nodiscard]] const Dim3& block_dim() const noexcept { return block_; }
@@ -165,14 +222,7 @@ class BlockCtx {
       return;
     }
 
-    for (std::size_t tz = 0; tz < block_.z; ++tz) {
-      for (std::size_t ty = 0; ty < block_.y; ++ty) {
-        for (std::size_t tx = 0; tx < block_.x; ++tx) {
-          tc.thread_idx = {tx, ty, tz};
-          region(tc);
-        }
-      }
-    }
+    detail::run_block_lanes(tc, region);
   }
 
   /// Block-shared scratch: a typed span carved from the block's shared
@@ -191,18 +241,16 @@ class BlockCtx {
   Dim3 grid_;
   Dim3 block_;
   Dim3 block_idx_;
-  std::vector<std::byte> shared_;
+  std::span<std::byte> shared_;
 };
 
-/// Launch a cooperative kernel: `kernel(BlockCtx&)` runs once per block
-/// with `shared_bytes` of block-shared memory.  Shared memory size is
-/// validated against the device limit, mirroring a CUDA launch error for
-/// oversized dynamic shared memory.
+/// Serial cooperative launch (deterministic block order); launch_blocks()
+/// routes sub-cutoff grids here.  Shared memory still comes from the
+/// pooled thread-local arena — zero allocations, same zero-fill contract.
 template <class F>
-void launch_blocks(DeviceContext& ctx, const Dim3& grid, const Dim3& block,
-                   std::size_t shared_bytes, F&& kernel) {
-  ctx.validate_launch(grid, block);
-  PB_EXPECTS(shared_bytes <= ctx.spec().shared_mem_per_block);
+void launch_blocks_serial(DeviceContext& ctx, const Dim3& grid, const Dim3& block,
+                          std::size_t shared_bytes, F&& kernel) {
+  ctx.validate_launch_cached(grid, block, shared_bytes);
   ctx.note_launch(grid, block);
 
   if (portacheck::active()) {
@@ -212,23 +260,52 @@ void launch_blocks(DeviceContext& ctx, const Dim3& grid, const Dim3& block,
     // barrier span, so this check is intra-span by design.)
     const auto order = portacheck::permutation(grid.volume(), portacheck::order_seed());
     for (const std::size_t linear : order) {
-      BlockCtx bc(grid, block,
-                  Dim3{linear % grid.x, (linear / grid.x) % grid.y,
-                       linear / (grid.x * grid.y)},
-                  shared_bytes);
+      BlockCtx bc(grid, block, detail::block_from_linear(grid, linear),
+                  LaunchEngine::local_arena(shared_bytes));
       kernel(bc);
     }
     return;
   }
 
-  for (std::size_t bz = 0; bz < grid.z; ++bz) {
-    for (std::size_t by = 0; by < grid.y; ++by) {
-      for (std::size_t bx = 0; bx < grid.x; ++bx) {
-        BlockCtx bc(grid, block, Dim3{bx, by, bz}, shared_bytes);
-        kernel(bc);
-      }
-    }
+  const std::size_t num_blocks = grid.volume();
+  for (std::size_t linear = 0; linear < num_blocks; ++linear) {
+    BlockCtx bc(grid, block, detail::block_from_linear(grid, linear),
+                LaunchEngine::local_arena(shared_bytes));
+    kernel(bc);
   }
+}
+
+/// Launch a cooperative kernel: `kernel(BlockCtx&)` runs once per block
+/// with `shared_bytes` of zero-filled block-shared memory.  Blocks run in
+/// parallel across the device's LaunchEngine with per-worker pooled
+/// arenas (zero allocations steady-state); shared memory size is
+/// validated against the device limit, mirroring a CUDA launch error for
+/// oversized dynamic shared memory.
+template <class F>
+void launch_blocks(DeviceContext& ctx, const Dim3& grid, const Dim3& block,
+                   std::size_t shared_bytes, F&& kernel) {
+  if (portacheck::active()) {
+    launch_blocks_serial(ctx, grid, block, shared_bytes, std::forward<F>(kernel));
+    return;
+  }
+  ctx.validate_launch_cached(grid, block, shared_bytes);
+  ctx.note_launch(grid, block);
+
+  LaunchEngine& engine = ctx.engine();
+  const std::size_t num_blocks = grid.volume();
+  engine.run_blocks(
+      num_blocks, num_blocks * block.volume(),
+      [&](std::size_t worker, std::size_t linear) {
+        // Pool workers carve from their padded arena slot; the serial /
+        // nested path uses the thread-local arena so concurrent serial
+        // launches never share scratch.
+        const std::span<std::byte> scratch =
+            worker == LaunchEngine::kSerialWorker
+                ? LaunchEngine::local_arena(shared_bytes)
+                : engine.worker_arena(worker, shared_bytes);
+        BlockCtx bc(grid, block, detail::block_from_linear(grid, linear), scratch);
+        kernel(bc);
+      });
 }
 
 }  // namespace portabench::gpusim

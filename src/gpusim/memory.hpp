@@ -109,6 +109,10 @@ class DeviceBuffer {
       ctx_->note_free(storage_.size() * sizeof(T));
     }
     ctx_ = nullptr;
+    // Drop the storage too: a freed (or moved-from) buffer must read as
+    // empty — size() == 0, data() == nullptr — not as a live view of an
+    // allocation the device already reclaimed.
+    storage_ = AlignedBuffer<T>();
   }
 
   DeviceContext* ctx_ = nullptr;

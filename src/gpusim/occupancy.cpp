@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "device.hpp"
 
 namespace portabench::gpusim {
 

@@ -10,9 +10,11 @@
 
 #include <cstddef>
 
-#include "device.hpp"
-
 namespace portabench::gpusim {
+
+// device.hpp includes this header (the launch-config cache stores an
+// Occupancy per entry), so only a forward declaration here.
+struct GpuSpec;
 
 /// Per-kernel resource footprint.
 struct KernelResources {

@@ -1,0 +1,65 @@
+#include "stream.hpp"
+
+namespace portabench::gpusim::detail {
+
+AsyncQueue::AsyncQueue() : worker_([this] { worker_loop(); }) {}
+
+AsyncQueue::~AsyncQueue() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    // Drain before shutdown so destruction has synchronize() semantics
+    // (outstanding ops complete; their errors are dropped).
+    idle_cv_.wait(lock, [this] { return queue_.empty() && !busy_; });
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  worker_.join();
+}
+
+void AsyncQueue::push(ErasedOp op) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(op));
+  }
+  work_cv_.notify_one();
+}
+
+void AsyncQueue::drain() {
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_cv_.wait(lock, [this] { return queue_.empty() && !busy_; });
+    error = std::exchange(first_error_, nullptr);
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+void AsyncQueue::worker_loop() {
+  std::vector<ErasedOp> batch;
+  for (;;) {
+    batch.clear();
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      busy_ = false;
+      if (queue_.empty()) {
+        idle_cv_.notify_all();
+        work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+        if (shutdown_ && queue_.empty()) return;
+      }
+      // Take the whole backlog in one swap: in-order execution, one lock
+      // round-trip per batch instead of per op.
+      batch.swap(queue_);
+      busy_ = true;
+    }
+    for (ErasedOp& op : batch) {
+      try {
+        op();
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!first_error_) first_error_ = std::current_exception();
+      }
+    }
+  }
+}
+
+}  // namespace portabench::gpusim::detail

@@ -3,90 +3,328 @@
 // The paper's kernels are synchronous single-stream, but a credible
 // runtime needs stream ordering for the data-transfer-overlap discussion
 // in Section II ("select the overlap of data transfers with
-// computations").  Work enqueued on a Stream executes eagerly (the host
-// *is* the device here) while the object tracks modeled timestamps so the
-// transfer-overlap ablation can compare overlapped vs. serialized
-// schedules.
+// computations").  A Stream is an in-order work queue with a modeled
+// clock (timestamps come from the performance model) and one of two
+// execution modes:
+//
+//   kEager  (default)  operations run inline on the enqueuing thread —
+//                      the host *is* the device here.  The pre-engine
+//                      behaviour, and what the sanitized tier always
+//                      uses (a permuted serial schedule needs in-order
+//                      host execution).
+//   kAsync             operations are erased into inline-storage queue
+//                      nodes and executed in order by a dedicated worker
+//                      thread, so H2D/compute/D2H pipelines on separate
+//                      streams genuinely overlap on the host.  Event /
+//                      wait() provide cross-stream ordering: wait()
+//                      blocks the stream (not the enqueuing host thread)
+//                      until the event's real completion.
+//
+// The modeled clock is advanced at enqueue time on the caller, in
+// program order — modeled timestamps are deterministic and identical
+// between the two modes; only the host-side execution strategy differs.
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
 #include <cstddef>
-#include <functional>
+#include <memory>
+#include <mutex>
+#include <new>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
 
 #include "common/error.hpp"
 #include "device.hpp"
+#include "portacheck/hooks.hpp"
 
 namespace portabench::gpusim {
 
 class Stream;
 
+enum class StreamMode { kEager, kAsync };
+
+namespace detail {
+
+/// Move-only type-erased operation: the async queue's node.  Callables
+/// up to kInlineBytes are stored in-place — no per-op heap allocation
+/// for the lambdas streams actually enqueue (std::function would
+/// allocate for anything beyond its tiny SBO and always costs a
+/// double-indirect dispatch).
+class ErasedOp {
+ public:
+  static constexpr std::size_t kInlineBytes = 64;
+
+  ErasedOp() noexcept = default;
+
+  template <class F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, ErasedOp> &&
+             std::is_invocable_v<std::remove_cvref_t<F>&>)
+  explicit ErasedOp(F&& f) {
+    using Fn = std::remove_cvref_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineBytes && alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      ops_ = &kInlineOps<Fn>;
+    } else {
+      ::new (static_cast<void*>(storage_)) Fn*(new Fn(std::forward<F>(f)));
+      ops_ = &kHeapOps<Fn>;
+    }
+  }
+
+  ErasedOp(ErasedOp&& other) noexcept : ops_(other.ops_) {
+    if (ops_ != nullptr) ops_->relocate(storage_, other.storage_);
+    other.ops_ = nullptr;
+  }
+
+  ErasedOp& operator=(ErasedOp&& other) noexcept {
+    if (this != &other) {
+      reset();
+      ops_ = other.ops_;
+      if (ops_ != nullptr) ops_->relocate(storage_, other.storage_);
+      other.ops_ = nullptr;
+    }
+    return *this;
+  }
+
+  ErasedOp(const ErasedOp&) = delete;
+  ErasedOp& operator=(const ErasedOp&) = delete;
+  ~ErasedOp() { reset(); }
+
+  void operator()() {
+    PB_EXPECTS(ops_ != nullptr);
+    ops_->invoke(storage_);
+  }
+
+  [[nodiscard]] explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+ private:
+  struct OpsVTable {
+    void (*invoke)(void*);
+    void (*relocate)(void* dst, void* src) noexcept;  // move-construct + destroy src
+    void (*destroy)(void*) noexcept;
+  };
+
+  template <class Fn>
+  static constexpr OpsVTable kInlineOps{
+      [](void* p) { (*static_cast<Fn*>(p))(); },
+      [](void* dst, void* src) noexcept {
+        Fn* f = static_cast<Fn*>(src);
+        ::new (dst) Fn(std::move(*f));
+        f->~Fn();
+      },
+      [](void* p) noexcept { static_cast<Fn*>(p)->~Fn(); },
+  };
+
+  template <class Fn>
+  static constexpr OpsVTable kHeapOps{
+      [](void* p) { (**static_cast<Fn**>(p))(); },
+      [](void* dst, void* src) noexcept {
+        ::new (dst) Fn*(*static_cast<Fn**>(src));
+      },
+      [](void* p) noexcept { delete *static_cast<Fn**>(p); },
+  };
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
+  const OpsVTable* ops_ = nullptr;
+};
+
+/// In-order queue serviced by one dedicated worker thread (the async
+/// stream's engine).  push() never blocks on op execution; drain()
+/// blocks until the queue is empty and the worker is idle, rethrowing
+/// the first exception an op threw.
+class AsyncQueue {
+ public:
+  AsyncQueue();
+  ~AsyncQueue();
+  AsyncQueue(const AsyncQueue&) = delete;
+  AsyncQueue& operator=(const AsyncQueue&) = delete;
+
+  void push(ErasedOp op);
+  void drain();
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;  // worker waits for ops / shutdown
+  std::condition_variable idle_cv_;  // drain() waits for empty + idle
+  std::vector<ErasedOp> queue_;      // FIFO: worker swaps it out in batches
+  bool busy_ = false;
+  bool shutdown_ = false;
+  std::exception_ptr first_error_;
+  std::thread worker_;
+};
+
+}  // namespace detail
+
 /// Marks a position in a stream's modeled timeline (cudaEvent analogue).
+/// Events carry shared completion state, so a recorded Event can be
+/// waited on after the recording stream re-records or is destroyed.
 class Event {
  public:
   Event() = default;
 
-  [[nodiscard]] bool recorded() const noexcept { return recorded_; }
+  [[nodiscard]] bool recorded() const noexcept { return state_ != nullptr; }
+
   /// Modeled device time (seconds) at which the event completes.
   [[nodiscard]] double timestamp() const {
-    PB_EXPECTS(recorded_);
-    return timestamp_;
+    PB_EXPECTS(recorded());
+    return state_->timestamp;
+  }
+
+  /// Host-side completion state (cudaEventQuery): for events recorded on
+  /// an eager stream this is true as soon as record() returns; on an
+  /// async stream it flips when the worker reaches the record marker.
+  [[nodiscard]] bool query() const noexcept {
+    return state_ != nullptr && state_->done.load(std::memory_order_acquire);
+  }
+
+  /// Block the host until the event really completed (cudaEventSynchronize).
+  void synchronize() const {
+    PB_EXPECTS(recorded());
+    state_->wait_done();
   }
 
   /// Modeled seconds between two recorded events (cudaEventElapsedTime).
+  /// Reversed arguments (stop before start) are a precondition_error.
   [[nodiscard]] static double elapsed(const Event& start, const Event& stop) {
     PB_EXPECTS(start.recorded() && stop.recorded());
-    PB_EXPECTS(stop.timestamp_ >= start.timestamp_);
-    return stop.timestamp_ - start.timestamp_;
+    PB_EXPECTS(stop.state_->timestamp >= start.state_->timestamp);
+    return stop.state_->timestamp - start.state_->timestamp;
   }
 
  private:
   friend class Stream;
-  bool recorded_ = false;
-  double timestamp_ = 0.0;
+
+  struct State {
+    double timestamp = 0.0;
+    std::atomic<bool> done{false};
+    std::mutex m;
+    std::condition_variable cv;
+
+    void mark_done() {
+      {
+        std::lock_guard<std::mutex> lock(m);
+        done.store(true, std::memory_order_release);
+      }
+      cv.notify_all();
+    }
+
+    void wait_done() {
+      if (done.load(std::memory_order_acquire)) return;
+      std::unique_lock<std::mutex> lock(m);
+      cv.wait(lock, [this] { return done.load(std::memory_order_acquire); });
+    }
+  };
+
+  std::shared_ptr<State> state_;
 };
 
-/// In-order work queue with a modeled clock.  Operations run eagerly on
-/// enqueue (functional execution) and advance the stream's modeled time by
-/// the duration the caller supplies (typically from the performance
-/// model).
+/// In-order work queue with a modeled clock.  See the header comment for
+/// the two execution modes; the modeled timeline is identical in both.
 class Stream {
  public:
-  explicit Stream(DeviceContext& ctx) : ctx_(&ctx) {}
+  /// Sanitized runs (portacheck active at construction) force kEager so
+  /// the permuted serial schedule stays serial — see docs/SANITIZER.md.
+  explicit Stream(DeviceContext& ctx, StreamMode mode = StreamMode::kEager)
+      : ctx_(&ctx) {
+    if (mode == StreamMode::kAsync && !portacheck::active()) {
+      queue_ = std::make_unique<detail::AsyncQueue>();
+    }
+  }
+
+  Stream(const Stream&) = delete;
+  Stream& operator=(const Stream&) = delete;
+
+  /// Destruction drains outstanding async work (errors from ops are
+  /// dropped here — synchronize() first to observe them).
+  ~Stream() = default;
 
   [[nodiscard]] DeviceContext& context() const noexcept { return *ctx_; }
+  [[nodiscard]] StreamMode mode() const noexcept {
+    return queue_ ? StreamMode::kAsync : StreamMode::kEager;
+  }
+
   /// Modeled time (seconds) at which all enqueued work completes.
   [[nodiscard]] double now() const noexcept { return clock_; }
 
-  /// Enqueue an operation: runs `op` immediately, advances modeled time by
-  /// `modeled_seconds`.  Returns the completion timestamp.
-  double enqueue(double modeled_seconds, const std::function<void()>& op) {
+  /// Enqueue an operation and advance modeled time by `modeled_seconds`;
+  /// returns the op's modeled completion timestamp.  Eager: runs `op`
+  /// inline.  Async: erases `op` into an inline-storage queue node (no
+  /// std::function, no heap for small captures) executed in order by the
+  /// stream's worker.
+  template <class F>
+    requires std::is_invocable_v<std::remove_cvref_t<F>&>
+  double enqueue(double modeled_seconds, F&& op) {
     PB_EXPECTS(modeled_seconds >= 0.0);
-    if (op) op();
+    if (queue_) {
+      queue_->push(detail::ErasedOp(std::forward<F>(op)));
+    } else {
+      op();
+    }
     clock_ += modeled_seconds;
     ++ops_;
     return clock_;
   }
 
-  /// Make this stream wait for an event recorded on another stream
-  /// (cudaStreamWaitEvent): modeled time jumps to the max.
+  /// Modeled-time-only operation (no host payload): transfers and
+  /// kernels whose cost comes purely from the performance model.
+  double enqueue(double modeled_seconds) {
+    return enqueue(modeled_seconds, [] {});
+  }
+
+  /// Make this stream wait for a recorded event (cudaStreamWaitEvent):
+  /// modeled time jumps to the max, and in async mode the stream's
+  /// worker blocks until the event's real completion — this is what
+  /// makes cross-stream pipelines actually ordered, not just modeled so.
+  /// An eager stream blocks the host instead (it *is* its own worker).
   void wait(const Event& event) {
     PB_EXPECTS(event.recorded());
-    clock_ = std::max(clock_, event.timestamp());
+    clock_ = std::max(clock_, event.state_->timestamp);
+    if (queue_) {
+      queue_->push(detail::ErasedOp(
+          [state = event.state_] { state->wait_done(); }));
+    } else {
+      event.state_->wait_done();
+    }
   }
 
-  /// Record an event at the current end of the queue.
-  void record(Event& event) const noexcept {
-    event.recorded_ = true;
-    event.timestamp_ = clock_;
+  /// Record an event at the current end of the queue.  The modeled
+  /// timestamp is taken now (program order); real completion is marked
+  /// when the stream's worker reaches this point in the queue.
+  void record(Event& event) {
+    auto state = std::make_shared<Event::State>();
+    state->timestamp = clock_;
+    if (queue_) {
+      queue_->push(detail::ErasedOp([state] { state->mark_done(); }));
+    } else {
+      state->done.store(true, std::memory_order_release);
+    }
+    event.state_ = std::move(state);
   }
 
-  /// Host-synchronize: execution is eager, so this only returns the
-  /// modeled completion time.
-  double synchronize() const noexcept { return clock_; }
+  /// Host-synchronize: drain outstanding async work (rethrowing the
+  /// first op exception), then return the modeled completion time.
+  double synchronize() {
+    if (queue_) queue_->drain();
+    return clock_;
+  }
 
   [[nodiscard]] std::size_t operations() const noexcept { return ops_; }
 
  private:
   DeviceContext* ctx_;
+  std::unique_ptr<detail::AsyncQueue> queue_;  // null in eager mode
   double clock_ = 0.0;
   std::size_t ops_ = 0;
 };

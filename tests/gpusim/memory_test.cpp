@@ -78,6 +78,38 @@ TEST_F(DeviceBufferTest, ZeroClears) {
   for (int v : back) EXPECT_EQ(v, 0);
 }
 
+TEST_F(DeviceBufferTest, FreedBufferReadsEmpty) {
+  // Regression: free() used to return the bytes to the device's
+  // accounting but leave the storage alive, so a freed buffer still
+  // presented a non-empty span over memory the device had reclaimed.
+  DeviceBuffer<int> buf(ctx_, 64);
+  buf.free();
+  EXPECT_EQ(buf.size(), 0u);
+  EXPECT_EQ(buf.data(), nullptr);
+  EXPECT_TRUE(buf.span().empty());
+  EXPECT_EQ(ctx_.bytes_in_use(), 0u);
+}
+
+TEST_F(DeviceBufferTest, DoubleFreeRejected) {
+  DeviceBuffer<int> buf(ctx_, 64);
+  buf.free();
+  EXPECT_THROW(buf.free(), precondition_error);
+}
+
+TEST_F(DeviceBufferTest, MovedFromBufferReadsEmpty) {
+  // Same contract for the moved-from state: size and data must agree.
+  DeviceBuffer<int> a(ctx_, 64);
+  DeviceBuffer<int> b(std::move(a));
+  EXPECT_EQ(a.size(), 0u);
+  EXPECT_EQ(a.data(), nullptr);
+  EXPECT_THROW(a.free(), precondition_error);  // nothing left to free
+  DeviceBuffer<int> c(ctx_, 32);
+  c = std::move(b);
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_EQ(b.data(), nullptr);
+  EXPECT_EQ(ctx_.bytes_in_use(), 64u * sizeof(int));  // only c's allocation lives
+}
+
 TEST_F(DeviceBufferTest, DeviceOomSurfacesAtAllocation) {
   GpuSpec tiny = GpuSpec::a100();
   tiny.global_mem_bytes = 1000;

@@ -1,6 +1,8 @@
 // Tests for the occupancy calculator.
 #include "gpusim/occupancy.hpp"
 
+#include "gpusim/device.hpp"
+
 #include <gtest/gtest.h>
 
 #include <string>
