@@ -1,0 +1,60 @@
+// Shared BENCH_*.json artifact emission.
+//
+// Every hand-rolled microbench (micro_dispatch, micro_launch, micro_simd,
+// host_ceiling_gemm) writes a machine-readable JSON artifact that CI
+// archives and validates.  The shared envelope lives here so the schema
+// is stamped in exactly one place: the root object always carries
+//
+//   "bench":          the binary's name (CI keys artifacts off this)
+//   "schema_version": kBenchSchemaVersion, bumped on envelope changes
+//
+// followed by whatever bench-specific keys the caller adds through
+// writer().  write() closes the envelope, writes the file, and returns
+// the process exit code for the emission step (0 ok / 1 I/O failure),
+// printing the same "wrote <path>" line CI greps for.
+#pragma once
+
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <utility>
+
+#include "common/json.hpp"
+
+namespace portabench {
+
+inline constexpr std::size_t kBenchSchemaVersion = 1;
+
+class BenchArtifact {
+ public:
+  explicit BenchArtifact(std::string bench_name) : name_(std::move(bench_name)) {
+    w_.begin_object();
+    w_.key("bench");
+    w_.value(name_);
+    w_.key("schema_version");
+    w_.value(kBenchSchemaVersion);
+  }
+
+  /// Add bench-specific keys/sections here (the root object is open).
+  [[nodiscard]] JsonWriter& writer() noexcept { return w_; }
+
+  /// Close the envelope and write the artifact.  Returns 0 on success,
+  /// 1 on I/O failure (callers return this from main on failure).
+  [[nodiscard]] int write(const std::string& path) {
+    w_.end_object();
+    std::ofstream out(path);
+    out << w_.str() << "\n";
+    if (!out) {
+      std::cerr << "FAILED: could not write " << path << "\n";
+      return 1;
+    }
+    std::cout << "wrote " << path << "\n";
+    return 0;
+  }
+
+ private:
+  std::string name_;
+  JsonWriter w_;
+};
+
+}  // namespace portabench

@@ -15,12 +15,11 @@
 //
 // Usage: host_ceiling_gemm [--n N] [--threads N] [--out PATH]
 #include <cstring>
-#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
-#include "common/json.hpp"
+#include "bench_json.hpp"
 #include "common/table.hpp"
 #include "models/runner.hpp"
 #include "portability/metric.hpp"
@@ -98,10 +97,8 @@ int main(int argc, char** argv) {
   }
   std::cout << t.to_markdown() << "\n";
 
-  JsonWriter w;
-  w.begin_object();
-  w.key("bench");
-  w.value("host_ceiling_gemm");
+  BenchArtifact artifact("host_ceiling_gemm");
+  JsonWriter& w = artifact.writer();
   w.key("n");
   w.value(n);
   w.key("host_threads");
@@ -123,10 +120,7 @@ int main(int argc, char** argv) {
     w.end_object();
   }
   w.end_array();
-  w.end_object();
-  std::ofstream out(out_path);
-  out << w.str() << "\n";
-  std::cout << "wrote " << out_path << "\n";
+  if (const int rc = artifact.write(out_path); rc != 0) return rc;
 
   if (failures != 0) {
     std::cout << failures << " FAILURES\n";

@@ -19,7 +19,6 @@
 #include <algorithm>
 #include <condition_variable>
 #include <cstring>
-#include <fstream>
 #include <functional>
 #include <iostream>
 #include <mutex>
@@ -27,7 +26,7 @@
 #include <thread>
 #include <vector>
 
-#include "common/json.hpp"
+#include "bench_json.hpp"
 #include "common/table.hpp"
 #include "common/timer.hpp"
 #include "simrt/parallel.hpp"
@@ -258,10 +257,8 @@ int main(int argc, char** argv) {
   std::cout << "-- parallel_reduce overhead --\n" << reduce_table.to_markdown() << "\n";
 
   // --- machine-readable artifact --------------------------------------------
-  JsonWriter w;
-  w.begin_object();
-  w.key("bench");
-  w.value("micro_dispatch");
+  BenchArtifact artifact("micro_dispatch");
+  JsonWriter& w = artifact.writer();
   w.key("host_threads");
   w.value(nt);
   w.key("quick");
@@ -309,14 +306,5 @@ int main(int argc, char** argv) {
     w.end_object();
   }
   w.end_array();
-  w.end_object();
-
-  std::ofstream out(opt.out);
-  out << w.str() << "\n";
-  if (!out) {
-    std::cerr << "FAILED: could not write " << opt.out << "\n";
-    return 1;
-  }
-  std::cout << "wrote " << opt.out << "\n";
-  return 0;
+  return artifact.write(opt.out);
 }

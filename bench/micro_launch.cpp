@@ -26,12 +26,11 @@
 //                     [--out PATH]
 #include <algorithm>
 #include <cstring>
-#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
-#include "common/json.hpp"
+#include "bench_json.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "common/timer.hpp"
@@ -218,10 +217,8 @@ int main(int argc, char** argv) {
             << " bytes\n";
 
   // --- machine-readable artifact --------------------------------------------
-  JsonWriter w;
-  w.begin_object();
-  w.key("bench");
-  w.value("micro_launch");
+  BenchArtifact artifact("micro_launch");
+  JsonWriter& w = artifact.writer();
   w.key("n");
   w.value(n);
   w.key("workers");
@@ -255,15 +252,7 @@ int main(int argc, char** argv) {
   w.value(cache.misses);
   w.key("arena_high_water_bytes");
   w.value(engine->arena_high_water());
-  w.end_object();
-
-  std::ofstream out(opt.out);
-  out << w.str() << "\n";
-  if (!out) {
-    std::cerr << "FAILED: could not write " << opt.out << "\n";
-    return 1;
-  }
-  std::cout << "wrote " << opt.out << "\n";
+  if (const int rc = artifact.write(opt.out); rc != 0) return rc;
 
   if (opt.require > 0.0 && best_speedup < opt.require) {
     std::cerr << "FAILED: best parallel speedup " << best_speedup << "x is below the "

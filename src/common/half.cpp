@@ -1,92 +1,35 @@
+// Scalar conversion entry points, expressed as the W == 1 instantiation
+// of the shared branch-free cores in half_convert.hpp.  There is exactly
+// one copy of the RNE / subnormal / NaN-quieting logic in the tree; the
+// batched convert_n() paths are the same cores at wider lane counts, so
+// scalar and batched conversion cannot drift apart.  The golden
+// bit-pattern tests (half_test.cpp) pin these against the original
+// branchy implementation's exhaustive image.
 #include "half.hpp"
 
 #include <ostream>
 
+#include "half_convert.hpp"
+
 namespace portabench::detail {
 
+namespace {
+using U1 = simrt::simd<std::uint32_t, 1>;
+}  // namespace
+
 std::uint16_t float_to_half_bits(float value) noexcept {
-  const std::uint32_t f = bit_cast<std::uint32_t>(value);
-  const std::uint32_t sign = (f >> 16) & 0x8000u;
-  const std::uint32_t abs = f & 0x7FFFFFFFu;
-
-  if (abs >= 0x7F800000u) {
-    // Inf or NaN.  Keep a NaN quiet with a nonzero payload.
-    if (abs > 0x7F800000u) {
-      const std::uint32_t payload = (abs >> 13) & 0x03FFu;
-      return static_cast<std::uint16_t>(sign | 0x7C00u | (payload != 0 ? payload : 0x0200u));
-    }
-    return static_cast<std::uint16_t>(sign | 0x7C00u);
-  }
-
-  const std::int32_t exp = static_cast<std::int32_t>(abs >> 23) - 127;
-
-  if (exp >= 16) return static_cast<std::uint16_t>(sign | 0x7C00u);  // overflow
-
-  if (exp >= -14) {
-    // Normal half.  Keep 10 mantissa bits, round-to-nearest-even on the
-    // 13 dropped bits.
-    std::uint32_t mant = abs & 0x007FFFFFu;
-    std::uint32_t half_exp = static_cast<std::uint32_t>(exp + 15);
-    std::uint32_t out = (half_exp << 10) | (mant >> 13);
-    const std::uint32_t round_bits = mant & 0x1FFFu;
-    if (round_bits > 0x1000u || (round_bits == 0x1000u && (out & 1u))) {
-      ++out;  // may carry into the exponent, which is exactly correct
-    }
-    return static_cast<std::uint16_t>(sign | out);
-  }
-
-  if (exp >= -25) {
-    // Subnormal half: shift the mantissa (with implicit bit) right so the
-    // exponent becomes -14, then round-to-nearest-even.
-    std::uint32_t mant = (abs & 0x007FFFFFu) | 0x00800000u;
-    const int shift = -exp - 14 + 13;  // total bits dropped below the half mantissa
-    const std::uint32_t dropped_mask = (1u << shift) - 1u;
-    std::uint32_t out = mant >> shift;
-    const std::uint32_t round_bits = mant & dropped_mask;
-    const std::uint32_t halfway = 1u << (shift - 1);
-    if (round_bits > halfway || (round_bits == halfway && (out & 1u))) ++out;
-    return static_cast<std::uint16_t>(sign | out);
-  }
-
-  // Underflow to signed zero.
-  return static_cast<std::uint16_t>(sign);
+  const U1 out = float_to_half_core<1>(U1(bit_cast<std::uint32_t>(value)));
+  return static_cast<std::uint16_t>(out[0]);
 }
 
 float half_bits_to_float(std::uint16_t bits) noexcept {
-  const std::uint32_t sign = static_cast<std::uint32_t>(bits & 0x8000u) << 16;
-  const std::uint32_t exp = (bits >> 10) & 0x1Fu;
-  std::uint32_t mant = bits & 0x03FFu;
-
-  if (exp == 0x1Fu) {
-    // Inf / NaN.
-    return bit_cast<float>(sign | 0x7F800000u | (mant << 13));
-  }
-  if (exp == 0) {
-    if (mant == 0) return bit_cast<float>(sign);  // signed zero
-    // Subnormal: normalize by shifting the mantissa up.
-    int e = -1;
-    do {
-      ++e;
-      mant <<= 1;
-    } while ((mant & 0x0400u) == 0);
-    mant &= 0x03FFu;
-    const std::uint32_t fexp = static_cast<std::uint32_t>(127 - 15 - e);
-    return bit_cast<float>(sign | (fexp << 23) | (mant << 13));
-  }
-  const std::uint32_t fexp = exp + (127 - 15);
-  return bit_cast<float>(sign | (fexp << 23) | (mant << 13));
+  const U1 out = half_to_float_core<1>(U1(bits));
+  return bit_cast<float>(out[0]);
 }
 
 std::uint16_t float_to_bfloat_bits(float value) noexcept {
-  std::uint32_t f = bit_cast<std::uint32_t>(value);
-  if ((f & 0x7F800000u) == 0x7F800000u && (f & 0x007FFFFFu) != 0) {
-    // NaN: truncate but force a nonzero payload so it stays a NaN.
-    return static_cast<std::uint16_t>((f >> 16) | 0x0040u);
-  }
-  // Round-to-nearest-even on the dropped 16 bits.
-  const std::uint32_t lsb = (f >> 16) & 1u;
-  f += 0x7FFFu + lsb;
-  return static_cast<std::uint16_t>(f >> 16);
+  const U1 out = float_to_bfloat_core<1>(U1(bit_cast<std::uint32_t>(value)));
+  return static_cast<std::uint16_t>(out[0]);
 }
 
 float bfloat_bits_to_float(std::uint16_t bits) noexcept {

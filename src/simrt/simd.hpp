@@ -1,0 +1,336 @@
+// simrt::simd — the portable explicit-SIMD value type (mini Kokkos-SIMD).
+//
+// The paper's portable models answer inner-loop throughput with a
+// width-generic SIMD abstraction (Kokkos::Experimental::simd); this is
+// our from-scratch equivalent for the simulation host.  `simd<T, W>` is
+// a value type of W lanes of T with loads/stores (aligned, unaligned,
+// masked tail), lane-wise arithmetic, fused-shape fma (a*b + c, never a
+// hardware FMA — see the determinism contract), min/max, lane shuffles,
+// and horizontal reductions whose lane-combination order is pinned.
+//
+// Two backends, one semantics (docs/PERF.md "Portable SIMD layer"):
+//   scalar      fixed-trip loops over a lane array; always available,
+//               the bit-exact reference.
+//   vector_ext  GCC `__attribute__((vector_size))` generic vectors;
+//               selected at configure time (CMake compile-checks the
+//               extension and defines PORTABENCH_SIMD_HAS_VECTOR_EXT
+//               for the whole build; self-detection is the fallback for
+//               installed-header consumers).  W == 1 always uses the
+//               scalar backend.
+//
+// Determinism contract:
+//   * Lane ops are IEEE-754 operations, identical across backends and
+//     ISA tiers; FMA contraction is disabled (repo-wide -ffp-contract=off
+//     plus the explicit attribute on AVX-512 tier wrappers, whose target
+//     otherwise enables it).
+//   * hsum/hmin/hmax combine lanes strictly in ascending lane order, so
+//     a reduction's value depends only on (W, element order) — never on
+//     the instruction set executing it.
+//   * Kernels that widen with the ISA (e.g. the tiled GEMM microkernel)
+//     must keep the per-element accumulation order independent of W;
+//     kernels that cannot (block reductions) pin W to the values below
+//     regardless of the runtime tier.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <string_view>
+#include <type_traits>
+
+#include "simd_backends/scalar.hpp"
+
+// --- backend selection ------------------------------------------------------
+// PORTABENCH_SIMD_HAS_VECTOR_EXT: 1 when the GCC generic-vector backend
+// is compiled in.  CMake sets it globally after a compile check (see the
+// top-level CMakeLists); when absent (installed headers, ad-hoc builds)
+// detect from the compiler.  PORTABENCH_SIMD_FORCE_SCALAR overrides.
+#if defined(PORTABENCH_SIMD_FORCE_SCALAR)
+#undef PORTABENCH_SIMD_HAS_VECTOR_EXT
+#define PORTABENCH_SIMD_HAS_VECTOR_EXT 0
+#endif
+#ifndef PORTABENCH_SIMD_HAS_VECTOR_EXT
+#if defined(__GNUC__) || defined(__clang__)
+#define PORTABENCH_SIMD_HAS_VECTOR_EXT 1
+#else
+#define PORTABENCH_SIMD_HAS_VECTOR_EXT 0
+#endif
+#endif
+
+// PORTABENCH_SIMD_HAS_X86_TIERS: 1 when per-function ISA targeting
+// (__attribute__((target))) and __builtin_cpu_supports are available, so
+// hot loops can be compiled per tier and dispatched at runtime.
+#ifndef PORTABENCH_SIMD_HAS_X86_TIERS
+#if PORTABENCH_SIMD_HAS_VECTOR_EXT && defined(__x86_64__) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define PORTABENCH_SIMD_HAS_X86_TIERS 1
+#else
+#define PORTABENCH_SIMD_HAS_X86_TIERS 0
+#endif
+#endif
+
+#if PORTABENCH_SIMD_HAS_VECTOR_EXT
+#include "simd_backends/vector_ext.hpp"
+#endif
+
+// Tier-wrapper attributes: recompile a generic body for a wider ISA.
+// flatten forces the (template) body to inline so it actually picks up
+// the wider target; fp-contract=off keeps AVX-512 (whose target implies
+// FMA) from contracting a*b + c and breaking cross-tier bit identity.
+#if PORTABENCH_SIMD_HAS_X86_TIERS
+#define PORTABENCH_SIMD_TARGET_AVX2 \
+  __attribute__((target("avx2"), flatten, optimize("fp-contract=off")))
+#define PORTABENCH_SIMD_TARGET_AVX512 \
+  __attribute__((target("avx512f"), flatten, optimize("fp-contract=off")))
+#endif
+
+namespace portabench::simrt {
+
+namespace detail_simd {
+
+template <class T, std::size_t W>
+struct pick_backend {
+  using type = simd_backends::ScalarPack<T, W>;
+};
+
+#if PORTABENCH_SIMD_HAS_VECTOR_EXT
+template <class T, std::size_t W>
+  requires(W >= 2)
+struct pick_backend<T, W> {
+  using type = simd_backends::VecPack<T, W>;
+};
+#endif
+
+}  // namespace detail_simd
+
+/// Width policy: one 256-bit register's worth of lanes.  This is the
+/// *semantic* width kernels with pinned lane order use on every machine;
+/// ISA tiers may execute it in halves (SSE2) or one op (AVX2) but never
+/// change it.  Width-order-free kernels (the GEMM microkernel) may pick
+/// wider geometries per tier.
+inline constexpr std::size_t kSimdRegisterBytes = 32;
+
+template <class T>
+inline constexpr std::size_t native_lanes = kSimdRegisterBytes / sizeof(T);
+
+template <class T, std::size_t W>
+class simd {
+ public:
+  using value_type = T;
+  using backend_type = typename detail_simd::pick_backend<T, W>::type;
+  using mask_type = simd<simd_backends::mask_element_t<T>, W>;
+  static constexpr std::size_t width = W;
+
+  simd() noexcept : b_(backend_type::broadcast(T{})) {}
+  explicit simd(T broadcast_value) noexcept : b_(backend_type::broadcast(broadcast_value)) {}
+  explicit simd(const backend_type& b) noexcept : b_(b) {}
+
+  [[nodiscard]] const backend_type& backend() const noexcept { return b_; }
+
+  // --- loads / stores -------------------------------------------------------
+  static simd load(const T* p) noexcept { return simd(backend_type::load(p)); }
+  static simd load_aligned(const T* p) noexcept { return simd(backend_type::load_aligned(p)); }
+  /// Masked-tail load: lanes [0, n) from p, remaining lanes zero.
+  static simd load_partial(const T* p, std::size_t n) noexcept {
+    simd r;
+    for (std::size_t w = 0; w < W && w < n; ++w) r.b_.set(w, p[w]);
+    return r;
+  }
+  void store(T* p) const noexcept { b_.store(p); }
+  void store_aligned(T* p) const noexcept { b_.store_aligned(p); }
+  /// Masked-tail store: lanes [0, n) to p; nothing else is touched.
+  void store_partial(T* p, std::size_t n) const noexcept {
+    for (std::size_t w = 0; w < W && w < n; ++w) p[w] = b_.get(w);
+  }
+
+  [[nodiscard]] T operator[](std::size_t w) const noexcept { return b_.get(w); }
+  void set_lane(std::size_t w, T v) noexcept { b_.set(w, v); }
+
+  // --- lane-wise arithmetic -------------------------------------------------
+  friend simd operator+(const simd& a, const simd& b) noexcept {
+    return simd(backend_type::add(a.b_, b.b_));
+  }
+  friend simd operator-(const simd& a, const simd& b) noexcept {
+    return simd(backend_type::sub(a.b_, b.b_));
+  }
+  friend simd operator*(const simd& a, const simd& b) noexcept {
+    return simd(backend_type::mul(a.b_, b.b_));
+  }
+  friend simd operator/(const simd& a, const simd& b) noexcept {
+    return simd(backend_type::div(a.b_, b.b_));
+  }
+  friend simd operator-(const simd& a) noexcept { return simd(backend_type::neg(a.b_)); }
+  simd& operator+=(const simd& o) noexcept { return *this = *this + o; }
+  simd& operator-=(const simd& o) noexcept { return *this = *this - o; }
+  simd& operator*=(const simd& o) noexcept { return *this = *this * o; }
+  simd& operator/=(const simd& o) noexcept { return *this = *this / o; }
+
+  friend simd min(const simd& a, const simd& b) noexcept {
+    return simd(backend_type::min(a.b_, b.b_));
+  }
+  friend simd max(const simd& a, const simd& b) noexcept {
+    return simd(backend_type::max(a.b_, b.b_));
+  }
+  /// a*b + c as two rounded IEEE operations — deliberately *not* a
+  /// hardware FMA, so every tier and backend produces the same bits.
+  friend simd fma(const simd& a, const simd& b, const simd& c) noexcept {
+    return a * b + c;
+  }
+
+  // --- lane-wise bit ops (integral lanes) -----------------------------------
+  friend simd operator&(const simd& a, const simd& b) noexcept
+    requires std::is_integral_v<T>
+  {
+    return simd(backend_type::band(a.b_, b.b_));
+  }
+  friend simd operator|(const simd& a, const simd& b) noexcept
+    requires std::is_integral_v<T>
+  {
+    return simd(backend_type::bor(a.b_, b.b_));
+  }
+  friend simd operator^(const simd& a, const simd& b) noexcept
+    requires std::is_integral_v<T>
+  {
+    return simd(backend_type::bxor(a.b_, b.b_));
+  }
+  friend simd operator~(const simd& a) noexcept
+    requires std::is_integral_v<T>
+  {
+    return simd(backend_type::bnot(a.b_));
+  }
+  friend simd operator<<(const simd& a, unsigned n) noexcept
+    requires std::is_integral_v<T>
+  {
+    return simd(backend_type::shl(a.b_, n));
+  }
+  friend simd operator>>(const simd& a, unsigned n) noexcept
+    requires std::is_integral_v<T>
+  {
+    return simd(backend_type::shr(a.b_, n));
+  }
+
+  // --- comparisons / select -------------------------------------------------
+  // Named (not operator==) so a lane-mask result is never mistaken for a
+  // bool.  Masks are canonical all-ones/all-zeros unsigned lanes.
+  [[nodiscard]] mask_type eq(const simd& o) const noexcept {
+    return mask_type(backend_type::cmp_eq(b_, o.b_));
+  }
+  [[nodiscard]] mask_type lt(const simd& o) const noexcept {
+    return mask_type(backend_type::cmp_lt(b_, o.b_));
+  }
+  [[nodiscard]] mask_type le(const simd& o) const noexcept {
+    return mask_type(backend_type::cmp_le(b_, o.b_));
+  }
+  static simd select(const mask_type& m, const simd& a, const simd& b) noexcept {
+    return simd(backend_type::select(m.backend(), a.b_, b.b_));
+  }
+
+  // --- conversions ----------------------------------------------------------
+  /// Lane-wise static_cast to U (widen/narrow/int<->float).
+  template <class U>
+  [[nodiscard]] simd<U, W> convert_to() const noexcept {
+    return simd<U, W>(b_.template convert<U>());
+  }
+  /// Bit-level reinterpretation to a same-total-size pack.
+  template <class U>
+  [[nodiscard]] simd<U, W> bit_cast_to() const noexcept {
+    static_assert(sizeof(U) == sizeof(T), "bit_cast_to keeps the lane layout");
+    // Copy backend-to-backend: the packs are trivial standard-layout
+    // structs of raw lane storage, so memcpy is the defined bit cast.
+    typename simd<U, W>::backend_type rb;
+    static_assert(sizeof(rb) == sizeof(b_));
+    std::memcpy(&rb, &b_, sizeof(rb));
+    return simd<U, W>(rb);
+  }
+
+  // --- lane shuffles --------------------------------------------------------
+  [[nodiscard]] simd reverse_lanes() const noexcept { return simd(b_.reverse()); }
+  /// Result lane w = input lane (w + n) % W.
+  [[nodiscard]] simd rotate_lanes(std::size_t n) const noexcept { return simd(b_.rotate(n)); }
+
+  // --- horizontal reductions (pinned order) ---------------------------------
+  /// ((lane0 + lane1) + lane2) + ... — ascending lane order, every
+  /// backend and tier.  The only reassociation simd introduces is this
+  /// documented one.
+  [[nodiscard]] T hsum() const noexcept {
+    T acc = b_.get(0);
+    for (std::size_t w = 1; w < W; ++w) acc = static_cast<T>(acc + b_.get(w));
+    return acc;
+  }
+  [[nodiscard]] T hmin() const noexcept {
+    T acc = b_.get(0);
+    for (std::size_t w = 1; w < W; ++w) acc = b_.get(w) < acc ? b_.get(w) : acc;
+    return acc;
+  }
+  [[nodiscard]] T hmax() const noexcept {
+    T acc = b_.get(0);
+    for (std::size_t w = 1; w < W; ++w) acc = acc < b_.get(w) ? b_.get(w) : acc;
+    return acc;
+  }
+
+ private:
+  backend_type b_;
+};
+
+// --- runtime ISA tiers ------------------------------------------------------
+
+/// Instruction tiers the dispatched kernels are compiled for.  kVector
+/// is the baseline-ISA generic-vector build (whatever -march the TU got,
+/// SSE2 on stock x86-64); kScalar means the vector backend is compiled
+/// out entirely.  Tier choice NEVER changes results: every tier of every
+/// dispatched kernel is bit-identical (tests pin this).
+enum class SimdTier : int { kScalar = 0, kVector = 1, kAvx2 = 2, kAvx512 = 3 };
+
+[[nodiscard]] constexpr std::string_view simd_tier_name(SimdTier t) noexcept {
+  switch (t) {
+    case SimdTier::kScalar: return "scalar";
+    case SimdTier::kVector: return "vector";
+    case SimdTier::kAvx2: return "avx2";
+    case SimdTier::kAvx512: return "avx512";
+  }
+  return "unknown";
+}
+
+namespace detail_simd {
+
+inline SimdTier detect_simd_tier() noexcept {
+#if PORTABENCH_SIMD_HAS_VECTOR_EXT
+  SimdTier best = SimdTier::kVector;
+#if PORTABENCH_SIMD_HAS_X86_TIERS
+  if (__builtin_cpu_supports("avx2")) best = SimdTier::kAvx2;
+  if (__builtin_cpu_supports("avx512f")) best = SimdTier::kAvx512;
+#endif
+  // PORTABENCH_SIMD_TIER clamps the dispatch tier (debugging / perf
+  // triage); results are identical at every tier by contract.
+  if (const char* env = std::getenv("PORTABENCH_SIMD_TIER")) {
+    const std::string_view want(env);
+    for (const SimdTier t : {SimdTier::kScalar, SimdTier::kVector, SimdTier::kAvx2,
+                             SimdTier::kAvx512}) {
+      if (want == simd_tier_name(t) && static_cast<int>(t) <= static_cast<int>(best)) {
+        return t;
+      }
+    }
+  }
+  return best;
+#else
+  return SimdTier::kScalar;
+#endif
+}
+
+}  // namespace detail_simd
+
+/// The best tier this process can dispatch to (cached after first call).
+[[nodiscard]] inline SimdTier simd_dispatch_tier() noexcept {
+  static const SimdTier tier = detail_simd::detect_simd_tier();
+  return tier;
+}
+
+/// True when `t` can execute on this host (t <= simd_dispatch_tier()
+/// modulo the env clamp — the clamp lowers this too, keeping bench/tests
+/// honest about what they exercised).
+[[nodiscard]] inline bool simd_tier_available(SimdTier t) noexcept {
+  return static_cast<int>(t) <= static_cast<int>(simd_dispatch_tier());
+}
+
+}  // namespace portabench::simrt

@@ -1,0 +1,182 @@
+// Scalar-unrolled SIMD backend: the always-available reference.
+//
+// Every lane operation is a plain fixed-trip-count loop over a small
+// array — the shape compiler auto-vectorizers digest best, and the
+// semantic reference the vector-extension backend must match bit for
+// bit.  Nothing here is allowed to reassociate: lane w of the result
+// depends only on lane w of the inputs (horizontal reductions live in
+// simd.hpp, where the lane-combination order is pinned and documented).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+namespace portabench::simrt::simd_backends {
+
+/// Unsigned integer type with the same size as T (mask element type).
+template <class T>
+using mask_element_t =
+    std::conditional_t<sizeof(T) == 2, std::uint16_t,
+                       std::conditional_t<sizeof(T) == 4, std::uint32_t, std::uint64_t>>;
+
+template <class T, std::size_t W>
+struct ScalarPack {
+  static_assert(W >= 1 && (W & (W - 1)) == 0, "lane count must be a power of two");
+  using value_type = T;
+  static constexpr std::size_t width = W;
+  using mask_pack = ScalarPack<mask_element_t<T>, W>;
+
+  // Match the vector backend's natural alignment so the aligned-load
+  // contract is identical under either backend.
+  alignas(sizeof(T) * W) T lane[W];
+
+  static ScalarPack broadcast(T s) noexcept {
+    ScalarPack r;
+    for (std::size_t w = 0; w < W; ++w) r.lane[w] = s;
+    return r;
+  }
+  static ScalarPack load(const T* p) noexcept {
+    ScalarPack r;
+    std::memcpy(r.lane, p, sizeof(r.lane));
+    return r;
+  }
+  static ScalarPack load_aligned(const T* p) noexcept { return load(p); }
+  void store(T* p) const noexcept { std::memcpy(p, lane, sizeof(lane)); }
+  void store_aligned(T* p) const noexcept { store(p); }
+
+  [[nodiscard]] T get(std::size_t w) const noexcept { return lane[w]; }
+  void set(std::size_t w, T v) noexcept { lane[w] = v; }
+
+  static ScalarPack add(const ScalarPack& a, const ScalarPack& b) noexcept {
+    ScalarPack r;
+    for (std::size_t w = 0; w < W; ++w) r.lane[w] = static_cast<T>(a.lane[w] + b.lane[w]);
+    return r;
+  }
+  static ScalarPack sub(const ScalarPack& a, const ScalarPack& b) noexcept {
+    ScalarPack r;
+    for (std::size_t w = 0; w < W; ++w) r.lane[w] = static_cast<T>(a.lane[w] - b.lane[w]);
+    return r;
+  }
+  static ScalarPack mul(const ScalarPack& a, const ScalarPack& b) noexcept {
+    ScalarPack r;
+    for (std::size_t w = 0; w < W; ++w) r.lane[w] = static_cast<T>(a.lane[w] * b.lane[w]);
+    return r;
+  }
+  static ScalarPack div(const ScalarPack& a, const ScalarPack& b) noexcept {
+    ScalarPack r;
+    for (std::size_t w = 0; w < W; ++w) r.lane[w] = static_cast<T>(a.lane[w] / b.lane[w]);
+    return r;
+  }
+  static ScalarPack neg(const ScalarPack& a) noexcept {
+    ScalarPack r;
+    for (std::size_t w = 0; w < W; ++w) r.lane[w] = static_cast<T>(-a.lane[w]);
+    return r;
+  }
+  // min/max mirror std::min/std::max: the first argument wins ties (and
+  // unordered comparisons), so NaN/-0.0 behaviour matches a scalar loop.
+  static ScalarPack min(const ScalarPack& a, const ScalarPack& b) noexcept {
+    ScalarPack r;
+    for (std::size_t w = 0; w < W; ++w) r.lane[w] = b.lane[w] < a.lane[w] ? b.lane[w] : a.lane[w];
+    return r;
+  }
+  static ScalarPack max(const ScalarPack& a, const ScalarPack& b) noexcept {
+    ScalarPack r;
+    for (std::size_t w = 0; w < W; ++w) r.lane[w] = a.lane[w] < b.lane[w] ? b.lane[w] : a.lane[w];
+    return r;
+  }
+
+  static ScalarPack band(const ScalarPack& a, const ScalarPack& b) noexcept
+    requires std::is_integral_v<T>
+  {
+    ScalarPack r;
+    for (std::size_t w = 0; w < W; ++w) r.lane[w] = static_cast<T>(a.lane[w] & b.lane[w]);
+    return r;
+  }
+  static ScalarPack bor(const ScalarPack& a, const ScalarPack& b) noexcept
+    requires std::is_integral_v<T>
+  {
+    ScalarPack r;
+    for (std::size_t w = 0; w < W; ++w) r.lane[w] = static_cast<T>(a.lane[w] | b.lane[w]);
+    return r;
+  }
+  static ScalarPack bxor(const ScalarPack& a, const ScalarPack& b) noexcept
+    requires std::is_integral_v<T>
+  {
+    ScalarPack r;
+    for (std::size_t w = 0; w < W; ++w) r.lane[w] = static_cast<T>(a.lane[w] ^ b.lane[w]);
+    return r;
+  }
+  static ScalarPack bnot(const ScalarPack& a) noexcept
+    requires std::is_integral_v<T>
+  {
+    ScalarPack r;
+    for (std::size_t w = 0; w < W; ++w) r.lane[w] = static_cast<T>(~a.lane[w]);
+    return r;
+  }
+  static ScalarPack shl(const ScalarPack& a, unsigned n) noexcept
+    requires std::is_integral_v<T>
+  {
+    ScalarPack r;
+    for (std::size_t w = 0; w < W; ++w) r.lane[w] = static_cast<T>(a.lane[w] << n);
+    return r;
+  }
+  static ScalarPack shr(const ScalarPack& a, unsigned n) noexcept
+    requires std::is_integral_v<T>
+  {
+    ScalarPack r;
+    for (std::size_t w = 0; w < W; ++w) r.lane[w] = static_cast<T>(a.lane[w] >> n);
+    return r;
+  }
+
+  /// All-ones / all-zeros lane masks (same layout as vector-ext compares).
+  static mask_pack cmp_eq(const ScalarPack& a, const ScalarPack& b) noexcept {
+    using M = mask_element_t<T>;
+    mask_pack r;
+    for (std::size_t w = 0; w < W; ++w) r.lane[w] = a.lane[w] == b.lane[w] ? static_cast<M>(~M{0}) : M{0};
+    return r;
+  }
+  static mask_pack cmp_lt(const ScalarPack& a, const ScalarPack& b) noexcept {
+    using M = mask_element_t<T>;
+    mask_pack r;
+    for (std::size_t w = 0; w < W; ++w) r.lane[w] = a.lane[w] < b.lane[w] ? static_cast<M>(~M{0}) : M{0};
+    return r;
+  }
+  static mask_pack cmp_le(const ScalarPack& a, const ScalarPack& b) noexcept {
+    using M = mask_element_t<T>;
+    mask_pack r;
+    for (std::size_t w = 0; w < W; ++w) r.lane[w] = a.lane[w] <= b.lane[w] ? static_cast<M>(~M{0}) : M{0};
+    return r;
+  }
+
+  /// Per-lane mask select: lane w of the result is a's lane where the
+  /// mask lane is all-ones, b's where it is zero.
+  static ScalarPack select(const mask_pack& m, const ScalarPack& a, const ScalarPack& b) noexcept {
+    ScalarPack r;
+    for (std::size_t w = 0; w < W; ++w) r.lane[w] = m.lane[w] ? a.lane[w] : b.lane[w];
+    return r;
+  }
+
+  /// Lane-wise value conversion (static_cast per lane).
+  template <class U>
+  [[nodiscard]] ScalarPack<U, W> convert() const noexcept {
+    ScalarPack<U, W> r;
+    for (std::size_t w = 0; w < W; ++w) r.lane[w] = static_cast<U>(lane[w]);
+    return r;
+  }
+
+  [[nodiscard]] ScalarPack reverse() const noexcept {
+    ScalarPack r;
+    for (std::size_t w = 0; w < W; ++w) r.lane[w] = lane[W - 1 - w];
+    return r;
+  }
+  /// Rotate lanes left by n: result lane w = input lane (w + n) % W.
+  [[nodiscard]] ScalarPack rotate(std::size_t n) const noexcept {
+    ScalarPack r;
+    for (std::size_t w = 0; w < W; ++w) r.lane[w] = lane[(w + n) % W];
+    return r;
+  }
+};
+
+}  // namespace portabench::simrt::simd_backends

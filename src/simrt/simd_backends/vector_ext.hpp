@@ -1,0 +1,153 @@
+// GCC vector-extension SIMD backend.
+//
+// The one place in the tree allowed to touch raw
+// `__attribute__((vector_size))` types (enforced by the portalint
+// `simd-raw-vector-ext` rule): everything else goes through
+// simrt::simd.  Lane semantics are defined to be identical to the
+// scalar backend — same IEEE operations per lane, same mask layout
+// (all-ones/all-zeros integer lanes), same min/max tie rules — which
+// the simd_test property suites pin against the scalar loops.
+//
+// Loads and stores go through memcpy, so the pointer passed in is
+// treated as a byte address: packing half/bfloat16 storage through a
+// uint16_t* stays well-defined.  Codegen note: the ISA these ops lower
+// to is whatever the enclosing function targets — the tier-dispatch
+// wrappers in simd.hpp (PORTABENCH_SIMD_TARGET_*) recompile the same
+// generic body for AVX2/AVX-512 without changing a single lane result.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+#include "scalar.hpp"  // mask_element_t
+
+namespace portabench::simrt::simd_backends {
+
+template <class T, std::size_t W>
+struct VecPack {
+  static_assert(W >= 2 && (W & (W - 1)) == 0, "lane count must be a power of two >= 2");
+  using value_type = T;
+  static constexpr std::size_t width = W;
+  using mask_pack = VecPack<mask_element_t<T>, W>;
+
+  typedef T Vec __attribute__((vector_size(sizeof(T) * W)));
+  Vec v;
+
+  static VecPack broadcast(T s) noexcept {
+    // Vector + scalar broadcasts the scalar across lanes (one vbroadcast).
+    return {Vec{} + s};
+  }
+  static VecPack load(const T* p) noexcept {
+    VecPack r;
+    std::memcpy(&r.v, p, sizeof(Vec));
+    return r;
+  }
+  static VecPack load_aligned(const T* p) noexcept {
+    return load(static_cast<const T*>(__builtin_assume_aligned(p, sizeof(Vec))));
+  }
+  void store(T* p) const noexcept { std::memcpy(p, &v, sizeof(Vec)); }
+  void store_aligned(T* p) const noexcept {
+    std::memcpy(static_cast<T*>(__builtin_assume_aligned(p, sizeof(Vec))), &v, sizeof(Vec));
+  }
+
+  [[nodiscard]] T get(std::size_t w) const noexcept { return v[w]; }
+  void set(std::size_t w, T x) noexcept { v[w] = x; }
+
+  static VecPack add(const VecPack& a, const VecPack& b) noexcept { return {a.v + b.v}; }
+  static VecPack sub(const VecPack& a, const VecPack& b) noexcept { return {a.v - b.v}; }
+  static VecPack mul(const VecPack& a, const VecPack& b) noexcept { return {a.v * b.v}; }
+  static VecPack div(const VecPack& a, const VecPack& b) noexcept { return {a.v / b.v}; }
+  static VecPack neg(const VecPack& a) noexcept { return {-a.v}; }
+  static VecPack min(const VecPack& a, const VecPack& b) noexcept {
+    return select(cmp_lt(b, a), b, a);
+  }
+  static VecPack max(const VecPack& a, const VecPack& b) noexcept {
+    return select(cmp_lt(a, b), b, a);
+  }
+
+  static VecPack band(const VecPack& a, const VecPack& b) noexcept
+    requires std::is_integral_v<T>
+  {
+    return {a.v & b.v};
+  }
+  static VecPack bor(const VecPack& a, const VecPack& b) noexcept
+    requires std::is_integral_v<T>
+  {
+    return {a.v | b.v};
+  }
+  static VecPack bxor(const VecPack& a, const VecPack& b) noexcept
+    requires std::is_integral_v<T>
+  {
+    return {a.v ^ b.v};
+  }
+  static VecPack bnot(const VecPack& a) noexcept
+    requires std::is_integral_v<T>
+  {
+    return {~a.v};
+  }
+  static VecPack shl(const VecPack& a, unsigned n) noexcept
+    requires std::is_integral_v<T>
+  {
+    return {a.v << n};
+  }
+  static VecPack shr(const VecPack& a, unsigned n) noexcept
+    requires std::is_integral_v<T>
+  {
+    return {a.v >> n};
+  }
+
+  // Vector comparisons yield signed -1/0 lanes; reinterpret to the
+  // unsigned mask layout shared with the scalar backend.
+  static mask_pack cmp_eq(const VecPack& a, const VecPack& b) noexcept {
+    return as_mask(a.v == b.v);
+  }
+  static mask_pack cmp_lt(const VecPack& a, const VecPack& b) noexcept {
+    return as_mask(a.v < b.v);
+  }
+  static mask_pack cmp_le(const VecPack& a, const VecPack& b) noexcept {
+    return as_mask(a.v <= b.v);
+  }
+
+  static VecPack select(const mask_pack& m, const VecPack& a, const VecPack& b) noexcept {
+    using UV = typename mask_pack::Vec;
+    UV ua;
+    UV ub;
+    std::memcpy(&ua, &a.v, sizeof(UV));
+    std::memcpy(&ub, &b.v, sizeof(UV));
+    const UV r = (ua & m.v) | (ub & ~m.v);
+    VecPack out;
+    std::memcpy(&out.v, &r, sizeof(Vec));
+    return out;
+  }
+
+  template <class U>
+  [[nodiscard]] VecPack<U, W> convert() const noexcept {
+    VecPack<U, W> r;
+    r.v = __builtin_convertvector(v, typename VecPack<U, W>::Vec);
+    return r;
+  }
+
+  [[nodiscard]] VecPack reverse() const noexcept {
+    typename mask_pack::Vec idx;
+    for (std::size_t w = 0; w < W; ++w) idx[w] = static_cast<mask_element_t<T>>(W - 1 - w);
+    return {__builtin_shuffle(v, idx)};
+  }
+  [[nodiscard]] VecPack rotate(std::size_t n) const noexcept {
+    typename mask_pack::Vec idx;
+    for (std::size_t w = 0; w < W; ++w) idx[w] = static_cast<mask_element_t<T>>((w + n) % W);
+    return {__builtin_shuffle(v, idx)};
+  }
+
+ private:
+  template <class CmpVec>
+  static mask_pack as_mask(const CmpVec& c) noexcept {
+    static_assert(sizeof(CmpVec) == sizeof(typename mask_pack::Vec));
+    mask_pack m;
+    std::memcpy(&m.v, &c, sizeof(m.v));
+    return m;
+  }
+};
+
+}  // namespace portabench::simrt::simd_backends

@@ -1,0 +1,199 @@
+// SIMD block reductions with a pinned combination order.
+//
+// Reductions are where vectorization usually breaks determinism: the
+// lane count changes how partial sums associate, so the "same" sum on
+// two machines (or two ISA tiers of one machine) can differ in the last
+// bit.  This header pins the reassociation instead of forbidding it:
+//
+//   simd_sum        W lane-strided partial sums over the full blocks
+//                   (partial[w] accumulates p[i*W + w] in ascending i),
+//                   combined in ascending lane order (hsum), then the
+//                   tail elements appended sequentially.  W is FIXED per
+//                   element type — native_lanes<T>, one 256-bit
+//                   register's worth (8 float / 4 double) — regardless
+//                   of which ISA tier executes it, so the value depends
+//                   only on (T, element order), never on the hardware.
+//   simd_max /      order-free: max is associative, commutative, and
+//   simd_max_abs_diff  exact, so any blocking gives the identical value
+//                   (bit-identical too; lanes are combined with the same
+//                   a < b tie rule as the scalar loop).
+//
+// The *_tier forms take an explicit tier so tests can cross-check every
+// tier the host supports; the bare forms dispatch once per process.
+// Tier choice only changes codegen (AVX2/AVX-512 recompiles of the same
+// fixed-W body), never the arithmetic — the sanitized test tier pins
+// scalar vs every available tier bit-for-bit.
+#pragma once
+
+#include <cstddef>
+
+#include "simrt/simd.hpp"
+
+namespace portabench::simrt {
+
+namespace detail_reduce {
+
+template <class T, std::size_t W>
+[[nodiscard]] inline T sum_w(const T* p, std::size_t n) noexcept {
+  using V = simd<T, W>;
+  V acc;
+  std::size_t i = 0;
+  for (; i + W <= n; i += W) acc += V::load(p + i);
+  T s = acc.hsum();
+  for (; i < n; ++i) s = static_cast<T>(s + p[i]);
+  return s;
+}
+
+template <class T, std::size_t W>
+[[nodiscard]] inline T max_w(const T* p, std::size_t n) noexcept {
+  using V = simd<T, W>;
+  std::size_t i = 1;
+  T m = p[0];
+  if (n >= W) {
+    V acc = V::load(p);
+    for (i = W; i + W <= n; i += W) acc = max(acc, V::load(p + i));
+    m = acc.hmax();
+  }
+  for (; i < n; ++i) m = m < p[i] ? p[i] : m;
+  return m;
+}
+
+template <class T, std::size_t W>
+[[nodiscard]] inline T max_abs_diff_w(const T* u, const T* v, std::size_t n) noexcept {
+  using V = simd<T, W>;
+  V acc;  // zero: |d| >= 0, so the identity is safe
+  std::size_t i = 0;
+  for (; i + W <= n; i += W) {
+    const V d = V::load(u + i) - V::load(v + i);
+    acc = max(acc, max(d, -d));
+  }
+  T m = acc.hmax();
+  for (; i < n; ++i) {
+    const T d = static_cast<T>(u[i] - v[i]);
+    const T ad = d < T{} ? static_cast<T>(-d) : d;
+    m = m < ad ? ad : m;
+  }
+  return m;
+}
+
+#if PORTABENCH_SIMD_HAS_X86_TIERS
+// Tier recompiles of the same fixed-width bodies.  The width stays
+// native_lanes<T> on every tier (the pinned-order contract); AVX-512
+// merely executes the 256-bit pack in half a register.
+PORTABENCH_SIMD_TARGET_AVX2 inline float sum_avx2(const float* p, std::size_t n) noexcept {
+  return sum_w<float, native_lanes<float>>(p, n);
+}
+PORTABENCH_SIMD_TARGET_AVX512 inline float sum_avx512(const float* p, std::size_t n) noexcept {
+  return sum_w<float, native_lanes<float>>(p, n);
+}
+PORTABENCH_SIMD_TARGET_AVX2 inline double sum_avx2(const double* p, std::size_t n) noexcept {
+  return sum_w<double, native_lanes<double>>(p, n);
+}
+PORTABENCH_SIMD_TARGET_AVX512 inline double sum_avx512(const double* p,
+                                                       std::size_t n) noexcept {
+  return sum_w<double, native_lanes<double>>(p, n);
+}
+PORTABENCH_SIMD_TARGET_AVX2 inline float max_avx2(const float* p, std::size_t n) noexcept {
+  return max_w<float, native_lanes<float>>(p, n);
+}
+PORTABENCH_SIMD_TARGET_AVX512 inline float max_avx512(const float* p, std::size_t n) noexcept {
+  return max_w<float, native_lanes<float>>(p, n);
+}
+PORTABENCH_SIMD_TARGET_AVX2 inline double max_avx2(const double* p, std::size_t n) noexcept {
+  return max_w<double, native_lanes<double>>(p, n);
+}
+PORTABENCH_SIMD_TARGET_AVX512 inline double max_avx512(const double* p,
+                                                       std::size_t n) noexcept {
+  return max_w<double, native_lanes<double>>(p, n);
+}
+PORTABENCH_SIMD_TARGET_AVX2 inline float max_abs_diff_avx2(const float* u, const float* v,
+                                                           std::size_t n) noexcept {
+  return max_abs_diff_w<float, native_lanes<float>>(u, v, n);
+}
+PORTABENCH_SIMD_TARGET_AVX512 inline float max_abs_diff_avx512(const float* u, const float* v,
+                                                               std::size_t n) noexcept {
+  return max_abs_diff_w<float, native_lanes<float>>(u, v, n);
+}
+PORTABENCH_SIMD_TARGET_AVX2 inline double max_abs_diff_avx2(const double* u, const double* v,
+                                                            std::size_t n) noexcept {
+  return max_abs_diff_w<double, native_lanes<double>>(u, v, n);
+}
+PORTABENCH_SIMD_TARGET_AVX512 inline double max_abs_diff_avx512(const double* u,
+                                                                const double* v,
+                                                                std::size_t n) noexcept {
+  return max_abs_diff_w<double, native_lanes<double>>(u, v, n);
+}
+#endif
+
+}  // namespace detail_reduce
+
+// --- explicit-tier entry points (float / double) ----------------------------
+
+template <class T>
+  requires(std::is_same_v<T, float> || std::is_same_v<T, double>)
+[[nodiscard]] inline T simd_sum_tier(const T* p, std::size_t n, SimdTier tier) noexcept {
+#if PORTABENCH_SIMD_HAS_X86_TIERS
+  if (tier == SimdTier::kAvx512) return detail_reduce::sum_avx512(p, n);
+  if (tier == SimdTier::kAvx2) return detail_reduce::sum_avx2(p, n);
+#endif
+  (void)tier;
+  return detail_reduce::sum_w<T, native_lanes<T>>(p, n);
+}
+
+template <class T>
+  requires(std::is_same_v<T, float> || std::is_same_v<T, double>)
+[[nodiscard]] inline T simd_max_tier(const T* p, std::size_t n, SimdTier tier) noexcept {
+#if PORTABENCH_SIMD_HAS_X86_TIERS
+  if (tier == SimdTier::kAvx512) return detail_reduce::max_avx512(p, n);
+  if (tier == SimdTier::kAvx2) return detail_reduce::max_avx2(p, n);
+#endif
+  (void)tier;
+  return detail_reduce::max_w<T, native_lanes<T>>(p, n);
+}
+
+template <class T>
+  requires(std::is_same_v<T, float> || std::is_same_v<T, double>)
+[[nodiscard]] inline T simd_max_abs_diff_tier(const T* u, const T* v, std::size_t n,
+                                              SimdTier tier) noexcept {
+#if PORTABENCH_SIMD_HAS_X86_TIERS
+  if (tier == SimdTier::kAvx512) return detail_reduce::max_abs_diff_avx512(u, v, n);
+  if (tier == SimdTier::kAvx2) return detail_reduce::max_abs_diff_avx2(u, v, n);
+#endif
+  (void)tier;
+  return detail_reduce::max_abs_diff_w<T, native_lanes<T>>(u, v, n);
+}
+
+// --- dispatched entry points ------------------------------------------------
+
+/// Pinned-order sum of p[0..n): see the header comment for the exact
+/// combination order (it is a documented function of T and n only).
+template <class T>
+[[nodiscard]] inline T simd_sum(const T* p, std::size_t n) noexcept {
+  if constexpr (std::is_same_v<T, float> || std::is_same_v<T, double>) {
+    return simd_sum_tier(p, n, simd_dispatch_tier());
+  } else {
+    return detail_reduce::sum_w<T, native_lanes<T>>(p, n);
+  }
+}
+
+/// Max of p[0..n), n >= 1.  Value-exact: identical to the scalar loop.
+template <class T>
+[[nodiscard]] inline T simd_max(const T* p, std::size_t n) noexcept {
+  if constexpr (std::is_same_v<T, float> || std::is_same_v<T, double>) {
+    return simd_max_tier(p, n, simd_dispatch_tier());
+  } else {
+    return detail_reduce::max_w<T, native_lanes<T>>(p, n);
+  }
+}
+
+/// max |u[i] - v[i]| over [0, n); 0 for n == 0.  Value-exact.
+template <class T>
+[[nodiscard]] inline T simd_max_abs_diff(const T* u, const T* v, std::size_t n) noexcept {
+  if constexpr (std::is_same_v<T, float> || std::is_same_v<T, double>) {
+    return simd_max_abs_diff_tier(u, v, n, simd_dispatch_tier());
+  } else {
+    return detail_reduce::max_abs_diff_w<T, native_lanes<T>>(u, v, n);
+  }
+}
+
+}  // namespace portabench::simrt

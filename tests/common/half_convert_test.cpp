@@ -1,0 +1,213 @@
+// Batched half/bfloat conversion tests: the branch-free shared core is
+// pinned bitwise against the scalar entry points over the ENTIRE 16-bit
+// input space (h->f, b->f) and against per-element conversion for large
+// random float batches (f->h, f->b), at every dispatchable ISA tier and
+// every tail length.  This is the contract that lets the GEMM packing
+// path convert whole panels through convert_n without changing a bit.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "common/half.hpp"
+#include "common/half_convert.hpp"
+#include "common/rng.hpp"
+
+namespace portabench {
+namespace {
+
+using simrt::SimdTier;
+
+std::vector<SimdTier> available_tiers() {
+  std::vector<SimdTier> tiers;
+  for (const SimdTier t : {SimdTier::kScalar, SimdTier::kVector, SimdTier::kAvx2,
+                           SimdTier::kAvx512}) {
+    if (simrt::simd_tier_available(t)) tiers.push_back(t);
+  }
+  return tiers;
+}
+
+// --- exhaustive 16-bit decode directions ------------------------------------
+
+TEST(HalfConvert, HalfToFloatExhaustiveAllTiers) {
+  std::vector<std::uint16_t> src(1u << 16);
+  for (std::size_t i = 0; i < src.size(); ++i) src[i] = static_cast<std::uint16_t>(i);
+  std::vector<float> ref(src.size());
+  for (std::size_t i = 0; i < src.size(); ++i) ref[i] = detail::half_bits_to_float(src[i]);
+  std::vector<float> dst(src.size());
+  for (const SimdTier t : available_tiers()) {
+    std::memset(dst.data(), 0xCD, dst.size() * sizeof(float));
+    half_to_float_n_tier(src.data(), dst.data(), src.size(), t);
+    EXPECT_EQ(std::memcmp(dst.data(), ref.data(), dst.size() * sizeof(float)), 0)
+        << "tier " << simd_tier_name(t);
+  }
+}
+
+TEST(HalfConvert, BfloatToFloatExhaustiveAllTiers) {
+  std::vector<std::uint16_t> src(1u << 16);
+  for (std::size_t i = 0; i < src.size(); ++i) src[i] = static_cast<std::uint16_t>(i);
+  std::vector<float> ref(src.size());
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    ref[i] = detail::bfloat_bits_to_float(src[i]);
+  }
+  std::vector<float> dst(src.size());
+  for (const SimdTier t : available_tiers()) {
+    std::memset(dst.data(), 0xCD, dst.size() * sizeof(float));
+    bfloat_to_float_n_tier(src.data(), dst.data(), src.size(), t);
+    EXPECT_EQ(std::memcmp(dst.data(), ref.data(), dst.size() * sizeof(float)), 0)
+        << "tier " << simd_tier_name(t);
+  }
+}
+
+// --- encode directions: random batches + the hard corner inputs -------------
+
+std::vector<float> encode_corpus() {
+  std::vector<float> src;
+  // Corners first: zeros, subnormal targets, rounding ties, overflow,
+  // infinities, NaN payloads.
+  const float inf = std::numeric_limits<float>::infinity();
+  for (float v : {0.0f, -0.0f, 1.0f, -1.0f, 65504.0f, -65504.0f, 65520.0f, 1e-8f,
+                  -1e-8f, 5.96e-8f, 6.1e-5f, 0.1f, 2.5f, 3.14159f, 1e30f, -1e30f, inf,
+                  -inf, std::numeric_limits<float>::quiet_NaN(),
+                  std::numeric_limits<float>::denorm_min()}) {
+    src.push_back(v);
+  }
+  std::uint32_t nan_bits = 0x7FC01234u;
+  float nan_payload;
+  std::memcpy(&nan_payload, &nan_bits, sizeof(nan_payload));
+  src.push_back(nan_payload);
+  Xoshiro256 rng(11);
+  for (int i = 0; i < (1 << 16); ++i) {
+    src.push_back(static_cast<float>(rng.uniform(-70000.0, 70000.0)));
+    src.push_back(static_cast<float>(rng.uniform(-1e-4, 1e-4)));
+  }
+  return src;
+}
+
+TEST(HalfConvert, FloatToHalfBatchMatchesScalarAllTiers) {
+  const std::vector<float> src = encode_corpus();
+  std::vector<std::uint16_t> ref(src.size());
+  for (std::size_t i = 0; i < src.size(); ++i) ref[i] = detail::float_to_half_bits(src[i]);
+  std::vector<std::uint16_t> dst(src.size());
+  for (const SimdTier t : available_tiers()) {
+    std::memset(dst.data(), 0xCD, dst.size() * sizeof(std::uint16_t));
+    float_to_half_n_tier(src.data(), dst.data(), src.size(), t);
+    EXPECT_EQ(std::memcmp(dst.data(), ref.data(), dst.size() * sizeof(std::uint16_t)), 0)
+        << "tier " << simd_tier_name(t);
+  }
+}
+
+TEST(HalfConvert, FloatToBfloatBatchMatchesScalarAllTiers) {
+  const std::vector<float> src = encode_corpus();
+  std::vector<std::uint16_t> ref(src.size());
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    ref[i] = detail::float_to_bfloat_bits(src[i]);
+  }
+  std::vector<std::uint16_t> dst(src.size());
+  for (const SimdTier t : available_tiers()) {
+    std::memset(dst.data(), 0xCD, dst.size() * sizeof(std::uint16_t));
+    float_to_bfloat_n_tier(src.data(), dst.data(), src.size(), t);
+    EXPECT_EQ(std::memcmp(dst.data(), ref.data(), dst.size() * sizeof(std::uint16_t)), 0)
+        << "tier " << simd_tier_name(t);
+  }
+}
+
+// --- tails: every n in [0, 2*W] must neither miss nor overrun ---------------
+
+TEST(HalfConvert, TailLengthsExact) {
+  constexpr std::size_t kMax = 40;  // > 2 * widest tier (16 lanes)
+  std::vector<std::uint16_t> src16(kMax);
+  std::vector<float> src32(kMax);
+  Xoshiro256 rng(3);
+  for (std::size_t i = 0; i < kMax; ++i) {
+    src16[i] = static_cast<std::uint16_t>(rng());
+    src32[i] = static_cast<float>(rng.uniform(-100.0, 100.0));
+  }
+  for (std::size_t n = 0; n <= kMax; ++n) {
+    std::vector<float> dst32(kMax + 1, -7.0f);
+    half_to_float_n(src16.data(), dst32.data(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const float want = detail::half_bits_to_float(src16[i]);
+      EXPECT_EQ(std::memcmp(&dst32[i], &want, sizeof(float)), 0) << "i=" << i;
+    }
+    for (std::size_t i = n; i < dst32.size(); ++i) EXPECT_EQ(dst32[i], -7.0f);
+
+    std::vector<std::uint16_t> dst16(kMax + 1, 0xBEEF);
+    float_to_half_n(src32.data(), dst16.data(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(dst16[i], detail::float_to_half_bits(src32[i]));
+    }
+    for (std::size_t i = n; i < dst16.size(); ++i) EXPECT_EQ(dst16[i], 0xBEEF);
+  }
+}
+
+// --- typed wrappers and round trips -----------------------------------------
+
+TEST(HalfConvert, TypedConvertNMatchesValueTypes) {
+  Xoshiro256 rng(5);
+  const std::size_t n = 1000;
+  std::vector<half> h(n);
+  std::vector<bfloat16> b(n);
+  std::vector<float> f(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    f[i] = static_cast<float>(rng.uniform(-500.0, 500.0));
+    h[i] = half::from_bits(static_cast<std::uint16_t>(rng()));
+    b[i] = bfloat16::from_bits(static_cast<std::uint16_t>(rng()));
+  }
+
+  std::vector<float> hf(n);
+  convert_n(h.data(), hf.data(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const float want = static_cast<float>(h[i]);
+    EXPECT_EQ(std::memcmp(&hf[i], &want, sizeof(float)), 0);
+  }
+  std::vector<float> bf(n);
+  convert_n(b.data(), bf.data(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const float want = static_cast<float>(b[i]);
+    EXPECT_EQ(std::memcmp(&bf[i], &want, sizeof(float)), 0);
+  }
+  std::vector<half> fh(n);
+  convert_n(f.data(), fh.data(), n);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(fh[i].bits(), half(f[i]).bits());
+  std::vector<bfloat16> fb(n);
+  convert_n(f.data(), fb.data(), n);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(fb[i].bits(), bfloat16(f[i]).bits());
+}
+
+TEST(HalfConvert, HalfRoundTripAllFinite) {
+  // Every finite half survives h -> f -> h unchanged (float holds every
+  // half exactly); NaNs stay NaN with their payload.
+  std::vector<std::uint16_t> src(1u << 16);
+  for (std::size_t i = 0; i < src.size(); ++i) src[i] = static_cast<std::uint16_t>(i);
+  std::vector<float> mid(src.size());
+  half_to_float_n(src.data(), mid.data(), src.size());
+  std::vector<std::uint16_t> back(src.size());
+  float_to_half_n(mid.data(), back.data(), src.size());
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    EXPECT_EQ(back[i], src[i]) << "half bits 0x" << std::hex << src[i];
+  }
+}
+
+TEST(HalfConvert, BfloatRoundTripAll) {
+  std::vector<std::uint16_t> src(1u << 16);
+  for (std::size_t i = 0; i < src.size(); ++i) src[i] = static_cast<std::uint16_t>(i);
+  std::vector<float> mid(src.size());
+  bfloat_to_float_n(src.data(), mid.data(), src.size());
+  std::vector<std::uint16_t> back(src.size());
+  float_to_bfloat_n(mid.data(), back.data(), src.size());
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    // NaNs come back quieted (|0x0040, same as the scalar encoder);
+    // everything else is exact — float holds every bfloat.
+    const bool is_nan = (src[i] & 0x7F80u) == 0x7F80u && (src[i] & 0x007Fu) != 0;
+    const std::uint16_t want = is_nan ? static_cast<std::uint16_t>(src[i] | 0x0040u)
+                                      : src[i];
+    EXPECT_EQ(back[i], want) << "bfloat bits 0x" << std::hex << src[i];
+  }
+}
+
+}  // namespace
+}  // namespace portabench

@@ -1,0 +1,26 @@
+// portalint fixture: known-bad.  Hand-rolled explicit SIMD outside the
+// sanctioned backend directory: a raw GCC generic vector, its shuffle
+// builtin, and x86 intrinsic types/calls — all of which fork the lane
+// order and fp-contract contract simrt::simd pins.
+#include <immintrin.h>
+
+namespace fixture {
+
+typedef float Vec8 __attribute__((vector_size(32)));  // portalint-expect: simd-raw-vector-ext
+
+inline Vec8 reverse_by_hand(Vec8 v) {
+  typedef int IVec8 __attribute__((vector_size(32)));  // portalint-expect: simd-raw-vector-ext
+  const IVec8 idx = {7, 6, 5, 4, 3, 2, 1, 0};
+  return __builtin_shuffle(v, idx);  // portalint-expect: simd-raw-vector-ext
+}
+
+inline void axpy_intrinsics(float a, const float* x, float* y) {
+  __m256 va;  // portalint-expect: simd-raw-vector-ext
+  va = _mm256_set1_ps(a);  // portalint-expect: simd-raw-vector-ext
+  __m256 vx;  // portalint-expect: simd-raw-vector-ext
+  vx = _mm256_loadu_ps(x);  // portalint-expect: simd-raw-vector-ext
+  vx = _mm256_mul_ps(va, vx);  // portalint-expect: simd-raw-vector-ext
+  _mm256_storeu_ps(y, vx);  // portalint-expect: simd-raw-vector-ext
+}
+
+}  // namespace fixture

@@ -1,0 +1,21 @@
+// portalint fixture: known-good.  The same axpy written against the
+// portable simrt::simd value type: lane width is a template parameter,
+// loads/stores and fma go through the abstraction, and the masked tail
+// uses the partial forms — no raw vectors, no intrinsics.
+#include <cstddef>
+
+namespace fixture {
+
+template <std::size_t W>
+inline void axpy_portable(float a, const float* x, float* y, std::size_t n) {
+  using V = portabench::simrt::simd<float, W>;
+  const V va(a);
+  std::size_t i = 0;
+  for (; i + W <= n; i += W) {
+    fma(va, V::load(x + i), V::load(y + i)).store(y + i);
+  }
+  const V tail = fma(va, V::load_partial(x + i, n - i), V::load_partial(y + i, n - i));
+  tail.store_partial(y + i, n - i);
+}
+
+}  // namespace fixture

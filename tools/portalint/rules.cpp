@@ -199,6 +199,15 @@ void scan_memory_orders(const FileUnit& u, bool check_explicit,
           orders.push_back(t[q + 2].text);
         }
       }
+      // "load"/"store" are also the member names of non-atomic value
+      // types (simrt::simd, views).  Count them as atomic only with
+      // evidence: an explicit memory_order argument, or a receiver
+      // declared std::atomic in this TU.  The other member ops
+      // (fetch_add, exchange, ...) are unambiguous.
+      if ((t[j].text == "load" || t[j].text == "store") && orders.empty() &&
+          !atomics.count(var)) {
+        continue;
+      }
       if (check_explicit && orders.empty()) {
         out.push_back(make(u, t[j].line, "mo-explicit", "concurrency",
                            "atomic " + t[j].text + "() without an explicit memory_order " +
@@ -366,6 +375,40 @@ void rule_det_unordered(const FileUnit& u, std::vector<Finding>& out) {
 }
 
 // --- hygiene ----------------------------------------------------------------
+
+// simd-raw-vector-ext: explicit SIMD belongs behind simrt::simd.  Raw
+// GCC generic vectors and x86 intrinsics outside src/simrt/simd_backends
+// fork the determinism contract (lane order, fp-contract, tier identity)
+// the abstraction pins; one sanctioned home keeps it auditable.
+// __builtin_ia32_pause is a spin-wait hint, not a SIMD operation.
+void rule_simd_raw_vector_ext(const FileUnit& u, std::vector<Finding>& out) {
+  const auto& t = u.lex.tokens;
+  for (std::size_t j = 0; j < t.size(); ++j) {
+    if (!is_ident(t[j])) continue;
+    const std::string& s = t[j].text;
+    if (s == "__builtin_ia32_pause") continue;
+    const bool call_like = j + 1 < t.size() && is_punct(t[j + 1], "(");
+    std::string what;
+    if (s == "vector_size" && call_like) {
+      what = "__attribute__((vector_size)) generic vector";
+    } else if ((s == "__builtin_shuffle" || s == "__builtin_convertvector") && call_like) {
+      what = s + " on a generic vector";
+    } else if (s.rfind("__m128", 0) == 0 || s.rfind("__m256", 0) == 0 ||
+               s.rfind("__m512", 0) == 0) {
+      what = "x86 vector type " + s;
+    } else if ((s.rfind("_mm_", 0) == 0 || s.rfind("_mm256_", 0) == 0 ||
+                s.rfind("_mm512_", 0) == 0 || s.rfind("__builtin_ia32_", 0) == 0) &&
+               call_like) {
+      what = "x86 intrinsic " + s;
+    } else {
+      continue;
+    }
+    out.push_back(make(u, t[j].line, "simd-raw-vector-ext", "hygiene",
+                       what + " outside src/simrt/simd_backends: write the kernel " +
+                           "against simrt::simd so lane order, fp-contract, and tier " +
+                           "dispatch stay under the portable contract"));
+  }
+}
 
 void rule_pragma_once(const FileUnit& u, std::vector<Finding>& out) {
   if (!u.is_header || u.has_pragma_once) return;
@@ -544,6 +587,9 @@ const std::vector<RuleDesc>& all_rules() {
        "rand()/srand()/std::random_device outside src/common/rng"},
       {"det-unordered", "determinism",
        "range-for over an unordered container (order feeds results)"},
+      {"simd-raw-vector-ext", "hygiene",
+       "raw __attribute__((vector_size)) vectors or x86 intrinsics outside "
+       "src/simrt/simd_backends"},
       {"hy-pragma-once", "hygiene", "header missing #pragma once"},
       {"hy-using-ns", "hygiene",
        "using namespace at file/namespace scope in a header"},
@@ -562,6 +608,7 @@ std::vector<Finding> run_rules(const Project& project) {
       if (!in_runtime_dirs(u)) rule_raw_thread(u, out);
     }
     if (!rng_exempt(u)) rule_det_rand(u, out);
+    if (!u.has_component("simd_backends")) rule_simd_raw_vector_ext(u, out);
     rule_det_unordered(u, out);
     rule_pragma_once(u, out);
     rule_using_ns(u, out);
