@@ -42,6 +42,19 @@ double mean_of(std::span<const double> sample) {
   return std::accumulate(sample.begin(), sample.end(), 0.0) / static_cast<double>(sample.size());
 }
 
+double percentile_of(std::span<const double> sample, double p) {
+  PB_EXPECTS(p >= 0.0 && p <= 100.0);
+  if (sample.empty()) return 0.0;
+  std::vector<double> sorted(sample.begin(), sample.end());
+  std::sort(sorted.begin(), sorted.end());
+  // The epsilon keeps an exactly-satisfiable rank (e.g. p = 99.9 of
+  // 1000) from rounding up when p/100 * n lands a few ulps high.
+  const double rank =
+      std::ceil(p / 100.0 * static_cast<double>(sorted.size()) - 1e-9);
+  const std::size_t idx = rank < 1.0 ? 0 : static_cast<std::size_t>(rank) - 1;
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
 double harmonic_mean_of(std::span<const double> sample) {
   if (sample.empty()) return 0.0;
   double inv_sum = 0.0;

@@ -69,6 +69,13 @@ class RunStats {
 /// Arithmetic mean of a sample (0 for empty).
 [[nodiscard]] double mean_of(std::span<const double> sample);
 
+/// Nearest-rank percentile of a sample: the smallest element with at
+/// least p percent of the sample at or below it (p in [0, 100]; p = 50
+/// is the upper median, p = 100 the maximum).  0 for an empty sample.
+/// The serving bench reports open-loop latency as p50/p99/p999 through
+/// this one definition.
+[[nodiscard]] double percentile_of(std::span<const double> sample, double p);
+
 /// Harmonic mean of a sample; 0 if empty or any element is <= 0.
 /// (Pennycook's performance-portability metric uses the harmonic mean.)
 [[nodiscard]] double harmonic_mean_of(std::span<const double> sample);

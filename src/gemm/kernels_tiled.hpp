@@ -47,12 +47,15 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <cstring>
+#include <span>
 #include <type_traits>
 #include <vector>
 
 #include "common/error.hpp"
 #include "common/half_convert.hpp"
+#include "gpusim/batch.hpp"
 #include "simrt/mdarray.hpp"
 #include "simrt/parallel.hpp"
 #include "simrt/simd.hpp"
@@ -354,6 +357,203 @@ void gemm_tiled(const Space& space, const VA& A, const VB& B, VC& C) {
       }
     });
   }
+}
+
+// ---------------------------------------------------------------------------
+// Scratch-based serial variant + batched entry point (the serving layer's
+// "one tiled-microkernel launch per size bucket").
+//
+// gemm_tiled above allocates its packing panels per call — fine for the
+// one-shot paper protocol, fatal for a request engine that must stream
+// millions of small GEMMs with zero steady-state allocation.  The serial
+// variant takes caller scratch (a pooled arena slice) instead, runs the
+// MC blocks in their natural order on one thread, and reuses the exact
+// packing loops and micro-kernel of gemm_tiled, so its C is bit-identical
+// to gemm_tiled over a SerialSpace (the determinism contract above makes
+// that equivalence total, not incidental).
+// ---------------------------------------------------------------------------
+
+namespace tiled_detail {
+
+/// Align `p` up inside a byte span; panels hold Acc so alignment is cheap
+/// slack, not a correctness requirement for the SIMD loads (the
+/// micro-kernels use unaligned loads, same as the vector-backed path).
+inline std::byte* scratch_align(std::byte* p, std::size_t alignment) noexcept {
+  const auto v = reinterpret_cast<std::uintptr_t>(p);
+  const std::uintptr_t rem = v & (alignment - 1);
+  return rem == 0 ? p : p + (alignment - rem);
+}
+
+}  // namespace tiled_detail
+
+/// Scratch bytes gemm_tiled_serial_scratch needs for an m x n x k GEMM
+/// accumulating in Acc (an upper bound valid for every micro-kernel tier).
+template <class Acc>
+[[nodiscard]] constexpr std::size_t gemm_tiled_scratch_bytes(std::size_t m, std::size_t n,
+                                                             std::size_t k) {
+  using namespace tiled;
+  (void)k;  // panels are bounded by the KC blocking, not total depth
+  const std::size_t bp = (n + kNRMax) * kKC;                       // packed B
+  const std::size_t ap = (std::min(m, kMC) + kMR) * kKC;           // packed A
+  const std::size_t rowbuf = std::max(n, kKC);                     // half convert staging
+  return (bp + ap + rowbuf) * sizeof(Acc) + 3 * 64;                // + alignment slack
+}
+
+/// Single-thread gemm_tiled over caller-provided scratch: C += A * B with
+/// zero allocation.  Bit-identical to gemm_tiled(SerialSpace, ...).
+template <class Acc, class VA, class VB, class VC>
+void gemm_tiled_serial_scratch(const VA& A, const VB& B, VC& C, std::span<std::byte> scratch) {
+  using TC = typename VC::value_type;
+  using namespace tiled;
+  namespace td = tiled_detail;
+  const std::size_t m = A.extent(0);
+  const std::size_t k = A.extent(1);
+  const std::size_t n = B.extent(1);
+  PB_EXPECTS(B.extent(0) == k);
+  PB_EXPECTS(C.extent(0) == m && C.extent(1) == n);
+  if (m == 0 || n == 0 || k == 0) return;
+  PB_EXPECTS(scratch.size() >= gemm_tiled_scratch_bytes<Acc>(m, n, k));
+
+  const td::MicroKernel<Acc>& mk = td::pick_microkernel<Acc>();
+  const std::size_t nr_panel = mk.nr;
+  const std::size_t n_panels = (n + nr_panel - 1) / nr_panel;
+  const std::size_t m_blocks = (m + kMC - 1) / kMC;
+
+  // Carve the three packing areas out of the scratch span.
+  std::byte* cursor = td::scratch_align(scratch.data(), 64);
+  Acc* const Bp = reinterpret_cast<Acc*>(cursor);
+  cursor = td::scratch_align(cursor + n_panels * kKC * nr_panel * sizeof(Acc), 64);
+  Acc* const Ap = reinterpret_cast<Acc*>(cursor);
+  cursor = td::scratch_align(
+      cursor + ((std::min(m, kMC) + kMR) / kMR) * kKC * kMR * sizeof(Acc), 64);
+  Acc* const rowbuf = reinterpret_cast<Acc*>(cursor);
+
+  for (std::size_t pc = 0; pc < k; pc += kKC) {
+    const std::size_t kc = std::min(kKC, k - pc);
+
+    bool b_packed = false;
+    if constexpr (td::batched_pack_ok_v<VB, Acc>) {
+      if (B.stride(1) == 1) {
+        for (std::size_t l = 0; l < kc; ++l) {
+          convert_n(B.data() + (pc + l) * B.stride(0), rowbuf, n);
+          for (std::size_t jp = 0; jp < n_panels; ++jp) {
+            Acc* row = Bp + jp * kKC * nr_panel + l * nr_panel;
+            const std::size_t j0 = jp * nr_panel;
+            const std::size_t nr = std::min(nr_panel, n - j0);
+            std::memcpy(row, rowbuf + j0, nr * sizeof(Acc));
+            for (std::size_t jj = nr; jj < nr_panel; ++jj) row[jj] = Acc{};
+          }
+        }
+        b_packed = true;
+      }
+    }
+    if (!b_packed) {
+      for (std::size_t jp = 0; jp < n_panels; ++jp) {
+        Acc* panel = Bp + jp * kKC * nr_panel;
+        const std::size_t j0 = jp * nr_panel;
+        const std::size_t nr = std::min(nr_panel, n - j0);
+        for (std::size_t l = 0; l < kc; ++l) {
+          for (std::size_t jj = 0; jj < nr; ++jj) {
+            panel[l * nr_panel + jj] = static_cast<Acc>(B(pc + l, j0 + jj));
+          }
+          for (std::size_t jj = nr; jj < nr_panel; ++jj) panel[l * nr_panel + jj] = Acc{};
+        }
+      }
+    }
+
+    for (std::size_t bi = 0; bi < m_blocks; ++bi) {
+      const std::size_t ic = bi * kMC;
+      const std::size_t mc = std::min(kMC, m - ic);
+      const std::size_t m_panels = (mc + kMR - 1) / kMR;
+
+      bool a_packed = false;
+      if constexpr (td::batched_pack_ok_v<VA, Acc>) {
+        if (A.stride(1) == 1) {
+          for (std::size_t ip = 0; ip < m_panels; ++ip) {
+            Acc* panel = Ap + ip * kc * kMR;
+            const std::size_t i0 = ic + ip * kMR;
+            const std::size_t mr = std::min(kMR, m - i0);
+            for (std::size_t ii = 0; ii < mr; ++ii) {
+              convert_n(A.data() + (i0 + ii) * A.stride(0) + pc, rowbuf, kc);
+              for (std::size_t l = 0; l < kc; ++l) panel[l * kMR + ii] = rowbuf[l];
+            }
+            for (std::size_t ii = mr; ii < kMR; ++ii) {
+              for (std::size_t l = 0; l < kc; ++l) panel[l * kMR + ii] = Acc{};
+            }
+          }
+          a_packed = true;
+        }
+      }
+      if (!a_packed) {
+        for (std::size_t ip = 0; ip < m_panels; ++ip) {
+          Acc* panel = Ap + ip * kc * kMR;
+          const std::size_t i0 = ic + ip * kMR;
+          const std::size_t mr = std::min(kMR, m - i0);
+          for (std::size_t l = 0; l < kc; ++l) {
+            for (std::size_t ii = 0; ii < mr; ++ii) {
+              panel[l * kMR + ii] = static_cast<Acc>(A(i0 + ii, pc + l));
+            }
+            for (std::size_t ii = mr; ii < kMR; ++ii) panel[l * kMR + ii] = Acc{};
+          }
+        }
+      }
+
+      for (std::size_t jp = 0; jp < n_panels; ++jp) {
+        const Acc* bp = Bp + jp * kKC * nr_panel;
+        const std::size_t j0 = jp * nr_panel;
+        const std::size_t nr = std::min(nr_panel, n - j0);
+        for (std::size_t ip = 0; ip < m_panels; ++ip) {
+          const Acc* ap = Ap + ip * kc * kMR;
+          const std::size_t i0 = ic + ip * kMR;
+          const std::size_t mr = std::min(kMR, m - i0);
+
+          Acc acc[kMR * kNRMax] = {};
+          mk.fn(ap, bp, kc, acc);
+
+          for (std::size_t ii = 0; ii < mr; ++ii) {
+            for (std::size_t jj = 0; jj < nr; ++jj) {
+              C(i0 + ii, j0 + jj) = static_cast<TC>(
+                  static_cast<Acc>(C(i0 + ii, j0 + jj)) + acc[ii * nr_panel + jj]);
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+/// One square n x n GEMM of a batch: dense row-major raw buffers,
+/// C += A * B accumulating in Acc.
+template <class T, class Acc>
+struct GemmBatchItem {
+  const T* a = nullptr;
+  const T* b = nullptr;
+  Acc* c = nullptr;
+  std::size_t n = 0;
+};
+
+/// Batched entry point: run every item as one engine launch (one item per
+/// block, packing scratch from the pooled per-worker arenas — zero
+/// steady-state allocation).  Under portacheck the batch executes as a
+/// seed-permuted serial schedule; either way each item's C is
+/// bit-identical to gemm_tiled(SerialSpace) on the same operands.
+template <class T, class Acc>
+void gemm_tiled_batched(gpusim::LaunchEngine& engine,
+                        std::span<const GemmBatchItem<T, Acc>> items) {
+  std::size_t total_threads = 0;
+  for (const auto& item : items) total_threads += item.n * item.n;
+  gpusim::run_batch(engine, items.size(), total_threads,
+                    [&engine, items](std::size_t worker, std::size_t idx) {
+                      const GemmBatchItem<T, Acc>& item = items[idx];
+                      if (item.n == 0) return;
+                      const std::size_t bytes =
+                          gemm_tiled_scratch_bytes<Acc>(item.n, item.n, item.n);
+                      auto scratch = gpusim::batch_scratch(engine, worker, bytes);
+                      const simrt::RawView2<const T> A(item.a, item.n, item.n);
+                      const simrt::RawView2<const T> B(item.b, item.n, item.n);
+                      simrt::RawView2<Acc> C(item.c, item.n, item.n);
+                      gemm_tiled_serial_scratch<Acc>(A, B, C, scratch);
+                    });
 }
 
 }  // namespace portabench::gemm

@@ -109,20 +109,54 @@ LaunchEngine& DeviceContext::engine() const noexcept {
   return engine_ ? *engine_ : LaunchEngine::shared();
 }
 
+DeviceCounters DeviceContext::counters() const noexcept {
+  DeviceCounters c;
+  c.kernel_launches = kernel_launches_.load(std::memory_order_relaxed);
+  c.blocks_executed = blocks_executed_.load(std::memory_order_relaxed);
+  c.threads_executed = threads_executed_.load(std::memory_order_relaxed);
+  c.bytes_h2d = bytes_h2d_.load(std::memory_order_relaxed);
+  c.bytes_d2h = bytes_d2h_.load(std::memory_order_relaxed);
+  c.bytes_allocated = bytes_allocated_.load(std::memory_order_relaxed);
+  c.live_allocations = live_allocations_.load(std::memory_order_relaxed);
+  c.peak_bytes_allocated = peak_bytes_allocated_.load(std::memory_order_relaxed);
+  return c;
+}
+
+void DeviceContext::reset_counters() noexcept {
+  kernel_launches_.store(0, std::memory_order_relaxed);
+  blocks_executed_.store(0, std::memory_order_relaxed);
+  threads_executed_.store(0, std::memory_order_relaxed);
+  bytes_h2d_.store(0, std::memory_order_relaxed);
+  bytes_d2h_.store(0, std::memory_order_relaxed);
+  bytes_allocated_.store(0, std::memory_order_relaxed);
+  // Live memory is not forgotten: bytes_in_use_ and live_allocations_
+  // survive (zeroing the live count would make the next note_free
+  // underflow its precondition), and the peak restarts from what is
+  // still resident rather than from zero.
+  peak_bytes_allocated_.store(bytes_in_use_.load(std::memory_order_relaxed),
+                              std::memory_order_relaxed);
+}
+
 void DeviceContext::note_alloc(std::size_t bytes) {
-  PB_EXPECTS(bytes_in_use_ + bytes <= spec_.global_mem_bytes);  // device OOM
-  bytes_in_use_ += bytes;
-  counters_.bytes_allocated += bytes;
-  ++counters_.live_allocations;
-  counters_.peak_bytes_allocated = std::max<std::uint64_t>(counters_.peak_bytes_allocated,
-                                                           bytes_in_use_);
+  std::lock_guard<std::mutex> lock(alloc_mutex_);
+  const std::size_t in_use = bytes_in_use_.load(std::memory_order_relaxed);
+  PB_EXPECTS(in_use + bytes <= spec_.global_mem_bytes);  // device OOM
+  bytes_in_use_.store(in_use + bytes, std::memory_order_relaxed);
+  bytes_allocated_.fetch_add(bytes, std::memory_order_relaxed);
+  live_allocations_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t peak = peak_bytes_allocated_.load(std::memory_order_relaxed);
+  if (in_use + bytes > peak) {
+    peak_bytes_allocated_.store(in_use + bytes, std::memory_order_relaxed);
+  }
 }
 
 void DeviceContext::note_free(std::size_t bytes) {
-  PB_EXPECTS(bytes_in_use_ >= bytes);
-  PB_EXPECTS(counters_.live_allocations > 0);
-  bytes_in_use_ -= bytes;
-  --counters_.live_allocations;
+  std::lock_guard<std::mutex> lock(alloc_mutex_);
+  const std::size_t in_use = bytes_in_use_.load(std::memory_order_relaxed);
+  PB_EXPECTS(in_use >= bytes);
+  PB_EXPECTS(live_allocations_.load(std::memory_order_relaxed) > 0);
+  bytes_in_use_.store(in_use - bytes, std::memory_order_relaxed);
+  live_allocations_.fetch_sub(1, std::memory_order_relaxed);
 }
 
 }  // namespace portabench::gpusim

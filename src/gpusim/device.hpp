@@ -8,6 +8,7 @@
 // transfer bytes, allocation footprint).
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -45,7 +46,8 @@ struct GpuSpec {
 };
 
 /// Cumulative activity counters, inspectable the way the paper used
-/// nvprof "to corroborate GPU activity".
+/// nvprof "to corroborate GPU activity".  Returned by value: a snapshot
+/// of the device's internal atomic counters at the moment of the call.
 struct DeviceCounters {
   std::uint64_t kernel_launches = 0;
   std::uint64_t blocks_executed = 0;
@@ -73,8 +75,15 @@ class DeviceContext {
   ~DeviceContext();
 
   [[nodiscard]] const GpuSpec& spec() const noexcept { return spec_; }
-  [[nodiscard]] const DeviceCounters& counters() const noexcept { return counters_; }
-  void reset_counters() noexcept { counters_ = DeviceCounters{}; }
+
+  /// Consistent-enough snapshot of the activity counters.  The fields are
+  /// maintained as individual atomics (concurrent launches and transfers
+  /// on independent async streams bump them race-free); the snapshot
+  /// reads each field once, so totals observed *between* in-flight
+  /// operations are exact and a snapshot taken mid-operation is at worst
+  /// one operation stale per field — never torn.
+  [[nodiscard]] DeviceCounters counters() const noexcept;
+  void reset_counters() noexcept;
 
   /// Validate a launch configuration against device limits; throws
   /// precondition_error on violation (the simulator's cudaErrorInvalidValue).
@@ -108,17 +117,31 @@ class DeviceContext {
   }
 
   // --- bookkeeping entry points used by DeviceBuffer / launch() ---
+  //
+  // All of these may be called concurrently: a DeviceContext is shared by
+  // every stream submitting to the device, and with the serving layer's
+  // stream-per-shard model two async workers routinely note launches and
+  // transfers at the same instant.  Pure tallies are relaxed atomic adds
+  // (each counter is independent; only its total is observable); the
+  // allocation path holds alloc_mutex_ because the OOM precondition and
+  // the peak watermark read-modify-write *pairs* of fields.
   void note_alloc(std::size_t bytes);
   void note_free(std::size_t bytes);
-  void note_h2d(std::size_t bytes) noexcept { counters_.bytes_h2d += bytes; }
-  void note_d2h(std::size_t bytes) noexcept { counters_.bytes_d2h += bytes; }
+  void note_h2d(std::size_t bytes) noexcept {
+    bytes_h2d_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  void note_d2h(std::size_t bytes) noexcept {
+    bytes_d2h_.fetch_add(bytes, std::memory_order_relaxed);
+  }
   void note_launch(const Dim3& grid, const Dim3& block) noexcept {
-    ++counters_.kernel_launches;
-    counters_.blocks_executed += grid.volume();
-    counters_.threads_executed += grid.volume() * block.volume();
+    kernel_launches_.fetch_add(1, std::memory_order_relaxed);
+    blocks_executed_.fetch_add(grid.volume(), std::memory_order_relaxed);
+    threads_executed_.fetch_add(grid.volume() * block.volume(), std::memory_order_relaxed);
   }
 
-  [[nodiscard]] std::size_t bytes_in_use() const noexcept { return bytes_in_use_; }
+  [[nodiscard]] std::size_t bytes_in_use() const noexcept {
+    return bytes_in_use_.load(std::memory_order_relaxed);
+  }
 
  private:
   /// Direct-mapped launch-configuration cache entry.
@@ -132,8 +155,16 @@ class DeviceContext {
   static constexpr std::size_t kCacheSlots = 32;  // power of two
 
   GpuSpec spec_;
-  DeviceCounters counters_;
-  std::size_t bytes_in_use_ = 0;
+  std::atomic<std::uint64_t> kernel_launches_{0};
+  std::atomic<std::uint64_t> blocks_executed_{0};
+  std::atomic<std::uint64_t> threads_executed_{0};
+  std::atomic<std::uint64_t> bytes_h2d_{0};
+  std::atomic<std::uint64_t> bytes_d2h_{0};
+  std::atomic<std::uint64_t> bytes_allocated_{0};
+  std::atomic<std::uint64_t> live_allocations_{0};
+  std::atomic<std::uint64_t> peak_bytes_allocated_{0};
+  std::atomic<std::size_t> bytes_in_use_{0};
+  std::mutex alloc_mutex_;  // OOM check + peak update are paired RMWs
   std::shared_ptr<LaunchEngine> engine_;  // null => LaunchEngine::shared()
 
   // The cache is consulted from launches on any thread (async streams),

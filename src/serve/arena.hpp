@@ -1,0 +1,61 @@
+// Per-shard batch arena.
+//
+// Each flush carves all of its jobs' inputs and outputs out of one
+// contiguous, cache-line-aligned slab owned by the shard.  The slab
+// grows geometrically until it covers the largest batch the shard ever
+// sees, then every later flush reuses it — the zero-steady-state-
+// allocation contract the soak tier pins (grow_events() must go flat
+// after warmup).
+//
+// Not thread-safe: a shard's arena is only touched under its flush
+// mutex.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstring>
+#include <span>
+
+#include "common/buffer.hpp"
+
+namespace portabench::serve {
+
+class WorkerArena {
+ public:
+  /// A zero-filled span of `bytes` bytes, 64-byte aligned, valid until
+  /// the next acquire().  Grows the slab if needed (counted).
+  [[nodiscard]] std::span<std::byte> acquire(std::size_t bytes) {
+    if (bytes > slab_.size()) {
+      std::size_t cap = std::max<std::size_t>(slab_.size() * 2, kCacheLineBytes);
+      while (cap < bytes) cap *= 2;
+      slab_ = AlignedBuffer<std::byte>(cap);
+      ++grow_events_;
+    }
+    high_water_ = std::max(high_water_, bytes);
+    std::memset(slab_.data(), 0, bytes);
+    return {slab_.data(), bytes};
+  }
+
+  /// Largest single acquire() so far.
+  [[nodiscard]] std::size_t high_water() const noexcept { return high_water_; }
+
+  /// Number of slab (re)allocations.  Flat after warmup = zero
+  /// steady-state allocation.
+  [[nodiscard]] std::size_t grow_events() const noexcept { return grow_events_; }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return slab_.size(); }
+
+ private:
+  AlignedBuffer<std::byte> slab_;
+  std::size_t high_water_ = 0;
+  std::size_t grow_events_ = 0;
+};
+
+/// Round `bytes` up to a cache-line multiple: every per-job section of a
+/// batch slab starts 64-byte aligned, like AlignedBuffer storage, so the
+/// kernels see the same alignment either way.
+[[nodiscard]] constexpr std::size_t align_up(std::size_t bytes) noexcept {
+  return (bytes + kCacheLineBytes - 1) & ~(kCacheLineBytes - 1);
+}
+
+}  // namespace portabench::serve

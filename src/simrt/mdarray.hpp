@@ -174,6 +174,65 @@ class View2 {
   std::size_t stride1_ = 0;
 };
 
+/// Non-owning rank-2 view over caller-provided storage, with View2's
+/// access surface (value_type/layout_type/is_row_major, extent/stride,
+/// operator()/at, data).  The view-generic kernels (gemm/kernels_cpu.hpp,
+/// stencil sweeps) accept it unchanged, which is what lets the serving
+/// layer run the frontend loop nests over pooled arena memory with zero
+/// steady-state allocation — the same arithmetic, byte for byte, as the
+/// owning-View2 path.
+template <class T, class Layout = LayoutRight>
+class RawView2 {
+ public:
+  using value_type = T;
+  using layout_type = Layout;
+  static constexpr bool is_row_major = std::is_same_v<Layout, LayoutRight>;
+
+  RawView2() = default;
+
+  /// Wrap `data` as a dense n0 x n1 matrix in this view's layout.  The
+  /// caller owns the storage and must keep it alive past the view.
+  RawView2(T* data, std::size_t n0, std::size_t n1) noexcept
+      : data_(data), n0_(n0), n1_(n1) {
+    if constexpr (is_row_major) {
+      stride0_ = n1;
+      stride1_ = 1;
+    } else {
+      stride0_ = 1;
+      stride1_ = n0;
+    }
+  }
+
+  [[nodiscard]] std::size_t extent(std::size_t dim) const {
+    PB_EXPECTS(dim < 2);
+    return dim == 0 ? n0_ : n1_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return n0_ * n1_; }
+  [[nodiscard]] std::size_t stride(std::size_t dim) const {
+    PB_EXPECTS(dim < 2);
+    return dim == 0 ? stride0_ : stride1_;
+  }
+
+  [[nodiscard]] T& operator()(std::size_t i, std::size_t j) const noexcept {
+    return data_[i * stride0_ + j * stride1_];
+  }
+
+  [[nodiscard]] T& at(std::size_t i, std::size_t j) const {
+    PB_EXPECTS(i < n0_ && j < n1_);
+    return (*this)(i, j);
+  }
+
+  [[nodiscard]] T* data() const noexcept { return data_; }
+  [[nodiscard]] std::span<T> span() const noexcept { return {data_, n0_ * n1_}; }
+
+ private:
+  T* data_ = nullptr;
+  std::size_t n0_ = 0;
+  std::size_t n1_ = 0;
+  std::size_t stride0_ = 0;
+  std::size_t stride1_ = 0;
+};
+
 template <class T, class Layout>
 class View3;
 

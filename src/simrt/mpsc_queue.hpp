@@ -1,0 +1,131 @@
+// Bounded lock-free multi-producer queue (Vyukov's bounded MPMC ring).
+//
+// The serving layer (src/serve) admits requests from many submitter
+// threads into per-shard queues that a single flusher drains in batches.
+// The classic Vyukov ring fits exactly: one atomic sequence word per
+// cell makes both push and pop a single CAS-free fetch-sub-free
+// compare_exchange on the position counter plus one cell handshake, the
+// capacity is fixed at construction (bounded-queue backpressure is the
+// *point* — a full queue is a typed reject, not a resize), and the only
+// allocation ever performed is the cell array in the constructor.
+//
+// The queue is in fact MPMC-safe (both ends use the same protocol); the
+// name records the serving layer's usage — many producers, one consumer
+// per shard — and under the sanitized tier (eager streams) the "single
+// consumer" can be whichever submitter triggered the flush, which is why
+// the pop side must be multi-consumer-correct too.
+//
+// Memory ordering follows the published algorithm: positions are claimed
+// with relaxed CAS, cell sequence numbers transfer the payload with
+// acquire/release.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <utility>
+
+#include "common/buffer.hpp"
+#include "common/error.hpp"
+
+namespace portabench::simrt {
+
+template <class T>
+class BoundedMpscQueue {
+ public:
+  /// Capacity is rounded up to the next power of two (>= 2): the ring
+  /// index is a mask, not a modulo.
+  explicit BoundedMpscQueue(std::size_t capacity)
+      : capacity_(round_up_pow2(capacity < 2 ? 2 : capacity)),
+        mask_(capacity_ - 1),
+        cells_(std::make_unique<Cell[]>(capacity_)) {
+    for (std::size_t i = 0; i < capacity_; ++i) {
+      cells_[i].sequence.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  BoundedMpscQueue(const BoundedMpscQueue&) = delete;
+  BoundedMpscQueue& operator=(const BoundedMpscQueue&) = delete;
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Enqueue by move; returns false when the ring is full (backpressure:
+  /// the caller turns this into a typed reject).  Never blocks, never
+  /// allocates.
+  [[nodiscard]] bool try_push(T value) {
+    Cell* cell = nullptr;
+    std::size_t pos = enqueue_pos_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const std::size_t seq = cell->sequence.load(std::memory_order_acquire);
+      const std::ptrdiff_t diff =
+          static_cast<std::ptrdiff_t>(seq) - static_cast<std::ptrdiff_t>(pos);
+      if (diff == 0) {
+        if (enqueue_pos_.compare_exchange_weak(pos, pos + 1, std::memory_order_relaxed,
+                                               std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (diff < 0) {
+        return false;  // the cell is still occupied by a lap-old element: full
+      } else {
+        pos = enqueue_pos_.load(std::memory_order_relaxed);
+      }
+    }
+    cell->value = std::move(value);
+    cell->sequence.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Dequeue into `out`; returns false when the ring is empty.
+  [[nodiscard]] bool try_pop(T& out) {
+    Cell* cell = nullptr;
+    std::size_t pos = dequeue_pos_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const std::size_t seq = cell->sequence.load(std::memory_order_acquire);
+      const std::ptrdiff_t diff =
+          static_cast<std::ptrdiff_t>(seq) - static_cast<std::ptrdiff_t>(pos + 1);
+      if (diff == 0) {
+        if (dequeue_pos_.compare_exchange_weak(pos, pos + 1, std::memory_order_relaxed,
+                                               std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (diff < 0) {
+        return false;  // empty
+      } else {
+        pos = dequeue_pos_.load(std::memory_order_relaxed);
+      }
+    }
+    out = std::move(cell->value);
+    cell->sequence.store(pos + capacity_, std::memory_order_release);
+    return true;
+  }
+
+  /// Approximate occupancy (exact only when no push/pop is in flight);
+  /// used for diagnostics and flush-threshold checks, never correctness.
+  [[nodiscard]] std::size_t size_approx() const noexcept {
+    const std::size_t enq = enqueue_pos_.load(std::memory_order_relaxed);
+    const std::size_t deq = dequeue_pos_.load(std::memory_order_relaxed);
+    return enq >= deq ? enq - deq : 0;
+  }
+
+ private:
+  struct alignas(kCacheLineBytes) Cell {
+    std::atomic<std::size_t> sequence{0};
+    T value{};
+  };
+
+  static constexpr std::size_t round_up_pow2(std::size_t v) noexcept {
+    std::size_t p = 1;
+    while (p < v) p <<= 1;
+    return p;
+  }
+
+  std::size_t capacity_;
+  std::size_t mask_;
+  std::unique_ptr<Cell[]> cells_;
+  alignas(kCacheLineBytes) std::atomic<std::size_t> enqueue_pos_{0};
+  alignas(kCacheLineBytes) std::atomic<std::size_t> dequeue_pos_{0};
+};
+
+}  // namespace portabench::simrt

@@ -158,6 +158,34 @@ TEST(Bootstrap, PreconditionsEnforced) {
   EXPECT_THROW(bootstrap_mean_ci(one, 0.9, 5), precondition_error);
 }
 
+TEST(Percentile, NearestRankDefinition) {
+  const std::vector<double> v{5.0, 1.0, 4.0, 2.0, 3.0};  // unsorted on purpose
+  EXPECT_DOUBLE_EQ(percentile_of(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile_of(v, 20.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile_of(v, 50.0), 3.0);
+  EXPECT_DOUBLE_EQ(percentile_of(v, 99.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile_of(v, 100.0), 5.0);
+}
+
+TEST(Percentile, TailOrderingOnLatencyShapedSample) {
+  std::vector<double> v;
+  for (int i = 1; i <= 1000; ++i) v.push_back(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(percentile_of(v, 50.0), 500.0);
+  EXPECT_DOUBLE_EQ(percentile_of(v, 99.0), 990.0);
+  EXPECT_DOUBLE_EQ(percentile_of(v, 99.9), 999.0);
+  EXPECT_LE(percentile_of(v, 50.0), percentile_of(v, 99.0));
+  EXPECT_LE(percentile_of(v, 99.0), percentile_of(v, 99.9));
+}
+
+TEST(Percentile, EdgeCases) {
+  EXPECT_DOUBLE_EQ(percentile_of({}, 50.0), 0.0);
+  const std::vector<double> one{7.5};
+  EXPECT_DOUBLE_EQ(percentile_of(one, 0.0), 7.5);
+  EXPECT_DOUBLE_EQ(percentile_of(one, 99.9), 7.5);
+  EXPECT_THROW(percentile_of(one, -1.0), precondition_error);
+  EXPECT_THROW(percentile_of(one, 100.5), precondition_error);
+}
+
 TEST(Means, GeometricBetweenHarmonicAndArithmetic) {
   const std::vector<double> v{0.26, 0.842, 0.854, 0.994};
   const double am = mean_of(v);

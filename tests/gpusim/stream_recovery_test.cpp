@@ -1,0 +1,150 @@
+// Regression tests for stream error recovery and device-buffer/arena
+// reuse after a failed batch: an error stashed at synchronize() must not
+// poison the next batch enqueued on the same stream, and the serving
+// layer's arenas must be reusable across an errored flush.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "gpusim/device.hpp"
+#include "gpusim/memory.hpp"
+#include "gpusim/stream.hpp"
+#include "serve/engine.hpp"
+#include "serve/serial.hpp"
+
+namespace portabench::gpusim {
+namespace {
+
+class StreamRecoveryTest : public ::testing::Test {
+ protected:
+  DeviceContext ctx_{GpuSpec::a100()};
+};
+
+TEST_F(StreamRecoveryTest, StashedErrorSurfacesOnceThenStreamIsClean) {
+  Stream s(ctx_, StreamMode::kAsync);
+  s.enqueue(0.0, [] { throw std::runtime_error("batch fault"); });
+  EXPECT_THROW(s.synchronize(), std::runtime_error);
+  // The stash is consumed: the stream is clean again.
+  EXPECT_NO_THROW(s.synchronize());
+}
+
+TEST_F(StreamRecoveryTest, WorkEnqueuedAfterErrorStillRuns) {
+  Stream s(ctx_, StreamMode::kAsync);
+  std::vector<int> ran;
+  s.enqueue(0.0, [] { throw std::runtime_error("batch fault"); });
+  s.enqueue(0.0, [&] { ran.push_back(1); });
+  EXPECT_THROW(s.synchronize(), std::runtime_error);
+
+  // Re-enqueue on the same stream whose prior batch errored: the new
+  // batch must run and synchronize cleanly.
+  s.enqueue(0.0, [&] { ran.push_back(2); });
+  EXPECT_NO_THROW(s.synchronize());
+  EXPECT_EQ(ran, (std::vector<int>{1, 2}));
+}
+
+TEST_F(StreamRecoveryTest, BackToBackErrorsEachSurfaceExactlyOnce) {
+  Stream s(ctx_, StreamMode::kAsync);
+  s.enqueue(0.0, [] { throw std::runtime_error("first"); });
+  EXPECT_THROW(s.synchronize(), std::runtime_error);
+  s.enqueue(0.0, [] { throw std::runtime_error("second"); });
+  EXPECT_THROW(s.synchronize(), std::runtime_error);
+  EXPECT_NO_THROW(s.synchronize());
+}
+
+TEST_F(StreamRecoveryTest, EagerStreamRecoversIdentically) {
+  Stream s(ctx_, StreamMode::kEager);
+  EXPECT_THROW(s.enqueue(0.0, [] { throw std::runtime_error("fault"); }),
+               std::runtime_error);
+  int ran = 0;
+  s.enqueue(0.0, [&] { ran = 1; });
+  EXPECT_NO_THROW(s.synchronize());
+  EXPECT_EQ(ran, 1);
+}
+
+// The serving-layer shape of the same bug: a shard's batch errors (fail
+// injection), and the *next* batch re-enqueued on that shard's stream —
+// reusing the same arena slab — must complete with bitwise-correct
+// results and no carried-over failure.
+TEST_F(StreamRecoveryTest, ServeShardSurvivesErroredBatchAndReusesArena) {
+  using namespace portabench::serve;
+
+  std::vector<JobResult> results;
+  ServeConfig cfg;
+  cfg.shards = 1;  // one stream: the second batch reuses the errored one
+  cfg.batch_jobs = 8;
+  cfg.on_complete = [&](const JobResult& r) { results.push_back(r); };
+  // The entire first batch fails; later batches are healthy.
+  cfg.fail_injection = [](const JobDesc& d) { return d.id < 8; };
+  ServeEngine engine(cfg);
+
+  const auto job = [](std::uint64_t id) {
+    JobDesc d;
+    d.id = id;
+    d.kind = JobKind::kGemm;
+    d.frontend = Frontend::kTiled;
+    d.precision = Precision::kDouble;
+    d.n = 10;
+    d.seed = 0xCAFEull + id;
+    return d;
+  };
+
+  std::vector<JobDesc> batch2;
+  for (std::uint64_t id = 0; id < 8; ++id) {
+    ASSERT_EQ(engine.try_submit(job(id)), AdmitError::kNone);
+  }
+  engine.drain();  // absorbs the stashed batch_error
+
+  ServeStats st = engine.stats();
+  EXPECT_EQ(st.failed, 8u);
+  EXPECT_EQ(st.batch_errors, 1u);
+
+  for (std::uint64_t id = 8; id < 16; ++id) {
+    batch2.push_back(job(id));
+    ASSERT_EQ(engine.try_submit(batch2.back()), AdmitError::kNone);
+  }
+  engine.drain();
+
+  st = engine.stats();
+  EXPECT_EQ(st.completed, 8u);
+  EXPECT_EQ(st.failed, 8u);
+  EXPECT_EQ(st.batch_errors, 1u) << "healthy batch must not inherit the error";
+  ASSERT_EQ(results.size(), 16u);
+  for (const auto& d : batch2) {
+    const auto it = std::find_if(results.begin(), results.end(),
+                                 [&](const JobResult& r) { return r.id == d.id; });
+    ASSERT_NE(it, results.end());
+    EXPECT_EQ(it->status, JobStatus::kOk);
+    EXPECT_EQ(it->checksum, run_serial(d).checksum) << "job " << d.id;
+  }
+}
+
+TEST_F(StreamRecoveryTest, CountersResetPreservesLiveMemory) {
+  DeviceBuffer<double> buf(ctx_, 128);
+  const DeviceCounters before = ctx_.counters();
+  EXPECT_EQ(before.live_allocations, 1u);
+  EXPECT_EQ(ctx_.bytes_in_use(), 128 * sizeof(double));
+  ctx_.reset_counters();
+  const DeviceCounters after = ctx_.counters();
+  EXPECT_EQ(after.bytes_allocated, 0u);
+  EXPECT_EQ(after.live_allocations, 1u) << "reset must not forget live buffers";
+  EXPECT_EQ(after.peak_bytes_allocated, 128 * sizeof(double))
+      << "peak restarts from resident memory, not zero";
+  EXPECT_EQ(ctx_.bytes_in_use(), 128 * sizeof(double));
+}
+
+TEST_F(StreamRecoveryTest, FreeAfterCountersResetBalances) {
+  {
+    DeviceBuffer<double> buf(ctx_, 64);
+    ctx_.reset_counters();
+    // Destruction after the reset must balance, not trip the
+    // live-allocation precondition.
+  }
+  const DeviceCounters after = ctx_.counters();
+  EXPECT_EQ(after.live_allocations, 0u);
+  EXPECT_EQ(ctx_.bytes_in_use(), 0u);
+}
+
+}  // namespace
+}  // namespace portabench::gpusim
