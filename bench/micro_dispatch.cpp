@@ -207,6 +207,7 @@ int main(int argc, char** argv) {
             << small_table.to_markdown() << "\n";
 
   // --- grain: dynamic chunk throughput through the steal queues -------------
+  // portalint: tn-magic-tile-ok(bench workload extent, not a schedule knob)
   const std::size_t grain_extent = 1 << 16;
   std::vector<double> data(grain_extent, 1.0);
   std::vector<GrainRow> grain_rows;

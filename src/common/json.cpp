@@ -117,6 +117,242 @@ std::string JsonWriter::str() const {
   return out_;
 }
 
+namespace {
+
+/// Recursive-descent parser over a string_view.  All failures funnel
+/// through fail(), which records the first error and poisons the cursor;
+/// parse_json() turns that into JsonParseResult.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonParseResult run() {
+    JsonParseResult r;
+    JsonValue v = parse_value(0);
+    skip_ws();
+    if (ok_ && pos_ != text_.size()) fail("trailing characters after document");
+    if (!ok_) {
+      r.error = "offset " + std::to_string(err_pos_) + ": " + err_;
+      return r;
+    }
+    r.ok = true;
+    r.value = std::move(v);
+    return r;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  void fail(const std::string& msg) {
+    if (ok_) {
+      ok_ = false;
+      err_ = msg;
+      err_pos_ = pos_;
+    }
+    pos_ = text_.size();  // stop consuming
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue parse_value(int depth) {
+    skip_ws();
+    if (depth > kMaxDepth) {
+      fail("nesting deeper than " + std::to_string(kMaxDepth));
+      return {};
+    }
+    if (pos_ >= text_.size()) {
+      fail("unexpected end of input");
+      return {};
+    }
+    const char c = text_[pos_];
+    if (c == '{') return parse_object(depth);
+    if (c == '[') return parse_array(depth);
+    if (c == '"') return JsonValue(parse_string());
+    if (c == 't') {
+      if (literal("true")) return JsonValue(true);
+      fail("invalid literal");
+      return {};
+    }
+    if (c == 'f') {
+      if (literal("false")) return JsonValue(false);
+      fail("invalid literal");
+      return {};
+    }
+    if (c == 'n') {
+      if (literal("null")) return JsonValue();
+      fail("invalid literal");
+      return {};
+    }
+    if (c == '-' || (c >= '0' && c <= '9')) return parse_number();
+    fail(std::string("unexpected character '") + c + "'");
+    return {};
+  }
+
+  JsonValue parse_object(int depth) {
+    ++pos_;  // '{'
+    JsonValue::Object obj;
+    skip_ws();
+    if (consume('}')) return JsonValue(std::move(obj));
+    for (;;) {
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        fail("expected object key string");
+        return {};
+      }
+      std::string key = parse_string();
+      if (!ok_) return {};
+      skip_ws();
+      if (!consume(':')) {
+        fail("expected ':' after object key");
+        return {};
+      }
+      obj[std::move(key)] = parse_value(depth + 1);
+      if (!ok_) return {};
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume('}')) return JsonValue(std::move(obj));
+      fail("expected ',' or '}' in object");
+      return {};
+    }
+  }
+
+  JsonValue parse_array(int depth) {
+    ++pos_;  // '['
+    JsonValue::Array arr;
+    skip_ws();
+    if (consume(']')) return JsonValue(std::move(arr));
+    for (;;) {
+      arr.push_back(parse_value(depth + 1));
+      if (!ok_) return {};
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume(']')) return JsonValue(std::move(arr));
+      fail("expected ',' or ']' in array");
+      return {};
+    }
+  }
+
+  std::string parse_string() {
+    ++pos_;  // '"'
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("unescaped control character in string");
+        return {};
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            fail("truncated \\u escape");
+            return {};
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else {
+              fail("invalid \\u escape digit");
+              return {};
+            }
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs are out of
+          // scope for the cache files this parser serves).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          fail("invalid escape character");
+          return {};
+      }
+    }
+    fail("unterminated string");
+    return {};
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (consume('-')) {}
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') ++pos_;
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') ++pos_;
+    }
+    const std::string tok(text_.substr(start, pos_ - start));
+    double v = 0.0;
+    if (tok.empty() || tok == "-" || std::sscanf(tok.c_str(), "%lf", &v) != 1) {
+      pos_ = start;
+      fail("malformed number");
+      return {};
+    }
+    return JsonValue(v);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+  std::string err_;
+  std::size_t err_pos_ = 0;
+};
+
+}  // namespace
+
+JsonParseResult parse_json(std::string_view text) { return Parser(text).run(); }
+
 std::string JsonWriter::escape(const std::string& raw) {
   std::string out;
   out.reserve(raw.size());

@@ -1,13 +1,20 @@
-// Minimal JSON emitter for machine-readable bench results.
+// Minimal JSON emitter + parser for machine-readable artifacts.
 //
 // Downstream tooling (plotting the figure series, CI regression tracking)
-// consumes structured results; this writer covers the subset needed —
+// consumes structured results; the writer covers the subset needed —
 // objects, arrays, strings, numbers, booleans — with correct string
-// escaping and shortest-round-trip double formatting.  Emission only; the
-// study never parses JSON.
+// escaping and shortest-round-trip double formatting.  The parser exists
+// for exactly one consumer: the persisted tuning cache (docs/TUNING.md),
+// which must load files that may be corrupt, truncated, or stale — so
+// parse_json() reports failure through JsonParseResult instead of
+// throwing, and the tuning layer degrades to an empty cache.
 #pragma once
 
+#include <map>
+#include <memory>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace portabench {
@@ -54,5 +61,82 @@ class JsonWriter {
   std::vector<Ctx> stack_;
   bool root_done_ = false;
 };
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON document node.  Numbers are stored as double (the only
+/// numeric type JSON has); object keys are sorted (std::map), which is
+/// fine for the cache-file use case where key order carries no meaning.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  using Array = std::vector<JsonValue>;
+  using Object = std::map<std::string, JsonValue>;
+
+  JsonValue() = default;  // null
+  explicit JsonValue(bool b) : kind_(Kind::kBool), bool_(b) {}
+  explicit JsonValue(double d) : kind_(Kind::kNumber), num_(d) {}
+  explicit JsonValue(std::string s) : kind_(Kind::kString), str_(std::move(s)) {}
+  explicit JsonValue(Array a) : kind_(Kind::kArray), arr_(std::move(a)) {}
+  explicit JsonValue(Object o) : kind_(Kind::kObject), obj_(std::move(o)) {}
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] bool is_null() const noexcept { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_bool() const noexcept { return kind_ == Kind::kBool; }
+  [[nodiscard]] bool is_number() const noexcept { return kind_ == Kind::kNumber; }
+  [[nodiscard]] bool is_string() const noexcept { return kind_ == Kind::kString; }
+  [[nodiscard]] bool is_array() const noexcept { return kind_ == Kind::kArray; }
+  [[nodiscard]] bool is_object() const noexcept { return kind_ == Kind::kObject; }
+
+  [[nodiscard]] bool as_bool() const noexcept { return bool_; }
+  [[nodiscard]] double as_number() const noexcept { return num_; }
+  [[nodiscard]] const std::string& as_string() const noexcept { return str_; }
+  [[nodiscard]] const Array& as_array() const noexcept { return arr_; }
+  [[nodiscard]] const Object& as_object() const noexcept { return obj_; }
+
+  /// Object member lookup; nullptr when not an object or key absent.
+  [[nodiscard]] const JsonValue* find(const std::string& key) const {
+    if (kind_ != Kind::kObject) return nullptr;
+    const auto it = obj_.find(key);
+    return it == obj_.end() ? nullptr : &it->second;
+  }
+
+  /// Typed member accessors for the common "optional field with default"
+  /// shape; return std::nullopt when absent or of the wrong kind.
+  [[nodiscard]] std::optional<double> number_at(const std::string& key) const {
+    const JsonValue* v = find(key);
+    if (v == nullptr || !v->is_number()) return std::nullopt;
+    return v->as_number();
+  }
+  [[nodiscard]] std::optional<std::string> string_at(const std::string& key) const {
+    const JsonValue* v = find(key);
+    if (v == nullptr || !v->is_string()) return std::nullopt;
+    return v->as_string();
+  }
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  Array arr_;
+  Object obj_;
+};
+
+/// Outcome of parse_json: `value` is set iff `ok`.  Never throws — the
+/// tuning-cache loader must survive arbitrary on-disk garbage.
+struct JsonParseResult {
+  bool ok = false;
+  JsonValue value;
+  std::string error;  ///< "offset N: message" when !ok
+};
+
+/// Parse one JSON document (trailing whitespace allowed, nothing else).
+/// Depth-limited (64 nested containers) so adversarial input cannot
+/// overflow the stack.
+[[nodiscard]] JsonParseResult parse_json(std::string_view text);
 
 }  // namespace portabench

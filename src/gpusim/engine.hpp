@@ -38,6 +38,7 @@
 
 #include "common/buffer.hpp"
 #include "simrt/thread_pool.hpp"
+#include "tunables.hpp"
 
 namespace portabench::gpusim {
 
@@ -47,7 +48,9 @@ class LaunchEngine {
   /// runs serially inline on the caller: the fork-join rendezvous costs
   /// microseconds, which is thousands of cheap lane iterations.  Matches
   /// the simrt fork-elision cutoff so the two layers agree on what
-  /// "too small to fork" means.
+  /// "too small to fork" means.  Compile-time default only: run_blocks
+  /// compares against launch_tunables().fork_cutoff so the autotuner /
+  /// PORTABENCH_TUNE_LAUNCH_CUTOFF can retune it per machine.
   static constexpr std::size_t kLaunchForkCutoff = simrt::ThreadPool::kForkCutoff;
 
   /// `threads == 0` resolves to PORTABENCH_GPUSIM_THREADS or, failing
@@ -85,15 +88,18 @@ class LaunchEngine {
   template <class Body>
   void run_blocks(std::size_t num_blocks, std::size_t total_threads, Body&& body) {
     if (num_blocks == 0) return;
-    if (total_threads < kLaunchForkCutoff || num_workers_ <= 1 || in_region()) {
+    const LaunchTunables lt = launch_tunables();
+    if (total_threads < lt.fork_cutoff || num_workers_ <= 1 || in_region()) {
       for (std::size_t b = 0; b < num_blocks; ++b) body(kSerialWorker, b);
       return;
     }
     std::lock_guard<std::mutex> lock(launch_mutex_);
     simrt::ThreadPool& pool = ensure_pool();
     const std::size_t nt = pool.size();
-    // ~8 chunks per worker bounds the counter traffic; at least 1 block.
-    const std::size_t chunk = std::max<std::size_t>(1, num_blocks / (nt * 8));
+    // ~chunks_per_worker chunks per worker bounds the counter traffic
+    // (tunable; block dealing only — per-block results are unaffected).
+    const std::size_t chunk = std::max<std::size_t>(
+        1, num_blocks / (nt * std::max<std::size_t>(1, lt.chunks_per_worker)));
     std::atomic<std::size_t> next{0};
     pool.run([&](std::size_t t) {
       const RegionScope scope;

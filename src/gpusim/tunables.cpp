@@ -1,0 +1,57 @@
+#include "tunables.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+
+namespace portabench::gpusim {
+
+namespace {
+
+std::atomic<std::size_t> g_launch_cutoff{simrt::kDefaultForkCutoff};
+std::atomic<std::size_t> g_chunks_per_worker{kDefaultLaunchChunksPerWorker};
+
+std::once_flag g_env_once;
+
+void store(const LaunchTunables& t) noexcept {
+  g_launch_cutoff.store(t.fork_cutoff, std::memory_order_relaxed);
+  g_chunks_per_worker.store(std::max<std::size_t>(1, t.chunks_per_worker),
+                            std::memory_order_relaxed);
+}
+
+void apply_env() noexcept {
+  store(parse_launch_env(LaunchTunables{},
+                         [](const char* name) { return std::getenv(name); }));
+}
+
+void ensure_env_applied() noexcept { std::call_once(g_env_once, apply_env); }
+
+}  // namespace
+
+LaunchTunables parse_launch_env(const LaunchTunables& base, const simrt::EnvLookup& lookup) {
+  LaunchTunables t = base;
+  (void)simrt::parse_tunable_size(lookup("PORTABENCH_TUNE_LAUNCH_CUTOFF"), &t.fork_cutoff);
+  (void)simrt::parse_tunable_size(lookup("PORTABENCH_TUNE_LAUNCH_CHUNKS"),
+                                  &t.chunks_per_worker);
+  return t;
+}
+
+LaunchTunables launch_tunables() noexcept {
+  ensure_env_applied();
+  LaunchTunables t;
+  t.fork_cutoff = g_launch_cutoff.load(std::memory_order_relaxed);
+  t.chunks_per_worker = g_chunks_per_worker.load(std::memory_order_relaxed);
+  return t;
+}
+
+void set_launch_tunables(const LaunchTunables& t) noexcept {
+  ensure_env_applied();
+  store(t);
+}
+
+void reset_launch_tunables() noexcept {
+  ensure_env_applied();
+  apply_env();
+}
+
+}  // namespace portabench::gpusim

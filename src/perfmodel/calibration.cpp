@@ -12,7 +12,7 @@ ModelTraits vendor_ref() {
   t.rel_eff = 1.0;
   t.overhead_us = 0.0;
   t.bind = simrt::BindPolicy::kClose;  // OMP_PROC_BIND=true OMP_PLACES=threads
-  t.unroll = 4;
+  t.unroll = 4;  // portalint: tn-magic-tile-ok(observed vendor PTX fact, Section IV-B; not a search knob)
   t.provenance = "Eq. (2): vendor implementation is the efficiency reference";
   return t;
 }
@@ -139,7 +139,7 @@ std::optional<ModelTraits> traits_for(Platform p, Family f, Precision prec) {
         case Family::kJulia:
           t.rel_eff = fp32 ? 0.600 : 0.867;
           t.overhead_us = 20.0;
-          t.unroll = 2;
+          t.unroll = 2;  // portalint: tn-magic-tile-ok(observed CUDA.jl PTX fact, Section IV-B; not a search knob)
           t.provenance =
               "Table III e_{A100}; Fig. 7a: 'Julia using CUDA.jl has a constant "
               "overhead'; PTX shows '2 [unrolled iterations] for CUDA.jl and 4 "

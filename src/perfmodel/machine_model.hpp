@@ -83,12 +83,14 @@ class GpuMachineModel {
   /// of A and 32 columns of B (A reads are warp-broadcast, B reads are
   /// coalesced; reuse beyond the tile is captured by L2 only for the A
   /// panel), plus the C writeback.
-  [[nodiscard]] double dram_traffic_bytes(Precision prec, std::size_t n,
-                                          std::size_t tile = 32) const;
+  [[nodiscard]] double dram_traffic_bytes(
+      Precision prec, std::size_t n,
+      std::size_t tile = 32) const;  // portalint: tn-magic-tile-ok(the paper's hand-picked 32x32 reference tile)
 
   /// Vendor-reference execution time for an n^3 GEMM with `tile`^2 blocks.
-  [[nodiscard]] TimeBreakdown reference_time(Precision prec, std::size_t n,
-                                             std::size_t tile = 32) const;
+  [[nodiscard]] TimeBreakdown reference_time(
+      Precision prec, std::size_t n,
+      std::size_t tile = 32) const;  // portalint: tn-magic-tile-ok(the paper's hand-picked 32x32 reference tile)
 
  private:
   GpuPerfSpec spec_;

@@ -51,10 +51,18 @@ class batch_error : public std::runtime_error {
 /// legitimately owns locks the way simrt/gpusim do.
 using ShardMutex = std::mutex;  // portalint: raw-thread-ok(serve is a runtime layer: shard submit/flush ordering needs a real lock)
 
+/// Flush-batch size when neither the caller nor the tuning cache picks
+/// one.  The tunable itself lives in the "serve-batch" registry space.
+// portalint: tn-magic-tile-ok(fallback for the serve-batch tuning space; src/tune/params.cpp pins it)
+inline constexpr std::size_t kDefaultBatchJobs = 32;
+
 struct ServeConfig {
   std::size_t shards = 4;
   std::size_t queue_capacity = 1024;  ///< per-shard admission queue bound
-  std::size_t batch_jobs = 32;        ///< jobs per flush (and flush trigger)
+  /// Jobs per flush (and the flush trigger).  0 means "resolve at engine
+  /// construction": the tuning cache's serve-batch entry for this
+  /// machine if present, else kDefaultBatchJobs.
+  std::size_t batch_jobs = 0;
   std::uint32_t max_n = 256;          ///< admission bound on problem size
   bool async_streams = true;          ///< flush on stream workers (kAsync)
   /// Completion sink; called on the flushing thread, jobs of a batch

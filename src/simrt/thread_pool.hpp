@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "affinity.hpp"
+#include "tunables.hpp"
 #include "common/buffer.hpp"
 
 namespace portabench::simrt {
@@ -78,7 +79,10 @@ class ThreadPool {
   /// to run: the rendezvous is a few microseconds even on the lock-free
   /// path (worker wake-up + join), which is thousands of cheap iterations.
   /// OpenMP's `if` clause and Kokkos' host back ends make the same call.
-  static constexpr std::size_t kForkCutoff = 4096;
+  /// This is the compile-time default; the runtime value run_auto()
+  /// actually compares against comes from dispatch_tunables() so the
+  /// autotuner / PORTABENCH_TUNE_FORK_CUTOFF can retune it per machine.
+  static constexpr std::size_t kForkCutoff = kDefaultForkCutoff;
 
   /// run() with grain-based fork elision: regions whose total work is
   /// below kForkCutoff execute all logical lanes serially on the caller
@@ -91,7 +95,7 @@ class ThreadPool {
     using Fn = std::remove_reference_t<F>;
     auto* ctx = const_cast<std::remove_const_t<Fn>*>(std::addressof(task));
     auto* fn = +[](void* c, std::size_t tid) { (*static_cast<Fn*>(c))(tid); };
-    if (work_hint < kForkCutoff) {
+    if (work_hint < dispatch_fork_cutoff()) {
       run_inline(fn, ctx);
     } else {
       run_impl(fn, ctx);

@@ -1,0 +1,76 @@
+#include "tunables.hpp"
+
+#include <atomic>
+#include <cerrno>
+#include <cstdlib>
+#include <mutex>
+
+namespace portabench::simrt {
+
+namespace {
+
+std::atomic<std::size_t> g_fork_cutoff{kDefaultForkCutoff};
+std::atomic<std::size_t> g_chunks_per_thread{kDefaultChunksPerThread};
+std::atomic<std::size_t> g_min_grain{kDefaultMinGrain};
+
+std::once_flag g_env_once;
+
+void store(const DispatchTunables& t) noexcept {
+  g_fork_cutoff.store(t.fork_cutoff, std::memory_order_relaxed);
+  g_chunks_per_thread.store(std::max<std::size_t>(1, t.chunks_per_thread),
+                            std::memory_order_relaxed);
+  g_min_grain.store(std::max<std::size_t>(1, t.min_grain), std::memory_order_relaxed);
+}
+
+void apply_env() noexcept {
+  store(parse_dispatch_env(DispatchTunables{},
+                           [](const char* name) { return std::getenv(name); }));
+}
+
+void ensure_env_applied() noexcept { std::call_once(g_env_once, apply_env); }
+
+}  // namespace
+
+bool parse_tunable_size(const char* text, std::size_t* out) noexcept {
+  if (text == nullptr || *text == '\0' || *text == '-') return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text, &end, 10);
+  if (errno != 0 || end == text || *end != '\0') return false;
+  *out = static_cast<std::size_t>(v);
+  return true;
+}
+
+DispatchTunables parse_dispatch_env(const DispatchTunables& base, const EnvLookup& lookup) {
+  DispatchTunables t = base;
+  (void)parse_tunable_size(lookup("PORTABENCH_TUNE_FORK_CUTOFF"), &t.fork_cutoff);
+  (void)parse_tunable_size(lookup("PORTABENCH_TUNE_CHUNK"), &t.chunks_per_thread);
+  (void)parse_tunable_size(lookup("PORTABENCH_TUNE_MIN_GRAIN"), &t.min_grain);
+  return t;
+}
+
+DispatchTunables dispatch_tunables() noexcept {
+  ensure_env_applied();
+  DispatchTunables t;
+  t.fork_cutoff = g_fork_cutoff.load(std::memory_order_relaxed);
+  t.chunks_per_thread = g_chunks_per_thread.load(std::memory_order_relaxed);
+  t.min_grain = g_min_grain.load(std::memory_order_relaxed);
+  return t;
+}
+
+std::size_t dispatch_fork_cutoff() noexcept {
+  ensure_env_applied();
+  return g_fork_cutoff.load(std::memory_order_relaxed);
+}
+
+void set_dispatch_tunables(const DispatchTunables& t) noexcept {
+  ensure_env_applied();  // fixed env-vs-setter precedence: setter wins
+  store(t);
+}
+
+void reset_dispatch_tunables() noexcept {
+  ensure_env_applied();
+  apply_env();
+}
+
+}  // namespace portabench::simrt

@@ -144,7 +144,8 @@ void sweep_gpu_naive(gpusim::DeviceContext& ctx, const PIn& in, POut&& out,
 /// optimization, expressed with the simulator's barrier semantics.
 template <class PIn, class POut>
 void sweep_gpu_tiled(gpusim::DeviceContext& ctx, const PIn& in, POut&& out,
-                     std::size_t rows, std::size_t cols, std::size_t tile = 16) {
+                     std::size_t rows, std::size_t cols,
+                     std::size_t tile = 16) {  // portalint: tn-magic-tile-ok(device smem tile bound by the modeled 48KB budget, not host-tunable)
   PB_EXPECTS(tile >= 2);
   const std::size_t halo = tile + 2;
   const gpusim::Dim3 block{tile, tile, 1};

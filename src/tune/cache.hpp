@@ -1,0 +1,96 @@
+// Persisted tuning cache: versioned JSON, loaded defensively.
+//
+// Schema (docs/TUNING.md):
+//   {
+//     "schema_version": 1,
+//     "entries": [
+//       { "space": "gemm-tile", "precision": "FP32", "size_class": 5,
+//         "fingerprint": "0x9f...", "machine": "model|cores|tier",
+//         "config": {"mc": 128, "kc": 256, "tier": -1},
+//         "tuned_ms": 0.42, "default_ms": 0.55 }, ... ]
+//   }
+//
+// The loader NEVER aborts on bad input: a missing, corrupt, truncated,
+// version-mismatched or schema-violating file loads as an empty cache
+// with a typed CacheLoadStatus + warning string, and the process runs on
+// defaults — a stale cache must degrade performance at worst, never
+// correctness or availability.
+//
+// Lookups filter on machine fingerprint (fingerprint.hpp): entries tuned
+// on machine A are carried in the file but ignored on machine B.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "params.hpp"
+
+namespace portabench::tune {
+
+inline constexpr int kCacheSchemaVersion = 1;
+
+enum class CacheLoadStatus {
+  kOk,               ///< parsed and every entry schema-valid
+  kMissing,          ///< file absent / unreadable (fresh machine: not an error)
+  kParseError,       ///< not valid JSON (corrupt or truncated)
+  kVersionMismatch,  ///< schema_version != kCacheSchemaVersion
+  kSchemaError,      ///< valid JSON, wrong shape
+};
+
+[[nodiscard]] std::string_view cache_status_name(CacheLoadStatus s) noexcept;
+
+/// One tuned winner.  `precision` is a Precision::name() string ("FP64",
+/// "FP32", "FP16") or "-" for precision-free spaces; `size_class` is the
+/// serve shape bucket (0 for size-free spaces).
+struct CacheEntry {
+  std::string space;
+  std::string precision = "-";
+  std::uint32_t size_class = 0;
+  std::uint64_t fingerprint = 0;
+  std::string machine;  ///< human-readable fingerprint key (diagnostics)
+  Config config;
+  double tuned_ms = 0.0;
+  double default_ms = 0.0;
+};
+
+struct CacheLoadResult {
+  CacheLoadStatus status = CacheLoadStatus::kMissing;
+  std::string warning;  ///< non-empty whenever status != kOk
+};
+
+class TuningCache {
+ public:
+  /// Load `path`, replacing current contents.  Any failure leaves the
+  /// cache empty and returns a typed status + warning; never throws.
+  CacheLoadResult load(const std::string& path);
+
+  /// Parse cache text (the load() body, file I/O factored out for tests).
+  CacheLoadResult load_text(std::string_view text, const std::string& origin);
+
+  /// Serialize to the schema above.
+  [[nodiscard]] std::string serialize() const;
+
+  /// Write serialize() to `path`; false on I/O failure (never throws).
+  bool save(const std::string& path) const;
+
+  /// Entry for (space, precision, size_class) tuned on `fingerprint`;
+  /// nullptr when absent or tuned on a different machine.
+  [[nodiscard]] const CacheEntry* find(std::string_view space, std::string_view precision,
+                                       std::uint32_t size_class,
+                                       std::uint64_t fingerprint) const;
+
+  /// Insert or replace the entry with the same (space, precision,
+  /// size_class, fingerprint) key.
+  void put(CacheEntry entry);
+
+  [[nodiscard]] const std::vector<CacheEntry>& entries() const noexcept { return entries_; }
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  void clear() noexcept { entries_.clear(); }
+
+ private:
+  std::vector<CacheEntry> entries_;
+};
+
+}  // namespace portabench::tune

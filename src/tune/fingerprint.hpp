@@ -1,0 +1,37 @@
+// Machine fingerprint for the tuning cache.
+//
+// A tuned winner is only trustworthy on the machine class it was measured
+// on (the paper's whole point: unroll-2 wins on A100, unroll-4 on
+// MI250X).  Cache entries therefore carry a fingerprint of (cpu model,
+// core count, dispatched SIMD tier); lookups ignore entries whose
+// fingerprint differs from the local one, so a cache file can travel with
+// a checkout without poisoning a different machine.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace portabench::tune {
+
+struct MachineFingerprint {
+  std::string cpu_model;   ///< /proc/cpuinfo "model name" (or "unknown-cpu")
+  std::size_t cores = 0;   ///< hardware_concurrency
+  std::string simd_tier;   ///< simd_tier_name(simd_dispatch_tier())
+};
+
+/// Fingerprint of the machine this process runs on (cached per process;
+/// the SIMD tier honors PORTABENCH_SIMD_TIER clamp-down, so a clamped
+/// run tunes — and caches — as the machine class it emulates).
+[[nodiscard]] const MachineFingerprint& local_fingerprint();
+
+/// Human-readable key: "model|cores|tier".
+[[nodiscard]] std::string fingerprint_key(const MachineFingerprint& fp);
+
+/// Stable FNV-1a hash of fingerprint_key (what cache entries store).
+[[nodiscard]] std::uint64_t fingerprint_hash(const MachineFingerprint& fp);
+
+/// Parse helper exposed for tests: first "model name : ..." value in
+/// cpuinfo-formatted text, or "unknown-cpu" when absent.
+[[nodiscard]] std::string cpu_model_from_cpuinfo(const std::string& cpuinfo_text);
+
+}  // namespace portabench::tune

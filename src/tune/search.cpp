@@ -1,0 +1,207 @@
+#include "search.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/timer.hpp"
+
+namespace portabench::tune {
+
+Measurement measure(const std::function<double()>& once, int reps, int warmup) {
+  for (int i = 0; i < warmup; ++i) (void)once();
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(std::max(1, reps)));
+  for (int i = 0; i < std::max(1, reps); ++i) samples.push_back(once());
+  std::sort(samples.begin(), samples.end());
+  Measurement m;
+  m.median_ms = percentile_of(samples, 50.0);
+  m.noise_ms = std::max(0.0, percentile_of(samples, 75.0) - percentile_of(samples, 25.0));
+  return m;
+}
+
+namespace {
+
+/// Deterministic xorshift64* for restart-point selection: the search must
+/// be reproducible under a fixed seed (no global RNG state).
+std::uint64_t next_rand(std::uint64_t* state) {
+  std::uint64_t x = *state;
+  x ^= x >> 12;
+  x ^= x << 25;
+  x ^= x >> 27;
+  *state = x;
+  return x * 2685821657736338717ull;
+}
+
+/// Index of each param's value within its choices list.
+std::vector<std::size_t> indices_of(const SpaceDesc& space, const Config& config) {
+  std::vector<std::size_t> idx(space.params.size(), 0);
+  for (std::size_t p = 0; p < space.params.size(); ++p) {
+    const ParamSpec& spec = space.params[p];
+    const long v = config_value(space, config, spec.name);
+    const auto it = std::find(spec.choices.begin(), spec.choices.end(), v);
+    idx[p] = it == spec.choices.end() ? 0
+                                      : static_cast<std::size_t>(it - spec.choices.begin());
+  }
+  return idx;
+}
+
+Config config_from_indices(const SpaceDesc& space, const std::vector<std::size_t>& idx) {
+  Config c;
+  for (std::size_t p = 0; p < space.params.size(); ++p) {
+    const ParamSpec& spec = space.params[p];
+    c[spec.name] = spec.frozen ? spec.def : spec.choices[idx[p]];
+  }
+  return c;
+}
+
+struct Evaluator {
+  const Objective& objective;
+  const SearchOptions& options;
+  Timer budget_clock;
+  std::size_t evaluated = 0;
+  bool budget_exhausted = false;
+
+  // Already-scored configs: spaces are small, so a linear scan beats the
+  // bookkeeping of a real map and keeps Config usable as-is.
+  std::vector<std::pair<Config, double>> seen;
+
+  [[nodiscard]] bool over_budget() const {
+    return budget_clock.seconds() * 1000.0 > options.budget_ms;
+  }
+
+  /// Median score of `config`; caches so revisits are free.  Returns
+  /// false without evaluating when the budget is gone.
+  bool score(const Config& config, double* out) {
+    for (const auto& [c, v] : seen) {
+      if (c == config) {
+        *out = v;
+        return true;
+      }
+    }
+    if (over_budget()) {
+      budget_exhausted = true;
+      return false;
+    }
+    const int reps = options.deterministic ? 1 : options.reps;
+    const int warmup = options.deterministic ? 0 : options.warmup;
+    const Measurement m = measure([&] { return objective(config); }, reps, warmup);
+    ++evaluated;
+    seen.emplace_back(config, m.median_ms);
+    *out = m.median_ms;
+    return true;
+  }
+};
+
+}  // namespace
+
+TuneResult tune_space(const SpaceDesc& space, const Objective& objective,
+                      const SearchOptions& options) {
+  TuneResult result;
+  result.best = default_config(space);
+
+  Evaluator ev{objective, options, Timer{}, 0, false, {}};
+
+  // Default first — always measured, and with the noise floor taken from
+  // its own sample spread so the floor reflects this machine's jitter.
+  {
+    const int reps = options.deterministic ? 1 : options.reps;
+    const int warmup = options.deterministic ? 0 : options.warmup;
+    const Measurement m =
+        measure([&] { return objective(result.best); }, reps, warmup);
+    ++ev.evaluated;
+    ev.seen.emplace_back(result.best, m.median_ms);
+    result.default_ms = m.median_ms;
+    result.best_ms = m.median_ms;
+    result.noise_ms = options.deterministic
+                          ? 0.0
+                          : std::max(m.noise_ms, 0.02 * m.median_ms);
+  }
+
+  Config challenger = result.best;
+  double challenger_ms = result.default_ms;
+
+  const auto consider = [&](const Config& c, double ms) {
+    if (ms < challenger_ms) {
+      challenger = c;
+      challenger_ms = ms;
+    }
+  };
+
+  if (combinations(space) <= options.exhaustive_limit) {
+    // Exhaustive: odometer over the non-frozen choice lists.
+    std::vector<std::size_t> idx(space.params.size(), 0);
+    for (;;) {
+      const Config c = config_from_indices(space, idx);
+      double ms = 0.0;
+      if (!ev.score(c, &ms)) break;
+      consider(c, ms);
+      std::size_t p = 0;
+      for (; p < space.params.size(); ++p) {
+        if (space.params[p].frozen) continue;
+        if (++idx[p] < space.params[p].choices.size()) break;
+        idx[p] = 0;
+      }
+      if (p == space.params.size()) break;  // odometer wrapped: done
+    }
+  } else {
+    // Greedy hill-climb with restarts: from each start, repeatedly move
+    // to the best single-param ±1-step neighbour until no move improves.
+    std::uint64_t rng = options.seed;
+    for (std::size_t attempt = 0; attempt <= options.restarts; ++attempt) {
+      std::vector<std::size_t> at;
+      if (attempt == 0) {
+        at = indices_of(space, default_config(space));
+      } else {
+        at.resize(space.params.size());
+        for (std::size_t p = 0; p < space.params.size(); ++p) {
+          const std::size_t n = space.params[p].choices.size();
+          at[p] = space.params[p].frozen
+                      ? indices_of(space, default_config(space))[p]
+                      : static_cast<std::size_t>(next_rand(&rng) % n);
+        }
+      }
+      double at_ms = 0.0;
+      if (!ev.score(config_from_indices(space, at), &at_ms)) break;
+      consider(config_from_indices(space, at), at_ms);
+
+      bool moved = true;
+      while (moved && !ev.budget_exhausted) {
+        moved = false;
+        for (std::size_t p = 0; p < space.params.size(); ++p) {
+          const ParamSpec& spec = space.params[p];
+          if (spec.frozen) continue;
+          for (const int dir : {-1, +1}) {
+            if (dir < 0 && at[p] == 0) continue;
+            if (dir > 0 && at[p] + 1 >= spec.choices.size()) continue;
+            std::vector<std::size_t> n = at;
+            n[p] += static_cast<std::size_t>(dir);
+            double ms = 0.0;
+            if (!ev.score(config_from_indices(space, n), &ms)) break;
+            consider(config_from_indices(space, n), ms);
+            if (ms < at_ms) {
+              at = std::move(n);
+              at_ms = ms;
+              moved = true;
+            }
+          }
+        }
+      }
+      if (ev.budget_exhausted) break;
+    }
+  }
+
+  result.evaluated = ev.evaluated;
+  result.budget_exhausted = ev.budget_exhausted;
+
+  // Adoption gate: the challenger must clear the noise floor, otherwise
+  // the default stands (tuned >= default by construction).
+  if (challenger_ms < result.default_ms - result.noise_ms) {
+    result.best = challenger;
+    result.best_ms = challenger_ms;
+    result.improved = true;
+  }
+  return result;
+}
+
+}  // namespace portabench::tune

@@ -1,0 +1,61 @@
+// Search harness: exhaustive on small spaces, greedy hill-climb with
+// restarts on large ones, with honest timing.
+//
+// Measurement discipline (the bench harness's protocol, reused):
+//   - every config is evaluated warmup + reps times; the score is the
+//     median (RunStats-style warmup exclusion, median-of-k);
+//   - a noise floor (interquartile spread of the default config's
+//     samples, with a relative epsilon) gates adoption: a challenger is
+//     adopted only when it beats the default by MORE than the floor.
+// The default config is always measured first, so tune_space can never
+// return something worse than the default: when nothing clears the
+// floor, the result IS the default (improved == false, speedup == 1).
+//
+// Frozen (order-affecting) parameters are pinned to their defaults —
+// the search varies schedules, never fp combination order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "params.hpp"
+
+namespace portabench::tune {
+
+/// One evaluation of a candidate config; returns the cost in
+/// milliseconds (or any smaller-is-better modeled cost).
+using Objective = std::function<double(const Config&)>;
+
+struct SearchOptions {
+  int reps = 5;         ///< samples per config (median taken)
+  int warmup = 1;       ///< discarded leading samples per config
+  double budget_ms = 2000.0;   ///< wall-clock budget for the whole search
+  std::size_t exhaustive_limit = 64;  ///< combos <= this: enumerate all
+  std::size_t restarts = 2;    ///< extra hill-climb starting points
+  std::uint64_t seed = 1234;   ///< restart-point selection (xorshift)
+  bool deterministic = false;  ///< modeled objective: 1 rep, zero floor
+};
+
+struct TuneResult {
+  Config best;            ///< winning config (== default when !improved)
+  double best_ms = 0.0;
+  double default_ms = 0.0;
+  double noise_ms = 0.0;  ///< adoption floor that was applied
+  std::size_t evaluated = 0;  ///< configs actually measured
+  bool improved = false;  ///< best beat default beyond the noise floor
+  bool budget_exhausted = false;
+};
+
+/// Median + IQR-based noise floor of `reps` calls to `once` (after
+/// `warmup` discarded calls).  Exposed for the benches.
+struct Measurement {
+  double median_ms = 0.0;
+  double noise_ms = 0.0;
+};
+[[nodiscard]] Measurement measure(const std::function<double()>& once, int reps, int warmup);
+
+/// Search `space` for the config minimizing `objective`.
+[[nodiscard]] TuneResult tune_space(const SpaceDesc& space, const Objective& objective,
+                                    const SearchOptions& options = {});
+
+}  // namespace portabench::tune

@@ -92,6 +92,7 @@ INSTANTIATE_TEST_SUITE_P(Portalint, BadFixture,
                                            "raw_thread_bad.cpp",
                                            "det_rand_bad.cpp",
                                            "det_unordered_bad.cpp",
+                                           "tn_magic_tile_bad.cpp",
                                            "simd_raw_vector_ext_bad.cpp",
                                            "hy_pragma_once_bad.hpp",
                                            "hy_using_ns_bad.hpp"));
@@ -105,6 +106,7 @@ INSTANTIATE_TEST_SUITE_P(Portalint, GoodFixture,
                                            "raw_thread_good.cpp",
                                            "det_rand_good.cpp",
                                            "det_unordered_good.cpp",
+                                           "tn_magic_tile_good.cpp",
                                            "simd_raw_vector_ext_good.cpp",
                                            "hy_pragma_once_good.hpp",
                                            "hy_using_ns_good.hpp"));

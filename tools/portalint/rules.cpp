@@ -1,6 +1,8 @@
 #include "rules.hpp"
 
 #include <algorithm>
+#include <cctype>
+#include <cstdlib>
 #include <functional>
 #include <map>
 #include <set>
@@ -48,6 +50,16 @@ bool in_runtime_dirs(const FileUnit& u) {
 
 bool rng_exempt(const FileUnit& u) {
   return !u.is_fixture && u.rel.find("common/rng") != std::string::npos;
+}
+
+// tn-magic-tile exemptions: the tuning registry (src/tune/) is where
+// schedule constants legitimately live, the simrt/gpusim tunables
+// modules define the compiled-in defaults the registry pins, and tests
+// freely pin schedules to make scenarios reproducible.
+bool tn_exempt(const FileUnit& u) {
+  if (u.is_fixture) return false;
+  return u.has_component("tune") || u.rel.find("tunables") != std::string::npos ||
+         in_tests(u);
 }
 
 Finding make(const FileUnit& u, int line, std::string rule, std::string family,
@@ -569,6 +581,57 @@ void rule_include_cycle(const Project& p, std::vector<Finding>& out) {
 
 }  // namespace
 
+// --- tn-magic-tile ---------------------------------------------------------
+//
+// A schedule knob (tile/chunk/grain/cutoff/unroll/batch/block size)
+// assigned a bare nonzero integer literal is a tuning decision frozen
+// into source.  Those belong in the src/tune registry (searched, cached
+// per machine) or the tunables modules; everything else should resolve
+// through them.  Zero is exempt — it is the conventional "resolve at
+// runtime" sentinel.
+
+bool tn_knob_ident(const std::string& name) {
+  // The tiled-GEMM blocking constants, exact (kMR alone would also match
+  // e.g. kMRU-style names via substrings, so these are not fragments).
+  static const std::set<std::string> kExact = {"kMR", "kNR", "kNRMax",
+                                               "kKC", "kMC", "kNC"};
+  if (kExact.count(name)) return true;
+  std::string low;
+  low.reserve(name.size());
+  for (const char c : name) {
+    low += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  static const char* const kFragments[] = {"tile",   "chunk",      "grain",
+                                           "cutoff", "unroll",     "batch_jobs",
+                                           "block_size"};
+  for (const char* frag : kFragments) {
+    if (low.find(frag) != std::string::npos) return true;
+  }
+  return false;
+}
+
+void rule_tn_magic_tile(const FileUnit& u, std::vector<Finding>& out) {
+  const auto& t = u.lex.tokens;
+  for (std::size_t j = 0; j + 2 < t.size(); ++j) {
+    if (!is_ident(t[j]) || !tn_knob_ident(t[j].text)) continue;
+    if (!(is_punct(t[j + 1], "=") || is_punct(t[j + 1], "{"))) continue;
+    const Token& num = t[j + 2];
+    if (num.kind != Tok::kNumber) continue;
+    // Integer literals only: floats are measurements, not schedule knobs.
+    if (num.text.find('.') != std::string::npos ||
+        num.text.find('e') != std::string::npos ||
+        num.text.find('E') != std::string::npos) {
+      continue;
+    }
+    const long long value = std::strtoll(num.text.c_str(), nullptr, 0);
+    if (value == 0) continue;  // 0 = "resolve at runtime" sentinel
+    out.push_back(make(u, t[j].line, "tn-magic-tile", "hygiene",
+                       "schedule knob '" + t[j].text + "' pinned to literal " +
+                           num.text + "; route it through the src/tune registry " +
+                           "or a tunables module so it stays searchable"));
+  }
+}
+
 const std::vector<RuleDesc>& all_rules() {
   static const std::vector<RuleDesc> kRules = {
       {"ls-capture-write", "lane-safety",
@@ -590,6 +653,10 @@ const std::vector<RuleDesc>& all_rules() {
       {"simd-raw-vector-ext", "hygiene",
        "raw __attribute__((vector_size)) vectors or x86 intrinsics outside "
        "src/simrt/simd_backends"},
+      {"tn-magic-tile", "hygiene",
+       "schedule knob (tile/chunk/grain/cutoff/unroll/batch/block size) "
+       "hard-coded to an integer literal outside src/tune and the tunables "
+       "modules"},
       {"hy-pragma-once", "hygiene", "header missing #pragma once"},
       {"hy-using-ns", "hygiene",
        "using namespace at file/namespace scope in a header"},
@@ -608,6 +675,7 @@ std::vector<Finding> run_rules(const Project& project) {
       if (!in_runtime_dirs(u)) rule_raw_thread(u, out);
     }
     if (!rng_exempt(u)) rule_det_rand(u, out);
+    if (!tn_exempt(u)) rule_tn_magic_tile(u, out);
     if (!u.has_component("simd_backends")) rule_simd_raw_vector_ext(u, out);
     rule_det_unordered(u, out);
     rule_pragma_once(u, out);
