@@ -101,7 +101,9 @@ class LegacyThreadPool {
   }
 
   std::size_t num_threads_;
+  // portalint: raw-thread-ok(LegacyThreadPool is the mutex/condvar comparison baseline the dispatch benchmarks measure simrt against)
   std::vector<std::thread> workers_;
+  // portalint: raw-thread-ok(LegacyThreadPool is the mutex/condvar comparison baseline the dispatch benchmarks measure simrt against)
   std::mutex mutex_;
   std::condition_variable start_cv_;
   std::condition_variable done_cv_;
@@ -179,6 +181,7 @@ int main(int argc, char** argv) {
 
   simrt::ThreadsSpace space(nt);
   LegacyThreadPool legacy(nt);
+  // portalint: raw-thread-ok(volatile sink keeps the timed region from being optimized away; not used for inter-thread signalling)
   volatile std::size_t sink = 0;  // defeats whole-region elision
 
   // --- small_region: launch+join latency, new pool vs legacy pool ----------

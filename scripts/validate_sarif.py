@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Structural validator for portalint's SARIF 2.1.0 output.
+
+CI gates the `portalint --sarif` artifact on this script so a renderer
+regression cannot silently ship an uningestable report.  It checks the
+subset of the SARIF 2.1.0 schema that code-scanning consumers actually
+require -- document envelope, tool.driver rule table, and the result /
+location shapes -- using only the standard library (no jsonschema
+dependency in the lint job).
+
+Usage: validate_sarif.py report.sarif
+"""
+import json
+import sys
+
+SCHEMA_URI = "https://json.schemastore.org/sarif-2.1.0.json"
+LEVELS = {"none", "note", "warning", "error"}
+
+_errors = []
+
+
+def err(path, msg):
+    _errors.append(f"{path}: {msg}")
+
+
+def expect(cond, path, msg):
+    if not cond:
+        err(path, msg)
+    return cond
+
+
+def is_str(v):
+    return isinstance(v, str) and v != ""
+
+
+def check_location(loc, path, rule_files):
+    if not expect(isinstance(loc, dict), path, "location must be an object"):
+        return
+    phys = loc.get("physicalLocation")
+    if not expect(isinstance(phys, dict), path, "missing physicalLocation"):
+        return
+    art = phys.get("artifactLocation")
+    if expect(isinstance(art, dict), path, "missing artifactLocation"):
+        expect(is_str(art.get("uri")), path, "artifactLocation.uri must be a non-empty string")
+        expect("\\" not in art.get("uri", ""), path, "uri must use forward slashes")
+        expect(is_str(art.get("uriBaseId")), path, "artifactLocation.uriBaseId missing")
+        if is_str(art.get("uri")):
+            rule_files.add(art["uri"])
+    region = phys.get("region")
+    if expect(isinstance(region, dict), path, "missing region"):
+        line = region.get("startLine")
+        expect(isinstance(line, int) and line >= 1, path,
+               f"region.startLine must be an int >= 1, got {line!r}")
+        snippet = region.get("snippet")
+        if snippet is not None:
+            expect(isinstance(snippet, dict) and isinstance(snippet.get("text"), str),
+                   path, "region.snippet.text must be a string")
+    msg = loc.get("message")
+    if msg is not None:
+        expect(isinstance(msg, dict) and is_str(msg.get("text")),
+               path, "location message.text must be a non-empty string")
+
+
+def check_run(run, path):
+    driver = run.get("tool", {}).get("driver")
+    if not expect(isinstance(driver, dict), path, "missing tool.driver"):
+        return
+    expect(is_str(driver.get("name")), path, "tool.driver.name must be a non-empty string")
+
+    rules = driver.get("rules")
+    rule_ids = []
+    if expect(isinstance(rules, list) and rules, path, "tool.driver.rules must be non-empty"):
+        for i, rule in enumerate(rules):
+            rpath = f"{path}.rules[{i}]"
+            if not expect(isinstance(rule, dict), rpath, "rule must be an object"):
+                continue
+            expect(is_str(rule.get("id")), rpath, "rule id must be a non-empty string")
+            short = rule.get("shortDescription")
+            expect(isinstance(short, dict) and is_str(short.get("text")),
+                   rpath, "shortDescription.text must be a non-empty string")
+            rule_ids.append(rule.get("id"))
+    expect(len(set(rule_ids)) == len(rule_ids), path, "duplicate rule ids")
+
+    bases = run.get("originalUriBaseIds")
+    expect(isinstance(bases, dict) and bases, path, "originalUriBaseIds must be non-empty")
+
+    results = run.get("results")
+    files = set()
+    if not expect(isinstance(results, list), path, "results must be a list (may be empty)"):
+        return
+    for i, res in enumerate(results):
+        rpath = f"{path}.results[{i}]"
+        if not expect(isinstance(res, dict), rpath, "result must be an object"):
+            continue
+        rid = res.get("ruleId")
+        expect(rid in rule_ids, rpath, f"ruleId {rid!r} not in tool.driver.rules")
+        idx = res.get("ruleIndex")
+        if idx is not None:
+            ok = isinstance(idx, int) and 0 <= idx < len(rule_ids)
+            expect(ok and rule_ids[idx] == rid, rpath,
+                   f"ruleIndex {idx!r} does not point at ruleId {rid!r}")
+        expect(res.get("level") in LEVELS, rpath,
+               f"level must be one of {sorted(LEVELS)}, got {res.get('level')!r}")
+        msg = res.get("message")
+        expect(isinstance(msg, dict) and is_str(msg.get("text")),
+               rpath, "message.text must be a non-empty string")
+        locs = res.get("locations")
+        if expect(isinstance(locs, list) and locs, rpath, "locations must be non-empty"):
+            for k, loc in enumerate(locs):
+                check_location(loc, f"{rpath}.locations[{k}]", files)
+        for k, loc in enumerate(res.get("relatedLocations", [])):
+            check_location(loc, f"{rpath}.relatedLocations[{k}]", files)
+    return len(results), len(rule_ids)
+
+
+def main(argv):
+    if len(argv) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    try:
+        with open(argv[1], encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"FAIL: {argv[1]}: not readable JSON: {e}", file=sys.stderr)
+        return 1
+
+    expect(doc.get("$schema") == SCHEMA_URI, "$schema",
+           f"expected {SCHEMA_URI}, got {doc.get('$schema')!r}")
+    expect(doc.get("version") == "2.1.0", "version",
+           f"expected '2.1.0', got {doc.get('version')!r}")
+    runs = doc.get("runs")
+    stats = None
+    if expect(isinstance(runs, list) and runs, "runs", "must be a non-empty array"):
+        for i, run in enumerate(runs):
+            stats = check_run(run, f"runs[{i}]")
+
+    if _errors:
+        for e in _errors:
+            print(f"FAIL: {e}", file=sys.stderr)
+        return 1
+    nresults, nrules = stats
+    print(f"OK: {argv[1]} is structurally valid SARIF 2.1.0 "
+          f"({nrules} rules, {nresults} results)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

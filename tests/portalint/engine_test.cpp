@@ -144,6 +144,49 @@ TEST(Baseline, ExcerptMatchIsWhitespaceInsensitive) {
   EXPECT_TRUE(r.stale.empty());
 }
 
+// A v2 baseline entry keys a cross-file finding as "primary+related";
+// the entry must absorb the finding, and staleness detection must keep
+// working for v2 keys that no longer match.
+TEST(Baseline, PathKeyEntryAbsorbsCrossFileFinding) {
+  const fs::path dir = fs::path(::testing::TempDir()) / "v2base";
+  fs::create_directories(dir);
+  { std::ofstream(dir / "helper.cpp") << "inline void bump(double& out) { out += 1.0; }\n"; }
+  {
+    std::ofstream(dir / "kernel.cpp")
+        << "void sum_all(Space& space, int n) {\n"
+           "  double sum = 0.0;\n"
+           "  parallel_for(space, RangePolicy(0, n), [&](int i) { bump(sum); });\n"
+           "}\n";
+  }
+  const auto b = write_temp(
+      "v2.baseline",
+      "# portalint-baseline-version: 2\n"
+      "fl-shared-write-escape :: kernel.cpp+helper.cpp :: "
+      "parallel_for(space, RangePolicy(0, n), [&](int i) { bump(sum); }); :: audited\n");
+
+  portalint::Options opts;
+  opts.inputs = {dir};
+  opts.root = dir;
+  opts.baseline_path = b;
+  const auto r = portalint::run_portalint(opts);
+  EXPECT_TRUE(r.active.empty());
+  EXPECT_TRUE(r.stale.empty());
+  ASSERT_EQ(r.baselined.size(), 1u);
+  EXPECT_EQ(portalint::finding_path_key(r.baselined[0]), "kernel.cpp+helper.cpp");
+
+  // The plain single-file key must NOT match a cross-file finding, and
+  // the unmatched entry is reported stale.
+  const auto stale_b = write_temp(
+      "v2_stale.baseline",
+      "fl-shared-write-escape :: kernel.cpp :: "
+      "parallel_for(space, RangePolicy(0, n), [&](int i) { bump(sum); }); :: wrong key\n");
+  opts.baseline_path = stale_b;
+  const auto r2 = portalint::run_portalint(opts);
+  EXPECT_EQ(r2.active.size(), 1u);
+  EXPECT_EQ(r2.stale.size(), 1u);
+  EXPECT_EQ(portalint::exit_code(r2), 1);
+}
+
 // --- rendering & exit codes -------------------------------------------------
 
 TEST(Report, JsonCarriesFindingsAndSummary) {
@@ -155,6 +198,69 @@ TEST(Report, JsonCarriesFindingsAndSummary) {
   EXPECT_NE(j.find("\"findings\""), std::string::npos);
   EXPECT_NE(j.find("\"raw-thread\""), std::string::npos);
   EXPECT_NE(j.find("\"summary\":{\"files\":1"), std::string::npos);
+}
+
+// Regression: both the finding's path and its excerpt can contain JSON
+// metacharacters.  The rendered document must escape them (`"` -> \" and
+// `\` -> \\) in every string field, not just the snippet.
+TEST(Report, JsonEscapesQuotesAndBackslashesInPathAndSnippet) {
+  const fs::path dir = fs::path(::testing::TempDir()) / "esc\"dir\\";
+  fs::create_directories(dir);
+  const fs::path f = dir / "sp\"in\\.cpp";
+  { std::ofstream(f) << "volatile int spin = 0;  // \"quoted\\path\n"; }
+
+  portalint::Options opts;
+  opts.inputs = {f};
+  opts.root = dir.parent_path();
+  opts.use_baseline = false;
+  const auto r = portalint::run_portalint(opts);
+  ASSERT_EQ(r.active.size(), 1u);
+
+  std::ostringstream os;
+  portalint::print_json(r, os);
+  const std::string j = os.str();
+  // Raw metacharacters must never survive into the document: every `"`
+  // inside a string body is preceded by a backslash.
+  EXPECT_NE(j.find("esc\\\"dir\\\\"), std::string::npos) << j;       // path
+  EXPECT_NE(j.find("sp\\\"in\\\\.cpp"), std::string::npos) << j;     // file name
+  EXPECT_NE(j.find("\\\"quoted\\\\path"), std::string::npos) << j;   // snippet
+  EXPECT_EQ(j.find("esc\"dir"), std::string::npos) << j;
+}
+
+TEST(Report, JsonEscapeCoversControlCharacters) {
+  using portalint::json_escape;
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\tb\nc"), "a\\tb\\nc");
+  EXPECT_EQ(json_escape(std::string_view("a\x01z", 3)), "a\\u0001z");
+}
+
+// Regression: a symlink that lives outside any fixtures directory but
+// resolves into one is fixture content and must be skipped by default
+// (the deliberate findings inside fixtures would otherwise leak into
+// tree scans through the link).
+TEST(Discovery, SymlinkIntoFixturesIsSkippedByDefault) {
+  const fs::path root = fs::path(::testing::TempDir()) / "symroot";
+  fs::remove_all(root);
+  fs::create_directories(root / "sub" / "fixtures");
+  { std::ofstream(root / "sub" / "fixtures" / "bad.cpp") << "volatile int spin = 0;\n"; }
+  { std::ofstream(root / "clean.cpp") << "int ok = 0;\n"; }
+  std::error_code ec;
+  fs::create_symlink(root / "sub" / "fixtures" / "bad.cpp", root / "link.cpp", ec);
+  ASSERT_FALSE(ec) << ec.message();
+
+  portalint::Options opts;
+  opts.inputs = {root};
+  opts.root = root;
+  opts.use_baseline = false;
+  const auto skipped = portalint::run_portalint(opts);
+  EXPECT_TRUE(skipped.active.empty());
+  EXPECT_EQ(skipped.files_scanned, 1u);  // clean.cpp only
+
+  opts.include_fixtures = true;
+  const auto full = portalint::run_portalint(opts);
+  EXPECT_EQ(full.files_scanned, 3u);  // clean.cpp, link.cpp, fixtures/bad.cpp
+  EXPECT_FALSE(full.active.empty());
 }
 
 TEST(Report, CleanFileExitsZero) {

@@ -1,0 +1,19 @@
+// portalint fixture: known-bad.  The launch is sized with the ceil-div
+// idiom — blocks * bx lanes cover at least n elements, usually more —
+// and the kernel body indexes without the tail guard.  Symbolically:
+// max lane = blocks*bx - 1, extent = n, and n - blocks*bx is not
+// provably non-negative, so the overshooting lanes write out of bounds.
+#include <cstddef>
+
+namespace fixture {
+
+inline void scale_wrong(Ctx& ctx, std::size_t n, std::size_t bx) {
+  DeviceBuffer<float> data(n);
+  const std::size_t blocks = (n + bx - 1) / bx;
+  launch(ctx, {blocks}, {bx}, [=](const ThreadCtx& tc) {
+    const auto i = tc.global_x();
+    data(i) = 0.0f;  // portalint-expect: fl-unproved-bounds
+  });
+}
+
+}  // namespace fixture

@@ -1,0 +1,18 @@
+// portalint fixture: known-good.  Same ceil-div launch as
+// bounds_bad.cpp, but the canonical tail guard dominates the store:
+// under `i < n` the maximum index is n - 1, and extent - 1 - max = 0 is
+// provably non-negative for every lane.
+#include <cstddef>
+
+namespace fixture {
+
+inline void scale_right(Ctx& ctx, std::size_t n, std::size_t bx) {
+  DeviceBuffer<float> data(n);
+  const std::size_t blocks = (n + bx - 1) / bx;
+  launch(ctx, {blocks}, {bx}, [=](const ThreadCtx& tc) {
+    const auto i = tc.global_x();
+    if (i < n) data(i) = 0.0f;
+  });
+}
+
+}  // namespace fixture

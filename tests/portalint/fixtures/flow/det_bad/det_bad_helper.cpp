@@ -1,0 +1,14 @@
+// portalint fixture: known-bad, cross-TU half (helper side).  A clock
+// read is a nondeterministic source the token-level det-* rules do not
+// cover; on its own this file is quiet.  The taint only becomes a
+// finding when a kernel in another translation unit calls this helper.
+#include <chrono>
+
+namespace fixture {
+
+inline double time_scale() {
+  const auto t0 = std::chrono::steady_clock::now();
+  return static_cast<double>(t0.time_since_epoch().count()) * 1.0e-9;
+}
+
+}  // namespace fixture

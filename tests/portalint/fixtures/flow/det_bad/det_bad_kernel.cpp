@@ -1,0 +1,16 @@
+// portalint fixture: known-bad, cross-TU half (launch side).  Every
+// lane's result depends on a clock read buried in time_scale() (defined
+// in det_bad_helper.cpp): the launch is not bitwise reproducible, which
+// only the interprocedural taint pass can see from here.
+#include <cstddef>
+#include <vector>
+
+namespace fixture {
+
+inline void jitter_fill(Space& space, std::size_t n, std::vector<double>& out) {
+  parallel_for(space, RangePolicy(0, n), [&](std::size_t i) {
+    out[i] = time_scale();  // portalint-expect: fl-det-taint
+  });
+}
+
+}  // namespace fixture

@@ -1,0 +1,11 @@
+// portalint fixture: known-good, cross-TU half (helper side).  Pure
+// arithmetic: no taint to propagate.
+#include <cstddef>
+
+namespace fixture {
+
+inline double smooth_scale(std::size_t i) {
+  return static_cast<double>(i) * 0.5;
+}
+
+}  // namespace fixture

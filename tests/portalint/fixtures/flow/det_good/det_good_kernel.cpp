@@ -1,0 +1,15 @@
+// portalint fixture: known-good, cross-TU half (launch side).  Same
+// shape as det_bad_kernel.cpp, but the helper is deterministic — the
+// taint pass must stay quiet.
+#include <cstddef>
+#include <vector>
+
+namespace fixture {
+
+inline void smooth_fill(Space& space, std::size_t n, std::vector<double>& out) {
+  parallel_for(space, RangePolicy(0, n), [&](std::size_t i) {
+    out[i] = smooth_scale(i);
+  });
+}
+
+}  // namespace fixture

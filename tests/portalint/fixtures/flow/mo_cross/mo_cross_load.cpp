@@ -1,0 +1,14 @@
+// portalint fixture: acquire half of a cross-file handshake.  See
+// mo_cross_store.cpp — the pair is clean together, and each half alone
+// fires mo-balance.
+#include <atomic>
+
+namespace fixture {
+
+inline std::atomic<int> shared_gate{0};
+
+inline bool gate_open() {
+  return shared_gate.load(std::memory_order_acquire) != 0;
+}
+
+}  // namespace fixture

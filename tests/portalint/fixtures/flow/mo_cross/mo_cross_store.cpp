@@ -1,0 +1,14 @@
+// portalint fixture: release half of a cross-file handshake.  Scanned
+// together with mo_cross_load.cpp the pairing balances and the tree is
+// clean; scanned alone this file fires mo-balance (release publishes to
+// nobody).  Pins that mo-balance aggregation links sites across
+// translation units rather than judging each file in isolation.
+#include <atomic>
+
+namespace fixture {
+
+inline std::atomic<int> shared_gate{0};
+
+inline void open_gate() { shared_gate.store(1, std::memory_order_release); }
+
+}  // namespace fixture

@@ -1,0 +1,17 @@
+// portalint fixture: known-bad, cross-TU half (caller side).  The only
+// release-side store on ready_flag lives inside signal_ready() in the
+// other translation unit, and nothing anywhere acquires the flag: the
+// release publishes to nobody.  Resolving the helper's std::atomic&
+// parameter back to this call site is what fl-unpaired-ordering adds
+// over the name-matching mo-balance rule.
+#include <atomic>
+
+namespace fixture {
+
+inline std::atomic<int> ready_flag{0};
+
+inline void publish_ready() {
+  signal_ready(ready_flag);  // portalint-expect: fl-unpaired-ordering
+}
+
+}  // namespace fixture

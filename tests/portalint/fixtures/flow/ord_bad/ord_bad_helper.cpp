@@ -1,0 +1,13 @@
+// portalint fixture: known-bad, cross-TU half (helper side).  The
+// release store targets a std::atomic<>& parameter — the token-level
+// mo-balance rule cannot name the real variable here, so this site only
+// counts once the call graph resolves it to the caller's atomic.
+#include <atomic>
+
+namespace fixture {
+
+inline void signal_ready(std::atomic<int>& flag) {
+  flag.store(1, std::memory_order_release);
+}
+
+}  // namespace fixture

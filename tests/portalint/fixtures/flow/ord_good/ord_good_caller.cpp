@@ -1,0 +1,18 @@
+// portalint fixture: known-good, cross-TU half (caller side).  The
+// release side reaches done_flag only through signal_done()'s
+// std::atomic& parameter in the other translation unit; the acquire
+// side is a plain load here.  Once the call graph resolves the helper
+// site, the per-variable summary balances and the pass stays quiet.
+#include <atomic>
+
+namespace fixture {
+
+inline std::atomic<int> done_flag{0};
+
+inline void publish_done() { signal_done(done_flag); }
+
+inline bool poll_done() {
+  return done_flag.load(std::memory_order_acquire) != 0;
+}
+
+}  // namespace fixture

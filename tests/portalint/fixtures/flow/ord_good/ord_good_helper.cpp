@@ -1,0 +1,12 @@
+// portalint fixture: known-good, cross-TU half (helper side).  Release
+// store through a std::atomic<>& parameter; the acquire-side partner
+// lives in ord_good_caller.cpp.
+#include <atomic>
+
+namespace fixture {
+
+inline void signal_done(std::atomic<int>& flag) {
+  flag.store(1, std::memory_order_release);
+}
+
+}  // namespace fixture

@@ -1,0 +1,12 @@
+// portalint fixture: known-bad, cross-TU half (helper side).  On its
+// own this file is quiet — a non-atomic write through a reference
+// parameter is perfectly ordinary sequential code.  The race only
+// exists at the launch site in swe_bad_kernel.cpp, which portaflow
+// links to this definition across translation units.
+#include <cstddef>
+
+namespace fixture {
+
+inline void accumulate_into(double& out, double v) { out += v; }
+
+}  // namespace fixture

@@ -1,0 +1,20 @@
+// portalint fixture: known-bad, cross-TU half (launch side).  The
+// lambda never writes `sum` itself — it hands the by-reference capture
+// to accumulate_into() (defined in swe_bad_helper.cpp), which performs
+// the non-atomic read-modify-write.  The token-level ls-capture-write
+// rule provably passes this file: there is no store to `sum` in the
+// lambda body.  Only the interprocedural write-effect summary sees the
+// race.
+#include <cstddef>
+
+namespace fixture {
+
+inline double sum_hidden(Space& space, std::size_t n) {
+  double sum = 0.0;
+  parallel_for(space, RangePolicy(0, n), [&](std::size_t i) {
+    accumulate_into(sum, static_cast<double>(i));  // portalint-expect: fl-shared-write-escape
+  });
+  return sum;
+}
+
+}  // namespace fixture

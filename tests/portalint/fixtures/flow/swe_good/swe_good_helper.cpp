@@ -1,0 +1,14 @@
+// portalint fixture: known-good, cross-TU half (helper side).  The
+// helper writes only through an index it is handed by the caller — the
+// write-effect summary records "indexed by parameter 1", and the launch
+// side passes the lane variable there.
+#include <cstddef>
+#include <vector>
+
+namespace fixture {
+
+inline void write_slot(std::vector<double>& out, std::size_t slot, double v) {
+  out[slot] = v;
+}
+
+}  // namespace fixture

@@ -1,0 +1,16 @@
+// portalint fixture: known-good, cross-TU half (launch side).  The
+// shared vector escapes into write_slot(), but the index argument is
+// the lane variable: every lane writes its own element, so the
+// interprocedural pass stays quiet.
+#include <cstddef>
+#include <vector>
+
+namespace fixture {
+
+inline void fill_lanes(Space& space, std::size_t n, std::vector<double>& out) {
+  parallel_for(space, RangePolicy(0, n), [&](std::size_t i) {
+    write_slot(out, i, static_cast<double>(i));
+  });
+}
+
+}  // namespace fixture

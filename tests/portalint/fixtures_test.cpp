@@ -95,7 +95,8 @@ INSTANTIATE_TEST_SUITE_P(Portalint, BadFixture,
                                            "tn_magic_tile_bad.cpp",
                                            "simd_raw_vector_ext_bad.cpp",
                                            "hy_pragma_once_bad.hpp",
-                                           "hy_using_ns_bad.hpp"));
+                                           "hy_using_ns_bad.hpp",
+                                           "flow/bounds_bad.cpp"));
 
 INSTANTIATE_TEST_SUITE_P(Portalint, GoodFixture,
                          ::testing::Values("ls_capture_write_good.cpp",
@@ -109,7 +110,8 @@ INSTANTIATE_TEST_SUITE_P(Portalint, GoodFixture,
                                            "tn_magic_tile_good.cpp",
                                            "simd_raw_vector_ext_good.cpp",
                                            "hy_pragma_once_good.hpp",
-                                           "hy_using_ns_good.hpp"));
+                                           "hy_using_ns_good.hpp",
+                                           "flow/bounds_good.cpp"));
 
 // The include-cycle rule is inherently multi-file: scan the cycle
 // directory as a unit and anchor on cycle_a's include line.

@@ -36,7 +36,11 @@ TEST(SelfCheck, RepositoryScansClean) {
   // findings never appear here).
   EXPECT_GT(r.files_scanned, 100u);
   EXPECT_FALSE(r.suppressed.empty()) << "expected inline -ok() suppressions in the tree";
-  EXPECT_FALSE(r.baselined.empty()) << "expected portalint.baseline to absorb findings";
+  // The checked-in baseline is deliberately empty (the LegacyThreadPool
+  // debt moved to reviewed inline suppressions): nothing may hide
+  // behind it, so any regrowth shows up as an active finding instead.
+  EXPECT_TRUE(r.baselined.empty()) << "portalint.baseline must stay empty";
+
 }
 
 TEST(SelfCheck, FixturesAreSkippedByDefault) {

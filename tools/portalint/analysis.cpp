@@ -142,6 +142,12 @@ std::size_t match_forward(const std::vector<Token>& t, std::size_t open) {
 
 std::vector<LambdaInfo> find_dispatch_lambdas(const std::vector<Token>& t) {
   std::vector<LambdaInfo> out;
+  for (DispatchSite& s : find_dispatch_sites(t)) out.push_back(std::move(s.lambda));
+  return out;
+}
+
+std::vector<DispatchSite> find_dispatch_sites(const std::vector<Token>& t) {
+  std::vector<DispatchSite> out;
   for (std::size_t i = 0; i + 1 < t.size(); ++i) {
     if (!is_ident(t[i]) || !dispatch_calls().count(t[i].text)) continue;
     if (!is_punct(t[i + 1], "(")) continue;
@@ -153,8 +159,24 @@ std::vector<LambdaInfo> find_dispatch_lambdas(const std::vector<Token>& t) {
       LambdaInfo l = parse_lambda(t, j);
       if (l.body_begin == kNpos) continue;
       l.call = t[i].text;
-      out.push_back(l);
-      j = l.body_end;  // keep scanning this call for further lambda args
+      DispatchSite site;
+      site.lambda = std::move(l);
+      // Split the tokens between the call's '(' and the lambda's '['
+      // into top-level argument groups.
+      std::size_t arg_start = i + 2;
+      int depth = 0;
+      for (std::size_t q = i + 2; q < j; ++q) {
+        if (is_punct(t[q], "(") || is_punct(t[q], "[") || is_punct(t[q], "{")) ++depth;
+        if (is_punct(t[q], ")") || is_punct(t[q], "]") || is_punct(t[q], "}")) --depth;
+        if (depth == 0 && is_punct(t[q], ",")) {
+          std::vector<std::string> arg;
+          for (std::size_t r = arg_start; r < q; ++r) arg.push_back(t[r].text);
+          if (!arg.empty()) site.leading_args.push_back(std::move(arg));
+          arg_start = q + 1;
+        }
+      }
+      out.push_back(std::move(site));
+      j = out.back().lambda.body_end;  // keep scanning for further lambda args
     }
   }
   return out;

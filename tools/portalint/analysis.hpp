@@ -40,6 +40,18 @@ struct LambdaInfo {
 /// call-name set.  Named lambdas bound to variables first are not traced.
 [[nodiscard]] std::vector<LambdaInfo> find_dispatch_lambdas(const std::vector<Token>& t);
 
+/// A dispatch call site together with the arguments preceding its lambda
+/// (execution space, RangePolicy, grid/block dims, ...), which the
+/// portaflow bounds pass reads launch extents from.
+struct DispatchSite {
+  LambdaInfo lambda;
+  /// Flattened token texts per top-level argument before the lambda.
+  std::vector<std::vector<std::string>> leading_args;
+};
+
+/// Like find_dispatch_lambdas, but keeps the leading call arguments.
+[[nodiscard]] std::vector<DispatchSite> find_dispatch_sites(const std::vector<Token>& t);
+
 /// Heuristic set of names declared inside the token range (begin, end):
 /// an identifier preceded by a type-ish token (identifier, '>', '*', '&',
 /// '&&', ']') and followed by '=', '{', ';', ',', ')' or ':', plus every

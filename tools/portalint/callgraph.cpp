@@ -1,0 +1,172 @@
+#include "callgraph.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "rules.hpp"
+
+namespace portalint {
+
+namespace {
+
+/// Parameter indices of `fn` whose names appear in the token group.
+std::set<int> params_in(const FunctionIR& fn, const std::vector<std::string>& tokens) {
+  std::set<int> out;
+  for (const std::string& tok : tokens) {
+    const int pi = fn.param_index(tok);
+    if (pi >= 0) out.insert(pi);
+  }
+  return out;
+}
+
+bool has_any_ident(const std::vector<std::string>& tokens) {
+  for (const std::string& tok : tokens) {
+    if (!tok.empty() && (std::isalpha(static_cast<unsigned char>(tok[0])) || tok[0] == '_')) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Merge `src` into `dst` mapping src's index_params through the call's
+/// argument expressions into caller-parameter indices.  Returns true on
+/// change (for the fixpoint loop).
+bool merge_effect(ParamEffect& dst, const ParamEffect& src, const FunctionIR& caller,
+                  const std::vector<std::vector<std::string>>& args) {
+  bool changed = false;
+  auto set_flag = [&changed](bool& flag) {
+    if (!flag) {
+      flag = true;
+      changed = true;
+    }
+  };
+  if (src.direct_write) set_flag(dst.direct_write);
+  if (src.indexed_const) set_flag(dst.indexed_const);
+  if (src.indexed_internal) set_flag(dst.indexed_internal);
+  if (dst.write_unit == nullptr && src.write_unit != nullptr) {
+    dst.write_unit = src.write_unit;
+    dst.write_line = src.write_line;
+    changed = true;
+  }
+  for (int qi : src.index_params) {
+    if (static_cast<std::size_t>(qi) >= args.size()) continue;
+    const auto& arg = args[static_cast<std::size_t>(qi)];
+    const std::set<int> mapped = params_in(caller, arg);
+    if (!mapped.empty()) {
+      for (int m : mapped) {
+        if (dst.index_params.insert(m).second) changed = true;
+      }
+    } else if (has_any_ident(arg)) {
+      set_flag(dst.indexed_internal);  // index fed by a caller local
+    } else {
+      set_flag(dst.indexed_const);  // index fed by a literal
+    }
+  }
+  return changed;
+}
+
+}  // namespace
+
+void CallGraph::build(const std::vector<const FileUnit*>& units,
+                      const std::vector<const FileIR*>& irs) {
+  all_.clear();
+  by_name_.clear();
+
+  for (std::size_t i = 0; i < irs.size(); ++i) {
+    for (const FunctionIR& fn : irs[i]->functions) {
+      FunctionSummary s;
+      s.fn = &fn;
+      s.unit = units[i];
+      s.effects.resize(fn.params.size());
+      all_.push_back(std::move(s));
+    }
+  }
+  for (std::size_t i = 0; i < all_.size(); ++i) {
+    auto [it, inserted] = by_name_.emplace(all_[i].fn->name, static_cast<int>(i));
+    if (!inserted) it->second = -1;  // multiply defined: never resolved
+  }
+
+  // Seed direct effects and direct taint.
+  for (FunctionSummary& s : all_) {
+    const FunctionIR& fn = *s.fn;
+    for (const AccessIR& a : fn.accesses) {
+      const int pi = fn.param_index(a.base);
+      if (pi < 0 || !a.is_store) continue;
+      const ParamIR& p = fn.params[static_cast<std::size_t>(pi)];
+      if (!p.writable || p.is_atomic) continue;
+      ParamEffect& e = s.effects[static_cast<std::size_t>(pi)];
+      if (e.write_unit == nullptr) {
+        e.write_unit = s.unit;
+        e.write_line = a.line;
+      }
+      if (a.indices.empty()) {
+        e.direct_write = true;
+        continue;
+      }
+      std::set<int> feeders;
+      bool any_ident = false;
+      for (const auto& group : a.indices) {
+        for (int q : params_in(fn, group)) feeders.insert(q);
+        any_ident = any_ident || has_any_ident(group);
+      }
+      if (!feeders.empty()) {
+        e.index_params.insert(feeders.begin(), feeders.end());
+      } else if (any_ident) {
+        e.indexed_internal = true;
+      } else {
+        e.indexed_const = true;
+      }
+    }
+    // The sanctioned rng module seeds no taint: routing randomness
+    // through it is the det-* rules' prescribed fix.
+    if (!fn.taint_sources.empty() && !scope_rng_exempt(*s.unit)) {
+      s.taint = fn.taint_sources;
+      s.taint_line = fn.line;
+    }
+  }
+
+  // Fixpoint: propagate callee effects and taint to callers.  Effects
+  // only grow, so this terminates even on recursive call cycles.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (FunctionSummary& s : all_) {
+      const FunctionIR& fn = *s.fn;
+      for (const CallIR& c : fn.calls) {
+        const FunctionSummary* g = resolve(c.callee);
+        if (g == nullptr || g->fn == s.fn) continue;
+        // Taint.
+        for (const std::string& kind : g->taint) {
+          if (s.taint.insert(kind).second) {
+            changed = true;
+            if (s.taint_line == 0) {
+              s.taint_line = c.line;
+              s.taint_via = c.callee;
+            }
+          }
+        }
+        // Write effects through argument binding.
+        const std::size_t n = std::min(g->effects.size(), c.args.size());
+        for (std::size_t ai = 0; ai < n; ++ai) {
+          const ParamEffect& ge = g->effects[ai];
+          if (!ge.any()) continue;
+          for (int p : params_in(fn, c.args[ai])) {
+            const ParamIR& pp = fn.params[static_cast<std::size_t>(p)];
+            if (!pp.writable || pp.is_atomic) continue;
+            if (merge_effect(s.effects[static_cast<std::size_t>(p)], ge, fn, c.args)) {
+              changed = true;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+const FunctionSummary* CallGraph::resolve(const std::string& name) const {
+  const auto it = by_name_.find(name);
+  if (it == by_name_.end() || it->second < 0) return nullptr;
+  return &all_[static_cast<std::size_t>(it->second)];
+}
+
+}  // namespace portalint

@@ -1,0 +1,81 @@
+// portaflow call graph: links FunctionIR definitions across translation
+// units by unqualified name and computes fixpoint summaries the flow
+// passes consume — per-parameter write effects (for the interprocedural
+// lane-safety pass) and determinism taint (for fl-det-taint).
+//
+// Linking is deliberately conservative: a name defined in more than one
+// scanned TU resolves to nothing, so the passes stay quiet instead of
+// guessing which overload a call reaches.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ir.hpp"
+#include "model.hpp"
+
+namespace portalint {
+
+/// How a function writes through one of its parameters, merged over all
+/// paths including transitive helper calls.  std::atomic& parameters
+/// carry no effects (writes through them are lane-safe by construction).
+struct ParamEffect {
+  /// Written without an index (`p = v`, `p += v`, `*p = v`, `++p`):
+  /// every caller-side lane hits the same object.
+  bool direct_write = false;
+  /// Written at an index containing no identifier at all (`p[0] = v`):
+  /// lane-invariant regardless of arguments.
+  bool indexed_const = false;
+  /// Indices of this function's parameters whose values feed the index
+  /// expression of some write through this parameter.
+  std::set<int> index_params;
+  /// Some write's index depends on function-internal state (a local):
+  /// not traceable to the call site, so the lane pass stays quiet.
+  bool indexed_internal = false;
+  /// Deepest known write site (for related-site reporting); null/0 when
+  /// the effect arrived through a callee whose own site is recorded.
+  const FileUnit* write_unit = nullptr;
+  int write_line = 0;
+
+  [[nodiscard]] bool any() const {
+    return direct_write || indexed_const || !index_params.empty() || indexed_internal;
+  }
+};
+
+/// Flow summary for one uniquely-linked function definition.
+struct FunctionSummary {
+  const FunctionIR* fn = nullptr;
+  const FileUnit* unit = nullptr;  // TU the definition lives in
+  std::vector<ParamEffect> effects;  // one per parameter
+  /// Determinism taint reaching this function: its own sources plus the
+  /// union over everything it transitively calls.
+  std::set<std::string> taint;
+  /// Line of the first direct taint-source use or tainted call (for
+  /// related-site reporting); 0 when untainted.
+  int taint_line = 0;
+  /// Name of the callee the taint arrived through ("" for direct use).
+  std::string taint_via;
+
+  [[nodiscard]] bool tainted() const { return !taint.empty(); }
+};
+
+class CallGraph {
+ public:
+  /// `units[i]` owns `irs[i]`; both aligned with the scanned project.
+  void build(const std::vector<const FileUnit*>& units,
+             const std::vector<const FileIR*>& irs);
+
+  /// Summary for a uniquely-defined function name; nullptr when the name
+  /// is undefined in the scanned tree or defined in several places.
+  [[nodiscard]] const FunctionSummary* resolve(const std::string& name) const;
+
+  [[nodiscard]] const std::vector<FunctionSummary>& summaries() const { return all_; }
+
+ private:
+  std::vector<FunctionSummary> all_;
+  std::map<std::string, int> by_name_;  // index into all_, or -1 = ambiguous
+};
+
+}  // namespace portalint

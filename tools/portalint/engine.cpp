@@ -9,6 +9,8 @@
 #include <set>
 #include <sstream>
 
+#include "cache.hpp"
+#include "flow.hpp"
 #include "rules.hpp"
 
 namespace portalint {
@@ -50,6 +52,19 @@ bool FileUnit::has_component(std::string_view comp) const {
 std::string FileUnit::line_text(int line) const {
   if (line < 1 || static_cast<std::size_t>(line) > lines.size()) return {};
   return lines[static_cast<std::size_t>(line) - 1];
+}
+
+std::string finding_path_key(const Finding& f) {
+  std::string key = f.unit->rel;
+  std::set<std::string> extra;
+  for (const RelatedSite& s : f.related) {
+    if (s.unit != nullptr && s.unit->rel != f.unit->rel) extra.insert(s.unit->rel);
+  }
+  for (const std::string& rel : extra) {
+    key += "+";
+    key += rel;
+  }
+  return key;
 }
 
 const Suppression* FileUnit::find_suppression(int line, std::string_view rule) const {
@@ -114,27 +129,25 @@ bool path_has_component(const fs::path& p, std::string_view comp) {
   return false;
 }
 
-}  // namespace
-
-std::optional<FileUnit> load_file(const fs::path& path, const fs::path& root) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return std::nullopt;
-  std::ostringstream buf;
-  buf << in.rdbuf();
-
+/// Path/rel/lines only — everything that does not require lexing.
+FileUnit make_unit_base(const fs::path& path, const fs::path& root, const std::string& source) {
   FileUnit u;
   u.path = fs::absolute(path).lexically_normal();
   fs::path rel = u.path.lexically_relative(fs::absolute(root).lexically_normal());
   u.rel = (rel.empty() || rel.native().starts_with("..")) ? u.path.generic_string()
                                                           : rel.generic_string();
-  const std::string source = buf.str();
   u.is_header = header_extension(path);
   u.is_fixture = path_has_component(u.path, "fixtures");
 
   std::string line;
   std::istringstream ls(source);
   while (std::getline(ls, line)) u.lines.push_back(line);
+  return u;
+}
 
+/// Lex and derive the token-dependent fields (directives, suppressions).
+/// A cache hit skips this and restores the derived fields from the entry.
+void lex_unit(FileUnit& u, const std::string& source) {
   u.lex = lex(source);
   for (const Directive& d : u.lex.directives) {
     if (d.text == "pragma once") u.has_pragma_once = true;
@@ -153,6 +166,18 @@ std::optional<FileUnit> load_file(const fs::path& path, const fs::path& root) {
       slot.insert(slot.end(), sups.begin(), sups.end());
     }
   }
+}
+
+}  // namespace
+
+std::optional<FileUnit> load_file(const fs::path& path, const fs::path& root) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string source = buf.str();
+  FileUnit u = make_unit_base(path, root, source);
+  lex_unit(u, source);
   return u;
 }
 
@@ -231,7 +256,15 @@ void discover(const fs::path& input, bool include_fixtures, std::vector<fs::path
       }
       continue;
     }
-    if (it->is_regular_file() && scannable_extension(p)) files.push_back(p);
+    if (!it->is_regular_file() || !scannable_extension(p)) continue;
+    // Recursion pruning hides fixtures *directories*, but a symlink file
+    // inside a scanned directory can still point into one — resolve it
+    // and apply the same skip.
+    if (!include_fixtures && !inside_fixtures && fs::is_symlink(it->symlink_status())) {
+      const fs::path target = fs::weakly_canonical(p, ec);
+      if (!ec && path_has_component(target, "fixtures")) continue;
+    }
+    files.push_back(p);
   }
 }
 
@@ -248,6 +281,8 @@ fs::path find_baseline_upward(const fs::path& start) {
   }
   return {};
 }
+
+}  // namespace
 
 std::string json_escape(std::string_view s) {
   std::string out;
@@ -271,11 +306,24 @@ std::string json_escape(std::string_view s) {
   return out;
 }
 
+namespace {
+
 void print_finding_json(const Finding& f, std::ostream& os) {
   os << "{\"rule\":\"" << json_escape(f.rule) << "\",\"family\":\"" << json_escape(f.family)
      << "\",\"file\":\"" << json_escape(f.unit->rel) << "\",\"line\":" << f.line
      << ",\"message\":\"" << json_escape(f.message) << "\",\"excerpt\":\""
-     << json_escape(f.excerpt) << "\"}";
+     << json_escape(f.excerpt) << "\"";
+  if (!f.related.empty()) {
+    os << ",\"path_key\":\"" << json_escape(finding_path_key(f)) << "\",\"related\":[";
+    for (std::size_t i = 0; i < f.related.size(); ++i) {
+      if (i) os << ",";
+      os << "{\"file\":\"" << json_escape(f.related[i].unit->rel)
+         << "\",\"line\":" << f.related[i].line << ",\"note\":\""
+         << json_escape(f.related[i].note) << "\"}";
+    }
+    os << "]";
+  }
+  os << "}";
 }
 
 }  // namespace
@@ -302,17 +350,42 @@ Result run_portalint(const Options& opts) {
   std::sort(files.begin(), files.end());
   files.erase(std::unique(files.begin(), files.end()), files.end());
 
+  AnalysisCache cache;
+  const bool use_cache = !opts.cache_path.empty();
+  if (use_cache) cache.load(opts.cache_path);  // failure leaves it empty: cold run
+
+  // Phase 1: load every unit first so FileUnit pointers are stable before
+  // any Finding or flow pass captures them.
   auto project_owner = std::make_shared<Project>();
   Project& project = *project_owner;
   r.project = project_owner;
   project.root = r.root;
+  std::vector<std::uint64_t> hashes;
+  std::vector<const CacheEntry*> hits;
   for (const fs::path& f : files) {
-    auto unit = load_file(f, r.root);
-    if (!unit) {
+    std::ifstream in(f, std::ios::binary);
+    if (!in) {
       r.errors.push_back("cannot read file: " + f.string());
       continue;
     }
-    project.files.push_back(std::move(*unit));
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string source = buf.str();
+    const std::uint64_t hash = fnv1a(source);
+
+    FileUnit u = make_unit_base(f, r.root, source);
+    const CacheEntry* hit = use_cache ? cache.lookup(u.rel, hash) : nullptr;
+    if (hit != nullptr) {
+      // Warm: skip the lexer; restore the token-derived fields the
+      // global passes still need.
+      u.suppressions = hit->suppressions;
+      u.quoted_includes = hit->quoted_includes;
+    } else {
+      lex_unit(u, source);
+    }
+    project.files.push_back(std::move(u));
+    hashes.push_back(hash);
+    hits.push_back(hit);
   }
   r.files_scanned = project.files.size();
 
@@ -328,7 +401,51 @@ Result run_portalint(const Options& opts) {
     }
   }
 
-  std::vector<Finding> findings = run_rules(project);
+  // Phase 2: per-file rules + IR, served from the cache when warm.
+  std::vector<Finding> findings;
+  std::vector<FileIR> irs;
+  irs.reserve(project.files.size());
+  for (std::size_t i = 0; i < project.files.size(); ++i) {
+    FileUnit& u = project.files[i];
+    if (hits[i] != nullptr) {
+      ++r.cache_hits;
+      for (const CachedFinding& cf : hits[i]->findings) {
+        findings.push_back({cf.rule, cf.family, cf.message, &u, cf.line, cf.excerpt, {}});
+      }
+      irs.push_back(hits[i]->ir);
+      continue;
+    }
+    std::vector<Finding> ff = run_file_rules(u);
+    FileIR ir = build_ir(u);
+    if (use_cache) {
+      CacheEntry e;
+      e.hash = hashes[i];
+      for (const Finding& f : ff) {
+        e.findings.push_back({f.rule, f.family, f.message, f.line, f.excerpt});
+      }
+      e.ir = ir;
+      e.suppressions = u.suppressions;
+      e.quoted_includes = u.quoted_includes;
+      cache.put(u.rel, std::move(e));
+    }
+    findings.insert(findings.end(), ff.begin(), ff.end());
+    irs.push_back(std::move(ir));
+  }
+
+  // Whole-tree passes always run fresh over the (possibly cached) IRs.
+  {
+    std::vector<Finding> global = run_global_rules(project, irs, !opts.run_flow);
+    findings.insert(findings.end(), global.begin(), global.end());
+  }
+  if (opts.run_flow) {
+    std::vector<Finding> flow = run_flow(project, irs);
+    findings.insert(findings.end(), flow.begin(), flow.end());
+  }
+  std::stable_sort(findings.begin(), findings.end(), [](const Finding& a, const Finding& b) {
+    if (a.unit->rel != b.unit->rel) return a.unit->rel < b.unit->rel;
+    if (a.line != b.line) return a.line < b.line;
+    return a.rule < b.rule;
+  });
 
   std::vector<bool> baseline_hit(baseline.size(), false);
   for (Finding& f : findings) {
@@ -337,9 +454,10 @@ Result run_portalint(const Options& opts) {
       r.suppressed.push_back(f);
       continue;
     }
+    const std::string path_key = finding_path_key(f);
     bool matched = false;
     for (std::size_t b = 0; b < baseline.size(); ++b) {
-      if (baseline[b].rule == f.rule && baseline[b].rel == f.unit->rel &&
+      if (baseline[b].rule == f.rule && baseline[b].rel == path_key &&
           baseline[b].excerpt == f.excerpt) {
         baseline_hit[b] = true;
         matched = true;
@@ -354,6 +472,8 @@ Result run_portalint(const Options& opts) {
   for (std::size_t b = 0; b < baseline.size(); ++b) {
     if (!baseline_hit[b]) r.stale.push_back(baseline[b]);
   }
+
+  if (use_cache && cache.dirty()) cache.save(opts.cache_path);
   return r;
 }
 

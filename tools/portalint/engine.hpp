@@ -27,6 +27,13 @@ struct Options {
   /// Inputs that themselves point inside a fixtures tree are always
   /// scanned (tests pass fixture files explicitly).
   bool include_fixtures = false;
+  /// Run the portaflow interprocedural passes (fl-* rules).  Off, the
+  /// legacy token-level mo-balance is reconstructed instead.
+  bool run_flow = true;
+  /// Incremental analysis cache file.  Empty: no caching.  Missing or
+  /// corrupt caches are ignored (cold run), and the file is rewritten
+  /// after every scan.
+  std::filesystem::path cache_path;
 };
 
 struct Result {
@@ -38,6 +45,7 @@ struct Result {
   std::vector<Finding> baselined;   // silenced by a baseline entry
   std::vector<BaselineEntry> stale;  // baseline entries matching nothing
   std::size_t files_scanned = 0;
+  std::size_t cache_hits = 0;  // files served from the analysis cache
   std::filesystem::path root;
   std::vector<std::string> errors;  // unreadable inputs etc.
 
@@ -61,6 +69,10 @@ void print_text(const Result& r, std::ostream& os);
 
 /// Render the result as a single JSON document.
 void print_json(const Result& r, std::ostream& os);
+
+/// Escape a string for embedding in a JSON string literal (shared with
+/// the SARIF renderer).
+[[nodiscard]] std::string json_escape(std::string_view s);
 
 /// Exit status for a result: 0 clean, 1 findings or stale baseline.
 [[nodiscard]] int exit_code(const Result& r);

@@ -1,0 +1,25 @@
+#include "flow.hpp"
+
+namespace portalint {
+
+std::vector<Finding> run_flow(const Project& project, const std::vector<FileIR>& irs) {
+  FlowContext ctx;
+  ctx.project = &project;
+  ctx.irs = &irs;
+  std::vector<const FileUnit*> units;
+  std::vector<const FileIR*> ir_ptrs;
+  units.reserve(project.files.size());
+  ir_ptrs.reserve(irs.size());
+  for (const FileUnit& u : project.files) units.push_back(&u);
+  for (const FileIR& ir : irs) ir_ptrs.push_back(&ir);
+  ctx.graph.build(units, ir_ptrs);
+
+  std::vector<Finding> out;
+  flow_shared_write_escape(ctx, out);
+  flow_unpaired_ordering(ctx, out);
+  flow_unproved_bounds(ctx, out);
+  flow_det_taint(ctx, out);
+  return out;
+}
+
+}  // namespace portalint

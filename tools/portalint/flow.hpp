@@ -1,0 +1,60 @@
+// portaflow passes: interprocedural flow analyses over the per-file IR
+// (ir.hpp) linked by the call graph (callgraph.hpp).  Four rules:
+//
+//   fl-shared-write-escape  a kernel/dispatch lambda passes a by-ref-
+//                           captured shared variable to a helper that
+//                           writes it non-atomically (lane race the
+//                           token-level ls-* rules cannot see)
+//   fl-unpaired-ordering    per-variable acquire/release happens-before
+//                           summary computed on the call graph: sites
+//                           inside helpers taking std::atomic& are
+//                           attributed to the caller's variable, and a
+//                           one-sided variable is flagged
+//   fl-unproved-bounds      symbolic affine bounds: index expressions in
+//                           launch bodies checked against view/buffer
+//                           extents under lane ranges and guards; fires
+//                           only when every lane in the index has a
+//                           known range and the proof still fails
+//   fl-det-taint            determinism taint (rand, time, unordered
+//                           iteration) propagated through helper calls
+//                           into dispatch-lambda bodies
+//
+// Like the token rules, the passes are asymmetric: anything they cannot
+// lower or link is simply not reasoned about, keeping them quiet.
+#pragma once
+
+#include <vector>
+
+#include "callgraph.hpp"
+#include "ir.hpp"
+#include "model.hpp"
+
+namespace portalint {
+
+/// Everything a pass needs: the scanned project, one FileIR per file
+/// (same order as project.files), and the linked call graph.
+struct FlowContext {
+  const Project* project = nullptr;
+  const std::vector<FileIR>* irs = nullptr;
+  CallGraph graph;
+
+  [[nodiscard]] const FileUnit& unit(std::size_t i) const { return project->files[i]; }
+  [[nodiscard]] const FileIR& ir(std::size_t i) const { return (*irs)[i]; }
+  [[nodiscard]] std::size_t size() const { return project->files.size(); }
+};
+
+/// Individual passes (exposed for targeted tests).
+void flow_shared_write_escape(const FlowContext& ctx, std::vector<Finding>& out);
+void flow_unpaired_ordering(const FlowContext& ctx, std::vector<Finding>& out);
+void flow_unproved_bounds(const FlowContext& ctx, std::vector<Finding>& out);
+void flow_det_taint(const FlowContext& ctx, std::vector<Finding>& out);
+
+/// Build the call graph and run all four passes.  `irs` must be aligned
+/// with `project.files`.  Emitted findings are unfiltered (the engine
+/// applies inline suppressions and the baseline), except that
+/// multi-site ordering findings honor suppressions on any participating
+/// line themselves, mirroring mo-balance.
+[[nodiscard]] std::vector<Finding> run_flow(const Project& project,
+                                            const std::vector<FileIR>& irs);
+
+}  // namespace portalint

@@ -1,0 +1,319 @@
+// portaflow pass 2: symbolic affine bounds (fl-unproved-bounds).
+//
+// Index expressions in dispatch/launch lambda bodies are lowered into
+// multivariate polynomials over symbolic names (sizes, lane variables).
+// A lane variable's exclusive upper bound comes from the launch site
+// (RangePolicy extent, grid x block product) or from a dominating guard
+// (`if (i < n)`, `if (i >= n) return;`, `for (...; i < n; ...)`), and
+// the access is proven in bounds when, after substituting every lane's
+// maximum, the polynomial `extent - 1 - index` has only non-negative
+// coefficients (all symbols are sizes, assumed non-negative).
+//
+// Firing policy is asymmetric-quiet: the rule fires only when the
+// accessed name has a recorded extent in the enclosing function, the
+// index is fully affine, and EVERY lane-varying symbol in it has a
+// known range — and the proof still fails.  Anything unanalyzable
+// (non-affine index, unknown loop variable, no extent fact) is skipped.
+// The canonical catch: a gpusim launch sized with ceil-div blocks_for()
+// whose kernel body indexes without the `if (i < n)` tail guard.
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "flow.hpp"
+
+namespace portalint {
+
+namespace {
+
+/// A monomial: sorted multiset of symbol names (empty = constant term).
+using Mono = std::vector<std::string>;
+
+/// Sparse multivariate polynomial with integer coefficients.
+struct Poly {
+  std::map<Mono, std::int64_t> c;
+
+  static Poly constant(std::int64_t v) {
+    Poly p;
+    if (v != 0) p.c[{}] = v;
+    return p;
+  }
+  static Poly symbol(const std::string& s) {
+    Poly p;
+    p.c[{s}] = 1;
+    return p;
+  }
+  void add(const Poly& o, std::int64_t scale) {
+    for (const auto& [m, v] : o.c) {
+      auto it = c.emplace(m, 0).first;
+      it->second += v * scale;
+      if (it->second == 0) c.erase(it);
+    }
+  }
+  [[nodiscard]] Poly mul(const Poly& o) const {
+    Poly out;
+    for (const auto& [m1, v1] : c) {
+      for (const auto& [m2, v2] : o.c) {
+        Mono m = m1;
+        m.insert(m.end(), m2.begin(), m2.end());
+        std::sort(m.begin(), m.end());
+        auto it = out.c.emplace(std::move(m), 0).first;
+        it->second += v1 * v2;
+        if (it->second == 0) out.c.erase(it);
+      }
+    }
+    return out;
+  }
+  [[nodiscard]] bool all_nonnegative() const {
+    for (const auto& [m, v] : c) {
+      if (v < 0) return false;
+    }
+    return true;
+  }
+  [[nodiscard]] std::set<std::string> symbols() const {
+    std::set<std::string> out;
+    for (const auto& [m, v] : c) out.insert(m.begin(), m.end());
+    return out;
+  }
+};
+
+bool ident_like(const std::string& tok) {
+  return !tok.empty() && (std::isalpha(static_cast<unsigned char>(tok[0])) || tok[0] == '_');
+}
+
+bool number_like(const std::string& tok) {
+  return !tok.empty() && std::isdigit(static_cast<unsigned char>(tok[0]));
+}
+
+/// Recursive-descent parser over flattened token texts.  Grammar:
+///   expr   := term (('+'|'-') term)*
+///   term   := factor ('*' factor)*
+///   factor := NUMBER | IDENT | '(' expr ')' | '-' factor
+/// Anything else (division, casts, calls, member access) returns
+/// nullopt: the index is not affine-analyzable and the pass stays quiet.
+class AffineParser {
+ public:
+  explicit AffineParser(const std::vector<std::string>& toks) : t_(toks) {}
+
+  std::optional<Poly> parse() {
+    auto p = expr();
+    if (!p || pos_ != t_.size()) return std::nullopt;
+    return p;
+  }
+
+ private:
+  std::optional<Poly> expr() {
+    auto lhs = term();
+    if (!lhs) return std::nullopt;
+    while (pos_ < t_.size() && (t_[pos_] == "+" || t_[pos_] == "-")) {
+      const std::int64_t sign = t_[pos_] == "+" ? 1 : -1;
+      ++pos_;
+      auto rhs = term();
+      if (!rhs) return std::nullopt;
+      lhs->add(*rhs, sign);
+    }
+    return lhs;
+  }
+  std::optional<Poly> term() {
+    auto lhs = factor();
+    if (!lhs) return std::nullopt;
+    while (pos_ < t_.size() && t_[pos_] == "*") {
+      ++pos_;
+      auto rhs = factor();
+      if (!rhs) return std::nullopt;
+      lhs = lhs->mul(*rhs);
+    }
+    return lhs;
+  }
+  std::optional<Poly> factor() {
+    if (pos_ >= t_.size()) return std::nullopt;
+    const std::string& tok = t_[pos_];
+    if (tok == "-") {
+      ++pos_;
+      auto inner = factor();
+      if (!inner) return std::nullopt;
+      Poly out;
+      out.add(*inner, -1);
+      return out;
+    }
+    if (tok == "(") {
+      ++pos_;
+      auto inner = expr();
+      if (!inner || pos_ >= t_.size() || t_[pos_] != ")") return std::nullopt;
+      ++pos_;
+      return inner;
+    }
+    if (number_like(tok)) {
+      char* end = nullptr;
+      const long long v = std::strtoll(tok.c_str(), &end, 0);
+      // Reject floats and partial parses (suffixed literals are fine).
+      if (end == tok.c_str() || tok.find('.') != std::string::npos) return std::nullopt;
+      ++pos_;
+      return Poly::constant(v);
+    }
+    if (ident_like(tok)) {
+      // A call or member access makes the expression non-affine.
+      if (pos_ + 1 < t_.size() &&
+          (t_[pos_ + 1] == "(" || t_[pos_ + 1] == "." || t_[pos_ + 1] == "->" ||
+           t_[pos_ + 1] == "::" || t_[pos_ + 1] == "[" || t_[pos_ + 1] == "<")) {
+        return std::nullopt;
+      }
+      ++pos_;
+      return Poly::symbol(tok);
+    }
+    return std::nullopt;
+  }
+
+  const std::vector<std::string>& t_;
+  std::size_t pos_ = 0;
+};
+
+std::optional<Poly> parse_affine(const std::vector<std::string>& toks) {
+  if (toks.empty()) return std::nullopt;
+  return AffineParser(toks).parse();
+}
+
+/// Substitute every bounded symbol by its maximum (UB - 1 on positive
+/// monomials, 0 on negative ones — lanes and sizes are non-negative)
+/// and return the resulting upper-bound polynomial.  Returns nullopt if
+/// a symbol in `must_bound` has no entry in `ub`.
+std::optional<Poly> upper_bound(const Poly& p, const std::map<std::string, Poly>& ub,
+                                const std::set<std::string>& must_bound) {
+  Poly out;
+  for (const auto& [mono, coeff] : p.c) {
+    bool has_bounded = false;
+    for (const std::string& s : mono) {
+      if (ub.count(s)) has_bounded = true;
+      if (must_bound.count(s) && !ub.count(s)) return std::nullopt;
+    }
+    if (!has_bounded) {
+      Poly term = Poly::constant(coeff);
+      Poly m = Poly::constant(1);
+      for (const std::string& s : mono) m = m.mul(Poly::symbol(s));
+      out.add(term.mul(m), 1);
+      continue;
+    }
+    if (coeff < 0) continue;  // bounded symbols bottom out at 0: term <= 0 <= drop
+    Poly term = Poly::constant(coeff);
+    for (const std::string& s : mono) {
+      auto it = ub.find(s);
+      if (it != ub.end()) {
+        Poly max = it->second;       // exclusive bound
+        max.add(Poly::constant(1), -1);  // max value = UB - 1
+        term = term.mul(max);
+      } else {
+        term = term.mul(Poly::symbol(s));
+      }
+    }
+    out.add(term, 1);
+  }
+  return out;
+}
+
+std::string render_tokens(const std::vector<std::string>& toks) {
+  std::string out;
+  for (const std::string& tok : toks) {
+    if (!out.empty()) out += ' ';
+    out += tok;
+  }
+  return out;
+}
+
+void check_launch(const FileUnit& u, const FileIR& ir, const LaunchIR& l,
+                  std::vector<Finding>& out) {
+  // Extent facts from the enclosing function (includes view/vector
+  // declarations lowered from the lambda body itself).
+  const FunctionIR* host = nullptr;
+  for (const FunctionIR& fn : ir.functions) {
+    if (fn.name == l.enclosing_function) {
+      host = &fn;
+      break;
+    }
+  }
+  if (host == nullptr) return;
+
+  // Launch-site lane ranges.
+  std::map<std::string, Poly> launch_ub;
+  for (const auto& [lane, bound] : l.lane_bounds) {
+    if (auto p = parse_affine(bound)) launch_ub.emplace(lane, *p);
+  }
+
+  std::set<std::string> reported_lines;
+  for (const AccessIR& a : l.accesses) {
+    if (a.indices.empty()) continue;
+    // Nearest preceding declaration wins: a lambda-local vector shadows
+    // a same-named host buffer declared earlier in the function.
+    const ExtentIR* extent = nullptr;
+    for (const ExtentIR& e : host->extents) {
+      if (e.name != a.base || e.line > a.line) continue;
+      if (extent == nullptr || e.line > extent->line) extent = &e;
+    }
+    if (extent == nullptr) continue;
+    if (extent->dims.size() != a.indices.size()) continue;
+
+    // Per-access bounds: dominating guards override launch ranges.
+    std::map<std::string, Poly> ub = launch_ub;
+    for (const GuardIR& g : a.guards) {
+      if (auto p = parse_affine(g.bound)) ub[g.var] = *p;  // innermost last wins
+    }
+
+    for (std::size_t d = 0; d < a.indices.size(); ++d) {
+      auto index = parse_affine(a.indices[d]);
+      auto ext = parse_affine(extent->dims[d]);
+      if (!index || !ext) continue;
+
+      // Every lane-varying or lambda-local symbol must have a range;
+      // free symbols (captured sizes) pass through and must cancel.
+      std::set<std::string> must_bound;
+      for (const std::string& s : index->symbols()) {
+        if (l.lane_names.count(s) || l.locals.count(s)) must_bound.insert(s);
+      }
+      auto max_index = upper_bound(*index, ub, must_bound);
+      if (!max_index) continue;  // unknown loop/lane variable: stay quiet
+
+      Poly diff = *ext;
+      diff.add(Poly::constant(1), -1);
+      diff.add(*max_index, -1);
+      if (diff.all_nonnegative()) continue;
+
+      const std::string key = std::to_string(a.line) + ":" + a.base;
+      if (!reported_lines.insert(key).second) continue;
+      out.push_back([&] {
+        Finding f;
+        f.rule = "fl-unproved-bounds";
+        f.family = "lane-safety";
+        f.message = "index '" + render_tokens(a.indices[d]) + "' into '" + a.base +
+                    "' (extent '" + render_tokens(extent->dims[d]) +
+                    "') is not provably in bounds for every lane of this " + l.call +
+                    ": the lane range exceeds the extent — guard the tail "
+                    "(if (i < n) ...) or size the launch to the data";
+        f.unit = &u;
+        f.line = a.line;
+        f.excerpt = normalize_excerpt(u.line_text(a.line));
+        RelatedSite site;
+        site.unit = &u;
+        site.line = extent->line;
+        site.note = "'" + a.base + "' extent declared here";
+        f.related.push_back(std::move(site));
+        return f;
+      }());
+    }
+  }
+}
+
+}  // namespace
+
+void flow_unproved_bounds(const FlowContext& ctx, std::vector<Finding>& out) {
+  for (std::size_t i = 0; i < ctx.size(); ++i) {
+    const FileUnit& u = ctx.unit(i);
+    const FileIR& ir = ctx.ir(i);
+    for (const LaunchIR& l : ir.launches) check_launch(u, ir, l, out);
+  }
+}
+
+}  // namespace portalint

@@ -1,0 +1,72 @@
+// portaflow pass 3: interprocedural determinism taint (fl-det-taint).
+//
+// The token rules (det-rand, det-unordered) see a nondeterministic
+// source only at the line that uses it.  This pass propagates taint
+// (rand/srand, std::random_device, clock ::now(), time(), range-for
+// over unordered containers) through the call graph and flags dispatch
+// or kernel lambdas that call a transitively-tainted helper: results of
+// such launches are not bitwise reproducible, which breaks the
+// determinism contract the bench tiers compare against.
+//
+// Functions defined in the sanctioned rng module (src/common/rng) seed
+// no taint — routing randomness through portabench::common streams is
+// exactly the fix the det-* rules prescribe.
+#include <set>
+#include <string>
+
+#include "flow.hpp"
+#include "rules.hpp"
+
+namespace portalint {
+
+namespace {
+
+std::string join_kinds(const std::set<std::string>& kinds) {
+  std::string out;
+  for (const std::string& k : kinds) {
+    if (!out.empty()) out += ", ";
+    out += k;
+  }
+  return out;
+}
+
+}  // namespace
+
+void flow_det_taint(const FlowContext& ctx, std::vector<Finding>& out) {
+  for (std::size_t i = 0; i < ctx.size(); ++i) {
+    const FileUnit& u = ctx.unit(i);
+    if (scope_rng_exempt(u)) continue;
+    const FileIR& ir = ctx.ir(i);
+    for (const LaunchIR& l : ir.launches) {
+      std::set<std::string> reported;
+      for (const CallIR& c : l.calls) {
+        const FunctionSummary* g = ctx.graph.resolve(c.callee);
+        if (g == nullptr || !g->tainted()) continue;
+        if (!reported.insert(c.callee).second) continue;
+        Finding f;
+        f.rule = "fl-det-taint";
+        f.family = "determinism";
+        f.message = "parallel lambda (" + l.call + ") calls '" + c.callee +
+                    "', which transitively reaches nondeterministic source(s): " +
+                    join_kinds(g->taint) +
+                    " — results are not bitwise reproducible; seed a "
+                    "portabench::common rng stream or hoist the source out of "
+                    "the kernel";
+        f.unit = &u;
+        f.line = c.line;
+        f.excerpt = normalize_excerpt(u.line_text(c.line));
+        RelatedSite site;
+        site.unit = g->unit;
+        site.line = g->taint_line != 0 ? g->taint_line : g->fn->line;
+        site.note = g->taint_via.empty()
+                        ? "nondeterministic source used in '" + c.callee + "'"
+                        : "taint enters '" + c.callee + "' via call to '" +
+                              g->taint_via + "'";
+        f.related.push_back(std::move(site));
+        out.push_back(std::move(f));
+      }
+    }
+  }
+}
+
+}  // namespace portalint

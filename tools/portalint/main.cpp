@@ -3,10 +3,13 @@
 //
 // Usage: portalint [options] <path>...
 //   --json               emit a JSON report instead of text
+//   --sarif              emit a SARIF 2.1.0 report instead of text
 //   --baseline <file>    baseline file (default: portalint.baseline found
 //                        upward from the first input)
 //   --no-baseline        ignore any baseline file
 //   --include-fixtures   also scan directories named "fixtures"
+//   --cache <file>       incremental analysis cache (read + rewritten)
+//   --no-flow            disable the portaflow interprocedural passes
 //   --root <dir>         root for relative paths in reports
 //   --list-rules         print the rule catalogue and exit
 //
@@ -17,19 +20,27 @@
 
 #include "engine.hpp"
 #include "rules.hpp"
+#include "sarif.hpp"
 
 int main(int argc, char** argv) {
   portalint::Options opts;
   bool json = false;
+  bool sarif = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--json") {
       json = true;
+    } else if (arg == "--sarif") {
+      sarif = true;
     } else if (arg == "--no-baseline") {
       opts.use_baseline = false;
     } else if (arg == "--include-fixtures") {
       opts.include_fixtures = true;
+    } else if (arg == "--no-flow") {
+      opts.run_flow = false;
+    } else if (arg == "--cache" && i + 1 < argc) {
+      opts.cache_path = argv[++i];
     } else if (arg == "--baseline" && i + 1 < argc) {
       opts.baseline_path = argv[++i];
     } else if (arg == "--root" && i + 1 < argc) {
@@ -40,8 +51,9 @@ int main(int argc, char** argv) {
       }
       return 0;
     } else if (arg == "-h" || arg == "--help") {
-      std::cout << "usage: portalint [--json] [--baseline FILE | --no-baseline] "
-                   "[--include-fixtures] [--root DIR] [--list-rules] <path>...\n";
+      std::cout << "usage: portalint [--json | --sarif] [--baseline FILE | --no-baseline] "
+                   "[--include-fixtures] [--cache FILE] [--no-flow] [--root DIR] "
+                   "[--list-rules] <path>...\n";
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "portalint: unknown option: " << arg << "\n";
@@ -56,7 +68,9 @@ int main(int argc, char** argv) {
   }
 
   const portalint::Result r = portalint::run_portalint(opts);
-  if (json) {
+  if (sarif) {
+    portalint::print_sarif(r, std::cout);
+  } else if (json) {
     portalint::print_json(r, std::cout);
   } else {
     portalint::print_text(r, std::cout);

@@ -38,6 +38,15 @@ struct FileUnit {
                                                     std::string_view rule) const;
 };
 
+/// A secondary site participating in a cross-function or cross-file
+/// finding (the helper that performs the escaped write, the other TU's
+/// half of an ordering pair, ...).
+struct RelatedSite {
+  const FileUnit* unit = nullptr;
+  int line = 0;
+  std::string note;  // role of this site, e.g. "write escapes here"
+};
+
 struct Finding {
   std::string rule;
   std::string family;  // lane-safety | concurrency | determinism | hygiene
@@ -47,7 +56,14 @@ struct Finding {
   /// Normalized (trimmed, whitespace-collapsed) text of the flagged line;
   /// the stable key baseline entries match against.
   std::string excerpt;
+  /// Secondary sites (flow findings only); empty for token-level rules.
+  std::vector<RelatedSite> related;
 };
+
+/// Path key baseline entries match against: the primary unit's rel, plus
+/// "+<rel>" for each distinct related file (baseline format v2).  For
+/// findings without related sites this is exactly `unit->rel`.
+[[nodiscard]] std::string finding_path_key(const Finding& f);
 
 struct Project {
   std::vector<FileUnit> files;

@@ -8,6 +8,7 @@
 #include <set>
 
 #include "analysis.hpp"
+#include "ir.hpp"
 
 namespace portalint {
 
@@ -632,6 +633,10 @@ void rule_tn_magic_tile(const FileUnit& u, std::vector<Finding>& out) {
   }
 }
 
+bool scope_in_tests(const FileUnit& u) { return in_tests(u); }
+
+bool scope_rng_exempt(const FileUnit& u) { return rng_exempt(u); }
+
 const std::vector<RuleDesc>& all_rules() {
   static const std::vector<RuleDesc> kRules = {
       {"ls-capture-write", "lane-safety",
@@ -661,28 +666,77 @@ const std::vector<RuleDesc>& all_rules() {
       {"hy-using-ns", "hygiene",
        "using namespace at file/namespace scope in a header"},
       {"hy-include-cycle", "hygiene", "include cycle among scanned files"},
+      {"fl-shared-write-escape", "lane-safety",
+       "kernel/dispatch lambda passes a by-ref-captured shared variable to a "
+       "helper that writes it non-atomically (interprocedural)"},
+      {"fl-unpaired-ordering", "concurrency",
+       "per-variable acquire/release summary on the call graph is one-sided "
+       "(sites resolved through std::atomic& helper parameters)"},
+      {"fl-unproved-bounds", "lane-safety",
+       "index expression in a launch body is not provably within the view's "
+       "extent for every lane (symbolic affine analysis)"},
+      {"fl-det-taint", "determinism",
+       "kernel/dispatch lambda calls a helper that transitively reaches a "
+       "nondeterministic source (rand, clock, unordered iteration)"},
   };
   return kRules;
 }
 
+std::vector<Finding> run_file_rules(const FileUnit& u) {
+  std::vector<Finding> out;
+  // Ordering sites for mo-balance are reconstructed from the IR by the
+  // global/flow layer; this throwaway map only feeds mo-explicit.
+  std::map<std::string, std::vector<MoSite>> per_var;
+  rule_lane_safety(u, out);
+  if (!in_tests(u)) {
+    scan_memory_orders(u, /*check_explicit=*/true, per_var, out);
+    if (!in_runtime_dirs(u)) rule_raw_thread(u, out);
+  }
+  if (!rng_exempt(u)) rule_det_rand(u, out);
+  if (!tn_exempt(u)) rule_tn_magic_tile(u, out);
+  if (!u.has_component("simd_backends")) rule_simd_raw_vector_ext(u, out);
+  rule_det_unordered(u, out);
+  rule_pragma_once(u, out);
+  rule_using_ns(u, out);
+  return out;
+}
+
+std::vector<Finding> run_global_rules(const Project& project,
+                                      const std::vector<FileIR>& irs,
+                                      bool legacy_mo_balance) {
+  std::vector<Finding> out;
+  if (legacy_mo_balance) {
+    // The historical token-scan mo-balance, reconstructed from exactly
+    // the sites that scan counted (OrderIR::token_visible), grouped by
+    // receiver name with no call-graph resolution.
+    std::map<std::string, std::vector<MoSite>> per_var;
+    for (std::size_t i = 0; i < project.files.size() && i < irs.size(); ++i) {
+      const FileUnit& u = project.files[i];
+      if (in_tests(u)) continue;
+      for (const OrderIR& o : irs[i].orders) {
+        if (!o.token_visible || o.var.empty() || (!o.acq && !o.rel)) continue;
+        per_var[o.var].push_back({&u, o.line, o.acq, o.rel});
+      }
+    }
+    rule_mo_balance(per_var, out);
+  }
+  rule_include_cycle(project, out);
+  return out;
+}
+
 std::vector<Finding> run_rules(const Project& project) {
   std::vector<Finding> out;
-  std::map<std::string, std::vector<MoSite>> per_var;
+  std::vector<FileIR> irs;
+  irs.reserve(project.files.size());
   for (const FileUnit& u : project.files) {
-    rule_lane_safety(u, out);
-    if (!in_tests(u)) {
-      scan_memory_orders(u, /*check_explicit=*/true, per_var, out);
-      if (!in_runtime_dirs(u)) rule_raw_thread(u, out);
-    }
-    if (!rng_exempt(u)) rule_det_rand(u, out);
-    if (!tn_exempt(u)) rule_tn_magic_tile(u, out);
-    if (!u.has_component("simd_backends")) rule_simd_raw_vector_ext(u, out);
-    rule_det_unordered(u, out);
-    rule_pragma_once(u, out);
-    rule_using_ns(u, out);
+    auto file_findings = run_file_rules(u);
+    out.insert(out.end(), std::make_move_iterator(file_findings.begin()),
+               std::make_move_iterator(file_findings.end()));
+    irs.push_back(build_ir(u));
   }
-  rule_mo_balance(per_var, out);
-  rule_include_cycle(project, out);
+  auto global = run_global_rules(project, irs, /*legacy_mo_balance=*/true);
+  out.insert(out.end(), std::make_move_iterator(global.begin()),
+             std::make_move_iterator(global.end()));
   std::stable_sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
     if (a.unit->rel != b.unit->rel) return a.unit->rel < b.unit->rel;
     if (a.line != b.line) return a.line < b.line;

@@ -1,15 +1,20 @@
 // portalint rule registry.
 //
 // Four families (see docs/LINT.md):
-//   lane-safety   ls-capture-write, ls-nonlane-store, ls-ptr-capture
-//   concurrency   mo-explicit, mo-balance, raw-thread
-//   determinism   det-rand, det-unordered
+//   lane-safety   ls-capture-write, ls-nonlane-store, ls-ptr-capture,
+//                 fl-shared-write-escape, fl-unproved-bounds
+//   concurrency   mo-explicit, mo-balance, raw-thread, fl-unpaired-ordering
+//   determinism   det-rand, det-unordered, fl-det-taint
 //   hygiene       hy-pragma-once, hy-using-ns, hy-include-cycle
+//
+// The fl-* rules are implemented by the portaflow passes (flow.hpp) over
+// the per-file IR; everything else is token-level.
 #pragma once
 
 #include <string>
 #include <vector>
 
+#include "ir.hpp"
 #include "model.hpp"
 
 namespace portalint {
@@ -23,7 +28,28 @@ struct RuleDesc {
 /// Static descriptions of every rule (for --list-rules and docs tests).
 [[nodiscard]] const std::vector<RuleDesc>& all_rules();
 
-/// Run every rule over the project.  Emitted findings are NOT yet
+/// Path-scope predicates shared between the token rules and the flow
+/// passes (documented in docs/LINT.md).  Tests are exempt from the
+/// concurrency rules; fixture files opt back into everything.
+[[nodiscard]] bool scope_in_tests(const FileUnit& u);
+/// src/common/rng is the sanctioned home for randomness.
+[[nodiscard]] bool scope_rng_exempt(const FileUnit& u);
+
+/// Per-file token rules only (everything except mo-balance and
+/// hy-include-cycle).  Cacheable: depends on nothing but the file.
+[[nodiscard]] std::vector<Finding> run_file_rules(const FileUnit& u);
+
+/// Whole-tree rules: hy-include-cycle, and — when `legacy_mo_balance`
+/// — the name-matching mo-balance reconstructed from the IR ordering
+/// sites (identical to the historical token scan).  With portaflow
+/// enabled the engine passes false and the ordering pass in
+/// flow_lane.cpp emits mo-balance/fl-unpaired-ordering instead.
+[[nodiscard]] std::vector<Finding> run_global_rules(const Project& project,
+                                                    const std::vector<FileIR>& irs,
+                                                    bool legacy_mo_balance);
+
+/// Run every token rule over the project (no flow passes): per-file
+/// rules plus legacy global rules.  Emitted findings are NOT yet
 /// filtered by inline suppressions or the baseline (the engine does
 /// that), with one exception: multi-site rules (mo-balance,
 /// hy-include-cycle) honor suppressions on any participating line

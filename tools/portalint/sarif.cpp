@@ -1,0 +1,79 @@
+#include "sarif.hpp"
+
+#include <map>
+#include <ostream>
+
+#include "rules.hpp"
+
+namespace portalint {
+
+namespace {
+
+const char* level_for(const std::string& family) {
+  // Hygiene nits are notes; everything else can be a real bug.
+  return family == "hygiene" ? "note" : "warning";
+}
+
+void print_location(const FileUnit& unit, int line, const std::string& snippet,
+                    std::ostream& os) {
+  os << "{\"physicalLocation\":{\"artifactLocation\":{\"uri\":\"" << json_escape(unit.rel)
+     << "\",\"uriBaseId\":\"SRCROOT\"},\"region\":{\"startLine\":" << (line > 0 ? line : 1);
+  if (!snippet.empty()) {
+    os << ",\"snippet\":{\"text\":\"" << json_escape(snippet) << "\"}";
+  }
+  os << "}}}";
+}
+
+}  // namespace
+
+void print_sarif(const Result& r, std::ostream& os) {
+  const auto& rules = all_rules();
+  std::map<std::string, std::size_t> rule_index;
+  for (std::size_t i = 0; i < rules.size(); ++i) rule_index[rules[i].id] = i;
+
+  os << "{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\","
+        "\"version\":\"2.1.0\",\"runs\":[{";
+  os << "\"tool\":{\"driver\":{\"name\":\"portalint\","
+        "\"informationUri\":\"https://example.invalid/portabench/docs/LINT.md\","
+        "\"version\":\"1.0.0\",\"rules\":[";
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    if (i) os << ",";
+    os << "{\"id\":\"" << json_escape(rules[i].id) << "\",\"shortDescription\":{\"text\":\""
+       << json_escape(rules[i].summary) << "\"},\"properties\":{\"family\":\""
+       << json_escape(rules[i].family) << "\"}}";
+  }
+  os << "]}},";
+
+  os << "\"originalUriBaseIds\":{\"SRCROOT\":{\"uri\":\"file://"
+     << json_escape(r.root.generic_string()) << "/\"}},";
+
+  os << "\"results\":[";
+  for (std::size_t i = 0; i < r.active.size(); ++i) {
+    const Finding& f = r.active[i];
+    if (i) os << ",";
+    os << "{\"ruleId\":\"" << json_escape(f.rule) << "\"";
+    const auto it = rule_index.find(f.rule);
+    if (it != rule_index.end()) os << ",\"ruleIndex\":" << it->second;
+    os << ",\"level\":\"" << level_for(f.family) << "\",\"message\":{\"text\":\""
+       << json_escape(f.message) << "\"},\"locations\":[";
+    print_location(*f.unit, f.line, f.excerpt, os);
+    os << "]";
+    if (!f.related.empty()) {
+      os << ",\"relatedLocations\":[";
+      for (std::size_t ri = 0; ri < f.related.size(); ++ri) {
+        const RelatedSite& s = f.related[ri];
+        if (ri) os << ",";
+        os << "{\"physicalLocation\":{\"artifactLocation\":{\"uri\":\""
+           << json_escape(s.unit->rel)
+           << "\",\"uriBaseId\":\"SRCROOT\"},\"region\":{\"startLine\":"
+           << (s.line > 0 ? s.line : 1) << "}},\"message\":{\"text\":\""
+           << json_escape(s.note) << "\"}}";
+      }
+      os << "]";
+    }
+    os << "}";
+  }
+  os << "]}]}\n";
+}
+
+}  // namespace portalint

@@ -1,0 +1,16 @@
+// SARIF 2.1.0 report rendering for code-scanning upload.
+#pragma once
+
+#include <iosfwd>
+
+#include "engine.hpp"
+
+namespace portalint {
+
+/// Render the result as a SARIF 2.1.0 log.  Active findings become
+/// results; the full rule catalogue is embedded as the tool driver's
+/// rule metadata.  Suppressed/baselined findings are omitted (they are
+/// accepted, and code-scanning would resurface them forever).
+void print_sarif(const Result& r, std::ostream& os);
+
+}  // namespace portalint
