@@ -116,6 +116,8 @@ DeviceCounters DeviceContext::counters() const noexcept {
   c.threads_executed = threads_executed_.load(std::memory_order_relaxed);
   c.bytes_h2d = bytes_h2d_.load(std::memory_order_relaxed);
   c.bytes_d2h = bytes_d2h_.load(std::memory_order_relaxed);
+  c.bytes_d2d_in = bytes_d2d_in_.load(std::memory_order_relaxed);
+  c.bytes_d2d_out = bytes_d2d_out_.load(std::memory_order_relaxed);
   c.bytes_allocated = bytes_allocated_.load(std::memory_order_relaxed);
   c.live_allocations = live_allocations_.load(std::memory_order_relaxed);
   c.peak_bytes_allocated = peak_bytes_allocated_.load(std::memory_order_relaxed);
@@ -128,6 +130,8 @@ void DeviceContext::reset_counters() noexcept {
   threads_executed_.store(0, std::memory_order_relaxed);
   bytes_h2d_.store(0, std::memory_order_relaxed);
   bytes_d2h_.store(0, std::memory_order_relaxed);
+  bytes_d2d_in_.store(0, std::memory_order_relaxed);
+  bytes_d2d_out_.store(0, std::memory_order_relaxed);
   bytes_allocated_.store(0, std::memory_order_relaxed);
   // Live memory is not forgotten: bytes_in_use_ and live_allocations_
   // survive (zeroing the live count would make the next note_free

@@ -54,6 +54,8 @@ struct DeviceCounters {
   std::uint64_t threads_executed = 0;
   std::uint64_t bytes_h2d = 0;
   std::uint64_t bytes_d2h = 0;
+  std::uint64_t bytes_d2d_in = 0;   ///< peer-copy bytes landing on this device
+  std::uint64_t bytes_d2d_out = 0;  ///< peer-copy bytes leaving this device
   std::uint64_t bytes_allocated = 0;
   std::uint64_t live_allocations = 0;
   std::uint64_t peak_bytes_allocated = 0;
@@ -133,6 +135,14 @@ class DeviceContext {
   void note_d2h(std::size_t bytes) noexcept {
     bytes_d2h_.fetch_add(bytes, std::memory_order_relaxed);
   }
+  /// Peer (device-to-device) copy: tallied on both endpoints so a
+  /// topology-wide halo-exchange audit balances (sum of in == sum of out).
+  void note_d2d_in(std::size_t bytes) noexcept {
+    bytes_d2d_in_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  void note_d2d_out(std::size_t bytes) noexcept {
+    bytes_d2d_out_.fetch_add(bytes, std::memory_order_relaxed);
+  }
   void note_launch(const Dim3& grid, const Dim3& block) noexcept {
     kernel_launches_.fetch_add(1, std::memory_order_relaxed);
     blocks_executed_.fetch_add(grid.volume(), std::memory_order_relaxed);
@@ -160,6 +170,8 @@ class DeviceContext {
   std::atomic<std::uint64_t> threads_executed_{0};
   std::atomic<std::uint64_t> bytes_h2d_{0};
   std::atomic<std::uint64_t> bytes_d2h_{0};
+  std::atomic<std::uint64_t> bytes_d2d_in_{0};
+  std::atomic<std::uint64_t> bytes_d2d_out_{0};
   std::atomic<std::uint64_t> bytes_allocated_{0};
   std::atomic<std::uint64_t> live_allocations_{0};
   std::atomic<std::uint64_t> peak_bytes_allocated_{0};

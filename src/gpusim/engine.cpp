@@ -21,8 +21,11 @@ thread_local std::size_t tls_region_depth = 0;
 
 }  // namespace
 
-LaunchEngine::LaunchEngine(std::size_t threads)
-    : num_workers_(resolve_threads(threads)) {}
+LaunchEngine::LaunchEngine(std::size_t threads, simrt::Placement placement)
+    : num_workers_(resolve_threads(threads)), placement_(std::move(placement)) {
+  PB_EXPECTS(placement_.core_of_thread.empty() ||
+             placement_.core_of_thread.size() >= num_workers_);
+}
 
 LaunchEngine& LaunchEngine::shared() {
   static LaunchEngine engine;
@@ -36,7 +39,7 @@ LaunchEngine::RegionScope::~RegionScope() { --tls_region_depth; }
 
 simrt::ThreadPool& LaunchEngine::ensure_pool() {
   if (!pool_) {
-    pool_ = std::make_unique<simrt::ThreadPool>(num_workers_);
+    pool_ = std::make_unique<simrt::ThreadPool>(num_workers_, placement_);
     arenas_.resize(num_workers_);
   }
   return *pool_;

@@ -56,8 +56,11 @@ class LaunchEngine {
   /// `threads == 0` resolves to PORTABENCH_GPUSIM_THREADS or, failing
   /// that, the host's hardware concurrency.  Workers are spawned lazily
   /// on the first launch that actually forks, so constructing an engine
-  /// (or a DeviceContext) stays cheap.
-  explicit LaunchEngine(std::size_t threads = 0);
+  /// (or a DeviceContext) stays cheap.  A non-empty `placement` is
+  /// handed to the worker pool when it spawns, pinning workers to host
+  /// cores — DeviceTopology uses this to keep each simulated GCD's
+  /// workers inside the NUMA domain that feeds the device.
+  explicit LaunchEngine(std::size_t threads = 0, simrt::Placement placement = {});
 
   LaunchEngine(const LaunchEngine&) = delete;
   LaunchEngine& operator=(const LaunchEngine&) = delete;
@@ -68,6 +71,10 @@ class LaunchEngine {
 
   /// Worker count the engine forks to (without spawning the pool).
   [[nodiscard]] std::size_t workers() const noexcept { return num_workers_; }
+
+  /// The placement workers will be (or were) pinned with; empty when the
+  /// engine leaves scheduling to the OS.
+  [[nodiscard]] const simrt::Placement& placement() const noexcept { return placement_; }
 
   /// True while the current thread is executing inside an engine region
   /// (used by launch() to degrade nested launches to the serial walk).
@@ -147,6 +154,7 @@ class LaunchEngine {
   simrt::ThreadPool& ensure_pool();  // callers hold launch_mutex_
 
   std::size_t num_workers_;
+  simrt::Placement placement_;               // forwarded to the pool when it spawns
   std::unique_ptr<simrt::ThreadPool> pool_;  // created on first forked launch
   std::vector<Arena> arenas_;                // sized with the pool
   std::atomic<std::size_t> arena_high_water_{0};

@@ -48,6 +48,13 @@ class DeviceBuffer {
   ~DeviceBuffer() { release(); }
 
   [[nodiscard]] std::size_t size() const noexcept { return storage_.size(); }
+
+  /// Device this buffer is bound to; nullptr for a freed / moved-from /
+  /// default-constructed buffer.  The async copy layer (copy.hpp) uses
+  /// this both to route transfer counters and to reject operations on
+  /// dead buffers with a structured error instead of UB.
+  [[nodiscard]] DeviceContext* context() const noexcept { return ctx_; }
+
   [[nodiscard]] T* data() noexcept { return storage_.data(); }
   [[nodiscard]] const T* data() const noexcept { return storage_.data(); }
   [[nodiscard]] std::span<T> span() noexcept { return storage_.span(); }

@@ -1,0 +1,82 @@
+// Work decomposition across the devices of a DeviceTopology.
+//
+// The bitwise-replay contract for sharded execution rests on one idea:
+// the *global* panel decomposition is fixed by the problem (total rows
+// and panel size), never by the device count.  Devices own contiguous,
+// disjoint panel ranges — the dist_edge_list partitioning idiom — so
+// every output element is produced by exactly one panel with exactly the
+// arithmetic the single-device serial oracle uses, and shard results
+// combine in a fixed order (disjoint host ranges, device-major).
+// Varying the device count redistributes whole panels; it cannot change
+// any element's floating-point history.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace portabench::multigpu {
+
+/// One panel: a contiguous row range [begin, end).
+struct Panel {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return end - begin; }
+};
+
+/// Global panel decomposition dealt to devices in contiguous runs.
+struct ShardPlan {
+  std::size_t total_rows = 0;
+  std::size_t panel_rows = 0;
+  std::vector<Panel> panels;                    ///< global, device-independent
+  std::vector<std::size_t> first_panel;         ///< device d owns [first_panel[d], first_panel[d+1])
+
+  [[nodiscard]] std::size_t devices() const noexcept { return first_panel.size() - 1; }
+  [[nodiscard]] std::size_t panels_of(std::size_t device) const {
+    PB_EXPECTS(device + 1 < first_panel.size());
+    return first_panel[device + 1] - first_panel[device];
+  }
+  /// Global panel index of device-local panel k on `device`.
+  [[nodiscard]] std::size_t global_panel(std::size_t device, std::size_t k) const {
+    PB_EXPECTS(k < panels_of(device));
+    return first_panel[device] + k;
+  }
+  [[nodiscard]] const Panel& panel(std::size_t device, std::size_t k) const {
+    return panels[global_panel(device, k)];
+  }
+  /// Per-device panel counts in the shape run_sharded_pipeline takes.
+  [[nodiscard]] std::vector<std::size_t> panels_per_device() const {
+    std::vector<std::size_t> out(devices());
+    for (std::size_t d = 0; d < out.size(); ++d) out[d] = panels_of(d);
+    return out;
+  }
+
+  /// Split `total_rows` into ceil(total/panel_rows) panels of
+  /// `panel_rows` rows (last one ragged), dealt contiguously and near
+  /// evenly to `devices` devices (leading devices get the remainder).
+  [[nodiscard]] static ShardPlan rows(std::size_t total_rows, std::size_t panel_rows,
+                                      std::size_t devices) {
+    PB_EXPECTS(panel_rows > 0 && devices > 0);
+    ShardPlan plan;
+    plan.total_rows = total_rows;
+    plan.panel_rows = panel_rows;
+    const std::size_t n_panels = (total_rows + panel_rows - 1) / panel_rows;
+    plan.panels.reserve(n_panels);
+    for (std::size_t p = 0; p < n_panels; ++p) {
+      const std::size_t begin = p * panel_rows;
+      plan.panels.push_back({begin, std::min(total_rows, begin + panel_rows)});
+    }
+    plan.first_panel.resize(devices + 1, 0);
+    const std::size_t base = n_panels / devices;
+    const std::size_t extra = n_panels % devices;
+    for (std::size_t d = 0; d < devices; ++d) {
+      plan.first_panel[d + 1] = plan.first_panel[d] + base + (d < extra ? 1 : 0);
+    }
+    return plan;
+  }
+};
+
+}  // namespace portabench::multigpu

@@ -40,4 +40,86 @@ struct MultiGpuPoint {
     const GpuMachineModel& model, const LinkSpec& link, Precision prec, std::size_t n,
     std::size_t max_devices, double host_bw_gbs = 170.0);
 
+// --- NUMA-aware sharded-pipeline model -------------------------------
+//
+// Mirrors gpusim::DeviceTopology's link shape (perfmodel stays a pure
+// analytical layer — it never links gpusim) so the multi-GCD benches can
+// compare the measured sharded pipeline against a predicted curve built
+// from the same per-link terms the simulator charges.
+
+/// One directed link term: latency + bandwidth (gpusim::LinkModel's shape).
+struct LinkTerm {
+  double bw_gbs = 16.0;
+  double latency_us = 5.0;
+
+  [[nodiscard]] double seconds(double bytes) const noexcept {
+    return latency_us * 1.0e-6 + bytes / (bw_gbs * 1.0e9);
+  }
+};
+
+/// Node shape for the sharded-pipeline model: device count, host NUMA
+/// domains, and the four link classes of the topology (NUMA-local vs
+/// remote H2D, near vs far D2D).  Defaults are the Crusher terms.
+struct NodeShape {
+  std::size_t devices = 1;
+  std::size_t numa_domains = 1;
+  LinkTerm h2d_local{36.0, 5.0};
+  LinkTerm h2d_remote{12.0, 8.0};
+  LinkTerm d2d_near{200.0, 2.0};
+  LinkTerm d2d_far{50.0, 3.0};
+  double host_bw_gbs = 170.0;  ///< aggregate host-memory ceiling
+
+  /// NUMA domain that feeds a device (Crusher: GCD g -> domain g/2).
+  [[nodiscard]] std::size_t numa_domain_of(std::size_t device) const noexcept {
+    return devices == 0 ? 0 : device * numa_domains / devices;
+  }
+  /// H2D link a device sees given the staging buffer's home domain.
+  [[nodiscard]] const LinkTerm& h2d(std::size_t device, std::size_t staging_domain) const noexcept {
+    return staging_domain == numa_domain_of(device) ? h2d_local : h2d_remote;
+  }
+
+  /// Crusher node: `devices` MI250X GCDs behind a 4-NUMA EPYC 7A53.
+  [[nodiscard]] static NodeShape crusher(std::size_t devices = 8);
+  /// Wombat-style node: A100s behind a single-domain host over PCIe4.
+  [[nodiscard]] static NodeShape wombat(std::size_t devices = 2);
+};
+
+/// Knobs of the modeled sharded GEMM pipeline, matching
+/// multigpu::gemm_sharded: B broadcast once per device, then per-panel
+/// A-rows in / C-rows out double-buffered against the panel kernels.
+struct ShardedGemmParams {
+  std::size_t n = 1024;          ///< square GEMM edge
+  std::size_t panel_rows = 128;  ///< rows per pipeline panel
+  bool numa_aware_staging = true;  ///< stage each device from its own domain
+  bool overlap = true;             ///< double-buffered vs strictly ordered
+};
+
+/// Predicted node time for the sharded pipeline at one device count.
+struct ShardedPipelinePoint {
+  std::size_t devices = 1;
+  double broadcast_s = 0.0;  ///< slowest device's B upload
+  double kernel_s = 0.0;     ///< slowest device's summed panel kernels
+  double transfer_s = 0.0;   ///< slowest device's summed panel A-in/C-out
+  double total_s = 0.0;      ///< pipeline makespan (max over devices)
+  double speedup = 1.0;      ///< vs the 1-device point of the sweep
+  double efficiency = 1.0;   ///< speedup / devices
+  std::size_t remote_devices = 0;  ///< devices staging over the remote link
+};
+
+/// Sweep the sharded pipeline over 1..max_devices devices on `shape`
+/// (shape.devices caps nothing here; each sweep point deals the panels
+/// across `g` devices fed per shape's domain map).  Host-link contention
+/// caps the aggregate H2D draw at shape.host_bw_gbs, NUMA-remote staging
+/// rides the narrow link, and overlap hides per-panel transfers behind
+/// the neighbor panel's kernel the way the double-buffered driver does.
+[[nodiscard]] std::vector<ShardedPipelinePoint> sharded_pipeline_gemm(
+    const GpuMachineModel& model, const NodeShape& shape, Precision prec,
+    const ShardedGemmParams& params, std::size_t max_devices);
+
+/// True when two curves rank their points identically (the bench gate:
+/// the predicted multi-GCD curve must match the measured curve's shape,
+/// i.e. sorting by predicted time and by measured time agree).  Ties in
+/// either curve accept any order within the tie.
+[[nodiscard]] bool ranks_agree(const std::vector<double>& a, const std::vector<double>& b);
+
 }  // namespace portabench::perfmodel

@@ -288,10 +288,14 @@ void run_spmv_bucket(gpusim::LaunchEngine& engine,
 
 }  // namespace
 
-ServeEngine::Shard::Shard(const ServeConfig& cfg, gpusim::DeviceContext& ctx)
+ServeEngine::Shard::Shard(const ServeConfig& cfg, gpusim::DeviceContext& shard_ctx,
+                          std::size_t shard_index, std::size_t shard_device)
     : queue(cfg.queue_capacity),
-      stream(ctx, cfg.async_streams ? gpusim::StreamMode::kAsync
-                                    : gpusim::StreamMode::kEager),
+      ctx(&shard_ctx),
+      index(shard_index),
+      device(shard_device),
+      stream(shard_ctx, cfg.async_streams ? gpusim::StreamMode::kAsync
+                                          : gpusim::StreamMode::kEager),
       staging(std::make_unique<Staging>(cfg.batch_jobs)) {
   slots.reserve(cfg.batch_jobs);
   exec_idx.reserve(cfg.batch_jobs);
@@ -307,10 +311,12 @@ ServeEngine::ServeEngine(ServeConfig config) : config_(std::move(config)) {
   PB_EXPECTS(config_.queue_capacity > 0);
   PB_EXPECTS(config_.batch_jobs > 0);
   PB_EXPECTS(config_.max_n > 0);
-  ctx_ = std::make_unique<gpusim::DeviceContext>(gpusim::GpuSpec::a100());
+  topo_ = std::make_unique<gpusim::DeviceTopology>(config_.topology);
   shards_.reserve(config_.shards);
   for (std::size_t i = 0; i < config_.shards; ++i) {
-    shards_.push_back(std::make_unique<Shard>(config_, *ctx_));
+    const std::size_t device = i % topo_->devices();
+    shards_.push_back(
+        std::make_unique<Shard>(config_, topo_->context(device), i, device));
   }
 }
 
@@ -369,6 +375,23 @@ ServeEngine::FlushOutcome ServeEngine::flush_shard(Shard& shard, std::size_t max
   while (slots.size() < max_jobs && shard.queue.try_pop(d)) {
     slots.push_back(JobSlot{d, nullptr, false});
   }
+  if (config_.work_steal && slots.size() < max_jobs && shards_.size() > 1) {
+    // Top the batch up from the other shards' queues when this shard's
+    // bucket mix ran dry.  The victim order is pinned — self+1, self+2,
+    // ... mod shards — so a replayed trace steals identically; the MPMC
+    // pop side makes concurrent steals against a victim's own flush
+    // safe.  A stolen job still runs bucket-sorted with bitwise
+    // run_serial results; only its executing shard moved.
+    std::uint64_t grabbed = 0;
+    for (std::size_t off = 1; off < shards_.size() && slots.size() < max_jobs; ++off) {
+      Shard& victim = *shards_[(shard.index + off) % shards_.size()];
+      while (slots.size() < max_jobs && victim.queue.try_pop(d)) {
+        slots.push_back(JobSlot{d, nullptr, false});
+        ++grabbed;
+      }
+    }
+    if (grabbed != 0) stolen_.fetch_add(grabbed, std::memory_order_relaxed);
+  }
   FlushOutcome out;
   out.popped = slots.size();
   if (slots.empty()) return out;
@@ -408,7 +431,7 @@ ServeEngine::FlushOutcome ServeEngine::flush_shard(Shard& shard, std::size_t max
       if (!slot.failed) fill_threads += std::size_t{slot.desc.n} * slot.desc.n;
     }
     const std::span<const JobSlot> sl(slots);
-    gpusim::run_batch(ctx_->engine(), slots.size(), fill_threads,
+    gpusim::run_batch(shard.ctx->engine(), slots.size(), fill_threads,
                       [sl](std::size_t, std::size_t idx) {
                         const JobSlot& slot = sl[idx];
                         if (!slot.failed) fill_job(slot.desc, slot.base);
@@ -444,8 +467,12 @@ void ServeEngine::run_bucket(Shard& shard, std::size_t lo, std::size_t hi) {
   // A bucket is homogeneous in (kind, frontend, precision) by key
   // construction; stage its descs/bases densely for the batched calls.
   const JobDesc& proto = shard.slots[idx.front()].desc;
-  gpusim::LaunchEngine& engine = ctx_->engine();
+  gpusim::LaunchEngine& engine = shard.ctx->engine();
   Shard::Staging& st = *shard.staging;
+
+  // Tally the bucket on its device so per-GCD counters mirror where the
+  // serving work actually ran (one launch per bucket, a block per job).
+  shard.ctx->note_launch(gpusim::Dim3{idx.size(), 1, 1}, gpusim::Dim3{1, 1, 1});
 
   // Dense desc/base arrays for the item stagers, reusing exec storage:
   // sized <= batch_jobs, so no allocation past warmup.
@@ -464,9 +491,11 @@ void ServeEngine::run_bucket(Shard& shard, std::size_t lo, std::size_t hi) {
         // A bucket is homogeneous in (precision, size_class), so one
         // tuned schedule applies to every job in it.  Tuned configs
         // only move schedule knobs (row grain, SIMD tier), so the
-        // bitwise run_serial contract is unaffected.
-        const gemm::TileConfig& tile =
-            tune::Tuned::instance().gemm_tile(proto.precision, size_class(proto.n));
+        // bitwise run_serial contract is unaffected.  The per-GCD space
+        // resolves the shard's device, falling back to the single-
+        // device winner when untuned.
+        const gemm::TileConfig& tile = tune::Tuned::instance().gemm_tile_device(
+            shard.device, proto.precision, size_class(proto.n));
         switch (proto.precision) {
           case Precision::kDouble:
             run_tiled_bucket(engine, st.gemm_f64, descs, bases, tile);
@@ -553,6 +582,7 @@ ServeStats ServeEngine::stats() const {
   st.failed = failed_.load(std::memory_order_relaxed);
   st.batches = batches_.load(std::memory_order_relaxed);
   st.batch_errors = batch_errors_.load(std::memory_order_relaxed);
+  st.stolen = stolen_.load(std::memory_order_relaxed);
   for (std::size_t i = 0; i < st.rejected_by.size(); ++i) {
     st.rejected_by[i] = rejected_by_[i].load(std::memory_order_relaxed);
     st.rejected_total += st.rejected_by[i];

@@ -32,6 +32,7 @@
 #include "arena.hpp"
 #include "gpusim/device.hpp"
 #include "gpusim/stream.hpp"
+#include "gpusim/topology.hpp"
 #include "job.hpp"
 #include "simrt/mpsc_queue.hpp"
 
@@ -56,6 +57,16 @@ using ShardMutex = std::mutex;  // portalint: raw-thread-ok(serve is a runtime l
 // portalint: tn-magic-tile-ok(fallback for the serve-batch tuning space; src/tune/params.cpp pins it)
 inline constexpr std::size_t kDefaultBatchJobs = 32;
 
+/// Serving's default node shape: one A100-class device in the degenerate
+/// configuration (no private engine, no pinning) — batches run through
+/// LaunchEngine::shared(), exactly the pre-multi-device serving engine.
+[[nodiscard]] inline gpusim::TopologyConfig serve_default_topology() {
+  gpusim::TopologyConfig t;
+  t.device_spec = gpusim::GpuSpec::a100();
+  t.pin_workers = false;
+  return t;
+}
+
 struct ServeConfig {
   std::size_t shards = 4;
   std::size_t queue_capacity = 1024;  ///< per-shard admission queue bound
@@ -72,6 +83,18 @@ struct ServeConfig {
   /// Test hook: jobs selected here are marked kFailed instead of run,
   /// and their batch throws batch_error into the stream error stash.
   std::function<bool(const JobDesc&)> fail_injection;
+  /// Node shape the shards are dealt across: shard i's stream, arena
+  /// batches and tuned tile lookups live on device i % topology.devices.
+  /// The default is the degenerate single-device topology (today's
+  /// single-engine behavior, bit for bit).
+  gpusim::TopologyConfig topology = serve_default_topology();
+  /// Cross-shard work stealing: a flushing shard whose own queue drains
+  /// below batch_jobs tops its batch up from the other shards' queues,
+  /// in pinned victim order (self+1, self+2, ... mod shards).  Results
+  /// stay bitwise-identical to run_serial — a job is a pure function of
+  /// its JobDesc and every batch is bucket-sorted before running — so
+  /// stealing only moves *where* a job runs, never what it computes.
+  bool work_steal = false;
 };
 
 struct ServeStats {
@@ -80,6 +103,7 @@ struct ServeStats {
   std::uint64_t failed = 0;
   std::uint64_t batches = 0;       ///< flushes that processed >= 1 job
   std::uint64_t batch_errors = 0;  ///< batches that threw batch_error
+  std::uint64_t stolen = 0;        ///< jobs flushed by a non-home shard
   std::uint64_t rejected_total = 0;
   /// Sheds/rejects by reason, indexed by AdmitError (kNone slot unused).
   std::array<std::uint64_t, 6> rejected_by{};
@@ -111,8 +135,17 @@ class ServeEngine {
 
   [[nodiscard]] const ServeConfig& config() const noexcept { return config_; }
 
-  /// The device context whose LaunchEngine runs the batches.
-  [[nodiscard]] gpusim::DeviceContext& context() noexcept { return *ctx_; }
+  /// The device context whose LaunchEngine runs device-0 batches (the
+  /// only device in the default topology).
+  [[nodiscard]] gpusim::DeviceContext& context() noexcept { return topo_->context(0); }
+
+  /// The node topology the shards are dealt across.
+  [[nodiscard]] gpusim::DeviceTopology& topology() noexcept { return *topo_; }
+
+  /// Device that shard `shard` runs on (round-robin over the topology).
+  [[nodiscard]] std::size_t device_of(std::size_t shard) const noexcept {
+    return shard % topo_->devices();
+  }
 
  private:
   /// One admitted job staged for a flush: its descriptor plus the base
@@ -124,10 +157,14 @@ class ServeEngine {
   };
 
   struct alignas(kCacheLineBytes) Shard {
-    Shard(const ServeConfig& cfg, gpusim::DeviceContext& ctx);
+    Shard(const ServeConfig& cfg, gpusim::DeviceContext& ctx, std::size_t index,
+          std::size_t device);
     ~Shard();
 
     simrt::BoundedMpscQueue<JobDesc> queue;
+    gpusim::DeviceContext* ctx;  ///< the device this shard runs on
+    std::size_t index;           ///< shard's own slot (steal-order anchor)
+    std::size_t device;          ///< topology device index of `ctx`
     gpusim::Stream stream;
     ShardMutex submit_mutex;  ///< guards stream.enqueue (not thread-safe)
     ShardMutex flush_mutex;   ///< serializes flush bodies (arena + staging)
@@ -153,7 +190,7 @@ class ServeEngine {
   void deliver(Shard& shard);
 
   ServeConfig config_;
-  std::unique_ptr<gpusim::DeviceContext> ctx_;
+  std::unique_ptr<gpusim::DeviceTopology> topo_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<bool> accepting_{true};
 
@@ -162,6 +199,7 @@ class ServeEngine {
   std::atomic<std::uint64_t> failed_{0};
   std::atomic<std::uint64_t> batches_{0};
   std::atomic<std::uint64_t> batch_errors_{0};
+  std::atomic<std::uint64_t> stolen_{0};
   std::array<std::atomic<std::uint64_t>, 6> rejected_by_{};
 };
 

@@ -1,5 +1,12 @@
 #include "affinity.hpp"
 
+#include <thread>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 namespace portabench::simrt {
 
 Placement compute_placement(const CpuTopology& topo, std::size_t num_threads, BindPolicy policy) {
@@ -28,6 +35,34 @@ Placement compute_placement(const CpuTopology& topo, std::size_t num_threads, Bi
     }
   }
   return p;
+}
+
+Placement domain_placement(const CpuTopology& topo, std::size_t num_threads,
+                           std::size_t domain) {
+  PB_EXPECTS(num_threads > 0);
+  PB_EXPECTS(domain < topo.numa_domains);
+  const std::size_t cpd = topo.cores_per_domain();
+  Placement p;
+  p.core_of_thread.resize(num_threads);
+  for (std::size_t t = 0; t < num_threads; ++t) {
+    p.core_of_thread[t] = domain * cpd + t % cpd;
+  }
+  return p;
+}
+
+bool bind_current_thread(std::size_t core) noexcept {
+  if (core == Placement::kUnpinned) return false;
+#if defined(__linux__)
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) return false;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<int>(core % hw), &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof set, &set) == 0;
+#else
+  (void)core;
+  return false;
+#endif
 }
 
 double remote_access_fraction(const CpuTopology& topo, const Placement& placement) {

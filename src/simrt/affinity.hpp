@@ -72,6 +72,23 @@ struct Placement {
 [[nodiscard]] Placement compute_placement(const CpuTopology& topo, std::size_t num_threads,
                                           BindPolicy policy);
 
+/// Placement restricted to one NUMA domain: thread i -> core
+/// `domain*cores_per_domain + i % cores_per_domain`.  This is the GCD
+/// feeding pattern on Crusher (each MI250X GCD is driven from the EPYC
+/// domain it is attached to); DeviceTopology uses it to pin each
+/// device's workers close to that device's host staging memory.
+[[nodiscard]] Placement domain_placement(const CpuTopology& topo, std::size_t num_threads,
+                                         std::size_t domain);
+
+/// Bind the calling thread to one OS CPU, best-effort.  Core ids wrap
+/// modulo the host's actual CPU count, so a modeled 64-core EPYC
+/// placement still yields a valid (if aliased) binding on a smaller
+/// simulation host.  Returns true when the OS accepted the mask; false
+/// where unsupported (non-Linux) or rejected — callers treat pinning as
+/// advisory either way, matching the "applied where the host OS allows"
+/// ThreadPool contract.
+bool bind_current_thread(std::size_t core) noexcept;
+
 /// Fraction of memory accesses that cross a NUMA boundary for a
 /// first-touch-initialized array traversed by the given placement.
 /// Unpinned threads are assumed to migrate, touching all domains evenly.

@@ -101,6 +101,15 @@ bool ThreadPool::await_epoch(WorkerSlot& slot, std::uint64_t epoch) {
 }
 
 void ThreadPool::worker_loop(std::size_t thread_id) {
+  // Apply the recorded placement to this OS thread, best-effort.  Only
+  // workers are bound: logical thread 0 is the caller's thread, which
+  // the pool does not own (pinning it would leak policy into code that
+  // merely forked a region).  bind_current_thread wraps core ids modulo
+  // the host CPU count, so modeled-machine placements stay valid on
+  // smaller simulation hosts.
+  if (placement_.pinned() && thread_id < placement_.core_of_thread.size()) {
+    bind_current_thread(placement_.core_of_thread[thread_id]);
+  }
   WorkerSlot& slot = slots_[thread_id - 1];
   std::uint64_t epoch = 0;
   for (;;) {

@@ -87,6 +87,26 @@ TEST_F(CacheTest, WarmRunReproducesColdFindingsExactly) {
   EXPECT_FALSE(cold.suppressed.empty());
 }
 
+TEST_F(CacheTest, SerializedLaunchBitSurvivesTheRoundTrip) {
+  // A stream-op handoff that only stays quiet because the launch is in
+  // the serialized class: if the reloaded IR dropped the bit, the warm
+  // run would fire fl-shared-write-escape where the cold run did not.
+  write("helper.cpp", "inline void fill(double& out, double v) { out = v; }\n");
+  write("pipeline.cpp",
+        "void stage(Stream& s, double& slot) {\n"
+        "  s.enqueue(1.0e-6, [&] { fill(slot, 2.0); });\n"
+        "}\n");
+
+  const auto cold = scan();
+  EXPECT_EQ(cold.cache_hits, 0u);
+  EXPECT_TRUE(cold.active.empty()) << render(cold).front();
+
+  const auto warm = scan();
+  EXPECT_EQ(warm.cache_hits, 2u);
+  EXPECT_TRUE(warm.active.empty()) << render(warm).front();
+  EXPECT_EQ(render(warm), render(cold));
+}
+
 TEST_F(CacheTest, EditedFileMissesWhileOthersStayWarm) {
   write("a.cpp", "int a = 0;\n");
   write("b.cpp", "int b = 0;\n");

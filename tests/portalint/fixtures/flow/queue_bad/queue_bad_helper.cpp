@@ -1,0 +1,12 @@
+// portalint fixture: known-bad control, cross-TU half (helper side).
+// Identical helper to the queue_good corpus: a non-atomic write through
+// a reference parameter, ordinary on its own.  Whether the call site
+// races depends entirely on the launch class that hands the buffer in.
+#include <cstddef>
+#include <vector>
+
+namespace fixture {
+
+inline void fill_slot(std::vector<double>& slot, double v) { slot[0] = v; }
+
+}  // namespace fixture

@@ -1,0 +1,17 @@
+// portalint fixture: known-bad control for the serialized launch class.
+// The same fill_slot() handoff that is quiet on a stream op (see the
+// queue_good corpus) races when issued from parallel lanes: every lane
+// writes slot[0].  Pins that the serialized exemption does not leak to
+// real dispatch calls.
+#include <cstddef>
+#include <vector>
+
+namespace fixture {
+
+inline void stage_from_lanes(Space& space, std::size_t n, std::vector<double>& slot) {
+  parallel_for(space, RangePolicy(0, n), [&](std::size_t i) {
+    fill_slot(slot, static_cast<double>(i));  // portalint-expect: fl-shared-write-escape
+  });
+}
+
+}  // namespace fixture

@@ -1,0 +1,13 @@
+// portalint fixture: known-good, cross-TU half (helper side).  Writing
+// through the reference parameter is the double-buffer handoff: the
+// pipeline hands each enqueued op the staging slot it owns for that
+// panel.  The write-effect summary sees a non-atomic indexed write —
+// the same effect fl-shared-write-escape flags on a parallel dispatch.
+#include <cstddef>
+#include <vector>
+
+namespace fixture {
+
+inline void fill_slot(std::vector<double>& slot, double v) { slot[0] = v; }
+
+}  // namespace fixture

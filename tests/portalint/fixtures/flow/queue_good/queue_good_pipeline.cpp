@@ -1,0 +1,22 @@
+// portalint fixture: known-good, cross-TU half (pipeline side).  The
+// enqueued op hands a by-reference staging buffer to fill_slot()
+// (defined in queue_good_helper.cpp), which writes it at a constant
+// index — exactly the shape fl-shared-write-escape fires on for a
+// parallel dispatch.  Stream ops execute serialized, one at a time in
+// stream order, so there are no lanes to race: the serialized launch
+// class must stay quiet on the double-buffer handoff.
+#include <cstddef>
+#include <vector>
+
+namespace fixture {
+
+inline void stage_panels(Stream& stream, std::size_t panels, std::vector<double>& front,
+                         std::vector<double>& back) {
+  for (std::size_t p = 0; p < panels; ++p) {
+    stream.enqueue(1.0e-6, [&] {
+      fill_slot(p % 2 == 0 ? front : back, static_cast<double>(p));
+    });
+  }
+}
+
+}  // namespace fixture

@@ -98,9 +98,10 @@ TEST_P(GoodFlowCorpus, ScansClean) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Portaflow, BadFlowCorpus,
-                         ::testing::Values("swe_bad", "ord_bad", "det_bad"));
+                         ::testing::Values("swe_bad", "ord_bad", "det_bad", "queue_bad"));
 INSTANTIATE_TEST_SUITE_P(Portaflow, GoodFlowCorpus,
-                         ::testing::Values("swe_good", "ord_good", "det_good"));
+                         ::testing::Values("swe_good", "ord_good", "det_good",
+                                           "queue_good"));
 
 // The acceptance demonstration: the same corpus the interprocedural
 // pass flags is provably clean under every token-level rule (--no-flow
@@ -117,6 +118,18 @@ TEST(TokenLevelProvablyPasses, SharedWriteEscape) {
 
 TEST(TokenLevelProvablyPasses, DetTaint) {
   EXPECT_TRUE(findings_of(scan({kFlow / "det_bad"}, /*run_flow=*/false)).empty());
+}
+
+// The serialized launch class: an identical by-reference handoff to an
+// identical helper is quiet when the lambda is a stream op (serialized
+// in stream order — no lanes to race) and fires when it is a parallel
+// dispatch.  The exemption is keyed on the launch class, not the shape.
+TEST(SerializedQueueOps, StreamHandoffQuietLaneHandoffFires) {
+  const auto good = findings_of(scan({kFlow / "queue_good"}));
+  EXPECT_TRUE(good.empty()) << "double-buffer handoff misflagged:\n" << to_string(good);
+  const auto bad = findings_of(scan({kFlow / "queue_bad"}));
+  ASSERT_EQ(bad.size(), 1u) << to_string(bad);
+  EXPECT_EQ(bad.begin()->first, "fl-shared-write-escape");
 }
 
 // Cross-function findings carry the helper-side site so reports and the

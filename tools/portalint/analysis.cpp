@@ -23,6 +23,19 @@ const std::set<std::string>& dispatch_calls() {
   return kCalls;
 }
 
+/// Calls whose lambda arguments execute *serialized*, in stream order,
+/// on a single queue worker: gpusim stream ops and the pipeline stage
+/// callbacks.  These bind host callbacks, not parallel lanes, so the
+/// lane-safety rules treat them as a separate launch class.
+const std::set<std::string>& queue_calls() {
+  static const std::set<std::string> kCalls = {
+      "enqueue",       "copy_async",          "copy_to_device_async",
+      "copy_to_host_async", "peer_copy_async", "run_pipeline",
+      "run_sharded_pipeline",
+  };
+  return kCalls;
+}
+
 char opener_close(const std::string& open) {
   if (open == "(") return ')';
   if (open == "[") return ']';
@@ -146,10 +159,16 @@ std::vector<LambdaInfo> find_dispatch_lambdas(const std::vector<Token>& t) {
   return out;
 }
 
-std::vector<DispatchSite> find_dispatch_sites(const std::vector<Token>& t) {
+namespace {
+
+/// Shared scan body for the two launch classes: direct-lambda arguments
+/// of calls in `calls`, tagged with `serialized`.
+std::vector<DispatchSite> find_sites(const std::vector<Token>& t,
+                                     const std::set<std::string>& calls,
+                                     bool serialized) {
   std::vector<DispatchSite> out;
   for (std::size_t i = 0; i + 1 < t.size(); ++i) {
-    if (!is_ident(t[i]) || !dispatch_calls().count(t[i].text)) continue;
+    if (!is_ident(t[i]) || !calls.count(t[i].text)) continue;
     if (!is_punct(t[i + 1], "(")) continue;
     const std::size_t close = match_forward(t, i + 1);
     if (close == kNpos) continue;
@@ -161,6 +180,7 @@ std::vector<DispatchSite> find_dispatch_sites(const std::vector<Token>& t) {
       l.call = t[i].text;
       DispatchSite site;
       site.lambda = std::move(l);
+      site.serialized = serialized;
       // Split the tokens between the call's '(' and the lambda's '['
       // into top-level argument groups.
       std::size_t arg_start = i + 2;
@@ -180,6 +200,16 @@ std::vector<DispatchSite> find_dispatch_sites(const std::vector<Token>& t) {
     }
   }
   return out;
+}
+
+}  // namespace
+
+std::vector<DispatchSite> find_dispatch_sites(const std::vector<Token>& t) {
+  return find_sites(t, dispatch_calls(), /*serialized=*/false);
+}
+
+std::vector<DispatchSite> find_queue_sites(const std::vector<Token>& t) {
+  return find_sites(t, queue_calls(), /*serialized=*/true);
 }
 
 std::set<std::string> body_local_names(const std::vector<Token>& t,

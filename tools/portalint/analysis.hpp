@@ -47,10 +47,20 @@ struct DispatchSite {
   LambdaInfo lambda;
   /// Flattened token texts per top-level argument before the lambda.
   std::vector<std::vector<std::string>> leading_args;
+  /// True for queue/stream entry points (enqueue, copy_*_async,
+  /// run_pipeline, ...): the lambda executes serialized in stream order
+  /// rather than as parallel lanes.
+  bool serialized = false;
 };
 
 /// Like find_dispatch_lambdas, but keeps the leading call arguments.
 [[nodiscard]] std::vector<DispatchSite> find_dispatch_sites(const std::vector<Token>& t);
+
+/// Lambdas passed to queue/stream entry points (Stream::enqueue, the
+/// copy_async family, the pipeline drivers).  Same scan as
+/// find_dispatch_sites but over the serialized call-name set; sites
+/// come back with `serialized = true`.
+[[nodiscard]] std::vector<DispatchSite> find_queue_sites(const std::vector<Token>& t);
 
 /// Heuristic set of names declared inside the token range (begin, end):
 /// an identifier preceded by a type-ish token (identifier, '>', '*', '&',

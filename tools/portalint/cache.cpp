@@ -184,7 +184,8 @@ void AnalysisCache::save(const std::filesystem::path& file) const {
 
     for (const LaunchIR& l : e.ir.launches) {
       os << "ln " << l.line << ' ' << static_cast<int>(l.cap_default) << ' '
-         << esc(l.call) << ' ' << esc(l.enclosing_function) << '\n';
+         << (l.serialized ? 1 : 0) << ' ' << esc(l.call) << ' '
+         << esc(l.enclosing_function) << '\n';
       write_str_list(os, "lrc", l.ref_caps);
       write_str_list(os, "lvc", l.val_caps);
       write_str_list(os, "lp", l.params);
@@ -322,14 +323,16 @@ bool AnalysisCache::load(const std::filesystem::path& file) {
       access = nullptr;
       call = nullptr;
     } else if (tag == "ln") {
-      if (f.size() != 5) return fail();
+      if (f.size() != 6) return fail();
       LaunchIR nl;
       int cap = 0;
-      if (!to_int(f[1], nl.line) || !to_int(f[2], cap) || !unesc(f[3], nl.call) ||
-          !unesc(f[4], nl.enclosing_function)) {
+      int serialized = 0;
+      if (!to_int(f[1], nl.line) || !to_int(f[2], cap) || !to_int(f[3], serialized) ||
+          !unesc(f[4], nl.call) || !unesc(f[5], nl.enclosing_function)) {
         return fail();
       }
       nl.cap_default = static_cast<char>(cap);
+      nl.serialized = serialized != 0;
       entry->ir.launches.push_back(std::move(nl));
       launch = &entry->ir.launches.back();
       access = nullptr;

@@ -312,7 +312,11 @@ void flow_unproved_bounds(const FlowContext& ctx, std::vector<Finding>& out) {
   for (std::size_t i = 0; i < ctx.size(); ++i) {
     const FileUnit& u = ctx.unit(i);
     const FileIR& ir = ctx.ir(i);
-    for (const LaunchIR& l : ir.launches) check_launch(u, ir, l, out);
+    for (const LaunchIR& l : ir.launches) {
+      // Serialized queue ops have no lane range to prove against.
+      if (l.serialized) continue;
+      check_launch(u, ir, l, out);
+    }
   }
 }
 

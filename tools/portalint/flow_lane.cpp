@@ -55,6 +55,10 @@ std::vector<std::string> idents_of(const std::vector<std::string>& tokens) {
 
 void check_launch_calls(const FlowContext& ctx, const FileUnit& u, const FileIR& ir,
                         const LaunchIR& l, std::vector<Finding>& out) {
+  // Serialized queue ops (Stream::enqueue, copy_async, pipeline stages)
+  // run one-at-a-time in stream order: handing a by-reference staging
+  // buffer to a helper is the double-buffer handoff, not a lane race.
+  if (l.serialized) return;
   for (const CallIR& c : l.calls) {
     const FunctionSummary* g = ctx.graph.resolve(c.callee);
     if (g == nullptr) continue;

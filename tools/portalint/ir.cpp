@@ -676,6 +676,7 @@ void lower_launch(const FileUnit& u, const DispatchSite& site,
   LaunchIR lr;
   lr.call = l.call;
   lr.line = l.line;
+  lr.serialized = site.serialized;
   lr.cap_default = l.cap_default;
   lr.ref_caps = l.ref_caps;
   lr.val_caps = l.val_caps;
@@ -868,6 +869,11 @@ FileIR build_ir(const FileUnit& u) {
 
   std::vector<FuncSpan> funcs = find_functions(u, unordered_names);
   for (const DispatchSite& site : find_dispatch_sites(t)) {
+    lower_launch(u, site, funcs, unordered_names, out);
+  }
+  // Queue/stream ops lower through the same path but land in the
+  // serialized launch class (see LaunchIR::serialized).
+  for (const DispatchSite& site : find_queue_sites(t)) {
     lower_launch(u, site, funcs, unordered_names, out);
   }
   collect_orders(u, funcs, out);

@@ -148,6 +148,12 @@ struct LaunchIR {
   std::vector<AccessIR> accesses;
   std::vector<CallIR> calls;
   std::string enclosing_function;  // "" at namespace scope
+  /// True for the serialized launch class (Stream::enqueue ops, the
+  /// copy_async family, pipeline stage callbacks): the body runs on one
+  /// queue worker in stream order, so there are no lanes to race and
+  /// the lane-safety passes skip it.  Determinism and ordering passes
+  /// still see its calls.
+  bool serialized = false;
 
   [[nodiscard]] bool captures_by_ref(const std::string& name) const;
   [[nodiscard]] bool captures_by_value(const std::string& name) const;
