@@ -31,8 +31,12 @@
 #include "common/precision.hpp"
 #include "common/rng.hpp"
 #include "gemm/kernels_tiled.hpp"
+#include "gpusim/device.hpp"
 #include "gpusim/engine.hpp"
 #include "gpusim/tunables.hpp"
+#include "primitives/scan.hpp"
+#include "primitives/serial.hpp"
+#include "primitives/sort.hpp"
 #include "serve/engine.hpp"
 #include "serve/serial.hpp"
 #include "simrt/mdarray.hpp"
@@ -229,6 +233,69 @@ bool serve_bitwise(const tune::Config& cfg) {
   return true;
 }
 
+/// Sorted (key, value) output under the tuned radix schedule must equal
+/// std::stable_sort over the key bijection — every knob (digit width,
+/// tile, lanes) is pure schedule.
+bool radix_bitwise(const tune::Config& cfg) {
+  const tune::SpaceDesc* space = tune::find_space("primitives-radix");
+  primitives::SortConfig sc;
+  sc.radix_bits = static_cast<unsigned>(
+      std::clamp(tune::config_value(*space, cfg, "radix_bits"), 1L, 8L));
+  sc.chunk = static_cast<std::size_t>(
+      std::max(1L, tune::config_value(*space, cfg, "chunk")));
+  sc.lanes = static_cast<std::size_t>(
+      std::max(1L, tune::config_value(*space, cfg, "lanes")));
+
+  constexpr std::size_t n = 4099;  // prime: ragged tiles and lane slices
+  std::vector<std::uint64_t> keys(n), values(n);
+  Xoshiro256 rng(11);
+  for (std::size_t i = 0; i < n; ++i) {
+    keys[i] = rng() & 0xffffull;  // dense duplicates exercise stability
+    values[i] = i;
+  }
+  std::vector<std::uint64_t> ref_keys = keys, ref_values = values;
+  primitives::sort_pairs_oracle(std::span<std::uint64_t>(ref_keys),
+                                std::span<std::uint64_t>(ref_values));
+
+  gpusim::DeviceContext ctx(gpusim::GpuSpec::a100());
+  primitives::device_radix_sort_pairs<std::uint64_t, std::uint64_t>(
+      ctx, std::span<std::uint64_t>(keys), std::span<std::uint64_t>(values), sc);
+  return std::memcmp(keys.data(), ref_keys.data(), n * sizeof(std::uint64_t)) == 0 &&
+         std::memcmp(values.data(), ref_values.data(), n * sizeof(std::uint64_t)) == 0;
+}
+
+/// fp exclusive scan under the tuned schedule must equal both the default
+/// schedule and the serial oracle bit for bit: chunk/lanes only remap the
+/// frozen kSegment slices onto blocks.
+bool scan_bitwise(const tune::Config& cfg) {
+  const tune::SpaceDesc* space = tune::find_space("primitives-scan");
+  primitives::ScanConfig tuned;
+  tuned.chunk = static_cast<std::size_t>(
+      std::max(1L, tune::config_value(*space, cfg, "chunk")));
+  tuned.lanes = static_cast<std::size_t>(
+      std::max(1L, tune::config_value(*space, cfg, "lanes")));
+
+  constexpr std::size_t n = 10007;  // prime: ragged final segment
+  std::vector<double> in(n);
+  Xoshiro256 rng(13);
+  for (std::size_t i = 0; i < n; ++i) in[i] = rng.uniform() - 0.5;
+
+  std::vector<double> ref(n);
+  primitives::exclusive_scan_oracle(std::span<const double>(in), std::span<double>(ref),
+                                    primitives::SumOp<double>{});
+
+  gpusim::DeviceContext ctx(gpusim::GpuSpec::a100());
+  std::vector<double> out_def(n), out_tuned(n);
+  primitives::device_exclusive_scan(ctx, std::span<const double>(in),
+                                    std::span<double>(out_def),
+                                    primitives::SumOp<double>{});
+  primitives::device_exclusive_scan(ctx, std::span<const double>(in),
+                                    std::span<double>(out_tuned),
+                                    primitives::SumOp<double>{}, tuned);
+  return std::memcmp(out_def.data(), ref.data(), n * sizeof(double)) == 0 &&
+         std::memcmp(out_tuned.data(), ref.data(), n * sizeof(double)) == 0;
+}
+
 bool bitwise_check(const Workload& w, const tune::Config& cfg) {
   if (w.space == "gemm-tile") {
     for (const Precision p : {Precision::kDouble, Precision::kSingle, Precision::kHalfIn}) {
@@ -239,6 +306,8 @@ bool bitwise_check(const Workload& w, const tune::Config& cfg) {
   if (w.space == "dispatch") return dispatch_bitwise(cfg);
   if (w.space == "launch") return launch_bitwise(cfg);
   if (w.space == "serve-batch") return serve_bitwise(cfg);
+  if (w.space == "primitives-radix") return radix_bitwise(cfg);
+  if (w.space == "primitives-scan") return scan_bitwise(cfg);
   return true;
 }
 
@@ -327,6 +396,10 @@ int run(const Options& opt) {
   workloads.push_back({"launch", "launch", "-", 0, tune::launch_objective()});
   workloads.push_back(
       {"serve_batch", "serve-batch", "-", 0, tune::serve_batch_objective(serve_jobs)});
+  workloads.push_back({"prim_radix", "primitives-radix", "-", 0,
+                       tune::primitives_radix_objective(opt.quick ? (1u << 15) : (1u << 17))});
+  workloads.push_back({"prim_scan", "primitives-scan", "-", 0,
+                       tune::primitives_scan_objective(opt.quick ? (1u << 16) : (1u << 19))});
 
   std::vector<WorkloadResult> results;
   double best_speedup = 1.0;

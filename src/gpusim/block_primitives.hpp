@@ -1,53 +1,157 @@
 // Cooperative block-level primitives: reduce and scan across the lanes of
-// one thread block.
+// one thread block, templated on element type and binary op.
 //
 // CUDA/HIP kernels build these from __shared__ staging plus
 // __syncthreads(); under the simulator's thread-loop-fission lowering the
 // same algorithms are expressed as successive for_lanes() regions over a
-// shared-memory scratch array.  Used by reduction-style kernels (dot
-// products, norms) that the library supports beyond the paper's GEMM.
+// shared-memory scratch array.
+//
+// Op contract (the identity-carrying reduction-op shape, see
+// src/primitives/op.hpp for the concept and the stock operators):
+//   T operator()(T, T) const   — the combiner; the LEFT operand is always
+//                                the earlier lane, so non-commutative ops
+//                                and tie-breaking resolve left-to-right
+//   T identity() const         — op(identity, x) == x
+// The combination TREE is a pure function of (lanes, op) — never of the
+// sanitizer's permuted lane order — so for exact ops (integers, min/max,
+// bit ops) the result is bitwise-identical to a plain left fold, and for
+// floating-point ops it is bitwise-reproducible run-to-run.
 #pragma once
 
+#include <bit>
 #include <span>
 #include <type_traits>
+#include <utility>
 
 #include "launch.hpp"
+#include "warp.hpp"
 
 namespace portabench::gpusim {
 
-/// Sum-reduce one value per lane across the block.  `scratch` must hold
-/// at least block_dim.volume() elements of block-shared memory.  After
-/// the call scratch[0] holds the block total, which is also returned.
+namespace detail {
+
+/// Minimal sum op backing the historical *_sum entry points (the rich
+/// operator set lives one layer up in src/primitives/op.hpp; gpusim only
+/// needs "plus with a zero identity" for its own aliases).
+template <class T>
+struct PlusOp {
+  [[nodiscard]] T operator()(const T& a, const T& b) const { return a + b; }
+  [[nodiscard]] T identity() const { return T{}; }
+};
+
+}  // namespace detail
+
+/// Reduce one value per lane across the block with an arbitrary op:
+/// hierarchical warp-shuffle trees (warp_reduce_leaders) followed by a
+/// left-to-right fold of the warp leaders by lane 0.  `scratch` must hold
+/// at least block_dim.volume() elements; after the call scratch[0] holds
+/// the block result, which is also returned.
 ///
-/// `value_of(ThreadCtx)` supplies each lane's contribution.  The
-/// ceil-halving tree (lane i adds lane i + ceil(active/2)) matches the
-/// canonical CUDA shared-memory reduction and handles non-power-of-two
-/// blocks.
-template <class T, class F>
-T block_reduce_sum(BlockCtx& bc, std::span<T> scratch, F&& value_of) {
+/// For exact ops the value equals the plain left fold of the lanes; for
+/// floating-point sums it is the fixed (lanes, op)-determined tree.
+template <class T, class Op, class F>
+T block_reduce(BlockCtx& bc, std::span<T> scratch, Op op, F&& value_of) {
   const std::size_t lanes = bc.block_dim().volume();
   PB_EXPECTS(scratch.size() >= lanes);
 
-  bc.for_lanes([&](const ThreadCtx& tc) { scratch[tc.lane_in_block()] = value_of(tc); });
-
-  for (std::size_t active = lanes; active > 1;) {
-    const std::size_t half = (active + 1) / 2;
-    bc.for_lanes([&](const ThreadCtx& tc) {
-      const std::size_t lane = tc.lane_in_block();
-      if (lane + half < active) scratch[lane] = scratch[lane] + scratch[lane + half];
-    });
-    active = half;
-  }
+  warp_reduce_leaders(bc, scratch, op, std::forward<F>(value_of));
+  bc.for_lanes([&](const ThreadCtx& tc) {
+    if (tc.lane_in_block() != 0) return;
+    T acc = scratch[0];
+    for (std::size_t base = kWarpSize; base < lanes; base += kWarpSize) {
+      acc = op(acc, scratch[base]);
+    }
+    scratch[0] = acc;
+  });
   return scratch[0];
 }
 
-/// Exclusive scan of one value per lane (Hillis-Steele over shared
-/// memory; O(n log n) work, the standard block-scan shape).  `scratch`
-/// must hold at least 2 * lanes elements.  On return scratch[i] holds the
-/// exclusive prefix of lane i.  Correct for blocks of any dimensionality
-/// (lanes are linearized in the CUDA order).
+/// Sum-reduce alias (the historical entry point; migrated callers keep
+/// compiling unchanged).
+template <class T, class F>
+T block_reduce_sum(BlockCtx& bc, std::span<T> scratch, F&& value_of) {
+  return block_reduce(bc, scratch, detail::PlusOp<T>{}, std::forward<F>(value_of));
+}
+
+/// Work-efficient exclusive scan of one value per lane (Blelloch
+/// upsweep/downsweep over shared memory; O(n) combines versus the
+/// O(n log n) of the Hillis-Steele shape it replaces).  `scratch` must
+/// hold at least 2 * lanes elements (the tree is built on the
+/// power-of-two ceiling, which is at most that).  On return scratch[i]
+/// holds the exclusive prefix of lane i.  Non-commutative ops are
+/// supported: the downsweep combines the incoming prefix on the LEFT of
+/// the left-subtree total, preserving lane order.  Correct for blocks of
+/// any dimensionality (lanes are linearized in the CUDA order).
+template <class T, class Op, class F>
+void block_exclusive_scan(BlockCtx& bc, std::span<T> scratch, Op op, F&& value_of) {
+  const std::size_t lanes = bc.block_dim().volume();
+  PB_EXPECTS(scratch.size() >= 2 * lanes);
+  const std::size_t m = std::bit_ceil(lanes);
+
+  bc.for_lanes([&](const ThreadCtx& tc) {
+    const std::size_t lane = tc.lane_in_block();
+    scratch[lane] = value_of(tc);
+    if (lane == 0) {
+      for (std::size_t pad = lanes; pad < m; ++pad) scratch[pad] = op.identity();
+    }
+  });
+
+  // Upsweep: each region is one tree level; the writer of slot
+  // (j+1)*2*stride-1 reads slot (2j+1)*stride-1, which no other lane
+  // writes in the same region.
+  for (std::size_t stride = 1; stride < m; stride *= 2) {
+    bc.for_lanes([&](const ThreadCtx& tc) {
+      const std::size_t right = (tc.lane_in_block() + 1) * 2 * stride - 1;
+      if (right < m) scratch[right] = op(scratch[right - stride], scratch[right]);
+    });
+  }
+
+  bc.for_lanes([&](const ThreadCtx& tc) {
+    if (tc.lane_in_block() == 0) scratch[m - 1] = op.identity();
+  });
+
+  // Downsweep: node slots hold the exclusive prefix of their subtree; the
+  // right child's prefix is op(parent prefix, left-subtree total) — the
+  // parent prefix stays on the left, which is what makes non-commutative
+  // ops come out in lane order.
+  for (std::size_t stride = m / 2; stride >= 1; stride /= 2) {
+    bc.for_lanes([&](const ThreadCtx& tc) {
+      const std::size_t right = (tc.lane_in_block() + 1) * 2 * stride - 1;
+      if (right >= m) return;
+      const std::size_t left = right - stride;
+      const T t = scratch[left];
+      scratch[left] = scratch[right];
+      scratch[right] = op(scratch[right], t);
+    });
+  }
+}
+
+/// Sum-scan alias (the historical 3-argument entry point).
 template <class T, class F>
 void block_exclusive_scan(BlockCtx& bc, std::span<T> scratch, F&& value_of) {
+  block_exclusive_scan(bc, scratch, detail::PlusOp<T>{}, std::forward<F>(value_of));
+}
+
+/// Inclusive scan: exclusive prefix combined (on the right) with the
+/// lane's own value.
+template <class T, class Op, class F>
+void block_inclusive_scan(BlockCtx& bc, std::span<T> scratch, Op op, F&& value_of) {
+  block_exclusive_scan(bc, scratch, op, value_of);
+  bc.for_lanes([&](const ThreadCtx& tc) {
+    const std::size_t lane = tc.lane_in_block();
+    scratch[lane] = op(scratch[lane], value_of(tc));
+  });
+}
+
+/// The pre-Blelloch Hillis-Steele exclusive scan, kept as the measured
+/// baseline for bench/micro_primitives (O(n log n) combines, log n
+/// barrier regions of full-block width).  Same scratch and result
+/// contract as block_exclusive_scan.  For exact ops the two produce
+/// identical bits; do not mix them inside one floating-point reduction
+/// pipeline — the trees differ.
+template <class T, class Op, class F>
+void block_exclusive_scan_hillis(BlockCtx& bc, std::span<T> scratch, Op op,
+                                 F&& value_of) {
   const std::size_t lanes = bc.block_dim().volume();
   PB_EXPECTS(scratch.size() >= 2 * lanes);
   std::span<T> ping = scratch.subspan(0, lanes);
@@ -55,11 +159,11 @@ void block_exclusive_scan(BlockCtx& bc, std::span<T> scratch, F&& value_of) {
 
   bc.for_lanes([&](const ThreadCtx& tc) { ping[tc.lane_in_block()] = value_of(tc); });
 
-  // Inclusive Hillis-Steele.
+  // Inclusive Hillis-Steele; the earlier lane's prefix stays on the left.
   for (std::size_t stride = 1; stride < lanes; stride *= 2) {
     bc.for_lanes([&](const ThreadCtx& tc) {
       const std::size_t lane = tc.lane_in_block();
-      pong[lane] = lane >= stride ? ping[lane] + ping[lane - stride] : ping[lane];
+      pong[lane] = lane >= stride ? op(ping[lane - stride], ping[lane]) : ping[lane];
     });
     std::swap(ping, pong);
   }
@@ -69,7 +173,7 @@ void block_exclusive_scan(BlockCtx& bc, std::span<T> scratch, F&& value_of) {
   // output region so no lane reads a slot another lane already wrote.
   bc.for_lanes([&](const ThreadCtx& tc) {
     const std::size_t lane = tc.lane_in_block();
-    pong[lane] = lane == 0 ? T{} : ping[lane - 1];
+    pong[lane] = lane == 0 ? op.identity() : ping[lane - 1];
   });
   bc.for_lanes([&](const ThreadCtx& tc) {
     const std::size_t lane = tc.lane_in_block();

@@ -1,0 +1,175 @@
+// Warp-level primitives: shuffle, ballot, and vote across the lanes of
+// one warp, lowered through the thread-loop-fission model.
+//
+// CUDA/HIP expose __shfl_down_sync / __shfl_xor_sync / __ballot_sync as
+// register exchanges inside one warp.  The simulator has no registers to
+// exchange — lanes of a block run as a serial (or seed-permuted) loop —
+// so each warp collective is expressed as two for_lanes() regions over a
+// block-shared staging array: region one publishes every lane's operand,
+// region two reads the shuffled slot.  The implicit __syncthreads()
+// between regions opens a fresh portacheck epoch, which is exactly what
+// makes the cross-lane read legal under the sanitizer: the serial seed
+// schedule is preserved, and any permuted lane order produces the same
+// bits because no lane writes a slot another lane reads within a region.
+//
+// Out-of-range sources follow the CUDA convention: the lane receives its
+// own value and the `valid` flag passed to the visitor is false.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <span>
+
+#include "launch.hpp"
+
+namespace portabench::gpusim {
+
+/// Simulated warp width (the CUDA constant; AMD wavefronts would be 64 —
+/// collectives below take the width as a parameter so both map).
+inline constexpr std::size_t kWarpSize = 32;
+
+/// Number of width-sized warps covering a block.
+[[nodiscard]] constexpr std::size_t warps_in(std::size_t lanes,
+                                             std::size_t width = kWarpSize) noexcept {
+  return (lanes + width - 1) / width;
+}
+
+namespace detail {
+
+inline void validate_warp_width(std::size_t width) {
+  PB_EXPECTS(width >= 1 && width <= kWarpSize && std::has_single_bit(width));
+}
+
+}  // namespace detail
+
+/// __shfl_down_sync: every lane receives the operand of lane
+/// `lane + delta` within its warp.  `value_of(tc)` supplies each lane's
+/// operand; `visit(tc, received, valid)` observes the shuffled value
+/// (valid == false when the source lane is past the warp or block end, in
+/// which case `received` is the lane's own operand, per CUDA semantics).
+/// `scratch` must hold at least block_dim.volume() elements.
+template <class T, class F, class G>
+void warp_shfl_down(BlockCtx& bc, std::span<T> scratch, std::size_t delta, F&& value_of,
+                    G&& visit, std::size_t width = kWarpSize) {
+  detail::validate_warp_width(width);
+  const std::size_t lanes = bc.block_dim().volume();
+  PB_EXPECTS(scratch.size() >= lanes);
+
+  bc.for_lanes([&](const ThreadCtx& tc) { scratch[tc.lane_in_block()] = value_of(tc); });
+  bc.for_lanes([&](const ThreadCtx& tc) {
+    const std::size_t lane = tc.lane_in_block();
+    const std::size_t in_warp = lane % width;
+    const bool valid = in_warp + delta < width && lane + delta < lanes;
+    visit(tc, valid ? scratch[lane + delta] : scratch[lane], valid);
+  });
+}
+
+/// __shfl_xor_sync: butterfly exchange — every lane receives the operand
+/// of lane `lane ^ mask` within its warp.  Same staging and out-of-range
+/// convention as warp_shfl_down.
+template <class T, class F, class G>
+void warp_shfl_xor(BlockCtx& bc, std::span<T> scratch, std::size_t mask, F&& value_of,
+                   G&& visit, std::size_t width = kWarpSize) {
+  detail::validate_warp_width(width);
+  const std::size_t lanes = bc.block_dim().volume();
+  PB_EXPECTS(scratch.size() >= lanes);
+
+  bc.for_lanes([&](const ThreadCtx& tc) { scratch[tc.lane_in_block()] = value_of(tc); });
+  bc.for_lanes([&](const ThreadCtx& tc) {
+    const std::size_t lane = tc.lane_in_block();
+    const std::size_t in_warp = lane % width;
+    const std::size_t peer_in_warp = in_warp ^ mask;
+    const std::size_t peer = lane - in_warp + peer_in_warp;
+    const bool valid = peer_in_warp < width && peer < lanes;
+    visit(tc, valid ? scratch[peer] : scratch[lane], valid);
+  });
+}
+
+/// __ballot_sync: every lane receives a bitmask with bit i set iff lane i
+/// of its warp (counting from the warp base) satisfies the predicate.
+/// Region two is read-only over the staged predicate bytes, so every lane
+/// of a warp may fold the same slots without a conflict.  `scratch` must
+/// hold at least block_dim.volume() elements.
+template <class P, class G>
+void warp_ballot(BlockCtx& bc, std::span<std::uint32_t> scratch, P&& pred_of, G&& visit,
+                 std::size_t width = kWarpSize) {
+  detail::validate_warp_width(width);
+  const std::size_t lanes = bc.block_dim().volume();
+  PB_EXPECTS(scratch.size() >= lanes);
+
+  bc.for_lanes([&](const ThreadCtx& tc) {
+    scratch[tc.lane_in_block()] = pred_of(tc) ? 1u : 0u;
+  });
+  bc.for_lanes([&](const ThreadCtx& tc) {
+    const std::size_t lane = tc.lane_in_block();
+    const std::size_t base = lane - lane % width;
+    std::uint32_t mask = 0;
+    for (std::size_t i = 0; base + i < lanes && i < width; ++i) {
+      mask |= scratch[base + i] << i;
+    }
+    visit(tc, mask);
+  });
+}
+
+/// __any_sync / __all_sync, built on the ballot staging.
+template <class P, class G>
+void warp_any(BlockCtx& bc, std::span<std::uint32_t> scratch, P&& pred_of, G&& visit,
+              std::size_t width = kWarpSize) {
+  warp_ballot(
+      bc, scratch, std::forward<P>(pred_of),
+      [&](const ThreadCtx& tc, std::uint32_t mask) { visit(tc, mask != 0); }, width);
+}
+
+template <class P, class G>
+void warp_all(BlockCtx& bc, std::span<std::uint32_t> scratch, P&& pred_of, G&& visit,
+              std::size_t width = kWarpSize) {
+  detail::validate_warp_width(width);
+  const std::size_t lanes = bc.block_dim().volume();
+  warp_ballot(
+      bc, scratch, std::forward<P>(pred_of),
+      [&](const ThreadCtx& tc, std::uint32_t mask) {
+        const std::size_t lane = tc.lane_in_block();
+        const std::size_t base = lane - lane % width;
+        const std::size_t active = std::min(width, lanes - base);
+        const std::uint32_t full =
+            active == kWarpSize ? ~std::uint32_t{0} : (std::uint32_t{1} << active) - 1;
+        visit(tc, mask == full);
+      },
+      width);
+}
+
+/// Warp-level reduction tree (the shfl_down halving loop): after the
+/// call, scratch[w * width] holds the combined value of warp w's lanes.
+/// The offsets run ASCENDING (1, 2, ..., width/2), so after the step at
+/// offset `off` each surviving slot holds the ordered fold of the
+/// contiguous lane range [lane, lane + 2*off) — an order-preserving
+/// grouping.  (The textbook descending-offset tree folds lanes in the
+/// interleaved order 0, 16, 8, 24, ..., which is only correct for
+/// commutative ops; ascending offsets make plain associativity
+/// sufficient, so non-commutative ops and ties resolve in lane order and
+/// the warp total equals the left fold bit-for-bit for exact ops.)
+/// Missing lanes at a ragged block end are simply skipped (never
+/// combined with an identity), so the result is a pure function of
+/// (lanes, width, op, operands).  Each halving step is one for_lanes
+/// region; writers (lanes at multiples of 2*off) never touch the slots
+/// they read, so the permuted sanitizer schedule is conflict-free.
+template <class T, class Op, class F>
+void warp_reduce_leaders(BlockCtx& bc, std::span<T> scratch, Op op, F&& value_of,
+                         std::size_t width = kWarpSize) {
+  detail::validate_warp_width(width);
+  const std::size_t lanes = bc.block_dim().volume();
+  PB_EXPECTS(scratch.size() >= lanes);
+
+  bc.for_lanes([&](const ThreadCtx& tc) { scratch[tc.lane_in_block()] = value_of(tc); });
+  for (std::size_t off = 1; off < width; off *= 2) {
+    bc.for_lanes([&](const ThreadCtx& tc) {
+      const std::size_t lane = tc.lane_in_block();
+      const std::size_t in_warp = lane % width;
+      if (in_warp % (2 * off) == 0 && in_warp + off < width && lane + off < lanes) {
+        scratch[lane] = op(scratch[lane], scratch[lane + off]);
+      }
+    });
+  }
+}
+
+}  // namespace portabench::gpusim

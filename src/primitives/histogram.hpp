@@ -1,0 +1,142 @@
+// Device-wide histogram with privatized per-block counting and a
+// deterministic block-ordered combine.
+//
+// Structure (docs/PRIMITIVES.md):
+//   count    — one block per chunk-sized tile; lanes own CONTIGUOUS
+//              sub-slices and count into a privatized shared-memory
+//              histogram row per lane (no atomics, no cross-lane
+//              writes), then fold the rows in ascending lane order into
+//              a bin-major partials array partials[bin * blocks + block]
+//   combine  — a second launch folds each bin's partials in ascending
+//              BLOCK order into the output
+// Counts are integers, so the result is schedule-independent by
+// exactness; the fixed lane/block fold order additionally pins the
+// intermediate states, which is what portacheck's permuted schedules
+// verify.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "gpusim/launch.hpp"
+#include "reduce.hpp"
+#include "tunables.hpp"
+
+namespace portabench::primitives {
+
+/// Schedule-only knobs.
+struct HistogramConfig {
+  std::size_t lanes = kDefaultLanes;
+  std::size_t chunk = kDefaultSortChunk;  ///< elements per block tile
+};
+
+namespace detail {
+
+/// Deterministic block-ordered combine: each bin folds its per-block
+/// partials (bin-major, partials[bin * blocks + block]) in ascending
+/// block order into hist[bin].
+template <class Count>
+void histogram_combine(gpusim::DeviceContext& ctx, std::span<const Count> partials,
+                       std::span<Count> hist, std::size_t blocks, std::size_t lanes) {
+  const std::size_t bins = hist.size();
+  const std::size_t comb_lanes = std::max<std::size_t>(1, lanes);
+  const std::size_t comb_blocks = ceil_div(bins, comb_lanes);
+  gpusim::launch(ctx, {comb_blocks, 1, 1}, {comb_lanes, 1, 1},
+                 [&](const gpusim::ThreadCtx& tc) {
+                   const std::size_t k = tc.global_x();
+                   if (k >= bins) return;
+                   Count c{0};
+                   for (std::size_t b = 0; b < blocks; ++b) {
+                     c = static_cast<Count>(c + partials[k * blocks + b]);
+                   }
+                   hist[k] = c;
+                 });
+}
+
+}  // namespace detail
+
+/// Count in[i] into hist[bin_of(in[i])].  `hist` is overwritten (not
+/// accumulated into); bin_of must return a value < hist.size() for every
+/// input.  Count must be an integral type wide enough for n.
+template <class T, class Count, class BinOf>
+  requires std::is_integral_v<Count>
+void device_histogram(gpusim::DeviceContext& ctx, std::span<const T> in,
+                      std::span<Count> hist, BinOf bin_of,
+                      const HistogramConfig& cfg = {}) {
+  const std::size_t bins = hist.size();
+  PB_EXPECTS(bins >= 1);
+  const std::size_t n = in.size();
+  if (n == 0) {
+    std::fill(hist.begin(), hist.end(), Count{0});
+    return;
+  }
+
+  const std::size_t tile = std::max<std::size_t>(1, cfg.chunk);
+  const std::size_t blocks = detail::ceil_div(n, tile);
+  const std::size_t want = std::max<std::size_t>(1, cfg.lanes);
+  const std::size_t row_bytes = bins * sizeof(Count);
+
+  std::vector<Count> partials(bins * blocks);
+  if (row_bytes > ctx.spec().shared_mem_per_block) {
+    // Not even ONE privatized row fits in shared memory: degenerate to a
+    // single lane per block counting straight into its partials column
+    // (each block owns the slots partials[k * blocks + blk], so the
+    // launch stays conflict-free and the counts stay exact).
+    gpusim::launch(ctx, {blocks, 1, 1}, {1, 1, 1}, [&](const gpusim::ThreadCtx& tc) {
+      const std::size_t blk = tc.block_idx.x;
+      const std::size_t lo = blk * tile;
+      const std::size_t hi = std::min(n, lo + tile);
+      for (std::size_t i = lo; i < hi; ++i) {
+        const std::size_t bin = static_cast<std::size_t>(bin_of(in[i]));
+        PB_EXPECTS(bin < bins);
+        partials[bin * blocks + blk] =
+            static_cast<Count>(partials[bin * blocks + blk] + 1);
+      }
+    });
+    detail::histogram_combine(ctx, std::span<const Count>(partials), hist, blocks, want);
+    return;
+  }
+
+  const std::size_t cap =
+      std::max<std::size_t>(1, ctx.spec().shared_mem_per_block / row_bytes);
+  const std::size_t lanes = std::min(want, cap);
+  const std::size_t shared_bytes = lanes * bins * sizeof(Count);
+
+  gpusim::launch_blocks(
+      ctx, {blocks, 1, 1}, {lanes, 1, 1}, shared_bytes, [&](gpusim::BlockCtx& bc) {
+        auto priv = bc.template shared<Count>(lanes * bins);
+        const std::size_t blk = bc.block_idx().x;
+        const std::size_t lo = blk * tile;
+        const std::size_t len = std::min(n, lo + tile) - lo;
+        const std::size_t per = detail::ceil_div(len, lanes);
+        bc.for_lanes([&](const gpusim::ThreadCtx& tc) {
+          const std::size_t lane = tc.thread_idx.x;
+          auto row = priv.subspan(lane * bins, bins);
+          for (std::size_t k = 0; k < bins; ++k) row[k] = Count{0};
+          const std::size_t a = lo + std::min(len, lane * per);
+          const std::size_t b = lo + std::min(len, (lane + 1) * per);
+          for (std::size_t i = a; i < b; ++i) {
+            const std::size_t bin = static_cast<std::size_t>(bin_of(in[i]));
+            PB_EXPECTS(bin < bins);
+            ++row[bin];
+          }
+        });
+        bc.for_lanes([&](const gpusim::ThreadCtx& tc) {
+          for (std::size_t k = tc.thread_idx.x; k < bins; k += lanes) {
+            Count c{0};
+            for (std::size_t l = 0; l < lanes; ++l) {
+              c = static_cast<Count>(c + priv[l * bins + k]);
+            }
+            partials[k * blocks + blk] = c;
+          }
+        });
+      });
+
+  detail::histogram_combine(ctx, std::span<const Count>(partials), hist, blocks,
+                            cfg.lanes);
+}
+
+}  // namespace portabench::primitives

@@ -4,6 +4,7 @@
 
 #include "gemm/kernels_tiled.hpp"
 #include "gpusim/tunables.hpp"
+#include "primitives/tunables.hpp"
 #include "simrt/simd.hpp"
 #include "simrt/tunables.hpp"
 
@@ -154,6 +155,72 @@ std::vector<SpaceDesc> build_registry() {
                         false,
                         "jobs per shard flush; larger batches amortize launches, "
                         "smaller ones bound latency"});
+    s.params.push_back({"sort_radix",
+                        {0, 1},
+                        0,
+                        false,
+                        "flush-batch ordering kernel: 0 = std::sort, 1 = the "
+                        "primitives LSD radix path (same (bucket, id) order "
+                        "either way — stability makes them interchangeable)"});
+    spaces.push_back(std::move(s));
+  }
+
+  {
+    // Device-wide radix sort schedule.  Every knob is schedule-only: the
+    // keys are integers after the radix bijection, so any digit width,
+    // tile size, or lane count yields the identical (stable) sorted
+    // output — tuned_vs_default pins that bitwise.
+    SpaceDesc s;
+    s.name = "primitives-radix";
+    s.what = "device radix sort: digit width, block tile, privatized lanes";
+    s.params.push_back({"radix_bits",
+                        {2, 4, 8},
+                        static_cast<long>(primitives::kDefaultRadixBits),
+                        false,
+                        "LSD digit width; wider digits mean fewer passes but "
+                        "bigger privatized histograms"});
+    s.params.push_back({"chunk",
+                        {2048, 4096, 8192, 16384, 32768},
+                        static_cast<long>(primitives::kDefaultSortChunk),
+                        false,
+                        "elements per count/scatter block tile"});
+    s.params.push_back({"lanes",
+                        {8, 16, 32, 64},
+                        static_cast<long>(primitives::kDefaultSortLanes),
+                        false,
+                        "lanes per block (clamped by shared-memory limit)"});
+    spaces.push_back(std::move(s));
+  }
+
+  {
+    // Device-wide scan/reduce schedule.  The association unit (segment)
+    // is FROZEN — fp results are a pure function of (T, op, n, segment),
+    // exactly the gemm kc contract — while chunk/lanes/items_per_lane
+    // only remap segments onto blocks and lanes.
+    SpaceDesc s;
+    s.name = "primitives-scan";
+    s.what = "device scan/reduce: block tile, lanes, reduce grain";
+    s.params.push_back({"chunk",
+                        {1024, 2048, 4096, 8192, 16384},
+                        static_cast<long>(primitives::kDefaultScanChunk),
+                        false,
+                        "elements per scan block tile (whole segments)"});
+    s.params.push_back({"lanes",
+                        {32, 64, 128, 256},
+                        static_cast<long>(primitives::kDefaultLanes),
+                        false,
+                        "lanes per block for the partials passes"});
+    s.params.push_back({"items_per_lane",
+                        {1, 2, 4, 8},
+                        static_cast<long>(primitives::kDefaultItemsPerLane),
+                        false,
+                        "segments each lane folds in the reduce pass"});
+    s.params.push_back({"segment",
+                        {static_cast<long>(primitives::kSegment)},
+                        static_cast<long>(primitives::kSegment),
+                        true,
+                        "ORDER-AFFECTING: fp slice-fold unit; frozen like "
+                        "gemm kc"});
     spaces.push_back(std::move(s));
   }
 

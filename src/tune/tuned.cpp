@@ -161,6 +161,65 @@ std::size_t Tuned::serve_batch_jobs(std::size_t fallback) noexcept {
   return as_size_knob(it->second, fallback);
 }
 
+bool Tuned::serve_sort_radix(bool fallback) noexcept {
+  ensure_loaded();
+  std::lock_guard<TuneMutex> lock(mutex_);
+  if (disabled_) return fallback;
+  const CacheEntry* e = cache_.find("serve-batch", "-", 0, fingerprint_);
+  if (e == nullptr) return fallback;
+  const auto it = e->config.find("sort_radix");
+  if (it == e->config.end()) return fallback;
+  return it->second != 0;
+}
+
+primitives::SortConfig Tuned::radix_sort_config(primitives::SortConfig fallback) noexcept {
+  ensure_loaded();
+  std::lock_guard<TuneMutex> lock(mutex_);
+  if (disabled_) return fallback;
+  const CacheEntry* e = cache_.find("primitives-radix", "-", 0, fingerprint_);
+  if (e == nullptr) return fallback;
+  primitives::SortConfig cfg = fallback;
+  const auto bits = e->config.find("radix_bits");
+  if (bits != e->config.end() && bits->second >= 1 && bits->second <= 8) {
+    cfg.radix_bits = static_cast<unsigned>(bits->second);
+  }
+  const auto chunk = e->config.find("chunk");
+  if (chunk != e->config.end()) cfg.chunk = as_size_knob(chunk->second, cfg.chunk);
+  const auto lanes = e->config.find("lanes");
+  if (lanes != e->config.end()) cfg.lanes = as_size_knob(lanes->second, cfg.lanes);
+  return cfg;
+}
+
+primitives::ScanConfig Tuned::scan_config(primitives::ScanConfig fallback) noexcept {
+  ensure_loaded();
+  std::lock_guard<TuneMutex> lock(mutex_);
+  if (disabled_) return fallback;
+  const CacheEntry* e = cache_.find("primitives-scan", "-", 0, fingerprint_);
+  if (e == nullptr) return fallback;
+  primitives::ScanConfig cfg = fallback;
+  const auto chunk = e->config.find("chunk");
+  if (chunk != e->config.end()) cfg.chunk = as_size_knob(chunk->second, cfg.chunk);
+  const auto lanes = e->config.find("lanes");
+  if (lanes != e->config.end()) cfg.lanes = as_size_knob(lanes->second, cfg.lanes);
+  return cfg;
+}
+
+primitives::ReduceConfig Tuned::reduce_config(primitives::ReduceConfig fallback) noexcept {
+  ensure_loaded();
+  std::lock_guard<TuneMutex> lock(mutex_);
+  if (disabled_) return fallback;
+  const CacheEntry* e = cache_.find("primitives-scan", "-", 0, fingerprint_);
+  if (e == nullptr) return fallback;
+  primitives::ReduceConfig cfg = fallback;
+  const auto lanes = e->config.find("lanes");
+  if (lanes != e->config.end()) cfg.lanes = as_size_knob(lanes->second, cfg.lanes);
+  const auto grain = e->config.find("items_per_lane");
+  if (grain != e->config.end()) {
+    cfg.items_per_lane = as_size_knob(grain->second, cfg.items_per_lane);
+  }
+  return cfg;
+}
+
 void Tuned::apply_process_tunables() noexcept {
   ensure_loaded();
   std::lock_guard<TuneMutex> lock(mutex_);

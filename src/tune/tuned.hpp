@@ -29,6 +29,9 @@
 #include "cache.hpp"
 #include "common/precision.hpp"
 #include "gemm/kernels_tiled.hpp"
+#include "primitives/reduce.hpp"
+#include "primitives/scan.hpp"
+#include "primitives/sort.hpp"
 
 namespace portabench::tune {
 
@@ -59,6 +62,25 @@ class Tuned {
 
   /// Tuned ServeEngine batch size, or `fallback` when untuned.
   [[nodiscard]] std::size_t serve_batch_jobs(std::size_t fallback) noexcept;
+
+  /// Tuned ServeEngine flush-sort kernel choice ("serve-batch" space,
+  /// sort_radix knob), or `fallback` when untuned.
+  [[nodiscard]] bool serve_sort_radix(bool fallback) noexcept;
+
+  /// Tuned device radix-sort schedule ("primitives-radix" space)
+  /// overlaid on `fallback`.  Every knob is schedule-only: the sorted
+  /// output is identical for any valid config.
+  [[nodiscard]] primitives::SortConfig radix_sort_config(
+      primitives::SortConfig fallback = {}) noexcept;
+
+  /// Tuned device scan schedule ("primitives-scan" space: chunk, lanes).
+  [[nodiscard]] primitives::ScanConfig scan_config(
+      primitives::ScanConfig fallback = {}) noexcept;
+
+  /// Tuned device reduce schedule ("primitives-scan" space: lanes,
+  /// items_per_lane).
+  [[nodiscard]] primitives::ReduceConfig reduce_config(
+      primitives::ReduceConfig fallback = {}) noexcept;
 
   /// Push cached "dispatch" / "launch" winners into the simrt and gpusim
   /// runtime tunables.  Explicit PORTABENCH_TUNE_* environment variables

@@ -6,6 +6,8 @@
 #include <numeric>
 #include <vector>
 
+#include "primitives/op.hpp"
+
 namespace portabench::gpusim {
 namespace {
 
@@ -45,6 +47,105 @@ TEST_P(BlockPrimitives, ExclusiveScanMatchesReference) {
     EXPECT_EQ(result[i], running) << "lane " << i;
     running += static_cast<long>(i + 1);
   }
+}
+
+TEST_P(BlockPrimitives, ReduceMaxEqualsLeftFold) {
+  const std::size_t lanes = GetParam();
+  const auto value = [](std::size_t lane) {
+    return static_cast<long>((lane * 2654435761u) % 1000);
+  };
+  long got = -1;
+  launch_blocks(ctx_, {1, 1, 1}, {lanes, 1, 1}, lanes * sizeof(long), [&](BlockCtx& bc) {
+    auto scratch = bc.shared<long>(lanes);
+    // portalint: ls-capture-write-ok(block_reduce broadcasts; every lane stores the identical reduced value)
+    got = block_reduce(bc, scratch, primitives::MaxOp<long>{},
+                       [&](const ThreadCtx& tc) { return value(tc.lane_in_block()); });
+  });
+  long want = value(0);
+  for (std::size_t i = 1; i < lanes; ++i) want = std::max(want, value(i));
+  EXPECT_EQ(got, want);
+}
+
+TEST_P(BlockPrimitives, ScanNonCommutativeOpKeepsLaneOrder) {
+  // Affine composition is associative but NOT commutative: the scan is
+  // correct only if every combine keeps the earlier lane on the left.
+  const std::size_t lanes = GetParam();
+  using Aff = primitives::Affine<long>;
+  const auto value = [](std::size_t lane) {
+    return Aff{static_cast<long>(lane % 3 + 1), static_cast<long>(lane % 5) - 2};
+  };
+  std::vector<Aff> got(lanes);
+  launch_blocks(ctx_, {1, 1, 1}, {lanes, 1, 1}, 2 * lanes * sizeof(Aff),
+                [&](BlockCtx& bc) {
+                  auto scratch = bc.shared<Aff>(2 * lanes);
+                  block_exclusive_scan(bc, scratch, primitives::AffineComposeOp<long>{},
+                                       [&](const ThreadCtx& tc) {
+                                         return value(tc.lane_in_block());
+                                       });
+                  bc.for_lanes([&](const ThreadCtx& tc) {
+                    got[tc.lane_in_block()] = scratch[tc.lane_in_block()];
+                  });
+                });
+  const primitives::AffineComposeOp<long> op;
+  Aff run = op.identity();
+  for (std::size_t i = 0; i < lanes; ++i) {
+    EXPECT_TRUE(got[i] == run) << "lane " << i << ": {" << got[i].mul << ","
+                               << got[i].add << "} vs {" << run.mul << "," << run.add
+                               << "}";
+    run = op(run, value(i));
+  }
+}
+
+TEST_P(BlockPrimitives, InclusiveScanMatchesReference) {
+  const std::size_t lanes = GetParam();
+  std::vector<long> got(lanes, -1);
+  launch_blocks(ctx_, {1, 1, 1}, {lanes, 1, 1}, 2 * lanes * sizeof(long),
+                [&](BlockCtx& bc) {
+                  auto scratch = bc.shared<long>(2 * lanes);
+                  block_inclusive_scan(bc, scratch, primitives::SumOp<long>{},
+                                       [](const ThreadCtx& tc) {
+                                         return static_cast<long>(tc.lane_in_block() + 1);
+                                       });
+                  bc.for_lanes([&](const ThreadCtx& tc) {
+                    got[tc.lane_in_block()] = scratch[tc.lane_in_block()];
+                  });
+                });
+  long run = 0;
+  for (std::size_t i = 0; i < lanes; ++i) {
+    run += static_cast<long>(i + 1);
+    EXPECT_EQ(got[i], run) << "lane " << i;
+  }
+}
+
+TEST_P(BlockPrimitives, HillisBaselineMatchesBlellochOnExactOps) {
+  const std::size_t lanes = GetParam();
+  const auto value = [](std::size_t lane) {
+    return static_cast<long>((lane * 48271u) % 97) - 48;
+  };
+  std::vector<long> blelloch(lanes), hillis(lanes);
+  launch_blocks(ctx_, {1, 1, 1}, {lanes, 1, 1}, 2 * lanes * sizeof(long),
+                [&](BlockCtx& bc) {
+                  auto scratch = bc.shared<long>(2 * lanes);
+                  block_exclusive_scan(bc, scratch, primitives::SumOp<long>{},
+                                       [&](const ThreadCtx& tc) {
+                                         return value(tc.lane_in_block());
+                                       });
+                  bc.for_lanes([&](const ThreadCtx& tc) {
+                    blelloch[tc.lane_in_block()] = scratch[tc.lane_in_block()];
+                  });
+                });
+  launch_blocks(ctx_, {1, 1, 1}, {lanes, 1, 1}, 2 * lanes * sizeof(long),
+                [&](BlockCtx& bc) {
+                  auto scratch = bc.shared<long>(2 * lanes);
+                  block_exclusive_scan_hillis(bc, scratch, primitives::SumOp<long>{},
+                                              [&](const ThreadCtx& tc) {
+                                                return value(tc.lane_in_block());
+                                              });
+                  bc.for_lanes([&](const ThreadCtx& tc) {
+                    hillis[tc.lane_in_block()] = scratch[tc.lane_in_block()];
+                  });
+                });
+  EXPECT_EQ(blelloch, hillis);
 }
 
 INSTANTIATE_TEST_SUITE_P(LaneCounts, BlockPrimitives,

@@ -1,0 +1,205 @@
+// Tests for warp-level shuffle / ballot / vote collectives.
+//
+// Each collective is checked against a direct host model of the CUDA
+// semantics (__shfl_down_sync / __shfl_xor_sync / __ballot_sync), over
+// ragged block sizes and sub-warp widths; the sanitized tier re-runs
+// these under permuted lane schedules, pinning the two-region lowering.
+#include "gpusim/warp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace portabench::gpusim {
+namespace {
+
+class WarpShuffle : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  DeviceContext ctx_{GpuSpec::a100()};
+};
+
+TEST_P(WarpShuffle, ShflDownMatchesModel) {
+  const std::size_t lanes = GetParam();
+  for (const std::size_t delta : {std::size_t{1}, std::size_t{2}, std::size_t{16}}) {
+    std::vector<int> got(lanes, -1);
+    std::vector<char> got_valid(lanes, 0);
+    launch_blocks(ctx_, {1, 1, 1}, {lanes, 1, 1}, lanes * sizeof(int),
+                  [&](BlockCtx& bc) {
+                    auto scratch = bc.shared<int>(lanes);
+                    warp_shfl_down(
+                        bc, scratch, delta,
+                        [](const ThreadCtx& tc) {
+                          return static_cast<int>(tc.lane_in_block() * 10);
+                        },
+                        [&](const ThreadCtx& tc, int v, bool valid) {
+                          got[tc.lane_in_block()] = v;
+                          got_valid[tc.lane_in_block()] = valid ? 1 : 0;
+                        });
+                  });
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+      const std::size_t in_warp = lane % kWarpSize;
+      const bool valid = in_warp + delta < kWarpSize && lane + delta < lanes;
+      const std::size_t src = valid ? lane + delta : lane;
+      EXPECT_EQ(got[lane], static_cast<int>(src * 10)) << "lane " << lane;
+      EXPECT_EQ(got_valid[lane], valid ? 1 : 0) << "lane " << lane;
+    }
+  }
+}
+
+TEST_P(WarpShuffle, ShflXorMatchesModel) {
+  const std::size_t lanes = GetParam();
+  for (const std::size_t mask : {std::size_t{1}, std::size_t{4}, std::size_t{31}}) {
+    std::vector<int> got(lanes, -1);
+    launch_blocks(ctx_, {1, 1, 1}, {lanes, 1, 1}, lanes * sizeof(int),
+                  [&](BlockCtx& bc) {
+                    auto scratch = bc.shared<int>(lanes);
+                    warp_shfl_xor(
+                        bc, scratch, mask,
+                        [](const ThreadCtx& tc) {
+                          return static_cast<int>(tc.lane_in_block() + 1);
+                        },
+                        [&](const ThreadCtx& tc, int v, bool) {
+                          got[tc.lane_in_block()] = v;
+                        });
+                  });
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+      const std::size_t in_warp = lane % kWarpSize;
+      const std::size_t peer = lane - in_warp + (in_warp ^ mask);
+      const std::size_t src = peer < lanes ? peer : lane;
+      EXPECT_EQ(got[lane], static_cast<int>(src + 1)) << "lane " << lane;
+    }
+  }
+}
+
+TEST_P(WarpShuffle, BallotCollectsPredicateBits) {
+  const std::size_t lanes = GetParam();
+  std::vector<std::uint32_t> got(lanes, 0);
+  launch_blocks(ctx_, {1, 1, 1}, {lanes, 1, 1}, lanes * sizeof(std::uint32_t),
+                [&](BlockCtx& bc) {
+                  auto scratch = bc.shared<std::uint32_t>(lanes);
+                  warp_ballot(
+                      bc, scratch,
+                      [](const ThreadCtx& tc) { return tc.lane_in_block() % 3 == 0; },
+                      [&](const ThreadCtx& tc, std::uint32_t mask) {
+                        got[tc.lane_in_block()] = mask;
+                      });
+                });
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    const std::size_t base = lane - lane % kWarpSize;
+    std::uint32_t want = 0;
+    for (std::size_t i = 0; base + i < lanes && i < kWarpSize; ++i) {
+      if ((base + i) % 3 == 0) want |= std::uint32_t{1} << i;
+    }
+    EXPECT_EQ(got[lane], want) << "lane " << lane;
+  }
+}
+
+TEST_P(WarpShuffle, AnyAndAllVotes) {
+  const std::size_t lanes = GetParam();
+  // Predicate true everywhere: any == all == true in every warp.
+  std::vector<char> any_got(lanes, 0), all_got(lanes, 0);
+  launch_blocks(ctx_, {1, 1, 1}, {lanes, 1, 1}, lanes * sizeof(std::uint32_t),
+                [&](BlockCtx& bc) {
+                  auto scratch = bc.shared<std::uint32_t>(lanes);
+                  warp_all(
+                      bc, scratch, [](const ThreadCtx&) { return true; },
+                      [&](const ThreadCtx& tc, bool all) {
+                        all_got[tc.lane_in_block()] = all ? 1 : 0;
+                      });
+                  warp_any(
+                      bc, scratch, [](const ThreadCtx&) { return false; },
+                      [&](const ThreadCtx& tc, bool any) {
+                        any_got[tc.lane_in_block()] = any ? 1 : 0;
+                      });
+                });
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    EXPECT_EQ(all_got[lane], 1) << "all-true vote failed at lane " << lane;
+    EXPECT_EQ(any_got[lane], 0) << "any-false vote failed at lane " << lane;
+  }
+}
+
+TEST_P(WarpShuffle, AnyDetectsSingleLane) {
+  const std::size_t lanes = GetParam();
+  // Exactly one hot lane: its warp votes any=true, every other warp
+  // votes false.
+  const std::size_t hot = lanes / 2;
+  std::vector<char> got(lanes, 0);
+  launch_blocks(ctx_, {1, 1, 1}, {lanes, 1, 1}, lanes * sizeof(std::uint32_t),
+                [&](BlockCtx& bc) {
+                  auto scratch = bc.shared<std::uint32_t>(lanes);
+                  warp_any(
+                      bc, scratch,
+                      [hot](const ThreadCtx& tc) { return tc.lane_in_block() == hot; },
+                      [&](const ThreadCtx& tc, bool any) {
+                        got[tc.lane_in_block()] = any ? 1 : 0;
+                      });
+                });
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    const bool same_warp = lane / kWarpSize == hot / kWarpSize;
+    EXPECT_EQ(got[lane], same_warp ? 1 : 0) << "lane " << lane;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(LaneCounts, WarpShuffle,
+                         ::testing::Values(1, 2, 7, 31, 32, 33, 47, 64, 100, 128));
+
+TEST(WarpSubWidth, ShflDownAtWidthEight) {
+  DeviceContext ctx(GpuSpec::a100());
+  constexpr std::size_t kLanes = 24;
+  constexpr std::size_t kWidth = 8;
+  std::vector<int> got(kLanes, -1);
+  launch_blocks(ctx, {1, 1, 1}, {kLanes, 1, 1}, kLanes * sizeof(int), [&](BlockCtx& bc) {
+    auto scratch = bc.shared<int>(kLanes);
+    warp_shfl_down(
+        bc, scratch, 1,
+        [](const ThreadCtx& tc) { return static_cast<int>(tc.lane_in_block()); },
+        [&](const ThreadCtx& tc, int v, bool) { got[tc.lane_in_block()] = v; }, kWidth);
+  });
+  for (std::size_t lane = 0; lane < kLanes; ++lane) {
+    const std::size_t in_warp = lane % kWidth;
+    const std::size_t src = in_warp + 1 < kWidth ? lane + 1 : lane;
+    EXPECT_EQ(got[lane], static_cast<int>(src)) << "lane " << lane;
+  }
+}
+
+TEST(WarpSubWidth, BadWidthRejected) {
+  DeviceContext ctx(GpuSpec::a100());
+  launch_blocks(ctx, {1, 1, 1}, {4, 1, 1}, 4 * sizeof(int), [&](BlockCtx& bc) {
+    auto scratch = bc.shared<int>(4);
+    const auto value = [](const ThreadCtx&) { return 0; };
+    const auto sink = [](const ThreadCtx&, int, bool) {};
+    EXPECT_THROW(warp_shfl_down(bc, scratch, 1, value, sink, 3), precondition_error);
+    EXPECT_THROW(warp_shfl_down(bc, scratch, 1, value, sink, 64), precondition_error);
+    EXPECT_THROW(warp_shfl_down(bc, scratch, 1, value, sink, 0), precondition_error);
+  });
+}
+
+TEST(WarpReduceLeaders, LeavesPerWarpTotals) {
+  DeviceContext ctx(GpuSpec::a100());
+  constexpr std::size_t kLanes = 100;  // ragged final warp of 4
+  std::vector<long> scratch_out(kLanes, -1);
+  launch_blocks(ctx, {1, 1, 1}, {kLanes, 1, 1}, kLanes * sizeof(long), [&](BlockCtx& bc) {
+    auto scratch = bc.shared<long>(kLanes);
+    struct Plus {
+      long operator()(long a, long b) const { return a + b; }
+      long identity() const { return 0; }
+    };
+    warp_reduce_leaders(bc, scratch, Plus{}, [](const ThreadCtx& tc) {
+      return static_cast<long>(tc.lane_in_block() + 1);  // 1..lanes
+    });
+    bc.for_lanes([&](const ThreadCtx& tc) {
+      scratch_out[tc.lane_in_block()] = scratch[tc.lane_in_block()];
+    });
+  });
+  for (std::size_t w = 0; w < warps_in(kLanes); ++w) {
+    const std::size_t lo = w * kWarpSize + 1;
+    const std::size_t hi = std::min(kLanes, (w + 1) * kWarpSize);
+    long want = 0;
+    for (std::size_t v = lo; v <= hi; ++v) want += static_cast<long>(v);
+    EXPECT_EQ(scratch_out[w * kWarpSize], want) << "warp " << w;
+  }
+}
+
+}  // namespace
+}  // namespace portabench::gpusim

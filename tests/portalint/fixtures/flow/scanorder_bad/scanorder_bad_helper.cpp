@@ -1,0 +1,13 @@
+// portalint fixture: known-bad, cross-TU half (helper side).  Folding a
+// value into a by-reference accumulator is ordinary sequential code, so
+// this file is quiet on its own.  The fixed-combination-order violation
+// only exists at the launch site in scanorder_bad_kernel.cpp: once the
+// write-effect summary of this helper flows back there, the pass sees
+// every lane read-modify-write the same accumulator.
+#include <cstddef>
+
+namespace fixture {
+
+inline void fold_into(double& acc, double v) { acc = acc + v; }
+
+}  // namespace fixture

@@ -1,0 +1,23 @@
+// portalint fixture: known-bad, cross-TU half (launch side).  A scan
+// whose combine runs INSIDE the parallel region: each lane folds its
+// element into the single `running` accumulator through fold_into()
+// (defined in scanorder_bad_helper.cpp), so the combination order is
+// whatever order the lanes happen to run in — the opposite of the
+// fixed-combination-order contract (docs/PRIMITIVES.md), and a
+// non-atomic race besides.  The lambda body itself never stores to
+// `running`, so the token-level ls-capture-write rule provably passes
+// this file; only the interprocedural write-effect summary sees it.
+#include <cstddef>
+#include <vector>
+
+namespace fixture {
+
+inline void prefix_unordered(Space& space, std::size_t n, std::vector<double>& out) {
+  double running = 0.0;
+  parallel_for(space, RangePolicy(0, n), [&](std::size_t i) {
+    fold_into(running, static_cast<double>(i));  // portalint-expect: fl-shared-write-escape
+    out[i] = running;
+  });
+}
+
+}  // namespace fixture

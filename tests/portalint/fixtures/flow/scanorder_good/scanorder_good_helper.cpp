@@ -1,0 +1,14 @@
+// portalint fixture: known-good, cross-TU half (helper side).  The
+// helper writes one partial into the slot it is handed — the
+// write-effect summary records "indexed by parameter 1", and the launch
+// side passes the lane variable there, so every lane owns its slot.
+#include <cstddef>
+#include <vector>
+
+namespace fixture {
+
+inline void store_partial(std::vector<double>& partials, std::size_t slot, double v) {
+  partials[slot] = v;
+}
+
+}  // namespace fixture

@@ -1,0 +1,24 @@
+// portalint fixture: known-good, cross-TU half (launch side).  The
+// fixed-combination-order idiom from src/primitives/: the parallel
+// region only writes per-lane partials (each lane's slot, through the
+// cross-TU helper), and the combine is a SERIAL ascending fold outside
+// the region — the combination order is a pure function of the input
+// size, never of the lane schedule, so the pass stays quiet.
+#include <cstddef>
+#include <vector>
+
+namespace fixture {
+
+inline void prefix_ordered(Space& space, std::size_t n, std::vector<double>& out) {
+  std::vector<double> partials(n);
+  parallel_for(space, RangePolicy(0, n), [&](std::size_t i) {
+    store_partial(partials, i, static_cast<double>(i));
+  });
+  double running = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    running += partials[i];
+    out[i] = running;
+  }
+}
+
+}  // namespace fixture

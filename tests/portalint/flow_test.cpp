@@ -98,10 +98,11 @@ TEST_P(GoodFlowCorpus, ScansClean) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Portaflow, BadFlowCorpus,
-                         ::testing::Values("swe_bad", "ord_bad", "det_bad", "queue_bad"));
+                         ::testing::Values("swe_bad", "ord_bad", "det_bad", "queue_bad",
+                                           "scanorder_bad"));
 INSTANTIATE_TEST_SUITE_P(Portaflow, GoodFlowCorpus,
                          ::testing::Values("swe_good", "ord_good", "det_good",
-                                           "queue_good"));
+                                           "queue_good", "scanorder_good"));
 
 // The acceptance demonstration: the same corpus the interprocedural
 // pass flags is provably clean under every token-level rule (--no-flow

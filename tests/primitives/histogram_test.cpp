@@ -1,0 +1,130 @@
+// Property tests for the privatized device-wide histogram: exact count
+// identity against the serial oracle for every schedule, bin count, and
+// count type — integer counting is exact, so any mismatch is a lost or
+// double-counted element.
+#include "primitives/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "primitives/serial.hpp"
+
+namespace portabench::primitives {
+namespace {
+
+const HistogramConfig kConfigs[] = {
+    {},          // defaults
+    {1, 1},      // one lane, one element per tile
+    {32, 4096},  // warp-width lanes, big tiles
+    {7, 129},    // awkward non-power-of-two schedule
+    {256, 512},  // more lanes than most tiles have elements
+};
+
+template <class Count>
+void check_histogram(std::size_t n, std::size_t bins, std::uint64_t seed) {
+  gpusim::DeviceContext ctx(gpusim::GpuSpec::a100());
+  Xoshiro256 rng(seed);
+  std::vector<std::uint32_t> in(n);
+  for (auto& x : in) x = static_cast<std::uint32_t>(rng());
+  const auto bin_of = [bins](std::uint32_t x) { return x % bins; };
+
+  std::vector<Count> want(bins);
+  histogram_oracle(std::span<const std::uint32_t>(in), std::span<Count>(want), bin_of);
+  const Count total = std::accumulate(want.begin(), want.end(), Count{0});
+  EXPECT_EQ(static_cast<std::size_t>(total), n) << "oracle must count every element";
+
+  for (const HistogramConfig& cfg : kConfigs) {
+    std::vector<Count> got(bins, Count{123});  // poison: output must be overwritten
+    device_histogram(ctx, std::span<const std::uint32_t>(in), std::span<Count>(got),
+                     bin_of, cfg);
+    EXPECT_EQ(got, want) << "n=" << n << " bins=" << bins << " lanes=" << cfg.lanes
+                         << " chunk=" << cfg.chunk;
+  }
+}
+
+TEST(DeviceHistogram, Uint32Counts) {
+  for (const std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{97},
+                              std::size_t{1025}, std::size_t{10007}}) {
+    for (const std::size_t bins : {std::size_t{1}, std::size_t{13}, std::size_t{256}}) {
+      check_histogram<std::uint32_t>(n, bins, 1000 + n + bins);
+    }
+  }
+}
+
+TEST(DeviceHistogram, WideAndNarrowCountTypes) {
+  check_histogram<std::uint64_t>(4099, 37, 1);
+  check_histogram<std::int32_t>(4099, 37, 2);
+  check_histogram<std::size_t>(1023, 5, 3);
+}
+
+TEST(DeviceHistogram, AllElementsInOneBin) {
+  gpusim::DeviceContext ctx(gpusim::GpuSpec::a100());
+  const std::size_t n = 5000;
+  const std::vector<double> in(n, 0.25);
+  const auto bin_of = [](double) { return std::size_t{2}; };
+  std::vector<std::uint32_t> hist(8);
+  device_histogram(ctx, std::span<const double>(in), std::span<std::uint32_t>(hist),
+                   bin_of);
+  for (std::size_t k = 0; k < hist.size(); ++k) {
+    EXPECT_EQ(hist[k], k == 2 ? n : 0u) << "bin " << k;
+  }
+}
+
+TEST(DeviceHistogram, FloatBinningMatchesOracle) {
+  // Value-range binning of doubles — the bin function itself is where
+  // fp subtleties would live; the counting stays exact.
+  gpusim::DeviceContext ctx(gpusim::GpuSpec::a100());
+  const std::size_t n = 4099;
+  const std::size_t bins = 64;
+  Xoshiro256 rng(55);
+  std::vector<double> in(n);
+  for (auto& x : in) x = rng.uniform();
+  const auto bin_of = [bins](double x) {
+    const auto b = static_cast<std::size_t>(x * static_cast<double>(bins));
+    return b < bins ? b : bins - 1;
+  };
+  std::vector<std::uint64_t> want(bins), got(bins);
+  histogram_oracle(std::span<const double>(in), std::span<std::uint64_t>(want), bin_of);
+  for (const HistogramConfig& cfg : kConfigs) {
+    device_histogram(ctx, std::span<const double>(in), std::span<std::uint64_t>(got),
+                     bin_of, cfg);
+    EXPECT_EQ(got, want) << "lanes=" << cfg.lanes << " chunk=" << cfg.chunk;
+  }
+}
+
+TEST(DeviceHistogram, SharedMemoryCapClampsLanes) {
+  // Huge bin count: the privatized rows cannot all fit, so the lane
+  // count is clamped by shared memory — the result must be unchanged.
+  gpusim::DeviceContext ctx(gpusim::GpuSpec::a100());
+  const std::size_t n = 2048;
+  const std::size_t bins = 8192;  // 8192 * 8B = 64 KiB per lane row
+  Xoshiro256 rng(77);
+  std::vector<std::uint32_t> in(n);
+  for (auto& x : in) x = static_cast<std::uint32_t>(rng());
+  const auto bin_of = [bins](std::uint32_t x) { return x % bins; };
+  std::vector<std::uint64_t> want(bins), got(bins);
+  histogram_oracle(std::span<const std::uint32_t>(in), std::span<std::uint64_t>(want),
+                   bin_of);
+  HistogramConfig cfg;
+  cfg.lanes = 256;  // far beyond what 164 KiB of shared memory allows
+  device_histogram(ctx, std::span<const std::uint32_t>(in),
+                   std::span<std::uint64_t>(got), bin_of, cfg);
+  EXPECT_EQ(got, want);
+}
+
+TEST(DeviceHistogram, EmptyBinsRejected) {
+  gpusim::DeviceContext ctx(gpusim::GpuSpec::a100());
+  const std::vector<std::uint32_t> in(4, 0);
+  std::vector<std::uint32_t> hist;
+  EXPECT_THROW(device_histogram(ctx, std::span<const std::uint32_t>(in),
+                                std::span<std::uint32_t>(hist),
+                                [](std::uint32_t) { return 0u; }),
+               precondition_error);
+}
+
+}  // namespace
+}  // namespace portabench::primitives

@@ -58,6 +58,8 @@ std::vector<Workload> all_workloads(std::size_t n) {
   out.push_back({"dispatch", "-", 0, dispatch_objective(), false});
   out.push_back({"launch", "-", 0, launch_objective(), false});
   out.push_back({"serve-batch", "-", 0, serve_batch_objective(), false});
+  out.push_back({"primitives-radix", "-", 0, primitives_radix_objective(), false});
+  out.push_back({"primitives-scan", "-", 0, primitives_scan_objective(), false});
   out.push_back({"gpu-unroll", "-", 0,
                  [](const Config& c) {
                    return modeled_unroll_cost(config_value(
